@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Contention-model ablation (design decision D5): the paper observes
+ * that the Weather pathology "was not evident in previous evaluations of
+ * directory-based cache coherence because the network model did not
+ * account for hot-spot behavior".
+ *
+ * In this reproduction the hot spot manifests mostly as queueing at the
+ * home node (memory-controller occupancy and transaction interlocks)
+ * plus ejection serialization in the mesh. The bench therefore compares
+ * three fidelity levels:
+ *   A. wormhole mesh + controller occupancy   (full hot-spot modelling)
+ *   B. contention-free network + occupancy    (wires idealized)
+ *   C. contention-free network + zero-occupancy controller with a deep
+ *      request buffer                         (the "old-style" model)
+ * and shows the Dir4NB/full-map penalty collapse when hot-spot queueing
+ * is modelled away — the paper's methodological point.
+ */
+
+#include "bench_common.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+int
+main(int argc, char **argv)
+{
+    paperReference(
+        "Ablation: hot-spot contention modelling (D5)",
+        "Paper Section 5.2: earlier studies missed the limited-directory "
+        "pathology because their\nmodel had no hot-spot behaviour. "
+        "Expected: the Dir4NB/full-map ratio shrinks "
+        "substantially\nonce home-node contention is idealized away.");
+
+    const WeatherParams wp = weatherFigureParams();
+    auto make = [&]() { return std::make_unique<Weather>(wp); };
+
+    struct Mode
+    {
+        const char *name;
+        NetworkKind net;
+        bool ideal_controller;
+    };
+    const Mode modes[] = {
+        {"mesh+occupancy", NetworkKind::mesh, false},
+        {"ideal-net+occupancy", NetworkKind::ideal, false},
+        {"ideal-net+ideal-ctrl", NetworkKind::ideal, true},
+    };
+
+    ResultTable table("weather, 64 procs, contention-model ablation");
+    double ratios[3] = {};
+    for (int i = 0; i < 3; ++i) {
+        const Mode &mode = modes[i];
+        double cycles[2] = {};
+        int k = 0;
+        for (auto proto : {protocols::dirNB(4), protocols::fullMap()}) {
+            MachineConfig cfg = alewife64(proto);
+            cfg.network = mode.net;
+            if (mode.ideal_controller) {
+                cfg.mem.serviceCycles = 0;
+                cfg.mem.deferDepth = 64;
+            }
+            const auto out = runExperiment(
+                cfg, make,
+                std::string(proto.kind == ProtocolKind::limited
+                                ? "Dir4NB "
+                                : "Full-Map ") +
+                    mode.name);
+            table.add(out);
+            cycles[k++] = out.mcycles;
+        }
+        ratios[i] = cycles[0] / cycles[1];
+    }
+
+    table.printBars(std::cout);
+    table.printDetails(std::cout);
+    if (wantCsv(argc, argv))
+        table.printCsv(std::cout);
+
+    std::cout << "\nDir4NB / Full-Map ratio by contention fidelity:\n"
+              << "  mesh+occupancy:        " << ratios[0] << "x\n"
+              << "  ideal-net+occupancy:   " << ratios[1] << "x\n"
+              << "  ideal-net+ideal-ctrl:  " << ratios[2] << "x\n";
+    if (ratios[0] < ratios[2] * 1.3) {
+        std::cout << "SHAPE CHECK FAILED: modelling hot-spot contention "
+                     "should amplify the limited-dir penalty\n";
+        return 1;
+    }
+    std::cout << "Shape check PASSED: without hot-spot (home-node) "
+                 "contention the pathology shrinks from "
+              << ratios[0] << "x to " << ratios[2]
+              << "x — the effect the paper says earlier studies "
+                 "missed.\n";
+    return 0;
+}

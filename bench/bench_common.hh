@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: the standard
+ * 64-node Alewife-like machine and the workload sizes used across
+ * Figures 7-10, plus paper-reference printing.
+ */
+
+#ifndef LIMITLESS_BENCH_BENCH_COMMON_HH
+#define LIMITLESS_BENCH_BENCH_COMMON_HH
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/result_table.hh"
+#include "workload/multigrid.hh"
+#include "workload/weather.hh"
+
+namespace limitless::bench
+{
+
+/** The evaluation machine: 64 processors on an 8x8 wormhole mesh. */
+inline MachineConfig
+alewife64(ProtocolParams proto)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 64;
+    cfg.protocol = proto;
+    cfg.seed = 1991;
+    return cfg;
+}
+
+/** Weather sized so runs land in the paper's hundreds-of-kilocycles
+ *  regime while keeping a full figure sweep under a few minutes. */
+inline WeatherParams
+weatherFigureParams(bool optimized = false)
+{
+    WeatherParams wp;
+    wp.iterations = 60;
+    wp.columnLines = 64;
+    wp.optimizeHotVariable = optimized;
+    return wp;
+}
+
+inline MultigridParams
+multigridFigureParams()
+{
+    MultigridParams mp;
+    mp.iterations = 60;
+    mp.interiorLines = 48;
+    mp.boundaryWords = 4;
+    return mp;
+}
+
+/** Print the "paper reports" block ahead of the measured rows. */
+inline void
+paperReference(const char *figure, const char *text)
+{
+    std::cout << "\n--- " << figure << " ---\n" << text << "\n";
+}
+
+inline bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--csv"))
+            return true;
+    return false;
+}
+
+} // namespace limitless::bench
+
+#endif // LIMITLESS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Chained-directory comparison (paper Section 1): "chained directories
+ * are forced to transmit invalidations sequentially through a
+ * linked-list structure, and thus incur high write latencies for very
+ * large machines." This bench sweeps the worker-set size and reports
+ * the writer-observed invalidation latency for chained, full-map,
+ * Dir4NB and LimitLESS4.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "sim/log.hh"
+#include "workload/worker_set.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+namespace
+{
+
+double
+writeLatency(ProtocolParams proto, unsigned workers)
+{
+    MachineConfig cfg = alewife64(proto);
+    WorkerSetParams wp;
+    wp.workerSet = workers;
+    wp.rounds = 8;
+    WorkerSetSweep wl(wp);
+    Machine m(cfg);
+    wl.install(m);
+    if (!m.run().completed)
+        fatal("chained_write_latency: run did not complete");
+    wl.verify(m);
+    return wl.meanWriteLatency();
+}
+
+} // namespace
+
+int
+main()
+{
+    paperReference(
+        "Chained vs LimitLESS: invalidation latency vs worker-set",
+        "Paper (qualitative): chained write latency grows linearly with "
+        "the sharing chain;\nfull-map / LimitLESS overlap their "
+        "invalidations. Expected: the chained column grows\n~linearly, "
+        "the others stay nearly flat.");
+
+    const std::pair<const char *, ProtocolParams> protos[] = {
+        {"Full-Map", protocols::fullMap()},
+        {"Dir4NB", protocols::dirNB(4)},
+        {"LimitLESS4", protocols::limitlessStall(4, 50)},
+        {"Chained", protocols::chained()},
+    };
+
+    std::cout << "\nMean write latency (cycles) vs worker-set size, 64 "
+                 "processors:\n";
+    std::cout << "  " << std::setw(10) << "workers";
+    for (const auto &[name, proto] : protos)
+        std::cout << std::setw(12) << name;
+    std::cout << "\n";
+
+    double chained_small = 0, chained_big = 0;
+    double fullmap_small = 0, fullmap_big = 0;
+    for (unsigned w : {2u, 4u, 8u, 16u, 32u, 48u}) {
+        std::cout << "  " << std::setw(10) << w;
+        for (const auto &[name, proto] : protos) {
+            const double lat = writeLatency(proto, w);
+            std::cout << std::setw(12) << std::fixed
+                      << std::setprecision(1) << lat;
+            if (std::string(name) == "Chained") {
+                if (w == 4)
+                    chained_small = lat;
+                if (w == 32)
+                    chained_big = lat;
+            }
+            if (std::string(name) == "Full-Map") {
+                if (w == 4)
+                    fullmap_small = lat;
+                if (w == 32)
+                    fullmap_big = lat;
+            }
+        }
+        std::cout << "\n";
+    }
+
+    const double chained_growth = chained_big / chained_small;
+    const double fullmap_growth = fullmap_big / fullmap_small;
+    std::cout << "\n4 -> 32 workers growth: chained " << std::fixed
+              << std::setprecision(1) << chained_growth
+              << "x vs full-map " << fullmap_growth << "x\n";
+    if (chained_growth < 3.0 || chained_growth < 2 * fullmap_growth) {
+        std::cout << "SHAPE CHECK FAILED: chained latency should grow "
+                     "~linearly and much faster than full-map\n";
+        return 1;
+    }
+    std::cout << "Shape check PASSED: sequential chained invalidations "
+                 "vs overlapped directory INVs.\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Section 6 extension bench: FIFO (IPI-serviced) lock vs test-and-set
+ * spin lock under rising contention, on a 64-node LimitLESS machine.
+ *
+ * Reports total time and fairness (max/mean acquisition wait) as the
+ * number of contenders grows. The spin lock's waits grow erratic with
+ * contention (backoff luck); the software FIFO lock stays ordered with
+ * two messages per hand-off — the kind of synchronization type the paper
+ * argues the LimitLESS interface lets the runtime synthesize.
+ */
+
+#include <algorithm>
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "sim/log.hh"
+#include "kernel/fifo_lock.hh"
+#include "workload/spin_lock.hh"
+#include "workload/workload.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+namespace
+{
+
+struct Row
+{
+    Tick cycles;
+    double mean_wait;
+    Tick max_wait;
+};
+
+Row
+run(bool fifo, unsigned contenders)
+{
+    MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
+    Machine m(cfg);
+    const Addr counter = m.addressMap().addrOnNode(1, slot::locks + 2);
+    const unsigned iters = 8;
+
+    std::vector<Tick> spin_waits;
+    SpinLock spin(m.addressMap().addrOnNode(0, slot::locks));
+    auto fifo_lock = std::make_unique<FifoLockService>(m, 0, 1);
+
+    for (NodeId p = 0; p < 64; ++p) {
+        if (p < contenders) {
+            m.spawnOn(p, [&, p, fifo](ThreadApi &t) -> Task<> {
+                for (unsigned i = 0; i < iters; ++i) {
+                    const Tick before = t.now();
+                    if (fifo)
+                        co_await fifo_lock->acquire(t);
+                    else {
+                        co_await spin.acquire(t);
+                        spin_waits.push_back(t.now() - before);
+                    }
+                    const std::uint64_t v = co_await t.read(counter);
+                    co_await t.compute(12);
+                    co_await t.write(counter, v + 1);
+                    if (fifo)
+                        co_await fifo_lock->release(t);
+                    else
+                        co_await spin.release(t);
+                    co_await t.compute(1 + (p * 7) % 29);
+                }
+            });
+        } else {
+            m.spawnOn(p, [](ThreadApi &t) -> Task<> {
+                co_await t.compute(1);
+            });
+        }
+    }
+    const RunResult r = m.run();
+    if (!r.completed)
+        fatal("ext_fifo_lock: run did not complete");
+
+    const std::vector<Tick> &waits =
+        fifo ? fifo_lock->grantWaits() : spin_waits;
+    Tick sum = 0, mx = 0;
+    for (Tick w : waits) {
+        sum += w;
+        mx = std::max(mx, w);
+    }
+    return Row{r.cycles, waits.empty() ? 0 : double(sum) / waits.size(),
+               mx};
+}
+
+} // namespace
+
+int
+main()
+{
+    paperReference(
+        "Section 6 extension: FIFO lock via the LimitLESS interface",
+        "Paper (qualitative): the trap handler can buffer requests for a "
+        "programmer-specified\nvariable and grant them first-come, "
+        "first-served. Expected: the FIFO lock's max/mean\nwait ratio "
+        "stays near 1-2x while the spin lock's grows with contention.");
+
+    std::cout << "\n  " << std::setw(11) << "contenders" << std::setw(13)
+              << "spin cycles" << std::setw(11) << "spin fair"
+              << std::setw(13) << "fifo cycles" << std::setw(11)
+              << "fifo fair" << "\n";
+    double spin_fair_hi = 0, fifo_fair_hi = 0;
+    for (unsigned c : {4u, 16u, 48u}) {
+        const Row spin = run(false, c);
+        const Row fifo = run(true, c);
+        const double sf = spin.mean_wait > 0
+                              ? spin.max_wait / spin.mean_wait
+                              : 0;
+        const double ff = fifo.mean_wait > 0
+                              ? fifo.max_wait / fifo.mean_wait
+                              : 0;
+        std::cout << "  " << std::setw(11) << c << std::setw(13)
+                  << spin.cycles << std::setw(10) << std::fixed
+                  << std::setprecision(1) << sf << "x" << std::setw(13)
+                  << fifo.cycles << std::setw(10) << ff << "x\n";
+        spin_fair_hi = std::max(spin_fair_hi, sf);
+        fifo_fair_hi = std::max(fifo_fair_hi, ff);
+    }
+    std::cout << "\n(fairness = max wait / mean wait; 1.0x is perfectly "
+                 "fair)\n";
+    if (fifo_fair_hi < spin_fair_hi) {
+        std::cout << "Shape check PASSED: the software FIFO lock is "
+                     "fairer than test-and-set at peak contention ("
+                  << fifo_fair_hi << "x vs " << spin_fair_hi << "x).\n";
+        return 0;
+    }
+    std::cout << "SHAPE CHECK FAILED: FIFO lock should be fairer.\n";
+    return 1;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10 reproduction: Weather on 64 processors under LimitLESS with
+ * 1, 2, and 4 hardware pointers (Ts = 50), bracketed by Dir4NB and
+ * full-map.
+ *
+ * Paper result: performance degrades gracefully as pointers shrink;
+ * LimitLESS1 is "especially bad, because some of Weather's variables
+ * have a worker-set that consists of exactly two processors" — every
+ * access to those variables traps with a single pointer.
+ */
+
+#include "bench_common.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+int
+main(int argc, char **argv)
+{
+    paperReference(
+        "Figure 10: Weather, LimitLESS with 1, 2, 4 hardware pointers",
+        "Paper: Dir4NB ~1.4M; LimitLESS1 ~1.0M; LimitLESS2 ~0.75M; "
+        "LimitLESS4 ~0.7M; Full-Map ~0.6 Mcycles;\nexpected shape: "
+        "graceful degradation, LimitLESS1 clearly worst of the "
+        "LimitLESS points but still better than Dir4NB.");
+
+    const WeatherParams wp = weatherFigureParams();
+    auto make = [&]() { return std::make_unique<Weather>(wp); };
+
+    ResultTable table("Figure 10: weather, LimitLESS pointer sweep");
+    table.add(runExperiment(alewife64(protocols::dirNB(4)), make));
+    for (unsigned p : {1u, 2u, 4u}) {
+        table.add(runExperiment(
+            alewife64(protocols::limitlessStall(p, 50)), make));
+    }
+    table.add(runExperiment(alewife64(protocols::fullMap()), make));
+
+    table.printBars(std::cout);
+    table.printDetails(std::cout);
+    if (wantCsv(argc, argv))
+        table.printCsv(std::cout);
+
+    const double l1 = table.row("LimitLESS1").mcycles;
+    const double l2 = table.row("LimitLESS2").mcycles;
+    const double l4 = table.row("LimitLESS4").mcycles;
+    const double d4 = table.row("Dir4NB").mcycles;
+    bool ok = true;
+    if (!(l1 > l2 && l2 >= l4 * 0.98)) {
+        std::cout << "\nSHAPE CHECK FAILED: degradation not monotone "
+                     "(L1=" << l1 << " L2=" << l2 << " L4=" << l4
+                  << ")\n";
+        ok = false;
+    }
+    if (!(l1 > l4 * 1.3)) {
+        std::cout << "\nSHAPE CHECK FAILED: LimitLESS1 not clearly "
+                     "worse than LimitLESS4\n";
+        ok = false;
+    }
+    if (!(l1 < d4)) {
+        std::cout << "\nSHAPE CHECK FAILED: LimitLESS1 should still "
+                     "beat Dir4NB\n";
+        ok = false;
+    }
+    if (ok)
+        std::cout << "\nShape check PASSED: graceful degradation with "
+                     "LimitLESS1 especially bad, as in the paper.\n";
+    return ok ? 0 : 1;
+}

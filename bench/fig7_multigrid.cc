@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7 reproduction: statically scheduled multigrid on 64 processors.
+ *
+ * Paper result: Dir4NB, LimitLESS4 (Ts = 50, 100) and full-map all take
+ * approximately the same time — multigrid's worker-sets are small, so
+ * limited pointers suffice and the LimitLESS software path is never
+ * exercised.
+ */
+
+#include "bench_common.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+int
+main(int argc, char **argv)
+{
+    paperReference(
+        "Figure 7: Static Multigrid, 64 Processors",
+        "Paper: all four schemes complete in ~the same time (~1.4 "
+        "Mcycles each);\nexpected shape: four nearly equal bars.");
+
+    const MultigridParams mp = multigridFigureParams();
+    auto make = [&]() { return std::make_unique<Multigrid>(mp); };
+
+    ResultTable table("Figure 7: multigrid, 64 processors");
+    for (const auto &proto :
+         {protocols::dirNB(4), protocols::limitlessStall(4, 100),
+          protocols::limitlessStall(4, 50), protocols::fullMap()}) {
+        table.add(runExperiment(alewife64(proto), make));
+    }
+
+    table.printBars(std::cout);
+    table.printDetails(std::cout);
+    if (wantCsv(argc, argv))
+        table.printCsv(std::cout);
+
+    // Shape check: max spread within 10%.
+    const double base = table.row("Full-Map").mcycles;
+    for (const auto &r : table.rows()) {
+        if (r.mcycles > base * 1.10) {
+            std::cout << "\nSHAPE CHECK FAILED: " << r.label << " is "
+                      << r.mcycles / base << "x full-map\n";
+            return 1;
+        }
+    }
+    std::cout << "\nShape check PASSED: all schemes within 10% of "
+                 "full-map, as in the paper.\n";
+    return 0;
+}

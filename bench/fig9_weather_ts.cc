@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 9 reproduction: Weather on 64 processors under LimitLESS4 with
+ * software emulation latencies Ts = 25, 50, 100, 150, bracketed by
+ * Dir4NB and full-map. One extra row runs the *full emulation* model
+ * (real trap handler through the IPI interface) as a cross-check of the
+ * paper's stall-approximation methodology.
+ *
+ * Paper result: LimitLESS4 performs about as well as full-map for every
+ * Ts, and is only weakly dependent on Ts; Dir4NB is ~2.4x worse. (The
+ * paper's Ts=25 point lands slightly *below* full-map via a network
+ * back-off side effect; see EXPERIMENTS.md for why the reproduction
+ * shows it at par instead.)
+ */
+
+#include "bench_common.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+int
+main(int argc, char **argv)
+{
+    paperReference(
+        "Figure 9: Weather, LimitLESS with 25-150 cycle emulation "
+        "latencies",
+        "Paper: Dir4NB ~1.4M; LimitLESS4 Ts=150/100/50 ~0.7M; Ts=25 "
+        "~0.6M; Full-Map ~0.6 Mcycles;\nexpected shape: LimitLESS "
+        "within ~15% of full-map at every Ts, Dir4NB >> both.");
+
+    const WeatherParams wp = weatherFigureParams();
+    auto make = [&]() { return std::make_unique<Weather>(wp); };
+
+    ResultTable table("Figure 9: weather, LimitLESS Ts sweep");
+    table.add(runExperiment(alewife64(protocols::dirNB(4)), make));
+    for (Tick ts : {150, 100, 50, 25}) {
+        table.add(
+            runExperiment(alewife64(protocols::limitlessStall(4, ts)),
+                          make));
+    }
+    table.add(
+        runExperiment(alewife64(protocols::limitlessEmulated(4)), make));
+    table.add(runExperiment(alewife64(protocols::fullMap()), make));
+
+    table.printBars(std::cout);
+    table.printDetails(std::cout);
+    if (wantCsv(argc, argv))
+        table.printCsv(std::cout);
+
+    const double full = table.row("Full-Map").mcycles;
+    bool ok = true;
+    for (const auto &r : table.rows()) {
+        const bool is_limitless =
+            r.label.find("LimitLESS") != std::string::npos;
+        if (is_limitless && r.mcycles > full * 1.15) {
+            std::cout << "\nSHAPE CHECK FAILED: " << r.label << " is "
+                      << r.mcycles / full << "x full-map\n";
+            ok = false;
+        }
+    }
+    if (table.row("Dir4NB").mcycles < full * 2.0) {
+        std::cout << "\nSHAPE CHECK FAILED: Dir4NB not >> full-map\n";
+        ok = false;
+    }
+    if (ok)
+        std::cout << "\nShape check PASSED: LimitLESS ~ full-map at "
+                     "every Ts; Dir4NB >> both, as in the paper.\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark micro benches for the simulator's own hot paths:
+ * event scheduling, directory operations, network flit movement, cache
+ * lookups and the RNG. These guard the simulator's performance (a
+ * 64-node figure run executes hundreds of millions of these operations),
+ * not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "directory/full_map_dir.hh"
+#include "directory/limited_dir.hh"
+#include "directory/limitless_dir.hh"
+#include "machine/address_map.hh"
+#include "network/mesh_network.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace limitless
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(i % 7, [&sink]() { ++sink; });
+        while (eq.runOne()) {
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(7);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.next();
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_FullMapDirAddRemove(benchmark::State &state)
+{
+    FullMapDir dir(64);
+    NodeId n = 0;
+    for (auto _ : state) {
+        dir.tryAdd(0x40, n);
+        dir.remove(0x40, n);
+        n = (n + 1) % 64;
+    }
+}
+BENCHMARK(BM_FullMapDirAddRemove);
+
+void
+BM_LimitedDirAddRemove(benchmark::State &state)
+{
+    LimitedDir dir(4);
+    NodeId n = 0;
+    for (auto _ : state) {
+        if (dir.tryAdd(0x40, n) == DirAdd::overflow)
+            dir.clear(0x40);
+        dir.remove(0x40, n);
+        n = (n + 1) % 64;
+    }
+}
+BENCHMARK(BM_LimitedDirAddRemove);
+
+void
+BM_LimitlessSpill(benchmark::State &state)
+{
+    LimitlessDir dir(0, 4, true);
+    std::vector<NodeId> spilled;
+    for (auto _ : state) {
+        for (NodeId n = 1; n <= 4; ++n)
+            dir.tryAdd(0x40, n);
+        spilled.clear();
+        dir.spillPointers(0x40, spilled);
+        benchmark::DoNotOptimize(spilled.data());
+    }
+}
+BENCHMARK(BM_LimitlessSpill);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    AddressMap amap(64, 16);
+    CacheArray cache(64 * 1024, amap);
+    const std::uint64_t words[2] = {1, 2};
+    for (Addr a = 0; a < 512 * 16; a += 16)
+        cache.install(a, CacheState::readOnly, words, 2);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(a));
+        a = (a + 16) % (1024 * 16);
+    }
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_MeshUniformTraffic(benchmark::State &state)
+{
+    // Cost of moving one packet across a loaded 8x8 mesh (includes all
+    // router ticks it causes).
+    EventQueue eq;
+    MeshNetwork net(eq, MeshTopology(8, 8));
+    unsigned delivered = 0;
+    for (NodeId n = 0; n < 64; ++n)
+        net.setReceiver(n, [&delivered](PacketPtr) { ++delivered; });
+    Rng rng(5);
+    for (auto _ : state) {
+        for (int k = 0; k < 16; ++k) {
+            const NodeId s = rng.below(64);
+            NodeId d = rng.below(64);
+            net.send(makeDataPacket(s, d, Opcode::RDATA, 0x40, {1, 2}));
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_MeshUniformTraffic);
+
+} // namespace
+} // namespace limitless
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Protocol-transition latency table (complements Table 2 of the paper):
+ * measures the processor-visible cost of each major coherence scenario
+ * on a 16-node mesh machine for every protocol — the per-transition
+ * timing behind the figures.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "sim/log.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+namespace
+{
+
+struct Scenario
+{
+    const char *name;
+    unsigned sharers; ///< read-only copies before the measured op
+    bool dirty;       ///< owner holds the line dirty before the op
+    bool write;       ///< the measured op is a write
+};
+
+/** Run one scenario and return the measured op latency. */
+Tick
+measure(ProtocolParams proto, const Scenario &sc)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = proto;
+    cfg.seed = 17;
+    Machine m(cfg);
+    const AddressMap &amap = m.addressMap();
+    const Addr a = amap.addrOnNode(0, 0);
+    const Addr ready = amap.addrOnNode(1, 1);
+    Tick latency = 0;
+
+    // Preparation threads: optional dirty owner (node 2), then readers.
+    const unsigned preparers = (sc.dirty ? 1 : 0) + sc.sharers;
+    if (sc.dirty) {
+        m.spawnOn(2, [&, a, ready](ThreadApi &t) -> Task<> {
+            co_await t.write(a, 7);
+            co_await t.fetchAdd(ready, 1);
+        });
+    }
+    for (unsigned i = 0; i < sc.sharers; ++i) {
+        const NodeId node = 3 + i;
+        m.spawnOn(node, [&, a, ready](ThreadApi &t) -> Task<> {
+            co_await t.read(a);
+            co_await t.fetchAdd(ready, 1);
+        });
+    }
+    // Measuring thread on node 15 (far corner).
+    m.spawnOn(15, [&, a, ready, preparers](ThreadApi &t) -> Task<> {
+        while ((co_await t.read(ready)) != preparers)
+            co_await t.compute(20);
+        co_await t.compute(50); // let the fabric drain
+        const Tick start = t.now();
+        if (sc.write)
+            co_await t.write(a, 9);
+        else
+            co_await t.read(a);
+        latency = t.now() - start;
+    });
+    if (!m.run().completed)
+        fatal("protocol_latency: scenario '%s' did not complete", sc.name);
+    return latency;
+}
+
+} // namespace
+
+int
+main()
+{
+    paperReference(
+        "Protocol transition latencies (Table 2 scenarios)",
+        "Per-transition processor-visible latency, 16-node mesh. The "
+        "paper quotes Th ~= 35 cycles\nfor the average remote access; "
+        "individual transitions bracket that number.");
+
+    const Scenario scenarios[] = {
+        {"read, uncached (T1)", 0, false, false},
+        {"read, 4 sharers (T1)", 4, false, false},
+        {"read, dirty owner (T5+T10)", 0, true, false},
+        {"write, uncached (T2)", 0, false, true},
+        {"write, 1 sharer (T3)", 1, false, true},
+        {"write, 4 sharers (T3)", 4, false, true},
+        {"write, 8 sharers (T3)", 8, false, true},
+        {"write, dirty owner (T4+T8)", 0, true, true},
+    };
+
+    const std::pair<const char *, ProtocolParams> protos[] = {
+        {"Full-Map", protocols::fullMap()},
+        {"Dir4NB", protocols::dirNB(4)},
+        {"LimitLESS4", protocols::limitlessStall(4, 50)},
+        {"LimitLESS4emu", protocols::limitlessEmulated(4)},
+        {"Chained", protocols::chained()},
+    };
+
+    std::cout << "\n  " << std::left << std::setw(30) << "scenario";
+    for (const auto &[name, proto] : protos)
+        std::cout << std::right << std::setw(14) << name;
+    std::cout << "\n";
+    for (const Scenario &sc : scenarios) {
+        std::cout << "  " << std::left << std::setw(30) << sc.name;
+        for (const auto &[name, proto] : protos)
+            std::cout << std::right << std::setw(14)
+                      << measure(proto, sc);
+        std::cout << "\n";
+    }
+    std::cout << "\n(cycles; writes over many sharers show full-map's "
+                 "overlapped INVs vs the chained walk's\nsequential "
+                 "latency, and the LimitLESS write-gather trap cost on "
+                 "overflowed lines)\n";
+    return 0;
+}

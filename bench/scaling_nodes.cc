@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Machine-size scaling (the paper's Section 3.1 argument): "LimitLESS
+ * directories are scalable, because the memory overhead grows as O(N),
+ * and the performance approaches that of a full-map directory as system
+ * size increases."
+ *
+ * Runs the unoptimized Weather program at 16, 32 and 64 processors and
+ * reports each scheme's slowdown relative to full-map at the same size:
+ * the limited directory's penalty grows with N (its hot spot worsens)
+ * while LimitLESS stays pinned to full-map.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "sim/log.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+int
+main()
+{
+    paperReference(
+        "Scaling with machine size (Section 3.1)",
+        "Paper: LimitLESS performance approaches full-map as the system "
+        "grows (Th dwarfs Ts).\nExpected: Dir4NB/full-map grows with N; "
+        "LimitLESS4/full-map stays ~1.0 throughout.");
+
+    WeatherParams wp;
+    wp.iterations = 40;
+    wp.columnLines = 32;
+
+    std::cout << "\n  " << std::setw(6) << "nodes" << std::setw(14)
+              << "Dir4NB" << std::setw(14) << "LimitLESS4"
+              << std::setw(13) << "Full-Map" << std::setw(12)
+              << "Dir4/full" << std::setw(12) << "LL4/full" << "\n";
+
+    double dir_ratio_small = 0, dir_ratio_big = 0, ll_worst = 0;
+    for (unsigned nodes : {16u, 32u, 64u}) {
+        Tick cycles[3] = {};
+        const ProtocolParams protos[3] = {
+            protocols::dirNB(4),
+            protocols::limitlessStall(4, 50),
+            protocols::fullMap(),
+        };
+        for (int i = 0; i < 3; ++i) {
+            MachineConfig cfg = alewife64(protos[i]);
+            cfg.numNodes = nodes;
+            const auto out = runExperiment(cfg, [&] {
+                return std::make_unique<Weather>(wp);
+            });
+            cycles[i] = out.cycles;
+        }
+        const double dir_ratio = double(cycles[0]) / cycles[2];
+        const double ll_ratio = double(cycles[1]) / cycles[2];
+        std::cout << "  " << std::setw(6) << nodes << std::setw(14)
+                  << cycles[0] << std::setw(14) << cycles[1]
+                  << std::setw(13) << cycles[2] << std::setw(11)
+                  << std::fixed << std::setprecision(2) << dir_ratio
+                  << "x" << std::setw(11) << ll_ratio << "x\n";
+        if (nodes == 16)
+            dir_ratio_small = dir_ratio;
+        if (nodes == 64)
+            dir_ratio_big = dir_ratio;
+        ll_worst = std::max(ll_worst, ll_ratio);
+    }
+
+    if (dir_ratio_big > dir_ratio_small * 1.3 && ll_worst < 1.15) {
+        std::cout << "\nShape check PASSED: the limited directory's "
+                     "penalty grows with machine size\nwhile LimitLESS "
+                     "stays within " << std::setprecision(0)
+                  << (ll_worst - 1.0) * 100
+                  << "% of full-map — the scalability claim.\n";
+        return 0;
+    }
+    std::cout << "\nSHAPE CHECK FAILED (Dir4 " << dir_ratio_small
+              << "x -> " << dir_ratio_big << "x, LimitLESS worst "
+              << ll_worst << "x)\n";
+    return 1;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parallel speedup on a fixed-size problem (the machine-level sanity
+ * check any multiprocessor simulator owes its users): multigrid with a
+ * fixed total interior grid, spread over 4 / 16 / 64 processors.
+ *
+ * Speedup grows with machine size but sub-linearly — boundary exchange
+ * and combining-tree barriers take a growing share — and LimitLESS
+ * tracks full-map at every size (it adds no overhead when worker-sets
+ * are small). Also reports parallel efficiency.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "sim/log.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+namespace
+{
+
+Tick
+run(ProtocolParams proto, unsigned nodes, unsigned total_interior)
+{
+    MachineConfig cfg = alewife64(proto);
+    cfg.numNodes = nodes;
+    MultigridParams mp;
+    mp.iterations = 6;
+    mp.boundaryWords = 2;
+    mp.interiorLines = total_interior / nodes;
+    mp.computePerPoint = 6;
+    const auto out = runExperiment(cfg, [&] {
+        return std::make_unique<Multigrid>(mp);
+    });
+    return out.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    paperReference(
+        "Parallel speedup, fixed problem size (machine sanity check)",
+        "Expected: sub-linear but monotone speedup from 4 to 64 "
+        "processors; LimitLESS within a\nfew % of full-map at every "
+        "size (multigrid never overflows 4 pointers).");
+
+    const unsigned total_interior = 12288; // divisible by 4, 16, 64
+
+    std::cout << "\n  " << std::setw(6) << "nodes" << std::setw(13)
+              << "Full-Map" << std::setw(13) << "LimitLESS4"
+              << std::setw(11) << "speedup" << std::setw(13)
+              << "efficiency" << "\n";
+    Tick base = 0;
+    double speed64 = 0, ll_gap = 0;
+    for (unsigned nodes : {4u, 16u, 64u}) {
+        const Tick full = run(protocols::fullMap(), nodes,
+                              total_interior);
+        const Tick ll = run(protocols::limitlessStall(4, 50), nodes,
+                            total_interior);
+        if (nodes == 4)
+            base = full;
+        const double speedup = 4.0 * base / full;
+        std::cout << "  " << std::setw(6) << nodes << std::setw(13)
+                  << full << std::setw(13) << ll << std::setw(10)
+                  << std::fixed << std::setprecision(1) << speedup
+                  << "x" << std::setw(12) << std::setprecision(0)
+                  << 100.0 * speedup / nodes << "%\n";
+        if (nodes == 64)
+            speed64 = speedup;
+        ll_gap = std::max(ll_gap, double(ll) / full);
+    }
+
+    if (speed64 > 16.0 && speed64 < 64.0 && ll_gap < 1.1) {
+        std::cout << "\nShape check PASSED: " << std::setprecision(1)
+                  << speed64 << "x at 64 processors (sub-linear, as "
+                  "boundary/barrier share grows);\nLimitLESS within "
+                  << std::setprecision(0) << (ll_gap - 1.0) * 100
+                  << "% of full-map throughout.\n";
+        return 0;
+    }
+    std::cout << "\nSHAPE CHECK FAILED: speedup " << speed64
+              << "x, LimitLESS gap " << ll_gap << "x\n";
+    return 1;
+}

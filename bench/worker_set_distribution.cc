@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Worker-set (invalidation-pattern) distribution, after Weber & Gupta's
+ * analysis cited by the paper [11]: the whole LimitLESS design rests on
+ * the observation that "only a few shared memory data types are widely
+ * shared among processors" — most writes invalidate very few copies,
+ * with a thin tail of widely shared lines.
+ *
+ * Prints, for each application workload on the 64-processor full-map
+ * machine, the distribution of sharers invalidated per write and the
+ * fraction of writes whose worker-set fits p = 1, 2, 4, 8 hardware
+ * pointers — the quantity that decides each protocol's fate in
+ * Figures 7-10.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "sim/log.hh"
+#include "workload/hotspot.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+namespace
+{
+
+void
+distributionFor(const char *name, const WorkloadFactory &make)
+{
+    MachineConfig cfg = alewife64(protocols::fullMap());
+    Machine m(cfg);
+    auto wl = make();
+    wl->install(m);
+    if (!m.run().completed)
+        fatal("worker_set_distribution: %s did not complete", name);
+    wl->verify(m);
+
+    // Merge the per-home worker-set distributions.
+    std::vector<std::uint64_t> counts(cfg.numNodes + 1, 0);
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < m.numNodes(); ++i) {
+        const auto *dist = static_cast<const Distribution *>(
+            m.node(i).statSet("mem")->find("worker_set"));
+        for (std::size_t v = 0; v < dist->domain() && v <= cfg.numNodes;
+             ++v) {
+            counts[v] += dist->at(v);
+            total += dist->at(v);
+        }
+    }
+    if (total == 0) {
+        std::cout << "  " << name << ": no invalidating writes\n";
+        return;
+    }
+
+    std::cout << "\n  " << name << " (" << total
+              << " invalidating writes):\n    worker-set:";
+    for (std::size_t v = 1; v <= 8; ++v)
+        std::cout << std::setw(8) << v;
+    std::cout << std::setw(9) << ">8" << "\n    writes %: ";
+    std::uint64_t tail = 0;
+    for (std::size_t v = 9; v < counts.size(); ++v)
+        tail += counts[v];
+    for (std::size_t v = 1; v <= 8; ++v)
+        std::cout << std::setw(7) << std::fixed << std::setprecision(1)
+                  << 100.0 * counts[v] / total << "%";
+    std::cout << std::setw(8) << 100.0 * tail / total << "%\n";
+
+    std::cout << "    cumulative fit:";
+    for (unsigned p : {1u, 2u, 4u, 8u}) {
+        std::uint64_t fit = 0;
+        for (std::size_t v = 0; v <= p; ++v)
+            fit += counts[v];
+        std::cout << "  p=" << p << ": " << std::setprecision(1)
+                  << 100.0 * fit / total << "%";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    paperReference(
+        "Worker-set distribution (Section 3's premise; cf. Weber & "
+        "Gupta [11])",
+        "Paper: worker-sets are usually small — a few pointers capture "
+        "almost all writes —\nwith a thin wide-shared tail that limited "
+        "directories cannot absorb. Expected: >90%\nof multigrid/"
+        "weather writes fit 4 pointers; the hotspot workload shows the "
+        "tail.");
+
+    distributionFor("multigrid", [] {
+        return std::make_unique<Multigrid>(multigridFigureParams());
+    });
+    distributionFor("weather (unoptimized)", [] {
+        return std::make_unique<Weather>(weatherFigureParams());
+    });
+    HotspotParams hp;
+    hp.iterations = 20;
+    hp.hotLines = 2;
+    hp.writePeriod = 1;
+    distributionFor("hotspot (worker-set ~N)", [hp] {
+        return std::make_unique<Hotspot>(hp);
+    });
+
+    std::cout << "\nReading: the application workloads' writes almost "
+                 "all fit 4 pointers — the paper's\npremise — while the "
+                 "hot-spot kernel's writes hit ~63-sharer worker-sets, "
+                 "the tail that\nLimitLESS absorbs in software.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hot-spot demo: the scenario that motivates the whole paper, distilled.
+ *
+ * One variable is read by every processor in the machine. Under a
+ * limited directory the pointer array thrashes and the home node becomes
+ * a network hot spot; under LimitLESS one bounded burst of software
+ * traps absorbs the worker-set and everything afterwards is full-map
+ * fast. The demo prints a side-by-side comparison across machine sizes,
+ * showing the gap widen with scale.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "workload/hotspot.hh"
+
+using namespace limitless;
+
+int
+main()
+{
+    std::cout << "Hot-spot read sharing: Dir4NB vs LimitLESS4 vs "
+                 "Full-Map\n"
+              << "(one variable read by all processors each iteration; "
+                 "cycles to completion)\n\n";
+    std::cout << "  " << std::setw(6) << "nodes" << std::setw(12)
+              << "Dir4NB" << std::setw(12) << "LimitLESS4"
+              << std::setw(12) << "Full-Map" << std::setw(14)
+              << "Dir4NB/Full" << "\n";
+
+    for (unsigned nodes : {16u, 32u, 64u}) {
+        HotspotParams hp;
+        hp.iterations = 15;
+        hp.hotLines = 1;
+        hp.privLines = 8;
+        hp.writePeriod = 0; // pure read sharing, like the Weather bug
+        auto make = [&]() { return std::make_unique<Hotspot>(hp); };
+
+        Tick results[3] = {};
+        const ProtocolParams protos[3] = {
+            protocols::dirNB(4),
+            protocols::limitlessStall(4, 50),
+            protocols::fullMap(),
+        };
+        for (int i = 0; i < 3; ++i) {
+            MachineConfig cfg;
+            cfg.numNodes = nodes;
+            cfg.protocol = protos[i];
+            cfg.seed = 9;
+            results[i] = runExperiment(cfg, make).cycles;
+        }
+        std::cout << "  " << std::setw(6) << nodes << std::setw(12)
+                  << results[0] << std::setw(12) << results[1]
+                  << std::setw(12) << results[2] << std::setw(13)
+                  << std::fixed << std::setprecision(2)
+                  << double(results[0]) / results[2] << "x\n";
+    }
+
+    std::cout << "\nThe limited directory's penalty grows with machine "
+                 "size; LimitLESS stays at full-map\nperformance with "
+                 "O(log N) directory bits per entry.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * IPI message-passing demo (paper Section 4.2): the
+ * Interprocessor-Interrupt interface "can also be used to send
+ * preemptive messages to remote processors (as in message-passing
+ * machines)" — a single generic mechanism for network access.
+ *
+ * This example builds a tiny active-message ring on top of interrupt-
+ * class packets: each node's software handler receives a token message,
+ * appends its node id to the payload (the store-back path), and forwards
+ * it. After a full circuit the payload names every node in order —
+ * message passing and shared-memory coherence co-existing on one fabric.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "machine/machine.hh"
+
+using namespace limitless;
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.numNodes = 8;
+    cfg.protocol = protocols::limitlessStall(4, 50);
+    cfg.seed = 3;
+    Machine m(cfg);
+
+    std::vector<std::uint64_t> final_payload;
+    bool done = false;
+
+    // Register an active-message service on every node's trap
+    // dispatcher: examine the header/operands, store the data back,
+    // extend it, and launch the next hop — the receive/store-back/
+    // transmit loop of Section 4.2. (The dispatcher already charges the
+    // trap-entry cost to the processor.)
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        m.node(n).dispatcher().registerMessage(
+            Opcode::IPI_MESSAGE,
+            [&m, &final_payload, &done, n](const Packet &msg) {
+                const std::uint64_t hops_left = msg.operands.at(0);
+                std::vector<std::uint64_t> payload = msg.data;
+                payload.push_back(n); // "store-back", then append
+                if (hops_left == 0) {
+                    final_payload = payload;
+                    done = true;
+                    return;
+                }
+                const NodeId next = (n + 1) % m.numNodes();
+                m.node(n).ipi().send(makeInterruptPacket(
+                    n, next, Opcode::IPI_MESSAGE, {hops_left - 1},
+                    std::move(payload)));
+            });
+    }
+
+    // Node 0 kicks off the token and also does shared-memory work, to
+    // show both traffic classes share the network.
+    const Addr counter = m.addressMap().addrOnNode(3, 0);
+    for (NodeId p = 0; p < cfg.numNodes; ++p) {
+        m.spawnOn(p, [&m, counter, p](ThreadApi &t) -> Task<> {
+            if (p == 0) {
+                m.node(0).ipi().send(makeInterruptPacket(
+                    0, 1, Opcode::IPI_MESSAGE,
+                    {m.numNodes() - 1}, {0}));
+            }
+            co_await t.fetchAdd(counter, 1);
+            co_await t.compute(400); // stay alive while the token rides
+        });
+    }
+
+    const RunResult r = m.run();
+    if (!r.completed || !done) {
+        std::cerr << "token never completed the ring\n";
+        return 1;
+    }
+
+    std::cout << "token circled " << cfg.numNodes << " nodes in "
+              << r.cycles << " cycles; path:";
+    for (std::uint64_t n : final_payload)
+        std::cout << " " << n;
+    std::cout << "\ninterrupt messages delivered: "
+              << m.sumCounter("ipi", "diverted")
+              << ", launched: " << m.sumCounter("ipi", "sent") << "\n";
+    std::cout << "shared-memory fetch-adds completed alongside: "
+              << cfg.numNodes << "\n";
+
+    // The path must visit 0,1,2,...,7 then return to 0.
+    std::vector<std::uint64_t> expect = {0};
+    for (NodeId n = 1; n < cfg.numNodes; ++n)
+        expect.push_back(n);
+    expect.push_back(0);
+    return final_payload == expect ? 0 : 1;
+}

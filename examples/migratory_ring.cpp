@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Migratory-object demo: an object hops processor to processor around a
+ * token ring, exercising the exclusive-ownership transitions (paper
+ * Table 2 rows 4-6). Prints per-protocol timing and the ownership
+ * hand-off counts, and shows the Read-Write copy really is exclusive at
+ * every instant (checked by the coherence monitor during the run).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "machine/coherence_monitor.hh"
+#include "workload/migratory.hh"
+
+using namespace limitless;
+
+int
+main()
+{
+    std::cout << "Migratory object (4 lines) around a 16-node ring, 4 "
+                 "full trips:\n\n";
+    std::cout << "  " << std::left << std::setw(22) << "protocol"
+              << std::right << std::setw(10) << "cycles" << std::setw(10)
+              << "INVs" << std::setw(10) << "REPMs" << "\n";
+
+    for (const auto &proto :
+         {protocols::fullMap(), protocols::dirNB(4),
+          protocols::limitlessStall(4, 50), protocols::chained()}) {
+        MachineConfig cfg;
+        cfg.numNodes = 16;
+        cfg.protocol = proto;
+        cfg.seed = 13;
+
+        Machine m(cfg);
+        MigratoryParams mp;
+        mp.rounds = 4;
+        mp.objectLines = 4;
+        Migratory wl(mp);
+        wl.install(m);
+
+        // Spot-check the single-writer invariant while the object hops.
+        CoherenceMonitor monitor(m);
+        for (Tick t = 500; t <= 20000; t += 500) {
+            m.eventQueue().schedule(t, [&monitor]() {
+                monitor.checkGlobalInvariants();
+            }, EventPriority::stats);
+        }
+
+        const RunResult r = m.run();
+        if (!r.completed) {
+            std::cerr << "run did not complete\n";
+            return 1;
+        }
+        wl.verify(m);
+        monitor.checkQuiescent();
+
+        std::cout << "  " << std::left << std::setw(22) << proto.name()
+                  << std::right << std::setw(10) << r.cycles
+                  << std::setw(10) << m.sumCounter("mem", "invs_sent")
+                  << std::setw(10) << m.sumCounter("cache", "repm")
+                  << "\n";
+    }
+
+    std::cout << "\nEach hold fetch-adds every object line, so ownership "
+                 "migrates cleanly through\nINV/UPDATE exchanges; all "
+                 "protocols produce the identical final object value.\n"
+                 "(Migratory data is the paper's Section 6 motivation "
+                 "for FIFO directory eviction.)\n";
+    return 0;
+}

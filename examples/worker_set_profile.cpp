@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Section 6 extension: worker-set profiling through the Trap-Always
+ * meta-state.
+ *
+ * "The simplest type of extension uses the LimitLESS trap handler to
+ * gather statistics about shared memory locations. ... a number of
+ * locations can be placed in the Trap-Always directory mode, so that
+ * they are handled entirely in software. This scheme permits complete
+ * profiling of memory transactions to these locations without degrading
+ * performance of non-profiled locations."
+ *
+ * The demo marks a few lines Trap-Always before the run; afterwards the
+ * software directory table holds their exact reader sets, which are
+ * printed as the feedback a compiler or programmer would use to spot
+ * widely shared variables (like Weather's hot spot).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "workload/weather.hh"
+
+using namespace limitless;
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = protocols::limitlessStall(4, 50);
+    cfg.seed = 7;
+
+    Machine m(cfg);
+    const AddressMap &amap = m.addressMap();
+
+    // Profile the weather program's three kinds of shared variable: the
+    // (suspected) hot word, one pairwise boundary, one regional value.
+    struct Probe
+    {
+        const char *what;
+        Addr addr;
+    };
+    const std::vector<Probe> probes = {
+        {"hot simulation parameter", amap.addrOnNode(0, 0)},
+        {"pairwise boundary (proc 3)", amap.addrOnNode(3 + 8, 1)},
+        {"regional value (region 0)", amap.addrOnNode(4, 2)},
+    };
+
+    // Arm Trap-Always on the probed lines: every request is handled (and
+    // recorded) in software from now on.
+    for (const Probe &p : probes) {
+        const Addr line = amap.lineAddr(p.addr);
+        m.node(amap.homeOf(line))
+            .mem()
+            .limitlessDir()
+            ->setMeta(line, MetaState::trapAlways);
+    }
+
+    WeatherParams wp;
+    wp.iterations = 6;
+    wp.columnLines = 8;
+    Weather wl(wp);
+    wl.install(m);
+    if (!m.run().completed) {
+        std::cerr << "run did not complete\n";
+        return 1;
+    }
+    wl.verify(m);
+
+    std::cout << "Worker-set profile (Trap-Always lines handled fully "
+                 "in software):\n\n";
+    for (const Probe &p : probes) {
+        const Addr line = amap.lineAddr(p.addr);
+        const SoftwareDirTable &sw =
+            m.node(amap.homeOf(line)).mem().profileTable();
+        std::vector<NodeId> readers;
+        sw.sharers(line, readers);
+        std::sort(readers.begin(), readers.end());
+        std::cout << "  " << p.what << " (line 0x" << std::hex << line
+                  << std::dec << "): worker-set " << readers.size()
+                  << " -> {";
+        for (std::size_t i = 0; i < readers.size(); ++i)
+            std::cout << (i ? "," : "") << readers[i];
+        std::cout << "}\n";
+    }
+
+    std::cout << "\nRead traps taken for profiled lines: "
+              << m.sumCounter("mem", "read_traps")
+              << " (non-profiled lines ran at full hardware speed)\n";
+    std::cout << "\nFeedback: the first line is read by every processor "
+                 "— flag it read-only or\nrestructure it, exactly the "
+                 "optimization the paper applies to Weather.\n";
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Direct-mapped cache storage (64K bytes of 16-byte lines per Alewife
+ * node). Stores real data words so end-to-end value correctness is
+ * checkable, not just timing.
+ */
+
+#ifndef LIMITLESS_CACHE_CACHE_ARRAY_HH
+#define LIMITLESS_CACHE_CACHE_ARRAY_HH
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "machine/address_map.hh"
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Cache-side line states (paper Table 1). */
+enum class CacheState : std::uint8_t
+{
+    invalid,   ///< may not be read or written
+    readOnly,  ///< may be read, not written
+    readWrite, ///< may be read or written (exclusive, dirty)
+};
+
+const char *cacheStateName(CacheState s);
+
+/** One cache line. */
+struct CacheLine
+{
+    Addr tag = 0; ///< line-aligned address
+    CacheState state = CacheState::invalid;
+    /** Chain pointer for the chained-directory protocol. */
+    NodeId chainNext = invalidNode;
+    std::array<std::uint64_t, AddressMap::maxWordsPerLine> words{};
+
+    bool valid() const { return state != CacheState::invalid; }
+};
+
+/** Direct-mapped tag + data array. */
+class CacheArray
+{
+  public:
+    CacheArray(std::uint64_t cache_bytes, const AddressMap &amap)
+        : _amap(amap), _numSets(cache_bytes / amap.lineBytes()),
+          _sets(_numSets)
+    {
+        assert(_numSets >= 1);
+        assert((_numSets & (_numSets - 1)) == 0 &&
+               "set count must be a power of two");
+    }
+
+    std::size_t numSets() const { return _numSets; }
+
+    std::size_t
+    indexOf(Addr line) const
+    {
+        return (line / _amap.lineBytes()) & (_numSets - 1);
+    }
+
+    /** Line currently resident in the set the address maps to. */
+    CacheLine &setFor(Addr line) { return _sets[indexOf(line)]; }
+    const CacheLine &setFor(Addr line) const { return _sets[indexOf(line)]; }
+
+    /** Matching valid line, or nullptr. */
+    CacheLine *
+    lookup(Addr line)
+    {
+        CacheLine &cl = setFor(line);
+        return (cl.valid() && cl.tag == line) ? &cl : nullptr;
+    }
+
+    const CacheLine *
+    lookup(Addr line) const
+    {
+        const CacheLine &cl = setFor(line);
+        return (cl.valid() && cl.tag == line) ? &cl : nullptr;
+    }
+
+    /** Overwrite the set with a new resident line. */
+    CacheLine &
+    install(Addr line, CacheState state,
+            const std::uint64_t *data, unsigned words)
+    {
+        CacheLine &cl = setFor(line);
+        cl.tag = line;
+        cl.state = state;
+        cl.chainNext = invalidNode;
+        for (unsigned i = 0; i < words; ++i)
+            cl.words[i] = data[i];
+        return cl;
+    }
+
+    /** Number of valid lines (for tests / occupancy stats). */
+    std::size_t
+    validLines() const
+    {
+        std::size_t n = 0;
+        for (const auto &cl : _sets)
+            n += cl.valid();
+        return n;
+    }
+
+    /** Iterate valid lines (coherence-monitor support). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &cl : _sets)
+            if (cl.valid())
+                fn(cl);
+    }
+
+  private:
+    const AddressMap &_amap;
+    std::size_t _numSets;
+    std::vector<CacheLine> _sets;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,495 @@
+#include "cache/cache_controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+const char *
+cacheStateName(CacheState s)
+{
+    switch (s) {
+      case CacheState::invalid: return "Invalid";
+      case CacheState::readOnly: return "Read-Only";
+      case CacheState::readWrite: return "Read-Write";
+    }
+    return "?";
+}
+
+CacheController::CacheController(EventQueue &eq, NodeId self,
+                                 const AddressMap &amap,
+                                 const CacheParams &params,
+                                 ProtocolKind protocol, std::uint64_t seed)
+    : _eq(eq), _self(self), _amap(amap), _params(params),
+      _protocol(protocol), _array(params.cacheBytes, amap),
+      _rng(seed ^ (0xcac4eull + self)),
+      _statLoads(_stats.counter("loads", "processor load operations")),
+      _statStores(_stats.counter("stores", "processor store/rmw ops")),
+      _statHits(_stats.counter("hits", "accesses satisfied locally")),
+      _statMisses(_stats.counter("misses", "accesses requiring protocol")),
+      _statUpgrades(_stats.counter("upgrades", "RO->RW permission misses")),
+      _statRepm(_stats.counter("repm", "dirty lines replaced")),
+      _statRepc(_stats.counter("repc", "chained clean replacements")),
+      _statWupd(_stats.counter("wupd", "update-mode writes issued")),
+      _statInvsReceived(_stats.counter("invs", "invalidations received")),
+      _statSpuriousInvs(
+          _stats.counter("spurious_invs", "INVs for absent lines")),
+      _statBusyRetries(_stats.counter("busy_retries", "BUSY nack retries")),
+      _statRemoteLatency(_stats.accumulator(
+          "remote_latency", "remote miss latency (cycles)")),
+      _statLocalMissLatency(_stats.accumulator(
+          "local_miss_latency", "local-home miss latency (cycles)"))
+{
+}
+
+CacheController::IssueClass
+CacheController::access(const MemOp &op, Completion done)
+{
+    bool was_hit = false;
+    startAccess(op, std::move(done), was_hit);
+    return was_hit ? IssueClass::hit : IssueClass::miss;
+}
+
+void
+CacheController::applyOp(const MemOp &op, CacheLine &cl, std::uint64_t &out)
+{
+    std::uint64_t &word = cl.words[_amap.wordOf(op.addr)];
+    switch (op.kind) {
+      case MemOpKind::load:
+        out = word;
+        break;
+      case MemOpKind::store:
+        out = word;
+        word = op.value;
+        break;
+      case MemOpKind::fetchAdd:
+        out = word;
+        word += op.value;
+        break;
+      case MemOpKind::swap:
+        out = word;
+        word = op.value;
+        break;
+    }
+}
+
+void
+CacheController::startAccess(const MemOp &op, Completion done,
+                             bool &was_hit)
+{
+    assert(op.addr % bytesPerWord == 0 && "accesses are word aligned");
+    const Addr line = _amap.lineAddr(op.addr);
+    const bool write = opNeedsWrite(op.kind);
+
+    if (op.kind == MemOpKind::load)
+        _statLoads += 1;
+    else
+        _statStores += 1;
+
+    // Block behind any outstanding transaction touching the same line or
+    // the same direct-mapped set (the in-flight fill owns that set).
+    const std::size_t set = _array.indexOf(line);
+    bool blocked = _txns.count(line) > 0;
+    if (!blocked) {
+        for (const auto &[tline, txn] : _txns) {
+            if (_array.indexOf(tline) == set ||
+                (txn.awaitingRepc && _array.indexOf(txn.repcLine) == set)) {
+                blocked = true;
+                break;
+            }
+        }
+    }
+    if (blocked) {
+        _waiting.push_back(WaitingAccess{op, std::move(done)});
+        was_hit = false;
+        return;
+    }
+
+    CacheLine *cl = _array.lookup(line);
+    const bool hit =
+        cl && (write ? cl->state == CacheState::readWrite : cl->valid());
+    if (hit) {
+        _statHits += 1;
+        was_hit = true;
+        std::uint64_t value = 0;
+        applyOp(op, *cl, value);
+        _eq.schedule(_eq.now() + _params.hitLatency,
+                     [done = std::move(done), value]() { done(value); },
+                     EventPriority::cpu);
+        return;
+    }
+
+    const bool private_only_remote =
+        _protocol == ProtocolKind::privateOnly &&
+        _amap.homeOf(line) != _self;
+
+    // Private-only caching (paper Section 5.1 baseline): remote reads
+    // are serviced uncached.
+    if (private_only_remote && !write) {
+        _statMisses += 1;
+        was_hit = false;
+        Txn txn;
+        txn.op = op;
+        txn.done = std::move(done);
+        txn.uncachedRead = true;
+        txn.issued = _eq.now();
+        txn.remote = true;
+        auto [rit, rok] = _txns.emplace(line, std::move(txn));
+        assert(rok);
+        startRequest(line, rit->second);
+        return;
+    }
+
+    // Update-mode lines route writes through the write-update path: the
+    // operation is performed at the home and cached copies are refreshed
+    // in place (paper Section 6), so no ownership or install is needed.
+    // Private-only remote writes use the same mechanism: the operation
+    // is performed at the home, nothing is cached.
+    if (write && ((_policy && _policy->isUpdateMode(line)) ||
+                  private_only_remote)) {
+        assert(!(cl && cl->state == CacheState::readWrite) &&
+               "update-mode line held exclusively (policy violation)");
+        _statMisses += 1;
+        _statWupd += 1;
+        was_hit = false;
+        Txn txn;
+        txn.op = op;
+        txn.done = std::move(done);
+        txn.forWrite = true;
+        txn.updateWrite = true;
+        txn.issued = _eq.now();
+        txn.remote = _amap.homeOf(line) != _self;
+        auto [uit, uok] = _txns.emplace(line, std::move(txn));
+        assert(uok);
+        startRequest(line, uit->second);
+        return;
+    }
+
+    // Miss (or upgrade). Build the transaction first, then deal with the
+    // set's current occupant.
+    _statMisses += 1;
+    was_hit = false;
+    Txn txn;
+    txn.op = op;
+    txn.done = std::move(done);
+    txn.forWrite = write;
+    txn.issued = _eq.now();
+    txn.remote = _amap.homeOf(line) != _self;
+
+    const bool upgrade = cl && write && cl->state == CacheState::readOnly;
+    if (upgrade)
+        _statUpgrades += 1;
+
+    if (!upgrade) {
+        CacheLine &victim = _array.setFor(line);
+        if (victim.valid()) {
+            if (victim.state == CacheState::readWrite) {
+                _statRepm += 1;
+                auto pkt = makeDataPacket(
+                    _self, _amap.homeOf(victim.tag), Opcode::REPM,
+                    victim.tag,
+                    {victim.words.begin(),
+                     victim.words.begin() + _amap.wordsPerLine()});
+                victim.state = CacheState::invalid;
+                _send(std::move(pkt));
+            } else if (_protocol == ProtocolKind::chained) {
+                // Chained lines may not be dropped silently: ask the home
+                // node to unlink (it invalidates the whole chain; see
+                // DESIGN.md). The real request is sent after REPC_ACK.
+                _statRepc += 1;
+                txn.awaitingRepc = true;
+                txn.repcLine = victim.tag;
+                auto pkt = makeProtocolPacket(
+                    _self, _amap.homeOf(victim.tag), Opcode::REPC,
+                    victim.tag);
+                auto [it, ok] = _txns.emplace(line, std::move(txn));
+                assert(ok);
+                (void)it;
+                _send(std::move(pkt));
+                return;
+            } else {
+                victim.state = CacheState::invalid; // silent clean drop
+            }
+        }
+    }
+
+    auto [it, ok] = _txns.emplace(line, std::move(txn));
+    assert(ok);
+    startRequest(line, it->second);
+}
+
+void
+CacheController::startRequest(Addr line, Txn &txn)
+{
+    if (txn.uncachedRead) {
+        _send(makeProtocolPacket(_self, _amap.homeOf(line), Opcode::RUNC,
+                                 line));
+        return;
+    }
+    if (txn.updateWrite) {
+        auto pkt = makeProtocolPacket(_self, _amap.homeOf(line),
+                                      Opcode::WUPD, line);
+        pkt->operands.push_back(_amap.wordOf(txn.op.addr));
+        pkt->operands.push_back(static_cast<std::uint64_t>(txn.op.kind));
+        pkt->operands.push_back(txn.op.value);
+        _send(std::move(pkt));
+        return;
+    }
+    const Opcode op = txn.forWrite ? Opcode::WREQ : Opcode::RREQ;
+    _send(makeProtocolPacket(_self, _amap.homeOf(line), op, line));
+}
+
+void
+CacheController::handlePacket(PacketPtr pkt)
+{
+    assert(pkt);
+    if (Log::enabled("cache"))
+        Log::debug(_eq.now(), "cache", "node %u rx %s", _self,
+                   describePacket(*pkt).c_str());
+    switch (pkt->opcode) {
+      case Opcode::RDATA: {
+        const Addr line = pkt->addr();
+        auto it = _txns.find(line);
+        if (it == _txns.end())
+            panic("node %u: RDATA for line %#llx with no transaction",
+                  _self, (unsigned long long)line);
+        assert(!it->second.forWrite);
+        assert(pkt->data.size() >= _amap.wordsPerLine());
+        if (it->second.uncachedRead) {
+            // Private-only: complete the load straight from the packet;
+            // nothing is installed.
+            Txn txn = std::move(it->second);
+            _txns.erase(it);
+            const std::uint64_t value =
+                pkt->data[_amap.wordOf(txn.op.addr)];
+            finish(std::move(txn), value);
+            drainWaiting();
+            break;
+        }
+        CacheLine &cl = _array.install(line, CacheState::readOnly,
+                                       pkt->data.data(),
+                                       _amap.wordsPerLine());
+        if (_protocol == ProtocolKind::chained && pkt->operands.size() > 1)
+            cl.chainNext = static_cast<NodeId>(pkt->operands[1]);
+        completeTxn(line, cl);
+        break;
+      }
+      case Opcode::WDATA: {
+        const Addr line = pkt->addr();
+        auto it = _txns.find(line);
+        if (it == _txns.end())
+            panic("node %u: WDATA for line %#llx with no transaction",
+                  _self, (unsigned long long)line);
+        assert(it->second.forWrite);
+        assert(pkt->data.size() >= _amap.wordsPerLine());
+        CacheLine &cl = _array.install(line, CacheState::readWrite,
+                                       pkt->data.data(),
+                                       _amap.wordsPerLine());
+        completeTxn(line, cl);
+        break;
+      }
+      case Opcode::INV:
+        handleInv(*pkt);
+        break;
+      case Opcode::MUPD: {
+        // Refresh a cached copy of an update-mode line in place.
+        const Addr line = pkt->addr();
+        CacheLine *cl = _array.lookup(line);
+        if (cl) {
+            assert(cl->state == CacheState::readOnly &&
+                   "update-mode line must not be exclusive");
+            for (unsigned w = 0; w < _amap.wordsPerLine(); ++w)
+                cl->words[w] = pkt->data[w];
+        } else {
+            _statSpuriousInvs += 1;
+        }
+        auto ack = makeProtocolPacket(_self, pkt->src, Opcode::ACKC, line);
+        ack->operands.push_back(invalidNode);
+        _send(std::move(ack));
+        break;
+      }
+      case Opcode::WACK: {
+        // Update-mode write performed at the home; the old word value
+        // rides in operand 1.
+        const Addr line = pkt->addr();
+        auto it = _txns.find(line);
+        if (it == _txns.end())
+            panic("node %u: WACK for line %#llx with no transaction",
+                  _self, (unsigned long long)line);
+        assert(it->second.updateWrite);
+        Txn txn = std::move(it->second);
+        _txns.erase(it);
+        finish(std::move(txn), pkt->operands.at(1));
+        drainWaiting();
+        break;
+      }
+      case Opcode::BUSY:
+        handleBusy(*pkt);
+        break;
+      case Opcode::REPC_ACK: {
+        // Find the transaction whose eviction this grant unblocks.
+        const Addr victim = pkt->addr();
+        for (auto &[line, txn] : _txns) {
+            if (txn.awaitingRepc && txn.repcLine == victim) {
+                txn.awaitingRepc = false;
+                // The chain walk normally invalidated our copy already;
+                // force-drop in case the walk found the chain empty.
+                CacheLine *cl = _array.lookup(victim);
+                if (cl)
+                    cl->state = CacheState::invalid;
+                startRequest(line, txn);
+                return;
+            }
+        }
+        panic("node %u: REPC_ACK for line %#llx with no waiting txn",
+              _self, (unsigned long long)victim);
+      }
+      default:
+        panic("node %u: cache cannot handle opcode %s", _self,
+              opcodeName(pkt->opcode));
+    }
+}
+
+void
+CacheController::completeTxn(Addr line, CacheLine &cl)
+{
+    auto it = _txns.find(line);
+    assert(it != _txns.end());
+    Txn txn = std::move(it->second);
+    _txns.erase(it);
+
+    std::uint64_t value = 0;
+    applyOp(txn.op, cl, value);
+    finish(std::move(txn), value);
+    drainWaiting();
+}
+
+void
+CacheController::finish(Txn txn, std::uint64_t value)
+{
+    const double lat = static_cast<double>(_eq.now() - txn.issued);
+    if (txn.remote)
+        _statRemoteLatency.sample(lat);
+    else
+        _statLocalMissLatency.sample(lat);
+    _eq.schedule(_eq.now(),
+                 [done = std::move(txn.done), value]() { done(value); },
+                 EventPriority::cpu);
+}
+
+void
+CacheController::handleInv(const Packet &pkt)
+{
+    const Addr line = pkt.addr();
+    const NodeId home =
+        pkt.operands.size() > 1 ? static_cast<NodeId>(pkt.operands[1])
+                                : pkt.src;
+    _statInvsReceived += 1;
+
+    CacheLine *cl = _array.lookup(line);
+    if (!cl) {
+        // Stale directory pointer (we dropped the copy silently) or a
+        // crossing with our own REPM; acknowledge regardless.
+        _statSpuriousInvs += 1;
+        auto ack = makeProtocolPacket(_self, home, Opcode::ACKC, line);
+        ack->operands.push_back(invalidNode);
+        _send(std::move(ack));
+        return;
+    }
+
+    if (cl->state == CacheState::readWrite) {
+        // Dirty copy: return the data (paper transition 8/10 input).
+        auto upd = makeDataPacket(
+            _self, home, Opcode::UPDATE, line,
+            {cl->words.begin(), cl->words.begin() + _amap.wordsPerLine()});
+        cl->state = CacheState::invalid;
+        _send(std::move(upd));
+        return;
+    }
+
+    // Clean copy: acknowledge; in chained mode the ack carries our chain
+    // successor so the home can continue the sequential walk.
+    const NodeId next = cl->chainNext;
+    cl->state = CacheState::invalid;
+    cl->chainNext = invalidNode;
+    auto ack = makeProtocolPacket(_self, home, Opcode::ACKC, line);
+    ack->operands.push_back(next);
+    _send(std::move(ack));
+}
+
+void
+CacheController::handleBusy(const Packet &pkt)
+{
+    const Addr line = pkt.addr();
+    Txn *txn = nullptr;
+    bool retry_repc = false;
+    auto it = _txns.find(line);
+    if (it != _txns.end() && !it->second.awaitingRepc) {
+        txn = &it->second;
+    } else {
+        for (auto &[tline, t] : _txns) {
+            (void)tline;
+            if (t.awaitingRepc && t.repcLine == line) {
+                txn = &t;
+                retry_repc = true;
+                break;
+            }
+        }
+        if (!txn && it != _txns.end())
+            txn = &it->second; // BUSY for the main line of a REPC txn
+    }
+    if (!txn)
+        panic("node %u: BUSY for line %#llx with no transaction", _self,
+              (unsigned long long)line);
+
+    _statBusyRetries += 1;
+    const unsigned shift =
+        std::min(txn->retries, _params.retryCapShift);
+    ++txn->retries;
+    const Tick delay = (_params.retryBase << shift) +
+                       _rng.below(_params.retryBase);
+    const Addr key = retry_repc ? txn->repcLine : line;
+    const bool is_repc = retry_repc;
+    // The transaction may not be erased while a retry is pending (only
+    // completion erases it, and completion needs the home's response,
+    // which the BUSY just denied), so capturing the key is safe.
+    _eq.schedule(_eq.now() + delay, [this, key, is_repc]() {
+        if (is_repc) {
+            for (auto &[tline, t] : _txns) {
+                (void)tline;
+                if (t.awaitingRepc && t.repcLine == key) {
+                    _send(makeProtocolPacket(_self, _amap.homeOf(key),
+                                             Opcode::REPC, key));
+                    return;
+                }
+            }
+            panic("node %u: REPC retry lost its transaction", _self);
+        }
+        auto it2 = _txns.find(key);
+        if (it2 == _txns.end())
+            panic("node %u: retry lost its transaction", _self);
+        startRequest(key, it2->second);
+    }, EventPriority::ctrl);
+}
+
+void
+CacheController::drainWaiting()
+{
+    if (_waiting.empty() || _drainScheduled)
+        return;
+    _drainScheduled = true;
+    _eq.schedule(_eq.now(), [this]() {
+        _drainScheduled = false;
+        std::deque<WaitingAccess> pending;
+        pending.swap(_waiting);
+        for (auto &w : pending) {
+            bool was_hit = false;
+            startAccess(w.op, std::move(w.done), was_hit);
+        }
+    }, EventPriority::ctrl);
+}
+
+} // namespace limitless

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Processor-level memory operations presented to the cache.
+ *
+ * Loads and stores model ordinary SPARCLE accesses. fetchAdd and swap
+ * model the atomic read-modify-write primitives a shared-memory runtime
+ * needs for locks and combining-tree barriers; under an invalidation
+ * protocol they are implemented by obtaining an exclusive (Read-Write)
+ * copy and modifying it locally, so they need no protocol extensions.
+ */
+
+#ifndef LIMITLESS_CACHE_MEM_OP_HH
+#define LIMITLESS_CACHE_MEM_OP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Kinds of memory access. */
+enum class MemOpKind : std::uint8_t
+{
+    load,     ///< read a word
+    store,    ///< write a word
+    fetchAdd, ///< atomically add `value`, return the old word
+    swap,     ///< atomically write `value`, return the old word
+};
+
+/** True if the operation needs write permission. */
+constexpr bool
+opNeedsWrite(MemOpKind k)
+{
+    return k != MemOpKind::load;
+}
+
+/** One word-granularity memory access. */
+struct MemOp
+{
+    MemOpKind kind = MemOpKind::load;
+    Addr addr = 0;            ///< word-aligned byte address
+    std::uint64_t value = 0;  ///< store datum / add amount / swap datum
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_CACHE_MEM_OP_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chained-directory storage (paper Section 1's comparison baseline; an
+ * SCI-flavoured scheme [James et al. 1990]).
+ *
+ * The directory stores only a head pointer per line; the sharing list is
+ * distributed through the caches as singly linked forward pointers.
+ * Invalidations therefore propagate *sequentially* down the chain, which
+ * is exactly the write-latency disadvantage the paper attributes to
+ * chained schemes.
+ */
+
+#ifndef LIMITLESS_DIRECTORY_CHAINED_DIR_HH
+#define LIMITLESS_DIRECTORY_CHAINED_DIR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "directory/limited_dir.hh"
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Head-pointer directory for the chained protocol. */
+class ChainedDir
+{
+  public:
+    /** Head of the sharing chain, or invalidNode when uncached. */
+    NodeId
+    head(Addr line) const
+    {
+        auto it = _entries.find(line);
+        return it == _entries.end() ? invalidNode : it->second.head;
+    }
+
+    std::uint32_t
+    chainLength(Addr line) const
+    {
+        auto it = _entries.find(line);
+        return it == _entries.end() ? 0 : it->second.length;
+    }
+
+    void
+    push(Addr line, NodeId new_head)
+    {
+        Entry &e = _entries.try_emplace(line).first->second;
+        e.head = new_head;
+        ++e.length;
+    }
+
+    void
+    clear(Addr line)
+    {
+        _entries.erase(line);
+    }
+
+    /** Directory overhead: one node pointer plus a small count. */
+    std::uint64_t
+    bitsPerEntry(unsigned num_nodes) const
+    {
+        return 2 * LimitedDir::ceilLog2(num_nodes);
+    }
+
+  private:
+    struct Entry
+    {
+        NodeId head = invalidNode;
+        std::uint32_t length = 0;
+    };
+
+    std::unordered_map<Addr, Entry> _entries;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_DIRECTORY_CHAINED_DIR_HH

@@ -1,0 +1,74 @@
+#include "directory/full_map_dir.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace limitless
+{
+
+DirAdd
+FullMapDir::tryAdd(Addr line, NodeId n)
+{
+    assert(n < _numNodes);
+    auto [it, created] = _entries.try_emplace(line, Bits(_wordsPerEntry, 0));
+    std::uint64_t &word = it->second[n / 64];
+    const std::uint64_t mask = 1ull << (n % 64);
+    if (word & mask)
+        return DirAdd::present;
+    word |= mask;
+    return DirAdd::added;
+}
+
+bool
+FullMapDir::contains(Addr line, NodeId n) const
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        return false;
+    return (it->second[n / 64] >> (n % 64)) & 1;
+}
+
+void
+FullMapDir::remove(Addr line, NodeId n)
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        return;
+    it->second[n / 64] &= ~(1ull << (n % 64));
+}
+
+void
+FullMapDir::clear(Addr line)
+{
+    _entries.erase(line);
+}
+
+void
+FullMapDir::sharers(Addr line, std::vector<NodeId> &out) const
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        return;
+    for (unsigned w = 0; w < _wordsPerEntry; ++w) {
+        std::uint64_t bits = it->second[w];
+        while (bits) {
+            const unsigned b = std::countr_zero(bits);
+            out.push_back(w * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+}
+
+std::size_t
+FullMapDir::numSharers(Addr line) const
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        return 0;
+    std::size_t n = 0;
+    for (unsigned w = 0; w < _wordsPerEntry; ++w)
+        n += std::popcount(it->second[w]);
+    return n;
+}
+
+} // namespace limitless

@@ -1,0 +1,105 @@
+#include "directory/limited_dir.hh"
+
+#include <algorithm>
+
+namespace limitless
+{
+
+LimitedDir::Entry *
+LimitedDir::find(Addr line)
+{
+    auto it = _entries.find(line);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+const LimitedDir::Entry *
+LimitedDir::find(Addr line) const
+{
+    auto it = _entries.find(line);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+LimitedDir::Entry &
+LimitedDir::findOrCreate(Addr line)
+{
+    return _entries.try_emplace(line).first->second;
+}
+
+DirAdd
+LimitedDir::tryAdd(Addr line, NodeId n)
+{
+    Entry &e = findOrCreate(line);
+    for (unsigned i = 0; i < e.used; ++i)
+        if (e.ptr[i] == n)
+            return DirAdd::present;
+    if (e.used >= _pointers)
+        return DirAdd::overflow;
+    e.ptr[e.used++] = n;
+    return DirAdd::added;
+}
+
+bool
+LimitedDir::contains(Addr line, NodeId n) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return false;
+    for (unsigned i = 0; i < e->used; ++i)
+        if (e->ptr[i] == n)
+            return true;
+    return false;
+}
+
+void
+LimitedDir::remove(Addr line, NodeId n)
+{
+    Entry *e = find(line);
+    if (!e)
+        return;
+    for (unsigned i = 0; i < e->used; ++i) {
+        if (e->ptr[i] == n) {
+            e->ptr[i] = e->ptr[e->used - 1];
+            --e->used;
+            return;
+        }
+    }
+}
+
+void
+LimitedDir::clear(Addr line)
+{
+    // Keep the entry object (it may carry scheme-specific extra state in
+    // subclasses); just drop the pointers.
+    Entry *e = find(line);
+    if (e)
+        e->used = 0;
+}
+
+void
+LimitedDir::sharers(Addr line, std::vector<NodeId> &out) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return;
+    for (unsigned i = 0; i < e->used; ++i)
+        out.push_back(e->ptr[i]);
+}
+
+std::size_t
+LimitedDir::numSharers(Addr line) const
+{
+    const Entry *e = find(line);
+    return e ? e->used : 0;
+}
+
+NodeId
+LimitedDir::pickVictim(Addr line)
+{
+    Entry *e = find(line);
+    assert(e && e->used > 0);
+    const NodeId victim = e->ptr[e->nextVictim % e->used];
+    e->nextVictim = (e->nextVictim + 1) % _pointers;
+    return victim;
+}
+
+} // namespace limitless

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Limited directory (Dir_i NB, Agarwal et al. 1988): a small fixed number
+ * of pointers per entry, no broadcast. tryAdd() reports overflow when all
+ * pointers are in use; the memory FSM then evicts a victim copy.
+ */
+
+#ifndef LIMITLESS_DIRECTORY_LIMITED_DIR_HH
+#define LIMITLESS_DIRECTORY_LIMITED_DIR_HH
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+#include "directory/directory.hh"
+
+namespace limitless
+{
+
+/** Fixed-size pointer array per entry. */
+class LimitedDir : public DirectoryScheme
+{
+  public:
+    /** Most hardware pointers any configuration may use. */
+    static constexpr unsigned maxPointers = 16;
+
+    explicit LimitedDir(unsigned pointers) : _pointers(pointers)
+    {
+        assert(pointers >= 1 && pointers <= maxPointers);
+    }
+
+    DirAdd tryAdd(Addr line, NodeId n) override;
+    bool contains(Addr line, NodeId n) const override;
+    void remove(Addr line, NodeId n) override;
+    void clear(Addr line) override;
+    void sharers(Addr line, std::vector<NodeId> &out) const override;
+    std::size_t numSharers(Addr line) const override;
+
+    const char *name() const override { return "limited"; }
+
+    std::uint64_t
+    bitsPerEntry(unsigned num_nodes) const override
+    {
+        return _pointers * ceilLog2(num_nodes);
+    }
+
+    unsigned pointers() const { return _pointers; }
+
+    /**
+     * Round-robin victim choice for pointer eviction; deterministic so
+     * runs reproduce exactly.
+     */
+    NodeId pickVictim(Addr line);
+
+    static std::uint64_t
+    ceilLog2(std::uint64_t v)
+    {
+        std::uint64_t bits = 0;
+        while ((1ull << bits) < v)
+            ++bits;
+        return bits ? bits : 1;
+    }
+
+  protected:
+    struct Entry
+    {
+        std::array<NodeId, maxPointers> ptr{};
+        std::uint8_t used = 0;
+        std::uint8_t nextVictim = 0;
+    };
+
+    Entry *find(Addr line);
+    const Entry *find(Addr line) const;
+    Entry &findOrCreate(Addr line);
+
+    unsigned _pointers;
+    std::unordered_map<Addr, Entry> _entries;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_DIRECTORY_LIMITED_DIR_HH

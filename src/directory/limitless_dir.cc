@@ -1,0 +1,156 @@
+#include "directory/limitless_dir.hh"
+
+namespace limitless
+{
+
+const char *
+metaStateName(MetaState m)
+{
+    switch (m) {
+      case MetaState::normal: return "Normal";
+      case MetaState::transInProgress: return "Trans-In-Progress";
+      case MetaState::trapOnWrite: return "Trap-On-Write";
+      case MetaState::trapAlways: return "Trap-Always";
+    }
+    return "?";
+}
+
+LimitlessDir::Entry *
+LimitlessDir::find(Addr line)
+{
+    auto it = _entries.find(line);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+const LimitlessDir::Entry *
+LimitlessDir::find(Addr line) const
+{
+    auto it = _entries.find(line);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+DirAdd
+LimitlessDir::tryAdd(Addr line, NodeId n)
+{
+    Entry &e = _entries.try_emplace(line).first->second;
+    if (_useLocalBit && n == _self) {
+        if (e.localBit)
+            return DirAdd::present;
+        e.localBit = true;
+        return DirAdd::added;
+    }
+    for (unsigned i = 0; i < e.used; ++i)
+        if (e.ptr[i] == n)
+            return DirAdd::present;
+    if (e.used >= _pointers)
+        return DirAdd::overflow;
+    e.ptr[e.used++] = n;
+    return DirAdd::added;
+}
+
+bool
+LimitlessDir::contains(Addr line, NodeId n) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return false;
+    if (_useLocalBit && n == _self)
+        return e->localBit;
+    for (unsigned i = 0; i < e->used; ++i)
+        if (e->ptr[i] == n)
+            return true;
+    return false;
+}
+
+void
+LimitlessDir::remove(Addr line, NodeId n)
+{
+    Entry *e = find(line);
+    if (!e)
+        return;
+    if (_useLocalBit && n == _self) {
+        e->localBit = false;
+        return;
+    }
+    for (unsigned i = 0; i < e->used; ++i) {
+        if (e->ptr[i] == n) {
+            e->ptr[i] = e->ptr[e->used - 1];
+            --e->used;
+            return;
+        }
+    }
+}
+
+void
+LimitlessDir::clear(Addr line)
+{
+    Entry *e = find(line);
+    if (!e)
+        return;
+    e->used = 0;
+    e->localBit = false;
+    // Meta state is controlled explicitly by the FSM / trap handler.
+}
+
+void
+LimitlessDir::sharers(Addr line, std::vector<NodeId> &out) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return;
+    if (e->localBit)
+        out.push_back(_self);
+    for (unsigned i = 0; i < e->used; ++i)
+        out.push_back(e->ptr[i]);
+}
+
+std::size_t
+LimitlessDir::numSharers(Addr line) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return 0;
+    return e->used + (e->localBit ? 1 : 0);
+}
+
+MetaState
+LimitlessDir::meta(Addr line) const
+{
+    const Entry *e = find(line);
+    return e ? e->meta : MetaState::normal;
+}
+
+void
+LimitlessDir::setMeta(Addr line, MetaState m)
+{
+    Entry &e = _entries.try_emplace(line).first->second;
+    e.prevMeta = e.meta;
+    e.meta = m;
+}
+
+MetaState
+LimitlessDir::prevMeta(Addr line) const
+{
+    const Entry *e = find(line);
+    return e ? e->prevMeta : MetaState::normal;
+}
+
+void
+LimitlessDir::spillPointers(Addr line, std::vector<NodeId> &out)
+{
+    Entry *e = find(line);
+    if (!e)
+        return;
+    for (unsigned i = 0; i < e->used; ++i)
+        out.push_back(e->ptr[i]);
+    e->used = 0;
+}
+
+bool
+LimitlessDir::pointersFull(Addr line) const
+{
+    const Entry *e = find(line);
+    return e && e->used >= _pointers;
+}
+
+} // namespace limitless

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * LimitLESS hardware directory entry: a limited pointer array extended
+ * with the two meta-state bits of paper Table 4 and the Local Bit of
+ * paper Section 4.3.
+ *
+ * The hardware entry only ever stores up to p pointers; the software side
+ * of the scheme (bit vectors in a hash table in the home node's local
+ * memory) lives in src/kernel/software_dir.hh and is consulted by the
+ * trap handler, not by this class.
+ */
+
+#ifndef LIMITLESS_DIRECTORY_LIMITLESS_DIR_HH
+#define LIMITLESS_DIRECTORY_LIMITLESS_DIR_HH
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+#include "directory/directory.hh"
+#include "directory/limited_dir.hh"
+
+namespace limitless
+{
+
+/** Directory meta states (paper Table 4). */
+enum class MetaState : std::uint8_t
+{
+    normal,          ///< handled by hardware
+    transInProgress, ///< interlock: software processing in progress
+    trapOnWrite,     ///< trap for WREQ, UPDATE and REPM; reads in hardware
+    trapAlways,      ///< trap for all incoming protocol packets
+};
+
+const char *metaStateName(MetaState m);
+
+/** LimitLESS hardware directory: pointers + meta state + local bit. */
+class LimitlessDir : public DirectoryScheme
+{
+  public:
+    /**
+     * @param self          node this directory lives on (for the local bit)
+     * @param pointers      hardware pointers per entry
+     * @param use_local_bit reserve a dedicated bit for the home node
+     */
+    LimitlessDir(NodeId self, unsigned pointers, bool use_local_bit)
+        : _self(self), _pointers(pointers), _useLocalBit(use_local_bit)
+    {
+        assert(pointers >= 1 && pointers <= LimitedDir::maxPointers);
+    }
+
+    DirAdd tryAdd(Addr line, NodeId n) override;
+    bool contains(Addr line, NodeId n) const override;
+    void remove(Addr line, NodeId n) override;
+    void clear(Addr line) override;
+    void sharers(Addr line, std::vector<NodeId> &out) const override;
+    std::size_t numSharers(Addr line) const override;
+
+    const char *name() const override { return "limitless"; }
+
+    std::uint64_t
+    bitsPerEntry(unsigned num_nodes) const override
+    {
+        // p pointers + 2 meta-state bits + 1 local bit.
+        return _pointers * LimitedDir::ceilLog2(num_nodes) + 2 +
+               (_useLocalBit ? 1 : 0);
+    }
+
+    unsigned pointers() const { return _pointers; }
+    NodeId self() const { return _self; }
+
+    MetaState meta(Addr line) const;
+    void setMeta(Addr line, MetaState m);
+
+    /** Meta state before the most recent setMeta (the trap handler uses
+     *  this to learn why a packet was diverted). */
+    MetaState prevMeta(Addr line) const;
+
+    /**
+     * Empty the hardware pointer array into @p out (the trap handler's
+     * "empty the pointers into the software vector" step). The local bit
+     * is preserved in hardware: the home node's copy stays tracked there
+     * so local reads keep hitting in hardware.
+     */
+    void spillPointers(Addr line, std::vector<NodeId> &out);
+
+    /** True when the entry's pointer array is completely full. */
+    bool pointersFull(Addr line) const;
+
+  private:
+    struct Entry
+    {
+        std::array<NodeId, LimitedDir::maxPointers> ptr{};
+        std::uint8_t used = 0;
+        bool localBit = false;
+        MetaState meta = MetaState::normal;
+        MetaState prevMeta = MetaState::normal;
+    };
+
+    Entry *find(Addr line);
+    const Entry *find(Addr line) const;
+
+    NodeId _self;
+    unsigned _pointers;
+    bool _useLocalBit;
+    std::unordered_map<Addr, Entry> _entries;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_DIRECTORY_LIMITLESS_DIR_HH

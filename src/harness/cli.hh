@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small command-line option parser and the flag → MachineConfig /
+ * Workload factories used by the limitless-sim driver (tools/).
+ *
+ * Flags are --name value or --name (boolean); unknown flags are fatal so
+ * typos never silently fall back to defaults.
+ */
+
+#ifndef LIMITLESS_HARNESS_CLI_HH
+#define LIMITLESS_HARNESS_CLI_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "directory/limited_dir.hh"
+#include "harness/experiment.hh"
+#include "machine/machine_config.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Parsed command line. */
+class CliOptions
+{
+  public:
+    /**
+     * Parse argv. @p known maps flag name -> true if it takes a value.
+     * Aborts (fatal) on unknown flags or missing values.
+     */
+    static CliOptions parse(int argc, char **argv,
+                            const std::map<std::string, bool> &known);
+
+    bool has(const std::string &flag) const
+    {
+        return _values.count(flag) != 0;
+    }
+
+    std::string str(const std::string &flag,
+                    const std::string &fallback = "") const;
+    std::uint64_t num(const std::string &flag,
+                      std::uint64_t fallback) const;
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+/**
+ * Protocol spec parser: "full-map", "dir4nb", "limitless4" (with
+ * optional --ts / --emulate modifiers applied by the caller),
+ * "chained", "private-only". Aborts on unknown names.
+ */
+ProtocolParams parseProtocol(const std::string &name);
+
+/**
+ * Workload factory by name: multigrid, weather, weather-opt, hotspot,
+ * worker-set, migratory, random-stress. Size knobs: @p iterations
+ * scales the main loop (0 keeps each workload's default).
+ */
+WorkloadFactory makeWorkloadFactory(const std::string &name,
+                                    unsigned iterations);
+
+/** Names accepted by makeWorkloadFactory, for --help. */
+std::vector<std::string> workloadNames();
+
+} // namespace limitless
+
+#endif // LIMITLESS_HARNESS_CLI_HH

@@ -1,0 +1,91 @@
+#include "harness/experiment.hh"
+
+#include "machine/coherence_monitor.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+ExperimentOutcome
+runExperiment(const MachineConfig &cfg,
+              const WorkloadFactory &make_workload,
+              const std::string &label)
+{
+    Machine machine(cfg);
+    std::unique_ptr<Workload> wl = make_workload();
+    wl->install(machine);
+
+    const RunResult run = machine.run();
+    if (!run.completed)
+        fatal("experiment '%s': did not complete", label.c_str());
+
+    wl->verify(machine);
+    CoherenceMonitor(machine).checkQuiescent();
+
+    ExperimentOutcome out;
+    out.label = label.empty() ? cfg.protocol.name() : label;
+    out.cycles = run.cycles;
+    out.mcycles = static_cast<double>(run.cycles) / 1e6;
+    out.completed = run.completed;
+    out.remoteLatency = machine.meanAccumulator("cache", "remote_latency");
+    out.overflowFraction = machine.overflowFraction();
+    out.busyRetries = machine.sumCounter("cache", "busy_retries");
+    out.evictions = machine.sumCounter("mem", "evictions");
+    out.readTraps = machine.sumCounter("mem", "read_traps");
+    out.writeTraps = machine.sumCounter("mem", "write_traps");
+    out.invsSent = machine.sumCounter("mem", "invs_sent");
+    return out;
+}
+
+namespace protocols
+{
+
+ProtocolParams
+fullMap()
+{
+    ProtocolParams p;
+    p.kind = ProtocolKind::fullMap;
+    return p;
+}
+
+ProtocolParams
+dirNB(unsigned pointers)
+{
+    ProtocolParams p;
+    p.kind = ProtocolKind::limited;
+    p.pointers = pointers;
+    return p;
+}
+
+ProtocolParams
+limitlessStall(unsigned pointers, Tick ts)
+{
+    ProtocolParams p;
+    p.kind = ProtocolKind::limitless;
+    p.pointers = pointers;
+    p.softwareLatency = ts;
+    p.limitlessMode = LimitlessMode::stallApprox;
+    return p;
+}
+
+ProtocolParams
+limitlessEmulated(unsigned pointers)
+{
+    ProtocolParams p;
+    p.kind = ProtocolKind::limitless;
+    p.pointers = pointers;
+    p.limitlessMode = LimitlessMode::fullEmulation;
+    return p;
+}
+
+ProtocolParams
+chained()
+{
+    ProtocolParams p;
+    p.kind = ProtocolKind::chained;
+    return p;
+}
+
+} // namespace protocols
+
+} // namespace limitless

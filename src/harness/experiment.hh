@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment runner shared by the bench binaries: build a machine from a
+ * config, install a fresh workload, run to completion, verify the
+ * workload's data, check coherence invariants, and collect the headline
+ * numbers the paper's figures report.
+ */
+
+#ifndef LIMITLESS_HARNESS_EXPERIMENT_HH
+#define LIMITLESS_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "machine/machine.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Everything a figure row needs. */
+struct ExperimentOutcome
+{
+    std::string label;
+    Tick cycles = 0;
+    double mcycles = 0.0;
+    bool completed = false;
+    double remoteLatency = 0.0;   ///< mean remote miss latency (Th proxy)
+    double overflowFraction = 0.0; ///< the model's m
+    std::uint64_t busyRetries = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t readTraps = 0;
+    std::uint64_t writeTraps = 0;
+    std::uint64_t invsSent = 0;
+    std::uint64_t networkPackets = 0;
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/**
+ * Run one (machine config, workload) experiment end to end.
+ *
+ * Verifies workload data and quiescent coherence invariants; any
+ * violation aborts, so a bench that prints a row also certifies
+ * correctness of that configuration.
+ */
+ExperimentOutcome runExperiment(const MachineConfig &cfg,
+                                const WorkloadFactory &make_workload,
+                                const std::string &label = "");
+
+/** Convenience protocol configs used across figures. */
+namespace protocols
+{
+    ProtocolParams fullMap();
+    ProtocolParams dirNB(unsigned pointers);
+    ProtocolParams limitlessStall(unsigned pointers, Tick ts);
+    ProtocolParams limitlessEmulated(unsigned pointers);
+    ProtocolParams chained();
+}
+
+} // namespace limitless
+
+#endif // LIMITLESS_HARNESS_EXPERIMENT_HH

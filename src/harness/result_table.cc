@@ -1,0 +1,76 @@
+#include "harness/result_table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+ResultTable::printBars(std::ostream &os) const
+{
+    os << "\n== " << _title << " ==\n";
+    double max_mc = 0.0;
+    std::size_t label_w = 0;
+    for (const auto &r : _rows) {
+        max_mc = std::max(max_mc, r.mcycles);
+        label_w = std::max(label_w, r.label.size());
+    }
+    const unsigned bar_max = 48;
+    for (const auto &r : _rows) {
+        const unsigned len = max_mc > 0
+            ? static_cast<unsigned>(r.mcycles / max_mc * bar_max + 0.5)
+            : 0;
+        os << "  " << std::left << std::setw(static_cast<int>(label_w))
+           << r.label << "  " << std::right << std::fixed
+           << std::setprecision(3) << std::setw(7) << r.mcycles
+           << " Mcycles |" << std::string(len, '#') << "\n";
+    }
+}
+
+void
+ResultTable::printDetails(std::ostream &os) const
+{
+    os << "\n  " << std::left << std::setw(26) << "scheme" << std::right
+       << std::setw(10) << "cycles" << std::setw(10) << "remote_T"
+       << std::setw(8) << "m" << std::setw(9) << "rtraps"
+       << std::setw(9) << "wtraps" << std::setw(9) << "evicts"
+       << std::setw(9) << "retries" << std::setw(9) << "invs" << "\n";
+    for (const auto &r : _rows) {
+        os << "  " << std::left << std::setw(26) << r.label << std::right
+           << std::setw(10) << r.cycles << std::setw(10) << std::fixed
+           << std::setprecision(1) << r.remoteLatency << std::setw(8)
+           << std::setprecision(3) << r.overflowFraction << std::setw(9)
+           << r.readTraps << std::setw(9) << r.writeTraps << std::setw(9)
+           << r.evictions << std::setw(9) << r.busyRetries << std::setw(9)
+           << r.invsSent << "\n";
+    }
+}
+
+void
+ResultTable::printCsv(std::ostream &os) const
+{
+    os << "scheme,cycles,mcycles,remote_latency,overflow_fraction,"
+          "read_traps,write_traps,evictions,busy_retries,invs_sent\n";
+    for (const auto &r : _rows) {
+        os << '"' << r.label << '"' << ',' << r.cycles << ','
+           << r.mcycles << ',' << r.remoteLatency << ','
+           << r.overflowFraction << ',' << r.readTraps << ','
+           << r.writeTraps << ',' << r.evictions << ',' << r.busyRetries
+           << ',' << r.invsSent << "\n";
+    }
+}
+
+const ExperimentOutcome &
+ResultTable::row(const std::string &label_part) const
+{
+    for (const auto &r : _rows)
+        if (r.label.find(label_part) != std::string::npos)
+            return r;
+    fatal("result table '%s': no row matching '%s'", _title.c_str(),
+          label_part.c_str());
+}
+
+} // namespace limitless

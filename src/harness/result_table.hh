@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper-style result rendering: each figure bench prints one horizontal
+ * bar per coherence scheme, scaled like Figures 7-10 of the paper, plus a
+ * machine-readable table.
+ */
+
+#ifndef LIMITLESS_HARNESS_RESULT_TABLE_HH
+#define LIMITLESS_HARNESS_RESULT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace limitless
+{
+
+/** Accumulates figure rows and renders them. */
+class ResultTable
+{
+  public:
+    explicit ResultTable(std::string title) : _title(std::move(title)) {}
+
+    void add(const ExperimentOutcome &outcome) { _rows.push_back(outcome); }
+
+    /** Bar chart in the style of the paper's execution-time figures. */
+    void printBars(std::ostream &os) const;
+
+    /** Aligned detail table (cycles, latency, m, traps, retries). */
+    void printDetails(std::ostream &os) const;
+
+    /** CSV for downstream plotting. */
+    void printCsv(std::ostream &os) const;
+
+    const std::vector<ExperimentOutcome> &rows() const { return _rows; }
+
+    /** Row lookup by label substring; aborts if absent. */
+    const ExperimentOutcome &row(const std::string &label_part) const;
+
+  private:
+    std::string _title;
+    std::vector<ExperimentOutcome> _rows;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_HARNESS_RESULT_TABLE_HH

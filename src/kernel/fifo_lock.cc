@@ -1,0 +1,98 @@
+#include "kernel/fifo_lock.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+FifoLockService::FifoLockService(Machine &m, NodeId home,
+                                 std::uint64_t lock_id)
+    : _m(m), _home(home), _id(lock_id),
+      _granted(m.numNodes(), 0), _requestTick(m.numNodes(), 0)
+{
+    // Server: lives on the home node.
+    _m.node(home).dispatcher().registerMessage(
+        Opcode::IPI_MESSAGE,
+        [this](const Packet &pkt) { serverHandle(pkt); });
+
+    // Client stub on every node: the grant interrupt sets a local flag
+    // the acquiring thread is spinning on.
+    for (NodeId n = 0; n < _m.numNodes(); ++n) {
+        _m.node(n).dispatcher().registerMessage(
+            Opcode::IPI_LOCK_GRANT, [this, n](const Packet &pkt) {
+                if (pkt.operands.at(0) != _id)
+                    return;
+                _granted[n] = 1;
+                _waits.push_back(_m.eventQueue().now() -
+                                 _requestTick[n]);
+            });
+    }
+}
+
+void
+FifoLockService::serverHandle(const Packet &pkt)
+{
+    if (pkt.operands.size() < 2 || pkt.operands[0] != _id)
+        return; // another service's message
+    const NodeId src = pkt.src;
+    switch (pkt.operands[1]) {
+      case acquireVerb:
+        if (!_held) {
+            _held = true;
+            grantTo(src);
+        } else {
+            _queue.push_back(src);
+            _maxDepth = std::max<std::uint64_t>(_maxDepth, _queue.size());
+        }
+        return;
+      case releaseVerb:
+        assert(_held && "release of a free FIFO lock");
+        if (_queue.empty()) {
+            _held = false;
+        } else {
+            const NodeId next = _queue.front();
+            _queue.pop_front();
+            grantTo(next);
+        }
+        return;
+      default:
+        panic("FIFO lock %llu: bad verb %llu",
+              (unsigned long long)_id,
+              (unsigned long long)pkt.operands[1]);
+    }
+}
+
+void
+FifoLockService::grantTo(NodeId node)
+{
+    _grantOrder.push_back(node);
+    _m.node(_home).ipi().send(makeInterruptPacket(
+        _home, node, Opcode::IPI_LOCK_GRANT, {_id}));
+}
+
+Task<>
+FifoLockService::acquire(ThreadApi &t)
+{
+    const NodeId self = t.nodeId();
+    _granted[self] = 0;
+    _requestTick[self] = t.now();
+    _m.node(self).ipi().send(makeInterruptPacket(
+        self, _home, Opcode::IPI_MESSAGE, {_id, acquireVerb}));
+    // Spin on the local grant flag the interrupt stub sets.
+    while (!_granted[self])
+        co_await t.compute(8);
+}
+
+Task<>
+FifoLockService::release(ThreadApi &t)
+{
+    const NodeId self = t.nodeId();
+    _granted[self] = 0;
+    _m.node(self).ipi().send(makeInterruptPacket(
+        self, _home, Opcode::IPI_MESSAGE, {_id, releaseVerb}));
+    co_return;
+}
+
+} // namespace limitless

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * FIFO lock service (paper Section 6): "A FIFO lock data type provides
+ * another example; the trap handler can buffer write requests for a
+ * programmer-specified variable and grant the requests on a first-come,
+ * first-serve basis."
+ *
+ * The service runs in software on the lock's home node, built on the IPI
+ * active-message layer: acquirers send an ACQUIRE message; the home
+ * handler grants immediately or queues the requester; RELEASE grants the
+ * next queued node. Grants are IPI_LOCK_GRANT interrupts; the client
+ * side spins on a local flag its interrupt stub sets — no shared-memory
+ * hot spot, no pointer-array pressure, and perfectly fair ordering,
+ * unlike a test-and-set spin lock.
+ */
+
+#ifndef LIMITLESS_KERNEL_FIFO_LOCK_HH
+#define LIMITLESS_KERNEL_FIFO_LOCK_HH
+
+#include <deque>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "sim/task.hh"
+
+namespace limitless
+{
+
+/** A machine-wide FIFO lock with its queue managed in software at the
+ *  home node. Construct after Machine, before run(). */
+class FifoLockService
+{
+  public:
+    /**
+     * @param m        the machine (registers services on every node)
+     * @param home     node whose kernel owns the lock queue
+     * @param lock_id  service id distinguishing locks sharing the opcode
+     */
+    FifoLockService(Machine &m, NodeId home, std::uint64_t lock_id);
+
+    /** Block the calling thread until the lock is granted to its node.
+     *  At most one thread per node may hold the lock at a time. */
+    Task<> acquire(ThreadApi &t);
+
+    /** Release; the next queued node (if any) is granted. */
+    Task<> release(ThreadApi &t);
+
+    /** Grant order observed at the home (for fairness checks). */
+    const std::vector<NodeId> &grantOrder() const { return _grantOrder; }
+
+    /** Per-grant wait times (request send to grant receipt). */
+    const std::vector<Tick> &grantWaits() const { return _waits; }
+
+    std::uint64_t maxQueueDepth() const { return _maxDepth; }
+
+  private:
+    enum Verb : std::uint64_t { acquireVerb = 0, releaseVerb = 1 };
+
+    void serverHandle(const Packet &pkt);
+    void grantTo(NodeId node);
+
+    Machine &_m;
+    NodeId _home;
+    std::uint64_t _id;
+
+    // Server state (lives in the home node's kernel).
+    bool _held = false;
+    std::deque<NodeId> _queue;
+    std::vector<NodeId> _grantOrder;
+    std::uint64_t _maxDepth = 0;
+
+    // Client stubs (one flag per node, set by the grant interrupt).
+    std::vector<std::uint8_t> _granted;
+    std::vector<Tick> _requestTick;
+    std::vector<Tick> _waits;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_KERNEL_FIFO_LOCK_HH

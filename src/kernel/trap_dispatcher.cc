@@ -1,0 +1,102 @@
+#include "kernel/trap_dispatcher.hh"
+
+#include <memory>
+
+#include "kernel/limitless_handler.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+TrapDispatcher::TrapDispatcher(EventQueue &eq, IpiInterface &ipi,
+                               Processor &proc, KernelCosts costs)
+    : _eq(eq), _ipi(ipi), _proc(proc), _costs(costs),
+      _statProtocolTraps(
+          _stats.counter("protocol_traps", "protocol packets handled")),
+      _statMessages(
+          _stats.counter("messages", "active messages delivered")),
+      _statUnhandled(
+          _stats.counter("unhandled", "interrupt packets nobody wanted")),
+      _statCycles(_stats.counter("cycles", "dispatcher occupancy"))
+{
+}
+
+void
+TrapDispatcher::registerMessage(Opcode op, MessageHandler handler)
+{
+    assert(isInterruptOpcode(op));
+    _services[static_cast<std::uint16_t>(op)].push_back(
+        std::move(handler));
+}
+
+void
+TrapDispatcher::onInterrupt()
+{
+    if (_active)
+        return;
+    _active = true;
+    processNext();
+}
+
+void
+TrapDispatcher::processNext()
+{
+    PacketPtr pkt = _ipi.pop();
+    if (!pkt) {
+        _active = false;
+        return;
+    }
+
+    if (pkt->isProtocol()) {
+        if (!_protocol)
+            panic("trap dispatcher: protocol packet %s with no LimitLESS "
+                  "handler installed",
+                  describePacket(*pkt).c_str());
+        _statProtocolTraps += 1;
+        std::vector<PacketPtr> outgoing;
+        MetaState restore = MetaState::normal;
+        const Tick cost =
+            _protocol->handlePacket(*pkt, outgoing, restore);
+        _statCycles += cost;
+        _proc.stallFor(cost);
+        const Addr line = pkt->addr();
+        // Effects become visible when the handler returns.
+        _eq.schedule(_eq.now() + cost,
+                     [this, line, restore,
+                      out = std::make_shared<std::vector<PacketPtr>>(
+                          std::move(outgoing))]() mutable {
+            for (auto &p : *out)
+                _ipi.send(std::move(p));
+            _protocol->finishLine(line, restore);
+            processNext();
+        }, EventPriority::ctrl);
+        return;
+    }
+
+    // Interrupt-class packet: active-message delivery.
+    const Tick cost = _costs.trapEntry + _costs.decode +
+                      _costs.stateUpdate;
+    _statCycles += cost;
+    _proc.stallFor(cost);
+    Packet *raw = pkt.release();
+    _eq.schedule(_eq.now() + cost, [this, raw]() {
+        PacketPtr owned(raw);
+        handleInterruptPacket(*owned);
+        processNext();
+    }, EventPriority::ctrl);
+}
+
+void
+TrapDispatcher::handleInterruptPacket(const Packet &pkt)
+{
+    auto it = _services.find(static_cast<std::uint16_t>(pkt.opcode));
+    if (it == _services.end() || it->second.empty()) {
+        _statUnhandled += 1;
+        return;
+    }
+    _statMessages += 1;
+    for (const MessageHandler &handler : it->second)
+        handler(pkt);
+}
+
+} // namespace limitless

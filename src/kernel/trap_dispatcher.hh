@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-node trap dispatcher: the software half of the IPI interrupt.
+ *
+ * Paper Section 4.2 stresses that the IPI interface is "a single generic
+ * mechanism for network access — not a conglomeration of different
+ * mechanisms". This dispatcher is that mechanism's software anchor: it
+ * drains the IPI input queue in order, routing
+ *  - protocol packets to the LimitLESS trap handler (when installed),
+ *  - interrupt-class packets to registered active-message services
+ *    (FIFO locks, block transfer, user messaging),
+ * charging each trap's occupancy to the node's processor.
+ */
+
+#ifndef LIMITLESS_KERNEL_TRAP_DISPATCHER_HH
+#define LIMITLESS_KERNEL_TRAP_DISPATCHER_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ipi/ipi_interface.hh"
+#include "kernel/kernel_costs.hh"
+#include "proc/processor.hh"
+
+namespace limitless
+{
+
+class LimitlessHandler;
+
+/** Software interrupt dispatch for one node. */
+class TrapDispatcher
+{
+  public:
+    /** An active-message service; invoked per matching packet. */
+    using MessageHandler = std::function<void(const Packet &)>;
+
+    TrapDispatcher(EventQueue &eq, IpiInterface &ipi, Processor &proc,
+                   KernelCosts costs);
+
+    /** Install the LimitLESS protocol-trap strategy (may be null). */
+    void setProtocolHandler(LimitlessHandler *handler)
+    {
+        _protocol = handler;
+    }
+
+    /**
+     * Register a service for an interrupt-class opcode. Multiple
+     * services may share an opcode; each sees every matching packet and
+     * filters on its own operands (by convention, operand 0 is the
+     * service id).
+     */
+    void registerMessage(Opcode op, MessageHandler handler);
+
+    /** Interrupt entry point (wired to IpiInterface::setInterrupt). */
+    void onInterrupt();
+
+    StatSet &stats() { return _stats; }
+
+  private:
+    void processNext();
+    void handleInterruptPacket(const Packet &pkt);
+
+    EventQueue &_eq;
+    IpiInterface &_ipi;
+    Processor &_proc;
+    KernelCosts _costs;
+    LimitlessHandler *_protocol = nullptr;
+    std::unordered_map<std::uint16_t, std::vector<MessageHandler>>
+        _services;
+    bool _active = false;
+
+    StatSet _stats{"trap"};
+    Counter &_statProtocolTraps;
+    Counter &_statMessages;
+    Counter &_statUnhandled;
+    Counter &_statCycles;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_KERNEL_TRAP_DISPATCHER_HH

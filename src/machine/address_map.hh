@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Global address space layout: line geometry and home-node mapping.
+ *
+ * Alewife distributes globally shared memory (and with it the directory)
+ * across the processing nodes. We support two mappings:
+ *  - interleaved (default): consecutive memory lines rotate around the
+ *    nodes, like low-order-bit interleaving;
+ *  - ranged: each node owns one contiguous slab.
+ *
+ * Workloads place data deliberately via addrOnNode(), which inverts the
+ * mapping so a variable can be given a specific home node.
+ */
+
+#ifndef LIMITLESS_MACHINE_ADDRESS_MAP_HH
+#define LIMITLESS_MACHINE_ADDRESS_MAP_HH
+
+#include <cassert>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Home-node selection policy. */
+enum class HomeMapping { interleaved, ranged };
+
+/** Address geometry and home mapping for one machine. */
+class AddressMap
+{
+  public:
+    /**
+     * @param num_nodes    nodes in the machine
+     * @param line_bytes   coherence unit (16 in Alewife)
+     * @param bytes_per_node memory per node, for ranged mapping
+     * @param mapping      interleaved or ranged
+     */
+    AddressMap(unsigned num_nodes, unsigned line_bytes,
+               std::uint64_t bytes_per_node = 4ull << 20,
+               HomeMapping mapping = HomeMapping::interleaved)
+        : _numNodes(num_nodes), _lineBytes(line_bytes),
+          _bytesPerNode(bytes_per_node), _mapping(mapping)
+    {
+        assert(num_nodes >= 1);
+        assert(line_bytes >= bytesPerWord &&
+               (line_bytes & (line_bytes - 1)) == 0);
+        assert(line_bytes / bytesPerWord <= maxWordsPerLine);
+    }
+
+    /** Most words per line any configuration may use (storage bound). */
+    static constexpr unsigned maxWordsPerLine = 8;
+
+    unsigned numNodes() const { return _numNodes; }
+    unsigned lineBytes() const { return _lineBytes; }
+    unsigned wordsPerLine() const { return _lineBytes / bytesPerWord; }
+    std::uint64_t bytesPerNode() const { return _bytesPerNode; }
+
+    /** Align an address down to its line. */
+    Addr lineAddr(Addr a) const { return a & ~static_cast<Addr>(_lineBytes - 1); }
+
+    /** Word index within the line. */
+    unsigned
+    wordOf(Addr a) const
+    {
+        return static_cast<unsigned>((a % _lineBytes) / bytesPerWord);
+    }
+
+    /** Home node owning an address's directory entry. */
+    NodeId
+    homeOf(Addr a) const
+    {
+        const std::uint64_t line = a / _lineBytes;
+        if (_mapping == HomeMapping::interleaved)
+            return static_cast<NodeId>(line % _numNodes);
+        return static_cast<NodeId>((a / _bytesPerNode) % _numNodes);
+    }
+
+    /**
+     * Address of the @p slot'th line homed at @p node (word 0).
+     * Inverse of homeOf(); used by workloads for deliberate placement.
+     */
+    Addr
+    addrOnNode(NodeId node, std::uint64_t slot) const
+    {
+        assert(node < _numNodes);
+        if (_mapping == HomeMapping::interleaved)
+            return (slot * _numNodes + node) * _lineBytes;
+        return node * _bytesPerNode + slot * _lineBytes;
+    }
+
+  private:
+    unsigned _numNodes;
+    unsigned _lineBytes;
+    std::uint64_t _bytesPerNode;
+    HomeMapping _mapping;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_MACHINE_ADDRESS_MAP_HH

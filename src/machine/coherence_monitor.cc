@@ -1,0 +1,129 @@
+#include "machine/coherence_monitor.hh"
+
+#include <map>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+namespace
+{
+
+struct LineCopies
+{
+    std::vector<NodeId> readers;
+    std::vector<NodeId> writers;
+};
+
+std::map<Addr, LineCopies>
+collectCopies(Machine &m)
+{
+    std::map<Addr, LineCopies> copies;
+    for (unsigned i = 0; i < m.numNodes(); ++i) {
+        m.node(i).cache().array().forEachValid(
+            [&](const CacheLine &cl) {
+                LineCopies &lc = copies[cl.tag];
+                if (cl.state == CacheState::readWrite)
+                    lc.writers.push_back(i);
+                else
+                    lc.readers.push_back(i);
+            });
+    }
+    return copies;
+}
+
+} // namespace
+
+void
+CoherenceMonitor::checkGlobalInvariants() const
+{
+    const auto copies = collectCopies(_m);
+    for (const auto &[line, lc] : copies) {
+        if (lc.writers.size() > 1)
+            panic("coherence: line %#llx has %zu Read-Write copies",
+                  (unsigned long long)line, lc.writers.size());
+        if (!lc.writers.empty() && !lc.readers.empty())
+            panic("coherence: line %#llx has a Read-Write copy at node "
+                  "%u alongside %zu Read-Only copies",
+                  (unsigned long long)line, lc.writers[0],
+                  lc.readers.size());
+    }
+}
+
+void
+CoherenceMonitor::checkQuiescent() const
+{
+    checkGlobalInvariants();
+    const auto copies = collectCopies(_m);
+    const AddressMap &amap = _m.addressMap();
+
+    // (c) every memory FSM stable.
+    for (unsigned i = 0; i < _m.numNodes(); ++i) {
+        _m.node(i).mem().forEachLine([&](Addr line, MemState st) {
+            if (st != MemState::readOnly && st != MemState::readWrite)
+                panic("coherence: home %u line %#llx stuck in %s at "
+                      "quiescence",
+                      i, (unsigned long long)line, memStateName(st));
+        });
+    }
+
+    for (const auto &[line, lc] : copies) {
+        MemoryController &home = _m.node(amap.homeOf(line)).mem();
+        DirectoryScheme &dir = home.directory();
+        const SoftwareDirTable &sw = home.softwareTable();
+        const bool chained = home.chainedDir() != nullptr;
+
+        // (d) directory tracks every actual copy.
+        if (!chained) {
+            for (NodeId reader : lc.readers) {
+                if (!dir.contains(line, reader) &&
+                    !sw.contains(line, reader)) {
+                    panic("coherence: node %u holds %#llx Read-Only but "
+                          "is in neither the directory nor the software "
+                          "vector",
+                          reader, (unsigned long long)line);
+                }
+            }
+        }
+
+        if (!lc.writers.empty()) {
+            const NodeId owner = lc.writers[0];
+            if (home.lineState(line) != MemState::readWrite)
+                panic("coherence: node %u holds %#llx Read-Write but home "
+                      "state is %s",
+                      owner, (unsigned long long)line,
+                      memStateName(home.lineState(line)));
+            const bool tracked =
+                chained ? home.chainedDir()->head(line) == owner
+                        : dir.contains(line, owner);
+            if (!tracked)
+                panic("coherence: Read-Write owner %u of %#llx is not in "
+                      "the directory",
+                      owner, (unsigned long long)line);
+        } else {
+            if (home.lineState(line) == MemState::readWrite)
+                panic("coherence: home says %#llx is Read-Write but no "
+                      "cache holds it",
+                      (unsigned long long)line);
+            // (e) read-only copies agree with memory.
+            const LineWords &mem = home.readLine(line);
+            for (NodeId reader : lc.readers) {
+                const CacheLine *cl =
+                    _m.node(reader).cache().array().lookup(line);
+                assert(cl);
+                for (unsigned w = 0; w < amap.wordsPerLine(); ++w) {
+                    if (cl->words[w] != mem[w])
+                        panic("coherence: node %u copy of %#llx word %u "
+                              "is %llu, memory has %llu",
+                              reader, (unsigned long long)line, w,
+                              (unsigned long long)cl->words[w],
+                              (unsigned long long)mem[w]);
+                }
+            }
+        }
+    }
+}
+
+} // namespace limitless

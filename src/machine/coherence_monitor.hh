@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Global coherence invariant checker used by tests.
+ *
+ * Two check levels:
+ *  - checkGlobalInvariants() holds at *every* instant of a run:
+ *      (a) at most one Read-Write copy of any line exists,
+ *      (b) a Read-Write copy excludes Read-Only copies of the same line;
+ *  - checkQuiescent() additionally holds when the machine is idle:
+ *      (c) every memory FSM is in a stable state,
+ *      (d) the directory's sharer set is a superset of the caches that
+ *          actually hold copies (silent clean drops leave stale
+ *          pointers, never missing ones; LimitLESS counts the software
+ *          bit vectors too),
+ *      (e) Read-Only copies agree with memory word-for-word, and a
+ *          Read-Write line's owner is recorded in the directory.
+ */
+
+#ifndef LIMITLESS_MACHINE_COHERENCE_MONITOR_HH
+#define LIMITLESS_MACHINE_COHERENCE_MONITOR_HH
+
+#include "machine/machine.hh"
+
+namespace limitless
+{
+
+/** Invariant checker over a whole Machine. */
+class CoherenceMonitor
+{
+  public:
+    explicit CoherenceMonitor(Machine &m) : _m(m) {}
+
+    /** Invariants that hold at every instant. Aborts on violation. */
+    void checkGlobalInvariants() const;
+
+    /** Full structural check; call only when the machine is idle. */
+    void checkQuiescent() const;
+
+  private:
+    Machine &_m;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_MACHINE_COHERENCE_MONITOR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-line coherence-type designation (paper Section 6): "The directory
+ * trap modes can also be used to construct objects that update (rather
+ * than invalidate) cached copies after they are modified."
+ *
+ * A CoherencePolicy records which lines the compiler / runtime has
+ * designated update-mode. Caches consult it at issue time (modelling a
+ * static, compiler-assigned coherence type, cf. Bennett/Carter/
+ * Zwaenepoel's adaptive types cited by the paper) and route writes to
+ * those lines through the write-update path (WUPD/MUPD/WACK) instead of
+ * the ownership path (WREQ/INV/WDATA).
+ *
+ * Mark lines before any thread touches them; mixing exclusive ownership
+ * with update-mode on the same line is a policy violation and panics.
+ */
+
+#ifndef LIMITLESS_MACHINE_COHERENCE_POLICY_HH
+#define LIMITLESS_MACHINE_COHERENCE_POLICY_HH
+
+#include <unordered_set>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Machine-wide static coherence-type table. */
+class CoherencePolicy
+{
+  public:
+    /** Designate a line update-mode (call before the run starts). */
+    void markUpdateMode(Addr line) { _update.insert(line); }
+
+    bool
+    isUpdateMode(Addr line) const
+    {
+        return !_update.empty() && _update.count(line) != 0;
+    }
+
+    std::size_t updateModeLines() const { return _update.size(); }
+
+    /**
+     * Designate a line migratory (paper Section 6: "the LimitLESS trap
+     * handler can cause FIFO directory eviction for data structures that
+     * are known to migrate from processor to processor"). On pointer
+     * overflow the handler evicts the oldest pointer instead of
+     * allocating a full-map vector that would be stale moments later.
+     */
+    void markMigratory(Addr line) { _migratory.insert(line); }
+
+    bool
+    isMigratory(Addr line) const
+    {
+        return !_migratory.empty() && _migratory.count(line) != 0;
+    }
+
+  private:
+    std::unordered_set<Addr> _update;
+    std::unordered_set<Addr> _migratory;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_MACHINE_COHERENCE_POLICY_HH

@@ -1,0 +1,191 @@
+#include "machine/machine.hh"
+
+#include <cassert>
+#include <iostream>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : _cfg(cfg),
+      _amap(cfg.numNodes, cfg.lineBytes, cfg.bytesPerNode, cfg.mapping)
+{
+    const MeshTopology topo(cfg.resolvedMeshWidth(),
+                            cfg.resolvedMeshHeight());
+    assert(topo.numNodes() == cfg.numNodes &&
+           "mesh dimensions must cover every node");
+
+    if (cfg.network == NetworkKind::mesh)
+        _net = std::make_unique<MeshNetwork>(_eq, topo, cfg.meshParams);
+    else
+        _net = std::make_unique<IdealNetwork>(_eq, topo, cfg.idealParams);
+
+    _nodes.reserve(cfg.numNodes);
+    for (NodeId i = 0; i < cfg.numNodes; ++i)
+        _nodes.push_back(std::make_unique<Node>(_eq, i, _amap, _cfg,
+                                                *_net, _policy));
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::spawnOn(NodeId node_id, Processor::ThreadFn fn)
+{
+    _nodes.at(node_id)->processor().spawn(std::move(fn));
+    ++_spawned;
+}
+
+RunResult
+Machine::run(Tick max_cycles)
+{
+    RunResult result;
+    if (_spawned == 0)
+        fatal("Machine::run with no threads spawned");
+
+    unsigned finished = 0;
+    Tick done_tick = 0;
+    for (auto &node : _nodes) {
+        node->processor().setOnThreadDone([&]() {
+            ++finished;
+            if (finished == _spawned)
+                done_tick = _eq.now();
+        });
+    }
+    for (auto &node : _nodes)
+        node->processor().start();
+
+    auto all_done = [&]() { return finished == _spawned; };
+
+    auto progress = [this]() {
+        std::uint64_t ops = 0;
+        for (const auto &node : _nodes) {
+            const auto *stat = node->statSet("proc")->find("ops");
+            ops += static_cast<const Counter *>(stat)->value();
+        }
+        return ops;
+    };
+
+    std::uint64_t last_ops = progress();
+    Tick last_progress_tick = 0;
+    std::uint64_t events = 0;
+    bool done = false;
+
+    while (!done) {
+        // Run a burst, then poll completion and the deadlock watchdog.
+        for (unsigned k = 0; k < 512; ++k) {
+            if (!_eq.runOne()) {
+                if (!all_done()) {
+                    unsigned live = 0;
+                    for (auto &n : _nodes)
+                        live += n->processor().liveThreads();
+                    panic("machine: event queue drained with %u live "
+                          "threads — deadlock", live);
+                }
+                break;
+            }
+            ++events;
+        }
+        done = all_done();
+        if (done)
+            break;
+        if (max_cycles && _eq.now() > max_cycles) {
+            result.cycles = _eq.now();
+            result.completed = false;
+            result.events = events;
+            return result;
+        }
+        const std::uint64_t ops = progress();
+        if (ops != last_ops) {
+            last_ops = ops;
+            last_progress_tick = _eq.now();
+        } else if (_eq.now() - last_progress_tick > _cfg.watchdogCycles) {
+            dumpStats(std::cerr);
+            panic("machine: no memory operation completed for %llu "
+                  "cycles — livelock/deadlock at tick %llu",
+                  (unsigned long long)_cfg.watchdogCycles,
+                  (unsigned long long)_eq.now());
+        }
+    }
+
+    result.cycles = done_tick;
+    result.completed = true;
+
+    // Drain in-flight protocol traffic (write-backs, final acks) so the
+    // coherence monitor sees a quiescent machine.
+    events += _eq.run();
+    result.events = events;
+
+    // Hooks must not dangle past this call.
+    for (auto &node : _nodes)
+        node->processor().setOnThreadDone(nullptr);
+    return result;
+}
+
+bool
+Machine::allThreadsDone() const
+{
+    for (const auto &node : _nodes)
+        if (!node->processor().allDone())
+            return false;
+    return true;
+}
+
+std::uint64_t
+Machine::sumCounter(const std::string &component,
+                    const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : _nodes) {
+        const StatSet *set = node->statSet(component);
+        if (!set)
+            continue;
+        if (const Stat *stat = set->find(name))
+            total += static_cast<const Counter *>(stat)->value();
+    }
+    return total;
+}
+
+double
+Machine::meanAccumulator(const std::string &component,
+                         const std::string &name) const
+{
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (const auto &node : _nodes) {
+        const StatSet *set = node->statSet(component);
+        if (!set)
+            continue;
+        if (const Stat *stat = set->find(name)) {
+            const auto *acc = static_cast<const Accumulator *>(stat);
+            sum += acc->sum();
+            count += acc->count();
+        }
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double
+Machine::overflowFraction() const
+{
+    const std::uint64_t traps = sumCounter("mem", "read_traps") +
+                                sumCounter("mem", "write_traps");
+    const std::uint64_t reqs =
+        sumCounter("mem", "rreq") + sumCounter("mem", "wreq");
+    return reqs ? static_cast<double>(traps) / reqs : 0.0;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    for (const auto &node : _nodes) {
+        for (const char *comp : {"proc", "cache", "mem", "ipi", "handler"}) {
+            const StatSet *set = node->statSet(comp);
+            if (set)
+                set->dump(os);
+        }
+    }
+}
+
+} // namespace limitless

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Whole-machine assembly and run loop: the top-level public API most
+ * users touch. Build a MachineConfig, construct a Machine, install a
+ * workload (or spawn thread programs directly), run(), read stats.
+ */
+
+#ifndef LIMITLESS_MACHINE_MACHINE_HH
+#define LIMITLESS_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "machine/coherence_policy.hh"
+#include "machine/machine_config.hh"
+#include "machine/node.hh"
+#include "network/network.hh"
+#include "sim/event_queue.hh"
+
+namespace limitless
+{
+
+/** Outcome of Machine::run(). */
+struct RunResult
+{
+    Tick cycles = 0;          ///< tick when the last thread finished
+    bool completed = false;   ///< all threads ran to completion
+    std::uint64_t events = 0; ///< simulator events executed
+};
+
+/** A complete simulated multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return _cfg; }
+    EventQueue &eventQueue() { return _eq; }
+    const AddressMap &addressMap() const { return _amap; }
+    unsigned numNodes() const { return _cfg.numNodes; }
+    Node &node(unsigned i) { return *_nodes.at(i); }
+    const Node &node(unsigned i) const { return *_nodes.at(i); }
+    Network &network() { return *_net; }
+
+    /** Static coherence-type table (mark update-mode lines before the
+     *  run starts; paper Section 6). */
+    CoherencePolicy &policy() { return _policy; }
+    const CoherencePolicy &policy() const { return _policy; }
+
+    /** Bind a thread program to a hardware context on a node. */
+    void spawnOn(NodeId node, Processor::ThreadFn fn);
+
+    /** True once every spawned thread has completed (samplers use this
+     *  as their stop predicate). */
+    bool allThreadsDone() const;
+
+    /**
+     * Run until every spawned thread completes (then drain in-flight
+     * protocol traffic), or until @p max_cycles (0 = no limit).
+     */
+    RunResult run(Tick max_cycles = 0);
+
+    /** Sum a counter across all nodes, e.g. sumCounter("cache","misses"). */
+    std::uint64_t sumCounter(const std::string &component,
+                             const std::string &name) const;
+
+    /** Machine-wide mean of an accumulator (weighted by sample count). */
+    double meanAccumulator(const std::string &component,
+                           const std::string &name) const;
+
+    /** Aggregate LimitLESS overflow fraction (the model's m). */
+    double overflowFraction() const;
+
+    /** Dump every node's stats plus the network's. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    MachineConfig _cfg;
+    EventQueue _eq;
+    AddressMap _amap;
+    CoherencePolicy _policy;
+    std::unique_ptr<Network> _net;
+    std::vector<std::unique_ptr<Node>> _nodes;
+    unsigned _spawned = 0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_MACHINE_MACHINE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Whole-machine configuration: one struct describing an Alewife-like
+ * machine instance (sizes, protocol, network model, timing).
+ */
+
+#ifndef LIMITLESS_MACHINE_MACHINE_CONFIG_HH
+#define LIMITLESS_MACHINE_MACHINE_CONFIG_HH
+
+#include "cache/cache_controller.hh"
+#include "kernel/kernel_costs.hh"
+#include "machine/address_map.hh"
+#include "mem/memory_controller.hh"
+#include "network/ideal_network.hh"
+#include "network/mesh_network.hh"
+#include "proc/processor.hh"
+#include "proto/protocol_params.hh"
+
+namespace limitless
+{
+
+/** Which network model to instantiate (design decision D5). */
+enum class NetworkKind { mesh, ideal };
+
+/** Configuration of one simulated machine. */
+struct MachineConfig
+{
+    unsigned numNodes = 64;
+    /** Mesh width; 0 picks the most square factorization. */
+    unsigned meshWidth = 0;
+
+    unsigned lineBytes = 16; ///< Alewife coherence unit
+    HomeMapping mapping = HomeMapping::interleaved;
+    std::uint64_t bytesPerNode = 4ull << 20;
+
+    ProtocolParams protocol;
+    CacheParams cache;
+    MemParams mem;
+    ProcParams proc;
+    KernelCosts kernel;
+
+    NetworkKind network = NetworkKind::mesh;
+    MeshNetworkParams meshParams;
+    IdealNetworkParams idealParams;
+
+    /** Cache <-> local memory controller hop (no network involved). */
+    Tick localHopLatency = 2;
+
+    std::size_t ipiInputCapacity = 16;
+
+    std::uint64_t seed = 1;
+
+    /** Watchdog: abort if no thread completes an op for this long. */
+    Tick watchdogCycles = 4'000'000;
+
+    /** Resolved mesh width. */
+    unsigned
+    resolvedMeshWidth() const
+    {
+        if (meshWidth)
+            return meshWidth;
+        unsigned w = 1;
+        for (unsigned d = 1; d * d <= numNodes; ++d)
+            if (numNodes % d == 0)
+                w = d;
+        return numNodes / w; // wider than tall for non-squares
+    }
+
+    unsigned
+    resolvedMeshHeight() const
+    {
+        return numNodes / resolvedMeshWidth();
+    }
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_MACHINE_MACHINE_CONFIG_HH

@@ -1,0 +1,118 @@
+#include "machine/node.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+Node::Node(EventQueue &eq, NodeId id, const AddressMap &amap,
+           const MachineConfig &cfg, Network &net,
+           const CoherencePolicy &policy)
+    : _eq(eq), _id(id), _amap(amap),
+      _localHopLatency(cfg.localHopLatency), _net(net)
+{
+    _cache = std::make_unique<CacheController>(
+        eq, id, amap, cfg.cache, cfg.protocol.kind, cfg.seed);
+    _cache->setPolicy(&policy);
+    _mem = std::make_unique<MemoryController>(eq, id, amap, cfg.protocol,
+                                              cfg.mem);
+    _mem->setPolicy(&policy);
+    _proc = std::make_unique<Processor>(eq, id, *_cache, cfg.proc,
+                                        cfg.seed);
+    _ipi = std::make_unique<IpiInterface>(eq, id, cfg.ipiInputCapacity);
+
+    _cache->setSend([this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
+    _mem->setSend([this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
+    _ipi->setSendPath([this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
+
+    _mem->setTrapStall([this](Tick t) { _proc->stallFor(t); });
+    _mem->setDivert([this](PacketPtr pkt) {
+        _ipi->pushInput(std::move(pkt));
+    });
+
+    _dispatcher = std::make_unique<TrapDispatcher>(eq, *_ipi, *_proc,
+                                                    cfg.kernel);
+    if (cfg.protocol.kind == ProtocolKind::limitless &&
+        cfg.protocol.limitlessMode == LimitlessMode::fullEmulation) {
+        _handler = std::make_unique<LimitlessHandler>(eq, *_mem, *_proc,
+                                                      cfg.kernel);
+        _dispatcher->setProtocolHandler(_handler.get());
+    }
+    _ipi->setInterrupt([this]() { _dispatcher->onInterrupt(); });
+
+    net.setReceiver(id, [this](PacketPtr pkt) {
+        deliver(std::move(pkt));
+    });
+}
+
+void
+Node::sendFrom(PacketPtr pkt)
+{
+    assert(pkt);
+    if (pkt->dest != _id) {
+        _net.send(std::move(pkt));
+        return;
+    }
+    // Local loopback: cache <-> local memory controller without touching
+    // the interconnect (local misses do not context-switch, paper §2).
+    Packet *raw = pkt.release();
+    _eq.schedule(_eq.now() + _localHopLatency, [this, raw]() {
+        deliver(PacketPtr(raw));
+    }, EventPriority::deliver);
+}
+
+void
+Node::deliver(PacketPtr pkt)
+{
+    assert(pkt && pkt->dest == _id);
+    if (pkt->isInterrupt()) {
+        _ipi->pushInput(std::move(pkt));
+        return;
+    }
+    switch (pkt->opcode) {
+      // Cache-to-memory class (paper Table 3): to the home controller.
+      case Opcode::RREQ:
+      case Opcode::WREQ:
+      case Opcode::REPM:
+      case Opcode::UPDATE:
+      case Opcode::ACKC:
+      case Opcode::REPC:
+      case Opcode::WUPD:
+      case Opcode::RUNC:
+        _mem->enqueue(std::move(pkt));
+        return;
+      // Memory-to-cache class: to the cache controller.
+      case Opcode::RDATA:
+      case Opcode::WDATA:
+      case Opcode::INV:
+      case Opcode::BUSY:
+      case Opcode::REPC_ACK:
+      case Opcode::MUPD:
+      case Opcode::WACK:
+        _cache->handlePacket(std::move(pkt));
+        return;
+      default:
+        panic("node %u: cannot route opcode %s", _id,
+              opcodeName(pkt->opcode));
+    }
+}
+
+const StatSet *
+Node::statSet(const std::string &component) const
+{
+    if (component == "proc")
+        return &const_cast<Processor &>(*_proc).stats();
+    if (component == "cache")
+        return &const_cast<CacheController &>(*_cache).stats();
+    if (component == "mem")
+        return &const_cast<MemoryController &>(*_mem).stats();
+    if (component == "ipi")
+        return &_ipi->stats();
+    if (component == "handler" && _handler)
+        return &_handler->stats();
+    if (component == "trap")
+        return &_dispatcher->stats();
+    return nullptr;
+}
+
+} // namespace limitless

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Chained-directory home-node FSM (comparison baseline).
+ *
+ * The home keeps only a head pointer; caches hold forward pointers. The
+ * defining property — sequential invalidation latency proportional to the
+ * sharing-chain length — is modelled by walking the chain one member at a
+ * time: the home INVs the current member, the member's ACKC carries its
+ * successor, and the home proceeds. (Real SCI forwards the invalidation
+ * cache-to-cache; driving the walk from the home doubles the constant but
+ * preserves the linear shape and avoids SCI's unordered-channel races;
+ * see DESIGN.md.)
+ *
+ * Shared lines may not be dropped silently (the chain would break);
+ * replacement uses an explicit REPC transaction that unlinks via a full
+ * chain invalidation.
+ */
+
+#include "mem/memory_controller.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+MemoryController::processChained(PacketPtr &pkt_ptr, HomeLine &hl)
+{
+    Packet &pkt = *pkt_ptr;
+    switch (hl.state) {
+      case MemState::readOnly:
+        chainedReadOnly(pkt_ptr, hl);
+        return;
+
+      case MemState::readWrite: {
+        const Addr line = pkt.addr();
+        const NodeId owner = _chained->head(line);
+        assert(owner != invalidNode);
+        switch (pkt.opcode) {
+          case Opcode::RREQ:
+            _statReads += 1;
+            assert(pkt.src != owner);
+            hl.pending = pkt.src;
+            hl.dataSeen = false;
+            hl.state = MemState::readTransaction;
+            sendInv(owner, line);
+            return;
+          case Opcode::WREQ:
+            _statWrites += 1;
+            assert(pkt.src != owner);
+            _statWorkerSet.sample(1);
+            hl.pending = pkt.src;
+            hl.walkTarget = invalidNode; // single-owner write
+            hl.state = MemState::writeTransaction;
+            sendInv(owner, line);
+            return;
+          case Opcode::REPM:
+            assert(pkt.src == owner);
+            writeLine(line, pkt.data);
+            _chained->clear(line);
+            hl.state = MemState::readOnly;
+            replayDeferred(hl);
+            return;
+          case Opcode::REPC:
+            // The line is exclusively owned, so the requester's chained
+            // copy was already invalidated (every transition into
+            // Read-Write dissolves the chain): grant immediately.
+            // Deferring here would park the packet in a stable state
+            // with no completion to replay it.
+            dispatch(makeProtocolPacket(_self, pkt.src, Opcode::REPC_ACK,
+                                        line));
+            return;
+          default:
+            panic("chained home %u: bad opcode %s in Read-Write", _self,
+                  opcodeName(pkt.opcode));
+        }
+      }
+
+      case MemState::readTransaction: {
+        const Addr line = pkt.addr();
+        switch (pkt.opcode) {
+          case Opcode::RREQ:
+          case Opcode::WREQ:
+          case Opcode::REPC:
+            deferOrBusy(pkt_ptr, hl);
+            return;
+          case Opcode::UPDATE:
+            writeLine(line, pkt.data);
+            _chained->clear(line);
+            _chained->push(line, hl.pending);
+            sendReadData(hl.pending, line, invalidNode);
+            hl.state = MemState::readOnly;
+            replayDeferred(hl);
+            return;
+          case Opcode::REPM:
+            writeLine(line, pkt.data);
+            hl.dataSeen = true;
+            return;
+          case Opcode::ACKC:
+            if (hl.dataSeen) {
+                _chained->clear(line);
+                _chained->push(line, hl.pending);
+                sendReadData(hl.pending, line, invalidNode);
+                hl.state = MemState::readOnly;
+                hl.dataSeen = false;
+                replayDeferred(hl);
+            } else {
+                _statStaleAcks += 1;
+            }
+            return;
+          default:
+            panic("chained home %u: bad opcode %s in Read-Transaction",
+                  _self, opcodeName(pkt.opcode));
+        }
+      }
+
+      case MemState::writeTransaction: {
+        const Addr line = pkt.addr();
+        switch (pkt.opcode) {
+          case Opcode::RREQ:
+          case Opcode::WREQ:
+          case Opcode::REPC:
+            deferOrBusy(pkt_ptr, hl);
+            return;
+          case Opcode::UPDATE:
+            // Single-owner write: the previous owner returned the data.
+            writeLine(line, pkt.data);
+            _chained->clear(line);
+            _chained->push(line, hl.pending);
+            sendWriteData(hl.pending, line);
+            hl.state = MemState::readWrite;
+            replayDeferred(hl);
+            return;
+          case Opcode::REPM:
+            writeLine(line, pkt.data);
+            return;
+          case Opcode::ACKC:
+            chainedWalkAck(pkt, hl);
+            return;
+          default:
+            panic("chained home %u: bad opcode %s in Write-Transaction",
+                  _self, opcodeName(pkt.opcode));
+        }
+      }
+
+      case MemState::evictTransaction: {
+        const Addr line = pkt.addr();
+        switch (pkt.opcode) {
+          case Opcode::RREQ:
+          case Opcode::WREQ:
+          case Opcode::REPC:
+            deferOrBusy(pkt_ptr, hl);
+            return;
+          case Opcode::ACKC: {
+            assert(!pkt.operands.empty());
+            const NodeId next =
+                pkt.operands.size() > 1
+                    ? static_cast<NodeId>(pkt.operands[1])
+                    : invalidNode;
+            if (next != invalidNode) {
+                hl.walkTarget = next;
+                sendInv(next, line);
+                return;
+            }
+            _chained->clear(line);
+            dispatch(makeProtocolPacket(_self, hl.repcRequester,
+                                        Opcode::REPC_ACK, line));
+            hl.repcRequester = invalidNode;
+            hl.walkTarget = invalidNode;
+            hl.state = MemState::readOnly;
+            replayDeferred(hl);
+            return;
+          }
+          default:
+            panic("chained home %u: bad opcode %s in Evict-Transaction",
+                  _self, opcodeName(pkt.opcode));
+        }
+      }
+    }
+}
+
+void
+MemoryController::chainedReadOnly(PacketPtr &pkt_ptr, HomeLine &hl)
+{
+    Packet &pkt = *pkt_ptr;
+    const Addr line = pkt.addr();
+    const NodeId src = pkt.src;
+    const NodeId head = _chained->head(line);
+
+    switch (pkt.opcode) {
+      case Opcode::RREQ:
+        _statReads += 1;
+        // New reader becomes the head and links to the old head.
+        _chained->push(line, src);
+        sendReadData(src, line, head);
+        return;
+
+      case Opcode::WREQ:
+        _statWrites += 1;
+        if (head == invalidNode) {
+            _statWorkerSet.sample(1);
+            _chained->push(line, src);
+            hl.state = MemState::readWrite;
+            sendWriteData(src, line);
+            return;
+        }
+        _statWorkerSet.sample(_chained->chainLength(line) + 1);
+        hl.pending = src;
+        hl.walkTarget = head;
+        hl.state = MemState::writeTransaction;
+        sendInv(head, line);
+        return;
+
+      case Opcode::REPC:
+        if (head == invalidNode) {
+            // The chain was already dissolved by a concurrent walk.
+            dispatch(makeProtocolPacket(_self, src, Opcode::REPC_ACK,
+                                        line));
+            return;
+        }
+        hl.repcRequester = src;
+        hl.walkTarget = head;
+        hl.state = MemState::evictTransaction;
+        sendInv(head, line);
+        return;
+
+      case Opcode::ACKC:
+        _statStaleAcks += 1;
+        return;
+
+      default:
+        panic("chained home %u: bad opcode %s in Read-Only", _self,
+              opcodeName(pkt.opcode));
+    }
+}
+
+void
+MemoryController::chainedWalkStep(Addr line, HomeLine &hl, NodeId target)
+{
+    hl.walkTarget = target;
+    sendInv(target, line);
+}
+
+void
+MemoryController::chainedWalkAck(Packet &pkt, HomeLine &hl)
+{
+    const Addr line = pkt.addr();
+    if (hl.walkTarget == invalidNode) {
+        // Single-owner write whose REPM crossed our INV: the ACKC closes
+        // the transaction (data arrived with the REPM).
+        _chained->clear(line);
+        _chained->push(line, hl.pending);
+        sendWriteData(hl.pending, line);
+        hl.state = MemState::readWrite;
+        replayDeferred(hl);
+        return;
+    }
+    const NodeId next = pkt.operands.size() > 1
+                            ? static_cast<NodeId>(pkt.operands[1])
+                            : invalidNode;
+    if (next != invalidNode) {
+        chainedWalkStep(line, hl, next);
+        return;
+    }
+    // Tail reached: the whole chain is invalid; grant the write.
+    _chained->clear(line);
+    _chained->push(line, hl.pending);
+    sendWriteData(hl.pending, line);
+    hl.walkTarget = invalidNode;
+    hl.state = MemState::readWrite;
+    replayDeferred(hl);
+}
+
+} // namespace limitless

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Memory-side coherence controller: the Figure 2 / Table 2 state machine
+ * of the paper, layered over a pluggable directory scheme.
+ *
+ * One controller per node; it owns the node's slice of globally shared
+ * memory (real data words) and the directory entries for lines homed
+ * there. Incoming protocol packets are serviced one at a time with a
+ * configurable occupancy, which is what makes widely shared lines into
+ * hot spots.
+ *
+ * LimitLESS support: in stall-approximation mode (the paper's evaluation
+ * methodology) pointer overflows are emulated inline and charged Ts
+ * cycles to both the controller and the home processor. In
+ * full-emulation mode overflowed packets are diverted through the IPI
+ * interface to a software trap handler (src/kernel/limitless_handler.hh)
+ * which manipulates this controller through the software-access methods
+ * at the bottom of the class — the "complete access to coherence-related
+ * controller state" of paper Section 4.1.
+ */
+
+#ifndef LIMITLESS_MEM_MEMORY_CONTROLLER_HH
+#define LIMITLESS_MEM_MEMORY_CONTROLLER_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/mem_op.hh"
+#include "directory/chained_dir.hh"
+#include "directory/directory.hh"
+#include "directory/limitless_dir.hh"
+#include "kernel/software_dir.hh"
+#include "machine/address_map.hh"
+#include "machine/coherence_policy.hh"
+#include "proto/packet.hh"
+#include "proto/protocol_params.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace limitless
+{
+
+/** Memory-side line states (paper Table 1). An absent entry is
+ *  Read-Only with an empty pointer set (uncached). */
+enum class MemState : std::uint8_t
+{
+    readOnly,         ///< some number of read-only copies (possibly zero)
+    readWrite,        ///< exactly one dirty copy
+    readTransaction,  ///< holding a read request, update in progress
+    writeTransaction, ///< holding a write request, invalidation in progress
+    evictTransaction, ///< limited-dir pointer eviction / chained unlink
+};
+
+const char *memStateName(MemState s);
+
+/** Controller timing knobs. */
+struct MemParams
+{
+    Tick serviceCycles = 4; ///< occupancy per protocol packet
+
+    /**
+     * Requests arriving for a line that is mid-transaction are parked in
+     * a small per-line buffer (replayed FIFO when the transaction
+     * completes) instead of being BUSY-nacked; only when the buffer is
+     * full does the controller nack. Depth 0 recovers the pure
+     * nack-and-retry protocol (ablation D4). Without this, heavy read
+     * sharing on a limited directory can starve writers indefinitely:
+     * readers keep the entry in eviction transactions and every write
+     * retry loses the race.
+     */
+    unsigned deferDepth = 4;
+};
+
+/** A line's worth of memory words. */
+using LineWords = std::array<std::uint64_t, AddressMap::maxWordsPerLine>;
+
+/** The per-node memory + directory controller. */
+class MemoryController
+{
+  public:
+    using SendFn = std::function<void(PacketPtr)>;
+    /** Stall the home processor (stall-approximation Ts charge). */
+    using TrapStallFn = std::function<void(Tick)>;
+    /** Divert a packet to the IPI input queue (full emulation). */
+    using DivertFn = std::function<void(PacketPtr)>;
+
+    MemoryController(EventQueue &eq, NodeId self, const AddressMap &amap,
+                     const ProtocolParams &proto, const MemParams &params);
+
+    void setSend(SendFn fn) { _send = std::move(fn); }
+    void setPolicy(const CoherencePolicy *policy) { _policy = policy; }
+    const CoherencePolicy *coherencePolicy() const { return _policy; }
+    void setTrapStall(TrapStallFn fn) { _trapStall = std::move(fn); }
+    void setDivert(DivertFn fn) { _divert = std::move(fn); }
+
+    /** Protocol packet arriving from the network or the local cache. */
+    void enqueue(PacketPtr pkt);
+
+    NodeId nodeId() const { return _self; }
+    const ProtocolParams &protocol() const { return _proto; }
+    StatSet &stats() { return _stats; }
+    bool idle() const { return _queue.empty() && !_serviceScheduled; }
+
+    /** Fraction of requests that took the software path (the model's m). */
+    double overflowFraction() const;
+
+    // ------------------------------------------------------------------
+    // Software / monitor access ("the directories are placed in a special
+    // region of memory that may be read and written by the processor").
+    // ------------------------------------------------------------------
+
+    DirectoryScheme &directory() { return *_dir; }
+    const DirectoryScheme &directory() const { return *_dir; }
+    /** Non-null only for the LimitLESS protocol. */
+    LimitlessDir *limitlessDir() { return _ldir; }
+    ChainedDir *chainedDir() { return _chained.get(); }
+    SoftwareDirTable &softwareTable() { return _swTable; }
+    const SoftwareDirTable &softwareTable() const { return _swTable; }
+
+    /**
+     * Cumulative access records for Trap-Always lines (the Section 6
+     * profiling extension): unlike the coherence-tracking softwareTable,
+     * entries here survive write-gathers, so the profile reflects every
+     * processor that ever touched the line.
+     */
+    SoftwareDirTable &profileTable() { return _profile; }
+    const SoftwareDirTable &profileTable() const { return _profile; }
+
+    MemState lineState(Addr line) const;
+    void setLineState(Addr line, MemState s);
+    std::uint32_t ackCounter(Addr line) const;
+    void setAckCounter(Addr line, std::uint32_t n);
+    NodeId pendingRequester(Addr line) const;
+    void setPendingRequester(Addr line, NodeId n);
+
+    /** Current memory contents of a line (zero-filled on first touch). */
+    const LineWords &readLine(Addr line);
+    void writeLine(Addr line, const std::vector<std::uint64_t> &words);
+
+    /** Trap handler send path (protocol packets launched via IPI). */
+    void sendFromHandler(PacketPtr pkt) { _send(std::move(pkt)); }
+
+    const AddressMap &addressMap() const { return _amap; }
+
+    /** Trap-accounting hooks so overflowFraction() covers both modes. */
+    void noteReadTrap(Tick cycles);
+    void noteWriteTrap(Tick cycles);
+    void noteInvSent() { _statInvsSent += 1; }
+    void noteWorkerSet(std::size_t n) { _statWorkerSet.sample(n); }
+
+    /**
+     * Process a packet directly, bypassing meta-state checks: used by
+     * trap handlers that tap a packet (e.g. the profiler) and then let
+     * the hardware path do the actual protocol work.
+     */
+    void processBypassingMeta(PacketPtr pkt);
+
+    /** Iterate touched lines (coherence-monitor support). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const auto &[line, st] : _lines)
+            fn(line, st.state);
+    }
+
+  private:
+    struct HomeLine
+    {
+        MemState state = MemState::readOnly;
+        std::uint32_t ackCtr = 0;
+        NodeId pending = invalidNode;
+        bool dataSeen = false;        ///< RT: REPM data arrived
+        NodeId evictVictim = invalidNode;
+        /** Update-mode write in flight: complete with WACK, stay RO. */
+        bool updWrite = false;
+        std::uint64_t updOld = 0;
+        /** Kernel-injected WUPD: no WACK wanted (fire and forget). */
+        bool updSilent = false;
+        /** WUPD against a dirty line: apply after the owner's data. */
+        bool updApply = false;
+        unsigned updWord = 0;
+        std::uint8_t updKind = 0;
+        std::uint64_t updValue = 0;
+        /** RUNC in flight: answer without recording a pointer. */
+        bool pendingUncached = false;
+        /** Chained-walk bookkeeping. */
+        NodeId walkTarget = invalidNode;
+        NodeId repcRequester = invalidNode;
+        /** Requests parked during a transaction (see MemParams). */
+        std::deque<PacketPtr> deferred;
+    };
+
+    void scheduleService();
+    void service();
+    void process(PacketPtr &pkt, bool bypass_meta);
+    void processReadOnly(PacketPtr &pkt, HomeLine &hl, bool bypass_meta);
+    void processReadWrite(Packet &pkt, HomeLine &hl);
+    void processReadTransaction(PacketPtr &pkt, HomeLine &hl);
+    void processWriteTransaction(PacketPtr &pkt, HomeLine &hl);
+    void processEvictTransaction(PacketPtr &pkt, HomeLine &hl);
+
+    /** Update-mode write service (paper Section 6 extension). */
+    void handleWriteUpdate(Packet &pkt, HomeLine &hl);
+
+    /** Park a mid-transaction request, or BUSY it if the buffer is full. */
+    void deferOrBusy(PacketPtr &pkt, HomeLine &hl);
+    /** Replay parked requests after a transaction completes. */
+    void replayDeferred(HomeLine &hl);
+
+    // Chained-protocol variants.
+    void processChained(PacketPtr &pkt, HomeLine &hl);
+    void chainedReadOnly(PacketPtr &pkt, HomeLine &hl);
+    void chainedWalkStep(Addr line, HomeLine &hl, NodeId target);
+    void chainedWalkAck(Packet &pkt, HomeLine &hl);
+
+    // Helpers shared by transitions.
+    void sendReadData(NodeId to, Addr line, NodeId old_head = invalidNode);
+    void sendWriteData(NodeId to, Addr line);
+    void sendInv(NodeId to, Addr line);
+    void sendBusy(NodeId to, Addr line);
+    void dispatch(PacketPtr pkt);
+    void startWriteTransaction(Addr line, HomeLine &hl, NodeId requester,
+                               const std::vector<NodeId> &to_invalidate);
+
+    // LimitLESS software paths (stall approximation).
+    void limitlessReadOverflow(Packet &pkt, HomeLine &hl);
+    bool limitlessWriteNeedsTrap(Addr line) const;
+    void limitlessWriteTrap(Packet &pkt, HomeLine &hl);
+    void chargeTrap(Tick cycles);
+
+    HomeLine &lineFor(Addr line);
+
+    EventQueue &_eq;
+    NodeId _self;
+    const AddressMap &_amap;
+    ProtocolParams _proto;
+    MemParams _params;
+    SendFn _send;
+    TrapStallFn _trapStall;
+    DivertFn _divert;
+    const CoherencePolicy *_policy = nullptr;
+
+    std::unique_ptr<DirectoryScheme> _dir;
+    LimitlessDir *_ldir = nullptr;          ///< alias into _dir
+    std::unique_ptr<ChainedDir> _chained;   ///< chained protocol only
+    SoftwareDirTable _swTable;
+    SoftwareDirTable _profile;
+
+    std::unordered_map<Addr, HomeLine> _lines;
+    std::unordered_map<Addr, LineWords> _memory;
+
+    std::deque<PacketPtr> _queue;
+    bool _serviceScheduled = false;
+    Tick _busyUntil = 0;
+    Tick _extraDelay = 0; ///< Ts charge for the in-flight service
+
+    StatSet _stats{"mem"};
+    Counter &_statRequests;
+    Counter &_statReads;
+    Counter &_statWrites;
+    Counter &_statBusyNacks;
+    Counter &_statInvsSent;
+    Counter &_statEvictions;
+    Counter &_statReadTraps;
+    Counter &_statWriteTraps;
+    Counter &_statTrapCycles;
+    Counter &_statStaleAcks;
+    Counter &_statWriteUpdates;
+    Counter &_statMigratoryEvictions;
+    Distribution &_statWorkerSet;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_MEM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,71 @@
+#include "network/ideal_network.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+double
+MeshTopology::averageHops() const
+{
+    // Mean |i - j| over a line of n nodes is (n^2 - 1) / (3n); the mesh
+    // dimensions are independent under uniform traffic.
+    auto line_mean = [](double n) { return (n * n - 1.0) / (3.0 * n); };
+    return line_mean(_width) + line_mean(_height);
+}
+
+IdealNetwork::IdealNetwork(EventQueue &eq, MeshTopology topo,
+                           IdealNetworkParams params)
+    : _eq(eq), _topo(topo), _params(params),
+      _receivers(_topo.numNodes()),
+      _statPackets(_stats.counter("packets", "packets delivered")),
+      _statWords(_stats.counter("words", "packet words delivered")),
+      _statLatency(_stats.accumulator("latency", "packet latency (cycles)"))
+{
+}
+
+void
+IdealNetwork::setReceiver(NodeId node, Receiver recv)
+{
+    _receivers.at(node) = std::move(recv);
+}
+
+void
+IdealNetwork::send(PacketPtr pkt)
+{
+    assert(pkt);
+    assert(pkt->src < numNodes() && pkt->dest < numNodes());
+    const Tick lat = _params.baseLatency +
+                     _params.perHopLatency * _topo.hops(pkt->src, pkt->dest) +
+                     _params.perWordLatency * pkt->lengthWords();
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(pkt->src) << 32) | pkt->dest;
+    Tick arrive = _eq.now() + lat;
+    auto [it, inserted] = _lastDelivery.try_emplace(key, 0);
+    // FIFO per source/destination pair: never deliver before (or at the
+    // same tick as) a previously sent packet on the same pair.
+    arrive = std::max(arrive, it->second + 1);
+    it->second = arrive;
+
+    ++_inFlight;
+    _statPackets += 1;
+    _statWords += pkt->lengthWords();
+    _statLatency.sample(static_cast<double>(arrive - _eq.now()));
+
+    Packet *raw = pkt.release();
+    _eq.schedule(arrive, [this, raw]() {
+        PacketPtr owned(raw);
+        --_inFlight;
+        Receiver &recv = _receivers.at(owned->dest);
+        if (!recv)
+            panic("ideal network: no receiver at node %u", owned->dest);
+        if (Log::enabled("net"))
+            Log::debug(_eq.now(), "net", "deliver %s",
+                       describePacket(*owned).c_str());
+        recv(std::move(owned));
+    }, EventPriority::deliver);
+}
+
+} // namespace limitless

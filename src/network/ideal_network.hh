@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Contention-free network model.
+ *
+ * Every packet arrives after base + hops * perHop + serialization latency,
+ * with point-to-point FIFO ordering enforced. Useful for protocol unit
+ * tests and as the "no hot-spot contention" ablation (design decision D5):
+ * the paper notes that earlier directory studies missed the Weather
+ * pathology precisely because their network model had no hot-spot
+ * behaviour.
+ */
+
+#ifndef LIMITLESS_NETWORK_IDEAL_NETWORK_HH
+#define LIMITLESS_NETWORK_IDEAL_NETWORK_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "network/network.hh"
+#include "network/topology.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace limitless
+{
+
+/** Latency parameters for the ideal model. Defaults are calibrated to
+ *  the wormhole mesh's zero-load latency (one cycle per hop for the
+ *  head flit, one cycle per word of serialization), so swapping network
+ *  models isolates *contention* effects only. */
+struct IdealNetworkParams
+{
+    Tick baseLatency = 2;    ///< fixed launch + eject overhead
+    Tick perHopLatency = 1;  ///< per mesh hop
+    Tick perWordLatency = 1; ///< serialization cost per packet word
+};
+
+/** Fixed-latency, infinite-bandwidth network. */
+class IdealNetwork : public Network
+{
+  public:
+    IdealNetwork(EventQueue &eq, MeshTopology topo,
+                 IdealNetworkParams params = {});
+
+    void send(PacketPtr pkt) override;
+    void setReceiver(NodeId node, Receiver recv) override;
+    unsigned numNodes() const override { return _topo.numNodes(); }
+    bool busy() const override { return _inFlight != 0; }
+
+    StatSet &stats() { return _stats; }
+
+  private:
+    EventQueue &_eq;
+    MeshTopology _topo;
+    IdealNetworkParams _params;
+    std::vector<Receiver> _receivers;
+    /** Last delivery tick per (src, dest), for FIFO ordering. */
+    std::unordered_map<std::uint64_t, Tick> _lastDelivery;
+    std::uint64_t _inFlight = 0;
+
+    StatSet _stats{"net"};
+    Counter &_statPackets;
+    Counter &_statWords;
+    Accumulator &_statLatency;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_NETWORK_IDEAL_NETWORK_HH

@@ -1,0 +1,241 @@
+#include "network/mesh_network.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+MeshNetwork::MeshNetwork(EventQueue &eq, MeshTopology topo,
+                         MeshNetworkParams params)
+    : _eq(eq), _topo(topo), _params(params),
+      _routers(_topo.numNodes()), _receivers(_topo.numNodes()),
+      _statPackets(_stats.counter("packets", "packets delivered")),
+      _statFlits(_stats.counter("flits", "flits injected")),
+      _statFlitHops(_stats.counter("flit_hops", "flit-hops traversed")),
+      _statLatency(
+          _stats.accumulator("latency", "packet latency (cycles)")),
+      _statBlockedCycles(
+          _stats.counter("blocked", "output-port cycles blocked on credit"))
+{
+    assert(_params.flitsPerWord >= 1);
+    assert(_params.inputFifoFlits >= 2);
+}
+
+MeshNetwork::~MeshNetwork()
+{
+    // Free any packets still in flight at teardown.
+    for (auto &[pkt, tick] : _injectTick) {
+        (void)tick;
+        delete pkt;
+    }
+}
+
+void
+MeshNetwork::setReceiver(NodeId node, Receiver recv)
+{
+    _receivers.at(node) = std::move(recv);
+}
+
+void
+MeshNetwork::send(PacketPtr pkt)
+{
+    assert(pkt);
+    assert(pkt->src < numNodes() && pkt->dest < numNodes());
+    const unsigned flits = flitsForPacket(*pkt);
+    Packet *raw = pkt.release();
+    _injectTick.emplace(raw, _eq.now());
+
+    Router &router = _routers[raw->src];
+    for (unsigned i = 0; i < flits; ++i) {
+        router.in[Local].fifo.push_back(
+            Flit{raw, i == 0, i == flits - 1, raw->dest});
+    }
+    router.flits += flits;
+    _activeFlits += flits;
+    _statFlits += flits;
+    scheduleTickIfNeeded();
+}
+
+void
+MeshNetwork::scheduleTickIfNeeded()
+{
+    if (_tickScheduled || _activeFlits == 0)
+        return;
+    _tickScheduled = true;
+    _eq.schedule(_eq.now() + _params.clockPeriod, [this]() {
+        _tickScheduled = false;
+        tick();
+    }, EventPriority::network);
+}
+
+unsigned
+MeshNetwork::routeOutput(unsigned router, NodeId dest) const
+{
+    // Dimension-ordered X-Y routing: correct X first, then Y.
+    const unsigned x = _topo.xOf(router);
+    const unsigned y = _topo.yOf(router);
+    const unsigned dx = _topo.xOf(dest);
+    const unsigned dy = _topo.yOf(dest);
+    if (dx > x)
+        return E;
+    if (dx < x)
+        return W;
+    if (dy > y)
+        return S;
+    if (dy < y)
+        return N;
+    return Local;
+}
+
+unsigned
+MeshNetwork::neighborOf(unsigned router, unsigned out_port) const
+{
+    const unsigned x = _topo.xOf(router);
+    const unsigned y = _topo.yOf(router);
+    switch (out_port) {
+      case N: return _topo.nodeAt(x, y - 1);
+      case S: return _topo.nodeAt(x, y + 1);
+      case E: return _topo.nodeAt(x + 1, y);
+      case W: return _topo.nodeAt(x - 1, y);
+      default: panic("neighborOf: bad port %u", out_port);
+    }
+}
+
+unsigned
+MeshNetwork::inputPortAtNeighbor(unsigned out_port) const
+{
+    switch (out_port) {
+      case N: return S;
+      case S: return N;
+      case E: return W;
+      case W: return E;
+      default: panic("inputPortAtNeighbor: bad port %u", out_port);
+    }
+}
+
+void
+MeshNetwork::planRouter(unsigned r, std::vector<Move> &moves,
+                        std::vector<std::uint8_t> &staged)
+{
+    Router &router = _routers[r];
+    for (unsigned o = 0; o < numPorts; ++o) {
+        OutputPort &op = router.out[o];
+        int src = op.owner;
+        if (src == -1) {
+            // Arbitrate a new packet onto this output, round-robin.
+            for (unsigned k = 0; k < numPorts; ++k) {
+                const unsigned i = (op.rr + k) % numPorts;
+                const auto &fifo = router.in[i].fifo;
+                if (fifo.empty() || !fifo.front().head)
+                    continue;
+                if (routeOutput(r, fifo.front().dest) != o)
+                    continue;
+                src = static_cast<int>(i);
+                op.rr = (i + 1) % numPorts;
+                op.owner = src;
+                break;
+            }
+        }
+        if (src == -1)
+            continue;
+
+        InputPort &ip = router.in[src];
+        if (ip.fifo.empty())
+            continue; // wormhole bubble: next flit not here yet
+        const Flit &flit = ip.fifo.front();
+
+        Move move{};
+        move.fromRouter = r;
+        move.fromPort = static_cast<unsigned>(src);
+        move.outPort = o;
+        move.releaseOwner = flit.tail;
+        if (o == Local) {
+            move.eject = true;
+        } else {
+            move.eject = false;
+            move.toRouter = neighborOf(r, o);
+            move.toPort = inputPortAtNeighbor(o);
+            const auto &downstream =
+                _routers[move.toRouter].in[move.toPort].fifo;
+            const unsigned idx = move.toRouter * numPorts + move.toPort;
+            if (downstream.size() + staged[idx] >= _params.inputFifoFlits) {
+                _statBlockedCycles += 1;
+                continue; // no credit downstream
+            }
+            ++staged[idx];
+        }
+        moves.push_back(move);
+    }
+}
+
+void
+MeshNetwork::applyMove(const Move &move)
+{
+    Router &router = _routers[move.fromRouter];
+    InputPort &ip = router.in[move.fromPort];
+    assert(!ip.fifo.empty());
+    Flit flit = ip.fifo.front();
+    ip.fifo.pop_front();
+    --router.flits;
+    _statFlitHops += 1;
+
+    if (move.releaseOwner)
+        router.out[move.outPort].owner = -1;
+
+    if (move.eject) {
+        --_activeFlits;
+        if (flit.tail)
+            deliver(flit.pkt);
+    } else {
+        Router &to = _routers[move.toRouter];
+        to.in[move.toPort].fifo.push_back(flit);
+        ++to.flits;
+    }
+}
+
+void
+MeshNetwork::tick()
+{
+    // Plan all single-hop moves against pre-cycle state, then apply, so a
+    // flit advances at most one hop per network cycle.
+    std::vector<Move> moves;
+    moves.reserve(32);
+    std::vector<std::uint8_t> staged(_routers.size() * numPorts, 0);
+    for (unsigned r = 0; r < _routers.size(); ++r) {
+        if (_routers[r].flits == 0)
+            continue;
+        planRouter(r, moves, staged);
+    }
+    for (const Move &move : moves)
+        applyMove(move);
+    scheduleTickIfNeeded();
+}
+
+void
+MeshNetwork::deliver(Packet *raw)
+{
+    auto it = _injectTick.find(raw);
+    assert(it != _injectTick.end());
+    _statLatency.sample(static_cast<double>(_eq.now() - it->second));
+    _injectTick.erase(it);
+    _statPackets += 1;
+
+    PacketPtr owned(raw);
+    Receiver &recv = _receivers.at(owned->dest);
+    if (!recv)
+        panic("mesh network: no receiver at node %u", owned->dest);
+    if (Log::enabled("net"))
+        Log::debug(_eq.now(), "net", "deliver %s",
+                   describePacket(*owned).c_str());
+    // Hand off at deliver priority so controllers see the packet after all
+    // of this cycle's flit movement completes.
+    Packet *pending = owned.release();
+    _eq.schedule(_eq.now(), [this, pending]() {
+        PacketPtr p(pending);
+        _receivers.at(p->dest)(std::move(p));
+    }, EventPriority::deliver);
+}
+
+} // namespace limitless

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Flit-level 2-D mesh with wormhole routing (paper Section 2: "the nodes
+ * communicate via messages through a direct network with a mesh topology
+ * using wormhole routing").
+ *
+ * Model:
+ *  - dimension-ordered X-Y routing (deadlock-free, preserves p2p FIFO);
+ *  - one virtual channel; an output port is held by a packet from its head
+ *    flit until its tail flit passes (wormhole, no interleaving);
+ *  - credit-based flow control against finite input FIFOs;
+ *  - one flit per output port per network cycle; ejection consumes one
+ *    flit per cycle, so heavily contended home nodes back up the fabric —
+ *    this is the hot-spot behaviour Figure 8 of the paper depends on.
+ *
+ * Packets are decomposed into 1 routing flit + flitsPerWord flits per
+ * packet word. The whole fabric is a single clocked object that sleeps
+ * when no flits are in flight.
+ */
+
+#ifndef LIMITLESS_NETWORK_MESH_NETWORK_HH
+#define LIMITLESS_NETWORK_MESH_NETWORK_HH
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "network/network.hh"
+#include "network/topology.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace limitless
+{
+
+/** Mesh configuration. */
+struct MeshNetworkParams
+{
+    unsigned flitsPerWord = 1;  ///< flits per packet word (calibrated so Th~40)
+    unsigned inputFifoFlits = 8; ///< per-port buffering
+    Tick clockPeriod = 1;       ///< network cycle in processor cycles
+};
+
+/** Wormhole-routed mesh network. */
+class MeshNetwork : public Network
+{
+  public:
+    MeshNetwork(EventQueue &eq, MeshTopology topo,
+                MeshNetworkParams params = {});
+    ~MeshNetwork() override;
+
+    void send(PacketPtr pkt) override;
+    void setReceiver(NodeId node, Receiver recv) override;
+    unsigned numNodes() const override { return _topo.numNodes(); }
+    bool busy() const override { return _activeFlits != 0; }
+
+    StatSet &stats() { return _stats; }
+
+    /** Flits a given packet occupies on the wire. */
+    unsigned
+    flitsForPacket(const Packet &pkt) const
+    {
+        return 1 + pkt.lengthWords() * _params.flitsPerWord;
+    }
+
+  private:
+    /** Port indices; Local is both injection input and ejection output. */
+    enum Port { N = 0, E = 1, S = 2, W = 3, Local = 4, numPorts = 5 };
+
+    struct Flit
+    {
+        Packet *pkt;  ///< owning MeshNetwork frees in-flight on teardown
+        bool head;
+        bool tail;
+        NodeId dest;
+    };
+
+    struct InputPort
+    {
+        std::deque<Flit> fifo;
+    };
+
+    struct OutputPort
+    {
+        int owner = -1; ///< input index holding this port, -1 if free
+        unsigned rr = 0; ///< round-robin arbitration pointer
+    };
+
+    struct Router
+    {
+        std::array<InputPort, numPorts> in;
+        std::array<OutputPort, numPorts> out;
+        unsigned flits = 0; ///< total flits buffered in this router
+    };
+
+    /** A planned single-flit move, applied after all routers plan. */
+    struct Move
+    {
+        unsigned fromRouter;
+        unsigned fromPort;
+        unsigned toRouter; ///< meaningful unless eject
+        unsigned toPort;
+        bool eject;
+        bool releaseOwner;
+        unsigned outPort; ///< output being traversed at fromRouter
+    };
+
+    void tick();
+    void planRouter(unsigned r, std::vector<Move> &moves,
+                    std::vector<std::uint8_t> &staged);
+    void applyMove(const Move &move);
+    unsigned routeOutput(unsigned router, NodeId dest) const;
+    unsigned neighborOf(unsigned router, unsigned out_port) const;
+    unsigned inputPortAtNeighbor(unsigned out_port) const;
+    void scheduleTickIfNeeded();
+    void deliver(Packet *raw);
+
+    EventQueue &_eq;
+    MeshTopology _topo;
+    MeshNetworkParams _params;
+    std::vector<Router> _routers;
+    std::vector<Receiver> _receivers;
+    std::unordered_map<Packet *, Tick> _injectTick;
+    std::uint64_t _activeFlits = 0;
+    bool _tickScheduled = false;
+
+    StatSet _stats{"net"};
+    Counter &_statPackets;
+    Counter &_statFlits;
+    Counter &_statFlitHops;
+    Accumulator &_statLatency;
+    Counter &_statBlockedCycles;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_NETWORK_MESH_NETWORK_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Abstract interconnection network interface.
+ *
+ * A Network moves whole packets between node endpoints. Implementations
+ * model contention at different fidelities (IdealNetwork, MeshNetwork).
+ * Both preserve point-to-point FIFO ordering, which the coherence protocol
+ * relies on as a simplifying assumption (deterministic X-Y wormhole
+ * routing with one virtual channel provides this naturally in hardware).
+ */
+
+#ifndef LIMITLESS_NETWORK_NETWORK_HH
+#define LIMITLESS_NETWORK_NETWORK_HH
+
+#include <functional>
+
+#include "proto/packet.hh"
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Packet-moving fabric connecting all nodes of a machine. */
+class Network
+{
+  public:
+    using Receiver = std::function<void(PacketPtr)>;
+
+    virtual ~Network() = default;
+
+    /** Inject a packet; pkt->src and pkt->dest must be valid node ids. */
+    virtual void send(PacketPtr pkt) = 0;
+
+    /** Register the delivery callback for a node's network input. */
+    virtual void setReceiver(NodeId node, Receiver recv) = 0;
+
+    /** Number of endpoint nodes. */
+    virtual unsigned numNodes() const = 0;
+
+    /** True while any packet is in flight (used by deadlock watchdogs). */
+    virtual bool busy() const = 0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_NETWORK_NETWORK_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * 2-D mesh topology arithmetic shared by network models.
+ */
+
+#ifndef LIMITLESS_NETWORK_TOPOLOGY_HH
+#define LIMITLESS_NETWORK_TOPOLOGY_HH
+
+#include <cassert>
+#include <cstdlib>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Coordinates and distances on a width x height mesh. */
+class MeshTopology
+{
+  public:
+    MeshTopology(unsigned width, unsigned height)
+        : _width(width), _height(height)
+    {
+        assert(width >= 1 && height >= 1);
+    }
+
+    unsigned width() const { return _width; }
+    unsigned height() const { return _height; }
+    unsigned numNodes() const { return _width * _height; }
+
+    unsigned xOf(NodeId n) const { return n % _width; }
+    unsigned yOf(NodeId n) const { return n / _width; }
+
+    NodeId
+    nodeAt(unsigned x, unsigned y) const
+    {
+        assert(x < _width && y < _height);
+        return y * _width + x;
+    }
+
+    /** Manhattan hop distance. */
+    unsigned
+    hops(NodeId a, NodeId b) const
+    {
+        int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
+        int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
+        return static_cast<unsigned>(std::abs(dx) + std::abs(dy));
+    }
+
+    /** Average hop distance over all ordered pairs (analytic). */
+    double averageHops() const;
+
+  private:
+    unsigned _width;
+    unsigned _height;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_NETWORK_TOPOLOGY_HH

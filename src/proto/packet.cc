@@ -1,0 +1,85 @@
+#include "proto/packet.hh"
+
+#include <sstream>
+#include <string>
+
+namespace limitless
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::RREQ: return "RREQ";
+      case Opcode::WREQ: return "WREQ";
+      case Opcode::REPM: return "REPM";
+      case Opcode::UPDATE: return "UPDATE";
+      case Opcode::ACKC: return "ACKC";
+      case Opcode::REPC: return "REPC";
+      case Opcode::REPC_ACK: return "REPC_ACK";
+      case Opcode::WUPD: return "WUPD";
+      case Opcode::RUNC: return "RUNC";
+      case Opcode::MUPD: return "MUPD";
+      case Opcode::WACK: return "WACK";
+      case Opcode::RDATA: return "RDATA";
+      case Opcode::WDATA: return "WDATA";
+      case Opcode::INV: return "INV";
+      case Opcode::BUSY: return "BUSY";
+      case Opcode::IPI_FLAG: return "IPI_FLAG";
+      case Opcode::IPI_MESSAGE: return "IPI_MESSAGE";
+      case Opcode::IPI_LOCK_GRANT: return "IPI_LOCK_GRANT";
+      case Opcode::IPI_BLOCK_XFER: return "IPI_BLOCK_XFER";
+    }
+    return "UNKNOWN";
+}
+
+PacketPtr
+makeProtocolPacket(NodeId src, NodeId dest, Opcode op, Addr addr)
+{
+    assert(isProtocolOpcode(op));
+    auto pkt = std::make_unique<Packet>();
+    pkt->src = src;
+    pkt->dest = dest;
+    pkt->opcode = op;
+    pkt->operands.push_back(addr);
+    return pkt;
+}
+
+PacketPtr
+makeDataPacket(NodeId src, NodeId dest, Opcode op, Addr addr,
+               const std::vector<std::uint64_t> &line)
+{
+    assert(opcodeCarriesData(op));
+    auto pkt = makeProtocolPacket(src, dest, op, addr);
+    pkt->data = line;
+    return pkt;
+}
+
+PacketPtr
+makeInterruptPacket(NodeId src, NodeId dest, Opcode op,
+                    std::vector<std::uint64_t> operands,
+                    std::vector<std::uint64_t> data)
+{
+    assert(isInterruptOpcode(op));
+    auto pkt = std::make_unique<Packet>();
+    pkt->src = src;
+    pkt->dest = dest;
+    pkt->opcode = op;
+    pkt->operands = std::move(operands);
+    pkt->data = std::move(data);
+    return pkt;
+}
+
+std::string
+describePacket(const Packet &pkt)
+{
+    std::ostringstream os;
+    os << opcodeName(pkt.opcode) << " " << pkt.src << "->" << pkt.dest;
+    if (!pkt.operands.empty())
+        os << " addr=0x" << std::hex << pkt.operands[0] << std::dec;
+    if (!pkt.data.empty())
+        os << " +" << pkt.data.size() << "w";
+    return os.str();
+}
+
+} // namespace limitless

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Uniform network packet (paper Figure 4).
+ *
+ * A packet is: header (source, length, opcode) followed by zero or more
+ * operand words and zero or more data words. The operand/data distinction
+ * is software-imposed; protocol packets use operand 0 for the block
+ * address and the data section for memory-line contents. Routing
+ * information (the destination) is carried separately and conceptually
+ * stripped by the network before delivery.
+ */
+
+#ifndef LIMITLESS_PROTO_PACKET_HH
+#define LIMITLESS_PROTO_PACKET_HH
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/opcode.hh"
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** A network packet in the Alewife uniform format. */
+struct Packet
+{
+    NodeId src = invalidNode;  ///< source processor (header word)
+    NodeId dest = invalidNode; ///< routing info, stripped at destination
+    Opcode opcode = Opcode::RREQ;
+    std::vector<std::uint64_t> operands;
+    std::vector<std::uint64_t> data;
+
+    /** Packet length in words: 1 header word + operands + data. */
+    std::uint32_t
+    lengthWords() const
+    {
+        return 1 + static_cast<std::uint32_t>(operands.size() + data.size());
+    }
+
+    bool isProtocol() const { return isProtocolOpcode(opcode); }
+    bool isInterrupt() const { return isInterruptOpcode(opcode); }
+
+    /** Protocol packets carry the block address as operand 0. */
+    Addr
+    addr() const
+    {
+        assert(!operands.empty());
+        return operands[0];
+    }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/** Convenience builder for protocol packets. */
+PacketPtr makeProtocolPacket(NodeId src, NodeId dest, Opcode op, Addr addr);
+
+/** Protocol packet carrying a memory line's data words. */
+PacketPtr makeDataPacket(NodeId src, NodeId dest, Opcode op, Addr addr,
+                         const std::vector<std::uint64_t> &line);
+
+/** Interrupt-class packet with caller-supplied operands and data. */
+PacketPtr makeInterruptPacket(NodeId src, NodeId dest, Opcode op,
+                              std::vector<std::uint64_t> operands,
+                              std::vector<std::uint64_t> data = {});
+
+/** Human-readable one-liner for tracing. */
+std::string describePacket(const Packet &pkt);
+
+} // namespace limitless
+
+#endif // LIMITLESS_PROTO_PACKET_HH

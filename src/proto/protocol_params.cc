@@ -1,0 +1,34 @@
+#include "proto/protocol_params.hh"
+
+#include <sstream>
+
+namespace limitless
+{
+
+std::string
+ProtocolParams::name() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case ProtocolKind::fullMap:
+        os << "Full-Map";
+        break;
+      case ProtocolKind::limited:
+        os << "Dir" << pointers << "NB";
+        break;
+      case ProtocolKind::limitless:
+        os << "LimitLESS" << pointers << " Ts=" << softwareLatency;
+        if (limitlessMode == LimitlessMode::fullEmulation)
+            os << " (emu)";
+        break;
+      case ProtocolKind::chained:
+        os << "Chained";
+        break;
+      case ProtocolKind::privateOnly:
+        os << "Private-Only";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace limitless

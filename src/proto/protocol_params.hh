@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Coherence-protocol selection and tuning knobs, shared by the cache,
+ * directory, memory-controller and harness layers.
+ */
+
+#ifndef LIMITLESS_PROTO_PROTOCOL_PARAMS_HH
+#define LIMITLESS_PROTO_PROTOCOL_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Which directory organization the machine runs. */
+enum class ProtocolKind
+{
+    fullMap,   ///< Censier-Feautrier style full bit vector (Dir_N NB)
+    limited,   ///< Dir_i NB: i pointers, evict on overflow
+    limitless, ///< LimitLESS_i: i pointers + software extension
+    chained,   ///< SCI-style distributed linked list (comparison baseline)
+    /**
+     * "A scheme that only caches private data" (paper Section 5.1's
+     * list of configurable coherence schemes): lines homed on the
+     * accessing node cache normally; remote lines are never cached —
+     * reads are serviced uncached and writes are performed at the home.
+     * The Section 1 motivation baseline: what caches buy you.
+     */
+    privateOnly,
+};
+
+/** How the LimitLESS software extension is modelled. */
+enum class LimitlessMode
+{
+    /**
+     * The paper's evaluation methodology (Section 5.1): full-map
+     * semantics; every pointer-array overflow event stalls the memory
+     * controller and the home node's processor for Ts cycles.
+     */
+    stallApprox,
+
+    /**
+     * Full implementation: overflowed packets are diverted through the
+     * IPI input queue, the home processor takes a synchronous trap, and
+     * the trap handler (src/kernel) emulates the full-map directory with
+     * bit vectors kept in a hash table in local memory.
+     */
+    fullEmulation,
+};
+
+/** Protocol configuration. */
+struct ProtocolParams
+{
+    ProtocolKind kind = ProtocolKind::fullMap;
+
+    /** Hardware pointers per entry (limited / LimitLESS). */
+    unsigned pointers = 4;
+
+    /** LimitLESS software emulation latency Ts, in cycles. */
+    Tick softwareLatency = 50;
+
+    LimitlessMode limitlessMode = LimitlessMode::stallApprox;
+
+    /**
+     * Trap-On-Write optimization (paper Section 3.2, design decision D1):
+     * the overflow handler empties the hardware pointers so the
+     * controller keeps servicing reads in hardware. When disabled the
+     * entry is left in Trap-Always mode and every subsequent request for
+     * the line traps.
+     */
+    bool trapOnWrite = true;
+
+    /**
+     * Reserve a local bit so home-node accesses never consume a
+     * hardware pointer (paper Section 4.3, design decision D3).
+     */
+    bool localBit = true;
+
+    /** Human-readable protocol name, e.g. "Dir4NB" or "LimitLESS4". */
+    std::string name() const;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_PROTO_PROTOCOL_PARAMS_HH

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace limitless
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    assert(when >= _now && "cannot schedule into the past");
+    _heap.push(Entry{when, priority, _seq++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_heap.empty())
+        return false;
+    // priority_queue::top() is const; the callback must be moved out, so
+    // copy the cheap fields and move the callback via const_cast, which is
+    // safe because we pop immediately and never re-compare the entry.
+    Entry &top = const_cast<Entry &>(_heap.top());
+    assert(top.when >= _now);
+    _now = top.when;
+    Callback cb = std::move(top.cb);
+    _heap.pop();
+    ++_executed;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        runOne();
+        ++n;
+    }
+    if (_now < limit && !_heap.empty())
+        _now = limit;
+    else if (_heap.empty() && _now < limit)
+        _now = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (runOne())
+        ++n;
+    return n;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return _heap.empty() ? maxTick : _heap.top().when;
+}
+
+} // namespace limitless

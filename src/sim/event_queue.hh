@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic event queue driving the whole simulation.
+ *
+ * A single EventQueue instance serializes every component of one simulated
+ * machine. Events at the same tick execute in (priority, insertion-order)
+ * order, which makes runs bit-reproducible for a fixed seed.
+ */
+
+#ifndef LIMITLESS_SIM_EVENT_QUEUE_HH
+#define LIMITLESS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Scheduling priorities for same-tick events (lower runs first). */
+namespace EventPriority
+{
+    inline constexpr int network = 0;   ///< move flits before consumers
+    inline constexpr int deliver = 10;  ///< hand packets to controllers
+    inline constexpr int ctrl = 20;     ///< cache / memory controller work
+    inline constexpr int cpu = 30;      ///< processor issue / resume
+    inline constexpr int stats = 90;    ///< samplers and monitors
+}
+
+/**
+ * Priority-queue based discrete event scheduler.
+ *
+ * Not thread-safe; one queue per simulated machine.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when absolute tick; must be >= now()
+     * @param cb   callback to run
+     * @param priority same-tick ordering (EventPriority)
+     */
+    void schedule(Tick when, Callback cb, int priority = EventPriority::ctrl);
+
+    /** Schedule relative to now(). */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = EventPriority::ctrl)
+    {
+        schedule(_now + delta, std::move(cb), priority);
+    }
+
+    /** Execute the single earliest event. @return false if queue empty. */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p limit. Events scheduled exactly at @p limit still run.
+     *
+     * @return number of events executed
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run until the queue is empty. @return number of events executed. */
+    std::uint64_t run();
+
+    bool empty() const { return _heap.empty(); }
+    std::size_t pendingEvents() const { return _heap.size(); }
+    std::uint64_t executedEvents() const { return _executed; }
+
+    /** Earliest pending tick, or maxTick when empty. */
+    Tick nextEventTick() const;
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_SIM_EVENT_QUEUE_HH

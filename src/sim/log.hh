@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight tagged logging for simulator debugging.
+ *
+ * Logging is off by default; tests and debugging sessions enable it per
+ * component tag. Formatting cost is avoided entirely when a tag is
+ * disabled.
+ */
+
+#ifndef LIMITLESS_SIM_LOG_HH
+#define LIMITLESS_SIM_LOG_HH
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Global debug-log configuration (per-process, not per-machine). */
+class Log
+{
+  public:
+    /** Enable a component tag, e.g. "mem", "cache", "net", or "all". */
+    static void enable(const std::string &tag) { tags().insert(tag); }
+    static void disable(const std::string &tag) { tags().erase(tag); }
+    static void disableAll() { tags().clear(); }
+
+    static bool
+    enabled(const char *tag)
+    {
+        const auto &t = tags();
+        if (t.empty())
+            return false;
+        return t.count("all") || t.count(tag);
+    }
+
+    /** printf-style debug line, prefixed by tick and tag. */
+    template <typename... Args>
+    static void
+    debug(Tick now, const char *tag, const char *fmt, Args... args)
+    {
+        if (!enabled(tag))
+            return;
+        std::fprintf(stderr, "%10llu [%s] ",
+                     static_cast<unsigned long long>(now), tag);
+        std::fprintf(stderr, fmt, args...);
+        std::fputc('\n', stderr);
+    }
+
+    static void
+    debug(Tick now, const char *tag, const char *msg)
+    {
+        if (!enabled(tag))
+            return;
+        std::fprintf(stderr, "%10llu [%s] %s\n",
+                     static_cast<unsigned long long>(now), tag, msg);
+    }
+
+  private:
+    static std::unordered_set<std::string> &
+    tags()
+    {
+        static std::unordered_set<std::string> instance;
+        return instance;
+    }
+};
+
+/**
+ * Abort with a message: a simulator bug (never the user's fault).
+ * Mirrors gem5's panic().
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/**
+ * Exit with a message: a configuration / usage error.
+ * Mirrors gem5's fatal().
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+} // namespace limitless
+
+#endif // LIMITLESS_SIM_LOG_HH

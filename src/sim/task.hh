@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Coroutine task type used to express workload thread programs.
+ *
+ * A workload is written as an ordinary C++20 coroutine:
+ *
+ * @code
+ * Task<> worker(ThreadApi &mem, ...)
+ * {
+ *     std::uint64_t v = co_await mem.read(addr);
+ *     co_await mem.write(addr + 8, v + 1);
+ *     co_await barrier.wait(mem);           // nested Task<>
+ * }
+ * @endcode
+ *
+ * Leaf awaitables (read/write/compute, defined in src/proc) suspend out to
+ * the simulated processor, which resumes the coroutine when the memory
+ * operation completes in simulated time. Task<T> itself only provides the
+ * structured nesting: awaiting a child task transfers control into it and
+ * resumes the parent when the child finishes (symmetric transfer, so deep
+ * nesting does not grow the native stack).
+ */
+
+#ifndef LIMITLESS_SIM_TASK_HH
+#define LIMITLESS_SIM_TASK_HH
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace limitless
+{
+
+template <typename T = void>
+class Task;
+
+namespace task_detail
+{
+
+/** Behaviour shared by Task promises regardless of result type. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename P>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<P> h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { error = std::current_exception(); }
+};
+
+} // namespace task_detail
+
+/**
+ * Lazily-started coroutine task returning T.
+ *
+ * The Task object owns the coroutine frame. A root task is kicked off with
+ * start(); child tasks start when co_awaited.
+ */
+template <typename T>
+class Task
+{
+  public:
+    struct promise_type : task_detail::PromiseBase
+    {
+        T value{};
+
+        Task
+        get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : _h(h) {}
+
+    Task(Task &&other) noexcept : _h(std::exchange(other._h, nullptr)) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            _h = std::exchange(other._h, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(_h); }
+    bool done() const { return !_h || _h.done(); }
+
+    /** Start a root task (runs until its first suspension). */
+    void
+    start()
+    {
+        assert(_h && !_h.done());
+        _h.resume();
+    }
+
+    /** Rethrow an exception that escaped the coroutine body, if any. */
+    void
+    rethrowIfFailed() const
+    {
+        if (_h && _h.promise().error)
+            std::rethrow_exception(_h.promise().error);
+    }
+
+    /** Result after completion (root-task use). */
+    const T &
+    result() const
+    {
+        assert(done());
+        rethrowIfFailed();
+        return _h.promise().value;
+    }
+
+    /** Awaiting a Task starts it and resumes the awaiter on completion. */
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> child;
+
+            bool await_ready() const noexcept
+            {
+                return !child || child.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                child.promise().continuation = parent;
+                return child;
+            }
+
+            T
+            await_resume()
+            {
+                if (child.promise().error)
+                    std::rethrow_exception(child.promise().error);
+                return std::move(child.promise().value);
+            }
+        };
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> _h;
+};
+
+/** Void specialization. */
+template <>
+class Task<void>
+{
+  public:
+    struct promise_type : task_detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_void() {}
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : _h(h) {}
+
+    Task(Task &&other) noexcept : _h(std::exchange(other._h, nullptr)) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            _h = std::exchange(other._h, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(_h); }
+    bool done() const { return !_h || _h.done(); }
+
+    void
+    start()
+    {
+        assert(_h && !_h.done());
+        _h.resume();
+    }
+
+    void
+    rethrowIfFailed() const
+    {
+        if (_h && _h.promise().error)
+            std::rethrow_exception(_h.promise().error);
+    }
+
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> child;
+
+            bool await_ready() const noexcept
+            {
+                return !child || child.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                child.promise().continuation = parent;
+                return child;
+            }
+
+            void
+            await_resume()
+            {
+                if (child.promise().error)
+                    std::rethrow_exception(child.promise().error);
+            }
+        };
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> _h;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_SIM_TASK_HH

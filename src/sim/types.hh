@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ */
+
+#ifndef LIMITLESS_SIM_TYPES_HH
+#define LIMITLESS_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace limitless
+{
+
+/** Simulated time, in processor clock cycles (33 MHz in Alewife terms). */
+using Tick = std::uint64_t;
+
+/** Identifier of a processing node (processor + cache + memory + NIC). */
+using NodeId = std::uint32_t;
+
+/** A globally shared physical address, in bytes. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "never" / unscheduled. */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Machine word size in bytes (Alewife is a 32-bit machine; we model
+ *  64-bit words so workloads can store generation counters comfortably). */
+inline constexpr unsigned bytesPerWord = 8;
+
+} // namespace limitless
+
+#endif // LIMITLESS_SIM_TYPES_HH

@@ -1,0 +1,83 @@
+#include "stats/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+Sampler::start()
+{
+    _running = true;
+    for (Series &s : _series)
+        s.last = s.probe();
+    tick();
+}
+
+void
+Sampler::tick()
+{
+    if (!_running)
+        return;
+    _eq.schedule(_eq.now() + _interval, [this]() {
+        if (!_running)
+            return;
+        for (Series &s : _series) {
+            const double now = s.probe();
+            s.values.push_back(now - s.last);
+            s.last = now;
+        }
+        // Check the stop predicate *after* sampling so the run's final
+        // interval is recorded, and never before the run has begun.
+        if (_done && _done()) {
+            _running = false;
+            return;
+        }
+        tick();
+    }, EventPriority::stats);
+}
+
+const std::vector<double> &
+Sampler::values(const std::string &name) const
+{
+    for (const Series &s : _series)
+        if (s.name == name)
+            return s.values;
+    fatal("sampler: no series named '%s'", name.c_str());
+}
+
+void
+Sampler::printProfile(std::ostream &os, unsigned max_columns) const
+{
+    static const char levels[] = " .:-=+*#%@";
+    std::size_t name_w = 0;
+    for (const Series &s : _series)
+        name_w = std::max(name_w, s.name.size());
+
+    for (const Series &s : _series) {
+        // Downsample to at most max_columns buckets by averaging.
+        const std::size_t n = s.values.size();
+        const std::size_t cols = std::min<std::size_t>(n, max_columns);
+        std::vector<double> buckets(cols, 0.0);
+        if (cols) {
+            for (std::size_t i = 0; i < n; ++i)
+                buckets[i * cols / n] += s.values[i];
+            double peak = 0;
+            for (double &b : buckets)
+                peak = std::max(peak, b);
+            os << "  " << s.name
+               << std::string(name_w - s.name.size() + 1, ' ') << "|";
+            for (double b : buckets) {
+                const int level =
+                    peak > 0 ? static_cast<int>(b / peak * 9.0) : 0;
+                os << levels[std::clamp(level, 0, 9)];
+            }
+            os << "| peak " << peak << "/interval\n";
+        }
+    }
+}
+
+} // namespace limitless

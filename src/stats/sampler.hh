@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Periodic time-series sampler: records counter deltas (activity rates)
+ * per fixed interval during a run, and renders ASCII activity profiles.
+ * Used to visualize phase behaviour (barrier waves, hot-spot stalls)
+ * that end-of-run aggregates hide.
+ */
+
+#ifndef LIMITLESS_STATS_SAMPLER_HH
+#define LIMITLESS_STATS_SAMPLER_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace limitless
+{
+
+/** Event-driven interval sampler. */
+class Sampler
+{
+  public:
+    /** Arbitrary probe: returns the metric's current cumulative value. */
+    using Probe = std::function<double()>;
+
+    Sampler(EventQueue &eq, Tick interval)
+        : _eq(eq), _interval(interval)
+    {}
+
+    /** Sample the per-interval delta of a cumulative probe. */
+    void
+    addSeries(std::string name, Probe probe)
+    {
+        _series.push_back(Series{std::move(name), std::move(probe),
+                                 0.0, {}});
+    }
+
+    /** Convenience: per-interval delta of a Counter. */
+    void
+    addCounter(std::string name, const Counter &counter)
+    {
+        addSeries(std::move(name), [&counter]() {
+            return static_cast<double>(counter.value());
+        });
+    }
+
+    /** Begin sampling (self-rescheduling until stop(), the stop
+     *  predicate fires, or the event queue ends). */
+    void start();
+    void stop() { _running = false; }
+
+    /**
+     * Without a stop condition the sampler would keep the event queue
+     * alive forever; supply a predicate (e.g. "all threads done") that
+     * ends sampling from inside the run.
+     */
+    void setStopPredicate(std::function<bool()> done)
+    {
+        _done = std::move(done);
+    }
+
+    std::size_t samples() const
+    {
+        return _series.empty() ? 0 : _series.front().values.size();
+    }
+
+    const std::vector<double> &
+    values(const std::string &name) const;
+
+    Tick interval() const { return _interval; }
+
+    /**
+     * ASCII profile: one row per series, one character per sample,
+     * intensity-scaled against the series' own maximum.
+     */
+    void printProfile(std::ostream &os, unsigned max_columns = 72) const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        Probe probe;
+        double last;
+        std::vector<double> values;
+    };
+
+    void tick();
+
+    EventQueue &_eq;
+    Tick _interval;
+    std::vector<Series> _series;
+    std::function<bool()> _done;
+    bool _running = false;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_STATS_SAMPLER_HH

@@ -1,0 +1,123 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+Accumulator::print(std::ostream &os) const
+{
+    os << "count=" << _count << " mean=" << mean() << " min=" << minimum()
+       << " max=" << maximum();
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << "count=" << _count << " [";
+    bool first = true;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "<2^" << i << ":" << _buckets[i];
+    }
+    os << "]";
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << "count=" << _count << " [";
+    bool first = true;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << i << ":" << _counts[i];
+    }
+    os << "]";
+}
+
+template <typename T, typename... Args>
+T &
+StatSet::add(const std::string &name, Args &&...args)
+{
+    if (find(name) != nullptr)
+        panic("duplicate stat name '%s' in set '%s'", name.c_str(),
+              _prefix.c_str());
+    auto stat = std::make_unique<T>(name, std::forward<Args>(args)...);
+    T &ref = *stat;
+    _stats.push_back(std::move(stat));
+    return ref;
+}
+
+Counter &
+StatSet::counter(const std::string &name, const std::string &desc)
+{
+    return add<Counter>(name, desc);
+}
+
+Accumulator &
+StatSet::accumulator(const std::string &name, const std::string &desc)
+{
+    return add<Accumulator>(name, desc);
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, const std::string &desc,
+                   unsigned buckets)
+{
+    return add<Histogram>(name, desc, buckets);
+}
+
+Distribution &
+StatSet::distribution(const std::string &name, const std::string &desc,
+                      std::size_t max_value)
+{
+    return add<Distribution>(name, desc, max_value);
+}
+
+const Stat *
+StatSet::find(const std::string &name) const
+{
+    for (const auto &s : _stats)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+Stat *
+StatSet::find(const std::string &name)
+{
+    return const_cast<Stat *>(
+        static_cast<const StatSet *>(this)->find(name));
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &s : _stats) {
+        os << std::left << std::setw(44)
+           << (_prefix.empty() ? s->name() : _prefix + "." + s->name())
+           << " ";
+        s->print(os);
+        os << "   # " << s->desc() << "\n";
+    }
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &s : _stats)
+        s->reset();
+}
+
+} // namespace limitless

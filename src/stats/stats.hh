@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Statistics package: counters, accumulators, and histograms grouped into
+ * named StatSets, in the spirit of gem5's stats framework but deliberately
+ * small.
+ *
+ * Components own a StatSet and create named stats once at construction;
+ * the hot path (increment / sample) is a plain integer operation. The
+ * machine layer aggregates per-node StatSets by stat name for reporting.
+ */
+
+#ifndef LIMITLESS_STATS_STATS_HH
+#define LIMITLESS_STATS_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace limitless
+{
+
+/** Base class for a named statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** One-line textual dump (without the name column). */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonic event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    std::uint64_t value() const { return _value; }
+
+    void print(std::ostream &os) const override { os << _value; }
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running min / max / mean / count over samples (e.g. latencies). */
+class Accumulator : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minimum() const { return _count ? _min : 0.0; }
+    double maximum() const { return _count ? _max : 0.0; }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        _count = 0;
+        _sum = 0.0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Power-of-two bucketed histogram: bucket i counts samples in
+ * [2^(i-1), 2^i), with bucket 0 counting zeros and ones.
+ */
+class Histogram : public Stat
+{
+  public:
+    Histogram(std::string name, std::string desc, unsigned buckets = 24)
+        : Stat(std::move(name), std::move(desc)), _buckets(buckets, 0)
+    {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        unsigned b = 0;
+        while (v > 1 && b + 1 < _buckets.size()) {
+            v >>= 1;
+            ++b;
+        }
+        ++_buckets[b];
+        ++_count;
+    }
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t bucket(unsigned i) const { return _buckets.at(i); }
+    unsigned numBuckets() const { return _buckets.size(); }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        std::fill(_buckets.begin(), _buckets.end(), 0);
+        _count = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+};
+
+/** Exact distribution over a small integer domain (e.g. worker-set size). */
+class Distribution : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc, std::size_t max_value)
+        : Stat(std::move(name), std::move(desc)), _counts(max_value + 1, 0)
+    {}
+
+    void
+    sample(std::size_t v)
+    {
+        ++_counts[std::min(v, _counts.size() - 1)];
+        ++_count;
+    }
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t at(std::size_t v) const { return _counts.at(v); }
+    std::size_t domain() const { return _counts.size(); }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        std::fill(_counts.begin(), _counts.end(), 0);
+        _count = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * An owning collection of named stats belonging to one component.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string prefix = "") : _prefix(std::move(prefix)) {}
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    Counter &counter(const std::string &name, const std::string &desc);
+    Accumulator &accumulator(const std::string &name,
+                             const std::string &desc);
+    Histogram &histogram(const std::string &name, const std::string &desc,
+                         unsigned buckets = 24);
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc,
+                               std::size_t max_value);
+
+    /** Find a stat by (unprefixed) name; nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+    Stat *find(const std::string &name);
+
+    const std::string &prefix() const { return _prefix; }
+
+    const std::vector<std::unique_ptr<Stat>> &all() const { return _stats; }
+
+    /** Dump every stat, one "prefix.name value # desc" line each. */
+    void dump(std::ostream &os) const;
+
+    void resetAll();
+
+  private:
+    template <typename T, typename... Args>
+    T &add(const std::string &name, Args &&...args);
+
+    std::string _prefix;
+    std::vector<std::unique_ptr<Stat>> _stats;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_STATS_STATS_HH

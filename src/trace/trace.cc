@@ -1,0 +1,108 @@
+#include "trace/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::read: return "R";
+      case TraceKind::write: return "W";
+      case TraceKind::fetchAdd: return "A";
+      case TraceKind::swap: return "S";
+      case TraceKind::compute: return "C";
+      case TraceKind::barrier: return "B";
+    }
+    return "?";
+}
+
+void
+TraceLog::save(std::ostream &os) const
+{
+    os << "limitless-trace v1 procs " << procs() << "\n";
+    for (unsigned p = 0; p < procs(); ++p) {
+        os << "P " << p << " ops " << _streams[p].size() << "\n";
+        for (const TraceOp &op : _streams[p]) {
+            switch (op.kind) {
+              case TraceKind::read:
+                os << "R " << op.addr << "\n";
+                break;
+              case TraceKind::write:
+                os << "W " << op.addr << " " << op.value << "\n";
+                break;
+              case TraceKind::fetchAdd:
+                os << "A " << op.addr << " " << op.value << "\n";
+                break;
+              case TraceKind::swap:
+                os << "S " << op.addr << " " << op.value << "\n";
+                break;
+              case TraceKind::compute:
+                os << "C " << op.cycles << "\n";
+                break;
+              case TraceKind::barrier:
+                os << "B\n";
+                break;
+            }
+        }
+    }
+}
+
+TraceLog
+TraceLog::load(std::istream &is)
+{
+    std::string magic, version, procs_word;
+    unsigned procs = 0;
+    is >> magic >> version >> procs_word >> procs;
+    if (magic != "limitless-trace" || version != "v1" ||
+        procs_word != "procs" || procs == 0)
+        fatal("trace load: bad header");
+
+    TraceLog log(procs);
+    for (unsigned i = 0; i < procs; ++i) {
+        std::string p_word, ops_word;
+        unsigned proc = 0;
+        std::size_t count = 0;
+        is >> p_word >> proc >> ops_word >> count;
+        if (p_word != "P" || ops_word != "ops" || proc >= procs)
+            fatal("trace load: bad stream header for section %u", i);
+        for (std::size_t k = 0; k < count; ++k) {
+            std::string kind;
+            is >> kind;
+            TraceOp op;
+            if (kind == "R") {
+                op.kind = TraceKind::read;
+                is >> op.addr;
+            } else if (kind == "W") {
+                op.kind = TraceKind::write;
+                is >> op.addr >> op.value;
+            } else if (kind == "A") {
+                op.kind = TraceKind::fetchAdd;
+                is >> op.addr >> op.value;
+            } else if (kind == "S") {
+                op.kind = TraceKind::swap;
+                is >> op.addr >> op.value;
+            } else if (kind == "C") {
+                op.kind = TraceKind::compute;
+                is >> op.cycles;
+            } else if (kind == "B") {
+                op.kind = TraceKind::barrier;
+            } else {
+                fatal("trace load: bad record kind '%s'", kind.c_str());
+            }
+            log.append(proc, op);
+        }
+        if (!is)
+            fatal("trace load: truncated stream for proc %u", proc);
+    }
+    return log;
+}
+
+} // namespace limitless

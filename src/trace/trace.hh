@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Memory-reference traces with embedded synchronization annotations.
+ *
+ * ASIM's second input path (paper Figure 6) is a *dynamic post-mortem
+ * trace scheduler*: "a technique that generates a parallel trace from a
+ * uniprocessor execution trace that has embedded synchronization
+ * information. The post-mortem scheduler is coupled with the memory
+ * system simulator and incorporates feedback from the network in
+ * issuing trace requests." The Weather results in the paper come from
+ * this path.
+ *
+ * This module provides the trace substrate: a per-processor stream of
+ * data references, compute delays, and synchronization (barrier)
+ * annotations, with a plain-text serialization so traces can be captured
+ * once and replayed across protocol configurations — exactly the
+ * paper's methodology.
+ */
+
+#ifndef LIMITLESS_TRACE_TRACE_HH
+#define LIMITLESS_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "cache/mem_op.hh"
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Kinds of trace record. */
+enum class TraceKind : std::uint8_t
+{
+    read,
+    write,
+    fetchAdd,
+    swap,
+    compute,
+    barrier, ///< synchronization annotation (episode boundary)
+};
+
+const char *traceKindName(TraceKind k);
+
+/** One trace record. */
+struct TraceOp
+{
+    TraceKind kind = TraceKind::read;
+    Addr addr = 0;            ///< data ops only
+    std::uint64_t value = 0;  ///< store datum / add amount / swap datum
+    Tick cycles = 0;          ///< compute ops only
+
+    bool
+    operator==(const TraceOp &other) const
+    {
+        return kind == other.kind && addr == other.addr &&
+               value == other.value && cycles == other.cycles;
+    }
+};
+
+/** Annotation tags threaded through ThreadApi::annotate(). */
+namespace trace_tag
+{
+    inline constexpr std::uint64_t barrierEnter = 0xB000'0001;
+    inline constexpr std::uint64_t barrierExit = 0xB000'0002;
+}
+
+/** A whole machine's worth of per-processor trace streams. */
+class TraceLog
+{
+  public:
+    explicit TraceLog(unsigned procs) : _streams(procs) {}
+
+    unsigned procs() const { return _streams.size(); }
+
+    void
+    append(unsigned proc, TraceOp op)
+    {
+        _streams.at(proc).push_back(op);
+    }
+
+    const std::vector<TraceOp> &
+    stream(unsigned proc) const
+    {
+        return _streams.at(proc);
+    }
+
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : _streams)
+            n += s.size();
+        return n;
+    }
+
+    std::size_t
+    dataOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : _streams)
+            for (const TraceOp &op : s)
+                n += (op.kind != TraceKind::compute &&
+                      op.kind != TraceKind::barrier);
+        return n;
+    }
+
+    bool operator==(const TraceLog &other) const
+    {
+        return _streams == other._streams;
+    }
+
+    /** Plain-text serialization ("P <proc>" sections, one op per line). */
+    void save(std::ostream &os) const;
+    static TraceLog load(std::istream &is);
+
+  private:
+    std::vector<std::vector<TraceOp>> _streams;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_TRACE_TRACE_HH

@@ -1,0 +1,79 @@
+#include "trace/trace_capture.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+TraceCapture::TraceCapture(Machine &m)
+    : _m(m), _log(m.numNodes()), _barrierDepth(m.numNodes(), 0)
+{
+    for (unsigned i = 0; i < m.numNodes(); ++i)
+        m.node(i).processor().setTraceSink(this);
+}
+
+TraceCapture::~TraceCapture()
+{
+    for (unsigned i = 0; i < _m.numNodes(); ++i)
+        _m.node(i).processor().setTraceSink(nullptr);
+}
+
+void
+TraceCapture::onMemOp(NodeId node, const MemOp &op)
+{
+    if (_barrierDepth.at(node) > 0)
+        return; // synchronization-internal reference: not data
+
+    TraceOp rec;
+    switch (op.kind) {
+      case MemOpKind::load:
+        rec.kind = TraceKind::read;
+        break;
+      case MemOpKind::store:
+        rec.kind = TraceKind::write;
+        break;
+      case MemOpKind::fetchAdd:
+        rec.kind = TraceKind::fetchAdd;
+        break;
+      case MemOpKind::swap:
+        rec.kind = TraceKind::swap;
+        break;
+    }
+    rec.addr = op.addr;
+    rec.value = op.value;
+    _log.append(node, rec);
+}
+
+void
+TraceCapture::onCompute(NodeId node, Tick cycles)
+{
+    if (_barrierDepth.at(node) > 0)
+        return; // spin pacing inside the barrier
+
+    TraceOp rec;
+    rec.kind = TraceKind::compute;
+    rec.cycles = cycles;
+    _log.append(node, rec);
+}
+
+void
+TraceCapture::onAnnotate(NodeId node, std::uint64_t tag)
+{
+    if (tag == trace_tag::barrierEnter) {
+        ++_barrierDepth.at(node);
+        return;
+    }
+    if (tag == trace_tag::barrierExit) {
+        if (_barrierDepth.at(node) == 0)
+            panic("trace capture: barrier exit without enter");
+        if (--_barrierDepth.at(node) == 0) {
+            TraceOp rec;
+            rec.kind = TraceKind::barrier;
+            _log.append(node, rec);
+        }
+        return;
+    }
+    // Unknown annotations are ignored (future synchronization types).
+}
+
+} // namespace limitless

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace capture: attach to a Machine before a run and record every
+ * processor's reference stream into a TraceLog.
+ *
+ * Synchronization-library operations (between barrierEnter/barrierExit
+ * annotations) are *not* recorded as data references; a single barrier
+ * record marks the episode boundary instead. Replay re-synthesizes the
+ * synchronization live, which is exactly how the paper's post-mortem
+ * scheduler treats embedded synchronization information: the data
+ * references are fixed by the trace, the synchronization (and therefore
+ * the interleaving) responds to the simulated memory system.
+ */
+
+#ifndef LIMITLESS_TRACE_TRACE_CAPTURE_HH
+#define LIMITLESS_TRACE_TRACE_CAPTURE_HH
+
+#include <vector>
+
+#include "machine/machine.hh"
+#include "trace/trace.hh"
+
+namespace limitless
+{
+
+/** Records one machine run into a TraceLog. */
+class TraceCapture : public TraceSink
+{
+  public:
+    /** Attaches to every processor of @p m; detach by destroying. */
+    explicit TraceCapture(Machine &m);
+    ~TraceCapture() override;
+
+    TraceCapture(const TraceCapture &) = delete;
+    TraceCapture &operator=(const TraceCapture &) = delete;
+
+    const TraceLog &log() const { return _log; }
+    TraceLog takeLog() { return std::move(_log); }
+
+    // TraceSink interface.
+    void onMemOp(NodeId node, const MemOp &op) override;
+    void onCompute(NodeId node, Tick cycles) override;
+    void onAnnotate(NodeId node, std::uint64_t tag) override;
+
+  private:
+    Machine &_m;
+    TraceLog _log;
+    std::vector<unsigned> _barrierDepth; ///< per node
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_TRACE_TRACE_CAPTURE_HH

@@ -1,0 +1,85 @@
+#include "trace/trace_replay.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+TraceReplay::install(Machine &m)
+{
+    if (_log.procs() != m.numNodes())
+        fatal("trace replay: trace has %u streams, machine has %u nodes",
+              _log.procs(), m.numNodes());
+
+    // Barrier counts must agree across streams (SPMD episodes).
+    _barriers.assign(_log.procs(), 0);
+    for (unsigned p = 0; p < _log.procs(); ++p)
+        for (const TraceOp &op : _log.stream(p))
+            _barriers[p] += op.kind == TraceKind::barrier;
+    for (unsigned p = 1; p < _log.procs(); ++p) {
+        if (_barriers[p] != _barriers[0])
+            fatal("trace replay: proc %u has %zu barrier records, proc 0 "
+                  "has %zu — the trace is not episode-aligned",
+                  p, _barriers[p], _barriers[0]);
+    }
+
+    _barrier = std::make_unique<CombiningTreeBarrier>(
+        m.addressMap(), m.numNodes(), _fanIn, slot::barrier);
+    _replayed.assign(_log.procs(), 0);
+    for (unsigned p = 0; p < m.numNodes(); ++p) {
+        m.spawnOn(p, [this, p](ThreadApi &t) {
+            return worker(t, p);
+        });
+    }
+}
+
+Task<>
+TraceReplay::worker(ThreadApi &t, unsigned p)
+{
+    for (const TraceOp &op : _log.stream(p)) {
+        switch (op.kind) {
+          case TraceKind::read:
+            co_await t.read(op.addr);
+            break;
+          case TraceKind::write:
+            co_await t.write(op.addr, op.value);
+            break;
+          case TraceKind::fetchAdd:
+            co_await t.fetchAdd(op.addr, op.value);
+            break;
+          case TraceKind::swap:
+            co_await t.swap(op.addr, op.value);
+            break;
+          case TraceKind::compute:
+            co_await t.compute(op.cycles);
+            break;
+          case TraceKind::barrier:
+            co_await _barrier->wait(t, p);
+            break;
+        }
+        ++_replayed[p];
+    }
+}
+
+void
+TraceReplay::verify(Machine &m) const
+{
+    (void)m;
+    for (unsigned p = 0; p < _log.procs(); ++p) {
+        if (_replayed[p] != _log.stream(p).size())
+            panic("trace replay: proc %u replayed %zu of %zu records", p,
+                  _replayed[p], _log.stream(p).size());
+    }
+}
+
+std::size_t
+TraceReplay::opsReplayed() const
+{
+    std::size_t n = 0;
+    for (std::size_t c : _replayed)
+        n += c;
+    return n;
+}
+
+} // namespace limitless

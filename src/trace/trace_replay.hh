@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Post-mortem trace replay (the paper's Figure 6 right branch).
+ *
+ * Replays a TraceLog as a Workload: each processor's data references are
+ * issued in trace order, paced by the simulated memory system (network
+ * feedback, as in Kurihara's dynamic post-mortem scheduler), and barrier
+ * records are re-synthesized live with a combining-tree barrier so the
+ * interleaving across processors responds to the protocol under test.
+ *
+ * Capture a trace once (TraceCapture), then replay it under any protocol
+ * configuration — the paper's exact Weather methodology.
+ */
+
+#ifndef LIMITLESS_TRACE_TRACE_REPLAY_HH
+#define LIMITLESS_TRACE_TRACE_REPLAY_HH
+
+#include <memory>
+
+#include "trace/trace.hh"
+#include "workload/barrier.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Replay workload over a captured trace. */
+class TraceReplay : public Workload
+{
+  public:
+    /**
+     * @param log       the trace (streams must match the machine size)
+     * @param barrier_fan_in arity for the re-synthesized barriers
+     */
+    explicit TraceReplay(TraceLog log, unsigned barrier_fan_in = 2)
+        : _log(std::move(log)), _fanIn(barrier_fan_in)
+    {}
+
+    std::string name() const override { return "trace-replay"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+    std::size_t opsReplayed() const;
+
+  private:
+    Task<> worker(ThreadApi &t, unsigned p);
+
+    TraceLog _log;
+    unsigned _fanIn;
+    std::unique_ptr<CombiningTreeBarrier> _barrier;
+    std::vector<std::size_t> _replayed;
+    /** Barrier records per proc; every proc must have the same count or
+     *  the replay would deadlock — checked at install. */
+    std::vector<std::size_t> _barriers;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_TRACE_TRACE_REPLAY_HH

@@ -1,0 +1,116 @@
+#include "workload/barrier.hh"
+
+#include <cassert>
+
+#include "trace/trace.hh"
+
+namespace limitless
+{
+
+CombiningTreeBarrier::CombiningTreeBarrier(const AddressMap &amap,
+                                           unsigned procs, unsigned fan_in,
+                                           std::uint64_t slot_base)
+    : _leafOf(procs), _gen(procs, 0)
+{
+    assert(procs >= 1 && fan_in >= 2);
+
+    // Build the tree level by level, leaves first. `members` tracks, for
+    // each node of the current level, a representative participant whose
+    // home node hosts the tree node's variables (locality: the barrier
+    // counter lives near its group's first member).
+    struct Pending
+    {
+        unsigned representative;
+        int index;
+    };
+
+    std::vector<Pending> level;
+    const unsigned leaves = (procs + fan_in - 1) / fan_in;
+    for (unsigned g = 0; g < leaves; ++g) {
+        const unsigned lo = g * fan_in;
+        const unsigned hi = std::min(procs, lo + fan_in);
+        const unsigned idx = _nodes.size();
+        const NodeId home = static_cast<NodeId>(lo % procs);
+        _nodes.push_back(TreeNode{
+            amap.addrOnNode(home, slot_base + 2 * idx),
+            amap.addrOnNode(home, slot_base + 2 * idx + 1),
+            -1,
+            hi - lo,
+        });
+        for (unsigned p = lo; p < hi; ++p)
+            _leafOf[p] = idx;
+        level.push_back(Pending{lo, static_cast<int>(idx)});
+    }
+
+    while (level.size() > 1) {
+        std::vector<Pending> next;
+        for (unsigned g = 0; g * fan_in < level.size(); ++g) {
+            const unsigned lo = g * fan_in;
+            const unsigned hi =
+                std::min<unsigned>(level.size(), lo + fan_in);
+            const unsigned idx = _nodes.size();
+            const NodeId home =
+                static_cast<NodeId>(level[lo].representative % procs);
+            _nodes.push_back(TreeNode{
+                amap.addrOnNode(home, slot_base + 2 * idx),
+                amap.addrOnNode(home, slot_base + 2 * idx + 1),
+                -1,
+                hi - lo,
+            });
+            for (unsigned k = lo; k < hi; ++k)
+                _nodes[level[k].index].parent = static_cast<int>(idx);
+            next.push_back(Pending{level[lo].representative,
+                                   static_cast<int>(idx)});
+        }
+        level = std::move(next);
+    }
+    // level[0] is the root; parent stays -1.
+}
+
+Task<>
+CombiningTreeBarrier::wait(ThreadApi &t, unsigned who)
+{
+    const std::uint64_t gen = ++_gen.at(who);
+    // Mark the episode boundary for trace capture: the barrier's
+    // internal spins are timing-dependent and are re-synthesized live on
+    // replay (the paper's post-mortem scheduling approach).
+    t.annotate(trace_tag::barrierEnter);
+
+    // Arrival phase: climb while we are the last arriver.
+    std::vector<unsigned> won; // nodes whose release we now own
+    unsigned node = _leafOf[who];
+    int lost_at = -1;
+    for (;;) {
+        const std::uint64_t old =
+            co_await t.fetchAdd(_nodes[node].counter, 1);
+        if (old + 1 ==
+            gen * static_cast<std::uint64_t>(_nodes[node].expected)) {
+            won.push_back(node);
+            if (_nodes[node].parent < 0)
+                break; // root winner: everyone has arrived
+            node = static_cast<unsigned>(_nodes[node].parent);
+            continue;
+        }
+        lost_at = static_cast<int>(node);
+        break;
+    }
+
+    // Wait phase: spin on the flag of the node where we stopped.
+    if (lost_at >= 0) {
+        for (;;) {
+            const std::uint64_t flag =
+                co_await t.read(_nodes[lost_at].flag);
+            if (flag >= gen)
+                break;
+            co_await t.compute(spinDelay);
+        }
+    }
+
+    // Release phase: cascade the wakeup down the sub-path we won,
+    // topmost node first.
+    for (auto it = won.rbegin(); it != won.rend(); ++it)
+        co_await t.write(_nodes[*it].flag, gen);
+    t.annotate(trace_tag::barrierExit);
+}
+
+} // namespace limitless

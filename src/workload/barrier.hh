@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Software combining-tree barrier (paper Section 5.2: Weather "uses
+ * software combining trees to distribute its barrier synchronization
+ * variables").
+ *
+ * Arrival: each processor fetch-adds its leaf group's counter; the last
+ * arriver at a tree node recursively arrives at the parent. Release: the
+ * root winner writes the root release flag; every winner that was
+ * spinning below releases the flags on the sub-path it won, cascading the
+ * wakeup down the tree. Counters are monotonic (target = generation *
+ * expected), avoiding reset races. Every flag has a worker-set of at most
+ * fan-in processors, which is the whole point: barriers stay friendly to
+ * limited directories.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_BARRIER_HH
+#define LIMITLESS_WORKLOAD_BARRIER_HH
+
+#include <vector>
+
+#include "machine/address_map.hh"
+#include "proc/processor.hh"
+#include "sim/task.hh"
+
+namespace limitless
+{
+
+/** Reusable combining-tree barrier over simulated shared memory. */
+class CombiningTreeBarrier
+{
+  public:
+    /**
+     * @param amap       machine address map (for variable placement)
+     * @param procs      number of participants (thread p calls wait(p))
+     * @param fan_in     tree arity
+     * @param slot_base  address-slot region for the tree's variables
+     */
+    CombiningTreeBarrier(const AddressMap &amap, unsigned procs,
+                         unsigned fan_in = 2,
+                         std::uint64_t slot_base = 0x1025);
+
+    /** Block thread @p who until all participants arrive. */
+    Task<> wait(ThreadApi &t, unsigned who);
+
+    /** Completed episodes for participant @p who (host-side). */
+    std::uint64_t episodes(unsigned who) const { return _gen.at(who); }
+
+    unsigned treeNodes() const { return _nodes.size(); }
+    Tick spinDelay = 6; ///< compute cycles between spin reads
+
+  private:
+    struct TreeNode
+    {
+        Addr counter;
+        Addr flag;
+        int parent;        ///< index, -1 for root
+        unsigned expected; ///< arrivals per episode
+    };
+
+    std::vector<TreeNode> _nodes;
+    std::vector<unsigned> _leafOf;      ///< proc -> leaf node index
+    std::vector<std::uint64_t> _gen;    ///< per-proc episode count
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_BARRIER_HH

@@ -1,0 +1,80 @@
+#include "workload/hotspot.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+Hotspot::install(Machine &m)
+{
+    const unsigned procs = m.numNodes();
+    _barrier = std::make_unique<CombiningTreeBarrier>(
+        m.addressMap(), procs, _p.barrierFanIn, slot::barrier);
+    _errors.assign(procs, 0);
+    for (unsigned p = 0; p < procs; ++p) {
+        m.spawnOn(p, [this, &m, p](ThreadApi &t) {
+            return worker(t, m, p);
+        });
+    }
+}
+
+Task<>
+Hotspot::worker(ThreadApi &t, Machine &m, unsigned p)
+{
+    const AddressMap &amap = m.addressMap();
+    const unsigned procs = m.numNodes();
+
+    // Epoch 0 values.
+    if (p == 0) {
+        for (unsigned k = 0; k < _p.hotLines; ++k)
+            co_await t.write(hotAddr(amap, k, procs), hotValue(k, 0));
+    }
+    co_await _barrier->wait(t, p);
+
+    unsigned epoch = 0;
+    for (unsigned iter = 1; iter <= _p.iterations; ++iter) {
+        if (_p.staggerCycles)
+            co_await t.compute(1 + (p * 29 + iter * 7) % _p.staggerCycles);
+        // Wide-shared reads: every processor touches every hot line.
+        for (unsigned k = 0; k < _p.hotLines; ++k) {
+            const std::uint64_t v =
+                co_await t.read(hotAddr(amap, k, procs));
+            if (v != hotValue(k, epoch))
+                ++_errors[p];
+            co_await t.compute(_p.computePerOp);
+        }
+        // Private work.
+        for (unsigned k = 0; k < _p.privLines; ++k) {
+            const Addr a = privAddr(amap, p, k);
+            const std::uint64_t v = co_await t.read(a);
+            co_await t.compute(_p.computePerOp);
+            co_await t.write(a, v + 1);
+        }
+        co_await _barrier->wait(t, p);
+        // Periodically re-dirty the hot lines so worker-sets rebuild.
+        if (_p.writePeriod && iter % _p.writePeriod == 0 &&
+            iter != _p.iterations) {
+            ++epoch;
+            if (p == 0) {
+                for (unsigned k = 0; k < _p.hotLines; ++k)
+                    co_await t.write(hotAddr(amap, k, procs),
+                                     hotValue(k, epoch));
+            }
+            co_await _barrier->wait(t, p);
+        }
+    }
+}
+
+void
+Hotspot::verify(Machine &m) const
+{
+    for (unsigned p = 0; p < m.numNodes(); ++p) {
+        if (_errors[p])
+            panic("hotspot: proc %u observed %llu wrong values", p,
+                  (unsigned long long)_errors[p]);
+    }
+    (void)m;
+}
+
+} // namespace limitless

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hot-spot microbenchmark used to validate the Section 3.1 analytic model
+ * T = Th + m * Ts: processors mix wide-shared reads (which overflow the
+ * pointer array) with private work, letting the experiment sweep the
+ * overflow fraction m directly.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_HOTSPOT_HH
+#define LIMITLESS_WORKLOAD_HOTSPOT_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/barrier.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Hot-spot knobs. */
+struct HotspotParams
+{
+    unsigned iterations = 20;
+    unsigned hotLines = 4;    ///< wide-shared lines (worker-set = N)
+    unsigned privLines = 16;  ///< private lines touched per iteration
+    /** Re-dirty the hot lines every this many iterations so the
+     *  worker-sets rebuild (0 = never: one-time overflow only). */
+    unsigned writePeriod = 1;
+    Tick computePerOp = 2;
+    /** Max per-processor phase offset applied after each barrier, to
+     *  de-burst arrivals at the hot home (model-validation use). */
+    Tick staggerCycles = 0;
+    unsigned barrierFanIn = 2;
+};
+
+/** See file comment. */
+class Hotspot : public Workload
+{
+  public:
+    explicit Hotspot(HotspotParams p = {}) : _p(p) {}
+
+    std::string name() const override { return "hotspot"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+  private:
+    Task<> worker(ThreadApi &t, Machine &m, unsigned p);
+
+    /** Hot line k, homed round-robin so network hot-spotting does not
+     *  confound the latency model being validated. */
+    Addr
+    hotAddr(const AddressMap &amap, unsigned k, unsigned procs) const
+    {
+        return amap.addrOnNode((k * 7 + 3) % procs, slot::data);
+    }
+
+    Addr
+    privAddr(const AddressMap &amap, unsigned p, unsigned k) const
+    {
+        return amap.addrOnNode(p, slot::data + 1 + k);
+    }
+
+    static std::uint64_t
+    hotValue(unsigned k, unsigned epoch)
+    {
+        return (static_cast<std::uint64_t>(k) << 32) ^ (epoch * 97 + 11);
+    }
+
+    HotspotParams _p;
+    std::unique_ptr<CombiningTreeBarrier> _barrier;
+    std::vector<std::uint64_t> _errors;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_HOTSPOT_HH

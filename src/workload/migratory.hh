@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Migratory-object workload: a multi-line object travels processor to
+ * processor around a token ring, each holder read-modify-writing every
+ * line. Exercises the Read-Write ownership transitions (paper Table 2
+ * rows 4-6), REPM/INV crossings, and motivates the Section 6 FIFO
+ * directory-eviction extension for migrating data.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_MIGRATORY_HH
+#define LIMITLESS_WORKLOAD_MIGRATORY_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Migratory knobs. */
+struct MigratoryParams
+{
+    unsigned rounds = 4;      ///< full trips around the ring
+    unsigned objectLines = 4; ///< lines in the migrating object
+    Tick computePerLine = 3;
+    Tick pollDelay = 8;       ///< spin pacing on the token flag
+};
+
+/** See file comment. */
+class Migratory : public Workload
+{
+  public:
+    explicit Migratory(MigratoryParams p = {}) : _p(p) {}
+
+    std::string name() const override { return "migratory"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+  private:
+    Task<> worker(ThreadApi &t, Machine &m, unsigned p);
+
+    Addr
+    objectAddr(const AddressMap &amap, unsigned k) const
+    {
+        return amap.addrOnNode(0, slot::data + k);
+    }
+
+    /** Token flag for proc p, homed at p (its spin target is local). */
+    Addr
+    tokenAddr(const AddressMap &amap, unsigned p) const
+    {
+        return amap.addrOnNode(p, slot::data + _p.objectLines);
+    }
+
+    MigratoryParams _p;
+    std::vector<std::uint64_t> _errors;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_MIGRATORY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static multigrid relaxation workload (paper Figure 7).
+ *
+ * Each processor owns a sub-grid; every iteration it publishes its
+ * boundary values, synchronizes, reads the boundaries of its mesh
+ * neighbours, relaxes its interior, and synchronizes again. Every shared
+ * boundary line is written by one processor and read by exactly one
+ * neighbour (worker-set 2), so limited directories never thrash — the
+ * property that makes Dir4NB, LimitLESS and full-map indistinguishable in
+ * Figure 7.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_MULTIGRID_HH
+#define LIMITLESS_WORKLOAD_MULTIGRID_HH
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "workload/barrier.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Multigrid knobs. */
+struct MultigridParams
+{
+    unsigned iterations = 10;
+    unsigned boundaryWords = 2;  ///< lines shared with each neighbour
+    unsigned interiorLines = 24; ///< private relaxation points
+    Tick computePerPoint = 2;
+    unsigned barrierFanIn = 2;
+};
+
+/** See file comment. */
+class Multigrid : public Workload
+{
+  public:
+    explicit Multigrid(MultigridParams p = {}) : _p(p) {}
+
+    std::string name() const override { return "multigrid"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+  private:
+    Task<> worker(ThreadApi &t, Machine &m, unsigned p);
+
+    /** Boundary word j that processor p publishes toward direction d. */
+    Addr boundaryAddr(const AddressMap &amap, unsigned p, unsigned d,
+                      unsigned j) const;
+    Addr interiorAddr(const AddressMap &amap, unsigned p,
+                      unsigned k) const;
+
+    static std::uint64_t
+    expectedValue(unsigned p, unsigned iter, unsigned d, unsigned j)
+    {
+        return (static_cast<std::uint64_t>(p) << 32) ^
+               (static_cast<std::uint64_t>(iter) * 131 + d * 17 + j);
+    }
+
+    MultigridParams _p;
+    std::unique_ptr<CombiningTreeBarrier> _barrier;
+    std::vector<std::uint64_t> _errors;
+    std::vector<std::uint64_t> _reads;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_MULTIGRID_HH

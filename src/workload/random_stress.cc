@@ -1,0 +1,85 @@
+#include "workload/random_stress.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+RandomStress::install(Machine &m)
+{
+    const unsigned procs = m.numNodes();
+    _tallies.assign(_p.counterLines, 0);
+    _errors.assign(procs, 0);
+    for (unsigned p = 0; p < procs; ++p) {
+        m.spawnOn(p, [this, &m, p](ThreadApi &t) {
+            return worker(t, m, p);
+        });
+    }
+}
+
+Task<>
+RandomStress::worker(ThreadApi &t, Machine &m, unsigned p)
+{
+    const AddressMap &amap = m.addressMap();
+    const unsigned procs = m.numNodes();
+    Rng rng(_p.seed ^ (0x5eedull * (p + 1)));
+
+    unsigned seq = 0;
+    for (unsigned i = 0; i < _p.opsPerProc; ++i) {
+        const std::uint64_t dice = rng.below(100);
+        if (dice < 40) {
+            const unsigned k =
+                static_cast<unsigned>(rng.below(_p.counterLines));
+            const std::uint64_t delta = 1 + rng.below(3);
+            co_await t.fetchAdd(counterAddr(amap, k, procs), delta);
+            _tallies[k] += delta; // host-side tally (single-threaded sim)
+        } else if (dice < 70) {
+            const unsigned k =
+                static_cast<unsigned>(rng.below(_p.valueLines));
+            co_await t.write(valueAddr(amap, k, procs), tag(p, ++seq));
+        } else {
+            const unsigned k =
+                static_cast<unsigned>(rng.below(_p.valueLines));
+            const std::uint64_t v =
+                co_await t.read(valueAddr(amap, k, procs));
+            if (!validTag(v, procs, _p.opsPerProc))
+                ++_errors[p];
+        }
+        if (_p.maxCompute)
+            co_await t.compute(rng.below(_p.maxCompute + 1));
+    }
+}
+
+void
+RandomStress::verify(Machine &m) const
+{
+    const AddressMap &amap = m.addressMap();
+    const unsigned procs = m.numNodes();
+    for (unsigned p = 0; p < procs; ++p) {
+        if (_errors[p])
+            panic("random-stress: proc %u observed %llu malformed values",
+                  p, (unsigned long long)_errors[p]);
+    }
+    for (unsigned k = 0; k < _p.counterLines; ++k) {
+        const Addr a = counterAddr(amap, k, procs);
+        const Addr line = amap.lineAddr(a);
+        std::uint64_t v = 0;
+        bool dirty = false;
+        for (unsigned p = 0; p < procs && !dirty; ++p) {
+            const CacheLine *cl = m.node(p).cache().array().lookup(line);
+            if (cl && cl->state == CacheState::readWrite) {
+                v = cl->words[amap.wordOf(a)];
+                dirty = true;
+            }
+        }
+        if (!dirty)
+            v = m.node(amap.homeOf(a)).mem().readLine(line)[amap.wordOf(a)];
+        if (v != _tallies[k])
+            panic("random-stress: counter %u ended at %llu, expected %llu",
+                  k, (unsigned long long)v,
+                  (unsigned long long)_tallies[k]);
+    }
+}
+
+} // namespace limitless

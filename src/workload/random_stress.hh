@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Randomized stress workload for property testing.
+ *
+ * Each processor performs a seeded random mix of operations over a small
+ * shared region:
+ *  - fetch-adds on shared counter lines (host-side tallies make the final
+ *    sums exactly checkable regardless of interleaving);
+ *  - tagged writes to value lines (writer id + sequence number);
+ *  - reads of value lines, asserting the value is zero or a well-formed
+ *    tag some processor actually wrote (no torn / stale garbage).
+ *
+ * With every protocol under test this must both finish (no deadlock) and
+ * verify — the workhorse of the cross-protocol property suite.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_RANDOM_STRESS_HH
+#define LIMITLESS_WORKLOAD_RANDOM_STRESS_HH
+
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Random-stress knobs. */
+struct RandomStressParams
+{
+    unsigned opsPerProc = 200;
+    unsigned counterLines = 8;
+    unsigned valueLines = 16;
+    Tick maxCompute = 6;
+    std::uint64_t seed = 12345;
+};
+
+/** See file comment. */
+class RandomStress : public Workload
+{
+  public:
+    explicit RandomStress(RandomStressParams p = {}) : _p(p) {}
+
+    std::string name() const override { return "random-stress"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+  private:
+    Task<> worker(ThreadApi &t, Machine &m, unsigned p);
+
+    Addr
+    counterAddr(const AddressMap &amap, unsigned k, unsigned procs) const
+    {
+        // Distinct slot per counter: (home, slot) pairs stay unique even
+        // on machines with fewer nodes than counters.
+        return amap.addrOnNode((k * 5 + 1) % procs, slot::data + 2 * k);
+    }
+
+    Addr
+    valueAddr(const AddressMap &amap, unsigned k, unsigned procs) const
+    {
+        return amap.addrOnNode((k * 3 + 2) % procs,
+                               slot::data + 2 * k + 1);
+    }
+
+    static std::uint64_t
+    tag(unsigned p, unsigned seq)
+    {
+        return 0xA000'0000'0000'0000ull |
+               (static_cast<std::uint64_t>(p) << 32) | seq;
+    }
+
+    static bool
+    validTag(std::uint64_t v, unsigned procs, unsigned max_seq)
+    {
+        if (v == 0)
+            return true;
+        if ((v >> 60) != 0xA)
+            return false;
+        const unsigned p = static_cast<unsigned>((v >> 32) & 0x0FFFFFFF);
+        const unsigned seq = static_cast<unsigned>(v & 0xFFFFFFFF);
+        return p < procs && seq <= max_seq;
+    }
+
+    RandomStressParams _p;
+    std::vector<std::uint64_t> _tallies; ///< per-counter expected sums
+    std::vector<std::uint64_t> _errors;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_RANDOM_STRESS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Test-and-test-and-set spin lock with exponential backoff, built on the
+ * atomic swap primitive. Used by workloads and by the Section 6
+ * FIFO-lock comparison.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_SPIN_LOCK_HH
+#define LIMITLESS_WORKLOAD_SPIN_LOCK_HH
+
+#include "proc/processor.hh"
+#include "sim/task.hh"
+
+namespace limitless
+{
+
+/** A spin lock living at one shared-memory word. */
+class SpinLock
+{
+  public:
+    explicit SpinLock(Addr lock_word) : _addr(lock_word) {}
+
+    Addr address() const { return _addr; }
+
+    /** Acquire: spins (cached) and retries with backoff. */
+    Task<>
+    acquire(ThreadApi &t)
+    {
+        Tick backoff = 8;
+        for (;;) {
+            if ((co_await t.swap(_addr, 1)) == 0)
+                co_return;
+            // Spin on a cached copy until the lock looks free.
+            while ((co_await t.read(_addr)) != 0)
+                co_await t.compute(backoff);
+            backoff = std::min<Tick>(backoff * 2, 256);
+        }
+    }
+
+    Task<>
+    release(ThreadApi &t)
+    {
+        co_await t.write(_addr, 0);
+    }
+
+  private:
+    Addr _addr;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_SPIN_LOCK_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Matrix-transpose workload: an all-to-all communication pattern.
+ *
+ * Phase 1: every processor writes its row of tiles. Phase 2 (after a
+ * barrier): every processor gathers one tile from every other processor
+ * (the column of the transposed matrix) and writes it back into its own
+ * rows. Each tile has a worker-set of exactly two, so no directory
+ * scheme is stressed — what is stressed is the *fabric*: N^2 remote
+ * reads criss-cross the mesh each round, the dual of Weather's
+ * single-node hot spot. Used by the applications bench to show the
+ * protocols agree when the network, not the directory, is the
+ * bottleneck.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_TRANSPOSE_HH
+#define LIMITLESS_WORKLOAD_TRANSPOSE_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/barrier.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Transpose knobs. */
+struct TransposeParams
+{
+    unsigned rounds = 4;
+    unsigned wordsPerTile = 2; ///< payload per (i,j) tile
+    Tick computePerTile = 3;
+    unsigned barrierFanIn = 2;
+};
+
+/** See file comment. */
+class Transpose : public Workload
+{
+  public:
+    explicit Transpose(TransposeParams p = {}) : _p(p) {}
+
+    std::string name() const override { return "transpose"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+  private:
+    Task<> worker(ThreadApi &t, Machine &m, unsigned p);
+
+    /** Source tile (i, j): row i's data for column j, homed at i. */
+    Addr
+    tileAddr(const AddressMap &amap, unsigned i, unsigned j,
+             unsigned w) const
+    {
+        return amap.addrOnNode(
+            i, slot::data + (j * _p.wordsPerTile + w) * 2);
+    }
+
+    /** Destination tile (j, i) in the transposed matrix, homed at j. */
+    Addr
+    outAddr(const AddressMap &amap, unsigned j, unsigned i,
+            unsigned w) const
+    {
+        return amap.addrOnNode(
+            j, slot::data + 1 + (i * _p.wordsPerTile + w) * 2);
+    }
+
+    static std::uint64_t
+    value(unsigned i, unsigned j, unsigned w, unsigned round)
+    {
+        return (static_cast<std::uint64_t>(i) << 40) ^
+               (static_cast<std::uint64_t>(j) << 20) ^ (w * 7919) ^
+               (round * 104729);
+    }
+
+    TransposeParams _p;
+    std::unique_ptr<CombiningTreeBarrier> _barrier;
+    std::vector<std::uint64_t> _errors;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_TRANSPOSE_HH

@@ -1,0 +1,103 @@
+#include "workload/weather.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+Weather::install(Machine &m)
+{
+    const unsigned procs = m.numNodes();
+    _barrier = std::make_unique<CombiningTreeBarrier>(
+        m.addressMap(), procs, _p.barrierFanIn, slot::barrier);
+    _errors.assign(procs, 0);
+    _hotReads.assign(procs, 0);
+    for (unsigned p = 0; p < procs; ++p) {
+        m.spawnOn(p, [this, &m, p](ThreadApi &t) {
+            return worker(t, m, p);
+        });
+    }
+}
+
+Task<>
+Weather::worker(ThreadApi &t, Machine &m, unsigned p)
+{
+    const AddressMap &amap = m.addressMap();
+    const unsigned procs = m.numNodes();
+    const unsigned region = p / _p.regionSize;
+    const unsigned leader = region * _p.regionSize;
+    const unsigned prev = (p + procs - 1) % procs;
+
+    // Initialization: processor 0 sets up the hot simulation parameter.
+    if (p == 0)
+        co_await t.write(hotAddr(amap), hotValue);
+    co_await _barrier->wait(t, p);
+
+    // Optimized mode ("flagged read-only"): fetch once, never again.
+    if (_p.optimizeHotVariable) {
+        const std::uint64_t v = co_await t.read(hotAddr(amap));
+        ++_hotReads[p];
+        if (v != hotValue)
+            ++_errors[p];
+    }
+
+    for (unsigned iter = 1; iter <= _p.iterations; ++iter) {
+        // (1) hot variable: every processor consults the shared
+        // simulation parameter each timestep.
+        if (!_p.optimizeHotVariable) {
+            const std::uint64_t v = co_await t.read(hotAddr(amap));
+            ++_hotReads[p];
+            if (v != hotValue)
+                ++_errors[p];
+        }
+
+        // (2) pairwise boundary exchange (worker-set exactly 2).
+        co_await t.write(pairAddr(amap, p, procs), pairValue(p, iter));
+        // (3) regional variable (worker-set = regionSize).
+        if (p == leader)
+            co_await t.write(regionAddr(amap, region, procs),
+                             regionValue(region, iter));
+        co_await _barrier->wait(t, p);
+
+        const std::uint64_t bv =
+            co_await t.read(pairAddr(amap, prev, procs));
+        if (bv != pairValue(prev, iter))
+            ++_errors[p];
+        const std::uint64_t rv =
+            co_await t.read(regionAddr(amap, region, procs));
+        if (rv != regionValue(region, iter))
+            ++_errors[p];
+
+        // (4) private column work (cache-resident after iteration 1).
+        for (unsigned k = 0; k < _p.columnLines; ++k) {
+            const Addr a = columnAddr(amap, p, k);
+            const std::uint64_t v = co_await t.read(a);
+            co_await t.compute(_p.computePerLine);
+            co_await t.write(a, v + 1);
+        }
+        co_await _barrier->wait(t, p);
+    }
+}
+
+void
+Weather::verify(Machine &m) const
+{
+    for (unsigned p = 0; p < m.numNodes(); ++p) {
+        if (_errors[p])
+            panic("weather: proc %u observed %llu wrong values", p,
+                  (unsigned long long)_errors[p]);
+        const std::uint64_t expected_hot =
+            _p.optimizeHotVariable ? 1 : _p.iterations;
+        if (_hotReads[p] != expected_hot)
+            panic("weather: proc %u read the hot variable %llu times, "
+                  "expected %llu",
+                  p, (unsigned long long)_hotReads[p],
+                  (unsigned long long)expected_hot);
+        if (_barrier->episodes(p) != 2 * _p.iterations + 1)
+            panic("weather: proc %u completed %llu barrier episodes",
+                  p, (unsigned long long)_barrier->episodes(p));
+    }
+}
+
+} // namespace limitless

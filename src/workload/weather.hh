@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Weather-forecasting workload (paper Figures 8-10).
+ *
+ * Synthetic stand-in for the Pat Teller weather trace, reproducing the
+ * three sharing properties the paper's evaluation hinges on:
+ *
+ *  1. one *hot* variable, initialized by processor 0 and re-read by every
+ *     processor each outer iteration (worker-set = N). When it is not
+ *     flagged read-only ("unoptimized"), limited directories thrash on it
+ *     (Figure 8) while LimitLESS absorbs it with a bounded number of
+ *     overflow traps;
+ *  2. pairwise boundary variables with a worker-set of exactly two,
+ *     deliberately homed on a third node — the variables that make
+ *     LimitLESS1 "especially bad" (Figure 10);
+ *  3. regional variables shared by groups of four processors, re-written
+ *     every iteration, exercising recurring overflows for p < 4;
+ *  plus private column work and combining-tree barriers.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_WEATHER_HH
+#define LIMITLESS_WORKLOAD_WEATHER_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/barrier.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Weather knobs. */
+struct WeatherParams
+{
+    unsigned iterations = 25;
+    unsigned columnLines = 24;  ///< private per-iteration column work
+    Tick computePerLine = 2;
+    unsigned regionSize = 4;    ///< processors per regional variable
+    /**
+     * Paper Section 5.2: "if this variable is flagged as read-only data,
+     * then a limited directory performs just as well". Optimized mode
+     * models the flag by reading the hot variable once at startup.
+     */
+    bool optimizeHotVariable = false;
+    unsigned barrierFanIn = 2;
+};
+
+/** See file comment. */
+class Weather : public Workload
+{
+  public:
+    explicit Weather(WeatherParams p = {}) : _p(p) {}
+
+    std::string name() const override
+    {
+        return _p.optimizeHotVariable ? "weather(opt)" : "weather";
+    }
+
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+  private:
+    Task<> worker(ThreadApi &t, Machine &m, unsigned p);
+
+    Addr hotAddr(const AddressMap &amap) const
+    {
+        return amap.addrOnNode(0, slot::data);
+    }
+
+    /** Boundary of proc p, homed on an uninvolved third node. */
+    Addr
+    pairAddr(const AddressMap &amap, unsigned p, unsigned procs) const
+    {
+        return amap.addrOnNode((p + procs / 2) % procs, slot::data + 1);
+    }
+
+    /** Regional variable r, homed outside its region. */
+    Addr
+    regionAddr(const AddressMap &amap, unsigned r, unsigned procs) const
+    {
+        return amap.addrOnNode((r * _p.regionSize + _p.regionSize) % procs,
+                               slot::data + 2);
+    }
+
+    Addr
+    columnAddr(const AddressMap &amap, unsigned p, unsigned k) const
+    {
+        return amap.addrOnNode(p, slot::data + 3 + k);
+    }
+
+    static std::uint64_t
+    pairValue(unsigned p, unsigned iter)
+    {
+        return (static_cast<std::uint64_t>(p) << 32) ^ (iter * 257);
+    }
+
+    static std::uint64_t
+    regionValue(unsigned r, unsigned iter)
+    {
+        return (static_cast<std::uint64_t>(r) << 32) ^ (iter * 769 + 5);
+    }
+
+    static constexpr std::uint64_t hotValue = 42;
+
+    WeatherParams _p;
+    std::unique_ptr<CombiningTreeBarrier> _barrier;
+    std::vector<std::uint64_t> _errors;
+    std::vector<std::uint64_t> _hotReads;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_WEATHER_HH

@@ -1,0 +1,102 @@
+#include "workload/worker_set.hh"
+
+#include <numeric>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+WorkerSetSweep::install(Machine &m)
+{
+    const unsigned procs = m.numNodes();
+    if (_p.workerSet + 1 > procs)
+        fatal("worker-set sweep: need workerSet + 1 <= numNodes");
+    _barrier = std::make_unique<CombiningTreeBarrier>(
+        m.addressMap(), procs, _p.barrierFanIn, slot::barrier);
+    _errors.assign(procs, 0);
+    _writeLat.clear();
+    _writeLat.reserve(_p.rounds);
+
+    // Readers are procs 1..w; the writer is the last proc (so it is never
+    // the home node and never a reader); everyone else idles at the
+    // barrier so the machine-wide barrier stays correct.
+    for (unsigned p = 0; p < procs; ++p) {
+        if (p >= 1 && p <= _p.workerSet) {
+            m.spawnOn(p, [this, &m, p](ThreadApi &t) {
+                return reader(t, m, p);
+            });
+        } else if (p == procs - 1) {
+            m.spawnOn(p, [this, &m, p](ThreadApi &t) {
+                return writer(t, m, p);
+            });
+        } else {
+            m.spawnOn(p, [this, &m, p](ThreadApi &t) {
+                return idler(t, m, p);
+            });
+        }
+    }
+}
+
+Task<>
+WorkerSetSweep::reader(ThreadApi &t, Machine &m, unsigned p)
+{
+    const Addr a = sharedAddr(m.addressMap());
+    for (unsigned r = 1; r <= _p.rounds; ++r) {
+        const std::uint64_t v = co_await t.read(a);
+        if (v != r - 1)
+            ++_errors[p];
+        co_await _barrier->wait(t, p);
+        // Writer updates between the barriers.
+        co_await _barrier->wait(t, p);
+    }
+}
+
+Task<>
+WorkerSetSweep::writer(ThreadApi &t, Machine &m, unsigned p)
+{
+    const Addr a = sharedAddr(m.addressMap());
+    for (unsigned r = 1; r <= _p.rounds; ++r) {
+        co_await _barrier->wait(t, p);
+        const Tick before = t.now();
+        co_await t.write(a, r);
+        _writeLat.push_back(t.now() - before);
+        co_await _barrier->wait(t, p);
+    }
+}
+
+Task<>
+WorkerSetSweep::idler(ThreadApi &t, Machine &m, unsigned p)
+{
+    (void)m;
+    for (unsigned r = 1; r <= _p.rounds; ++r) {
+        co_await _barrier->wait(t, p);
+        co_await _barrier->wait(t, p);
+    }
+}
+
+double
+WorkerSetSweep::meanWriteLatency() const
+{
+    if (_writeLat.empty())
+        return 0.0;
+    const Tick sum =
+        std::accumulate(_writeLat.begin(), _writeLat.end(), Tick{0});
+    return static_cast<double>(sum) / _writeLat.size();
+}
+
+void
+WorkerSetSweep::verify(Machine &m) const
+{
+    for (unsigned p = 0; p < m.numNodes(); ++p) {
+        if (_errors[p])
+            panic("worker-set: proc %u observed %llu stale reads", p,
+                  (unsigned long long)_errors[p]);
+    }
+    if (_writeLat.size() != _p.rounds)
+        panic("worker-set: writer completed %zu rounds, expected %u",
+              _writeLat.size(), _p.rounds);
+}
+
+} // namespace limitless

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Worker-set sweep: w readers share one line, one (uninvolved) writer
+ * invalidates it each round. Records the writer's observed write latency
+ * so benches can plot invalidation latency against worker-set size — the
+ * experiment that exposes the chained directory's sequential-invalidation
+ * cost and the LimitLESS write-gather trap.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_WORKER_SET_HH
+#define LIMITLESS_WORKLOAD_WORKER_SET_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/barrier.hh"
+#include "workload/workload.hh"
+
+namespace limitless
+{
+
+/** Worker-set sweep knobs. */
+struct WorkerSetParams
+{
+    unsigned workerSet = 8; ///< number of readers
+    unsigned rounds = 10;
+    unsigned barrierFanIn = 2;
+};
+
+/** See file comment. */
+class WorkerSetSweep : public Workload
+{
+  public:
+    explicit WorkerSetSweep(WorkerSetParams p = {}) : _p(p) {}
+
+    std::string name() const override { return "worker-set"; }
+    void install(Machine &m) override;
+    void verify(Machine &m) const override;
+
+    /** Writer-observed latency of each invalidating write. */
+    const std::vector<Tick> &writeLatencies() const { return _writeLat; }
+
+    double meanWriteLatency() const;
+
+  private:
+    Task<> reader(ThreadApi &t, Machine &m, unsigned p);
+    Task<> writer(ThreadApi &t, Machine &m, unsigned p);
+    Task<> idler(ThreadApi &t, Machine &m, unsigned p);
+
+    Addr
+    sharedAddr(const AddressMap &amap) const
+    {
+        return amap.addrOnNode(0, slot::data);
+    }
+
+    WorkerSetParams _p;
+    std::unique_ptr<CombiningTreeBarrier> _barrier;
+    std::vector<std::uint64_t> _errors;
+    std::vector<Tick> _writeLat;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_WORKER_SET_HH

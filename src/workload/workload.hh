@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Workload abstraction: a Workload spawns one thread program per node
+ * (written as coroutines over ThreadApi) and can verify results after a
+ * run — every workload computes checkable values, so protocol bugs show
+ * up as wrong data, not just odd timing.
+ *
+ * Address-space convention: workloads place shared variables with
+ * AddressMap::addrOnNode(home, slot). Slot ranges are partitioned so a
+ * workload and its barrier never collide:
+ *   0x0000 - 0x0FFF   workload data
+ *   0x1025 -          barrier tree
+ *   0x2037 -          locks and auxiliary structures
+ *
+ * The odd, non-power-of-two bases matter: with a direct-mapped cache the
+ * set index is (slot * numNodes + home) mod numSets, so a power-of-two
+ * barrier base would alias the barrier tree's hottest lines onto the
+ * workloads' slot-0 hot lines in every cache, and the resulting conflict
+ * evictions would distort every figure. Odd bases (and the counter/flag
+ * stride of 2) keep the heavily contended structures in disjoint sets.
+ */
+
+#ifndef LIMITLESS_WORKLOAD_WORKLOAD_HH
+#define LIMITLESS_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+
+#include "machine/machine.hh"
+
+namespace limitless
+{
+
+/** Slot-range bases (see file comment). */
+namespace slot
+{
+    inline constexpr std::uint64_t data = 0x0000;
+    inline constexpr std::uint64_t barrier = 0x1025;
+    inline constexpr std::uint64_t locks = 0x2037;
+}
+
+/** A parallel program that runs on a Machine. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Spawn thread programs onto the machine (before Machine::run). */
+    virtual void install(Machine &m) = 0;
+
+    /**
+     * Post-run validation; aborts (via panic) on any data error.
+     * Workloads accumulate error counts while running and check them
+     * plus final memory contents here.
+     */
+    virtual void verify(Machine &m) const = 0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_WORKLOAD_WORKLOAD_HH

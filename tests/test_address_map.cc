@@ -1,0 +1,78 @@
+/** @file Unit tests for the address map (line geometry, home mapping). */
+
+#include <gtest/gtest.h>
+
+#include "machine/address_map.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(AddressMap, LineAlignment)
+{
+    AddressMap amap(16, 16);
+    EXPECT_EQ(amap.lineAddr(0x0), 0x0u);
+    EXPECT_EQ(amap.lineAddr(0xF), 0x0u);
+    EXPECT_EQ(amap.lineAddr(0x10), 0x10u);
+    EXPECT_EQ(amap.lineAddr(0x1237), 0x1230u);
+    EXPECT_EQ(amap.wordsPerLine(), 2u);
+}
+
+TEST(AddressMap, WordIndexWithinLine)
+{
+    AddressMap amap(16, 16);
+    EXPECT_EQ(amap.wordOf(0x10), 0u);
+    EXPECT_EQ(amap.wordOf(0x18), 1u);
+    AddressMap wide(4, 32);
+    EXPECT_EQ(wide.wordsPerLine(), 4u);
+    EXPECT_EQ(wide.wordOf(0x38), 3u);
+}
+
+TEST(AddressMap, InterleavedHomesRotate)
+{
+    AddressMap amap(4, 16);
+    EXPECT_EQ(amap.homeOf(0x00), 0u);
+    EXPECT_EQ(amap.homeOf(0x10), 1u);
+    EXPECT_EQ(amap.homeOf(0x20), 2u);
+    EXPECT_EQ(amap.homeOf(0x30), 3u);
+    EXPECT_EQ(amap.homeOf(0x40), 0u);
+    // Every address in a line has the same home.
+    EXPECT_EQ(amap.homeOf(0x18), amap.homeOf(0x10));
+}
+
+TEST(AddressMap, RangedHomesAreContiguous)
+{
+    AddressMap amap(4, 16, 1 << 20, HomeMapping::ranged);
+    EXPECT_EQ(amap.homeOf(0x0), 0u);
+    EXPECT_EQ(amap.homeOf((1 << 20) - 16), 0u);
+    EXPECT_EQ(amap.homeOf(1 << 20), 1u);
+    EXPECT_EQ(amap.homeOf(3u << 20), 3u);
+}
+
+TEST(AddressMap, AddrOnNodeInvertsHomeOf)
+{
+    for (HomeMapping mapping :
+         {HomeMapping::interleaved, HomeMapping::ranged}) {
+        AddressMap amap(8, 16, 1 << 20, mapping);
+        for (NodeId n = 0; n < 8; ++n) {
+            for (std::uint64_t slot : {0ull, 1ull, 17ull, 4000ull}) {
+                const Addr a = amap.addrOnNode(n, slot);
+                EXPECT_EQ(amap.homeOf(a), n);
+                EXPECT_EQ(amap.lineAddr(a), a) << "line aligned";
+            }
+        }
+    }
+}
+
+TEST(AddressMap, DistinctSlotsGiveDistinctLines)
+{
+    AddressMap amap(8, 16);
+    std::set<Addr> seen;
+    for (NodeId n = 0; n < 8; ++n)
+        for (std::uint64_t s = 0; s < 64; ++s)
+            EXPECT_TRUE(seen.insert(amap.addrOnNode(n, s)).second);
+}
+
+} // namespace
+} // namespace limitless

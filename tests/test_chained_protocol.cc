@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Directed tests for the chained-directory protocol: chain construction
+ * through RDATA old-head operands, sequential invalidation walks, the
+ * REPC replacement transaction, and the linear write-latency property
+ * the paper attributes to chained schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "machine/coherence_monitor.hh"
+#include "workload/worker_set.hh"
+
+namespace limitless
+{
+namespace
+{
+
+MachineConfig
+chainedMachine(unsigned nodes = 16)
+{
+    MachineConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.protocol = protocols::chained();
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(Chained, ReadersFormAChainAtTheDirectory)
+{
+    Machine m(chainedMachine(8));
+    const Addr a = m.addressMap().addrOnNode(0, 0);
+    for (NodeId p = 1; p <= 4; ++p) {
+        m.spawnOn(p, [a](ThreadApi &t) -> Task<> {
+            co_await t.read(a);
+        });
+    }
+    m.spawnOn(0, [](ThreadApi &t) -> Task<> { co_await t.compute(1); });
+    ASSERT_TRUE(m.run().completed);
+    ChainedDir *dir = m.node(0).mem().chainedDir();
+    ASSERT_NE(dir, nullptr);
+    EXPECT_EQ(dir->chainLength(m.addressMap().lineAddr(a)), 4u);
+    EXPECT_NE(dir->head(m.addressMap().lineAddr(a)), invalidNode);
+    CoherenceMonitor(m).checkQuiescent();
+}
+
+TEST(Chained, ChainMembersLinkThroughTheirForwardPointers)
+{
+    Machine m(chainedMachine(8));
+    const Addr a = m.addressMap().addrOnNode(0, 0);
+    const Addr gate = m.addressMap().addrOnNode(1, 1);
+    // Serialize the readers so the chain order is deterministic:
+    // 1 reads first, then 2, then 3.
+    for (NodeId p = 1; p <= 3; ++p) {
+        m.spawnOn(p, [a, gate, p](ThreadApi &t) -> Task<> {
+            while ((co_await t.read(gate)) != p - 1)
+                co_await t.compute(10);
+            co_await t.read(a);
+            co_await t.write(gate, p);
+        });
+    }
+    ASSERT_TRUE(m.run().completed);
+    const Addr line = m.addressMap().lineAddr(a);
+    EXPECT_EQ(m.node(0).mem().chainedDir()->head(line), 3u);
+    const CacheLine *c3 = m.node(3).cache().array().lookup(line);
+    ASSERT_NE(c3, nullptr);
+    EXPECT_EQ(c3->chainNext, 2u);
+    const CacheLine *c2 = m.node(2).cache().array().lookup(line);
+    ASSERT_NE(c2, nullptr);
+    EXPECT_EQ(c2->chainNext, 1u);
+    const CacheLine *c1 = m.node(1).cache().array().lookup(line);
+    ASSERT_NE(c1, nullptr);
+    EXPECT_EQ(c1->chainNext, invalidNode);
+}
+
+TEST(Chained, WriteWalksTheWholeChain)
+{
+    Machine m(chainedMachine(8));
+    const Addr a = m.addressMap().addrOnNode(0, 0);
+    const Addr gate = m.addressMap().addrOnNode(1, 1);
+    for (NodeId p = 1; p <= 4; ++p) {
+        m.spawnOn(p, [a, gate, p](ThreadApi &t) -> Task<> {
+            co_await t.read(a);
+            co_await t.fetchAdd(gate, 1);
+        });
+    }
+    m.spawnOn(5, [&m, a, gate](ThreadApi &t) -> Task<> {
+        while ((co_await t.read(gate)) != 4)
+            co_await t.compute(10);
+        co_await t.write(a, 99);
+    });
+    ASSERT_TRUE(m.run().completed);
+    const Addr line = m.addressMap().lineAddr(a);
+    // All four readers invalidated, writer owns the line.
+    for (NodeId p = 1; p <= 4; ++p)
+        EXPECT_EQ(m.node(p).cache().array().lookup(line), nullptr);
+    const CacheLine *cw = m.node(5).cache().array().lookup(line);
+    ASSERT_NE(cw, nullptr);
+    EXPECT_EQ(cw->state, CacheState::readWrite);
+    EXPECT_GE(m.sumCounter("mem", "invs_sent"), 4u)
+        << "at least one INV per chain member";
+    CoherenceMonitor(m).checkQuiescent();
+}
+
+TEST(Chained, ReplacementUsesRepcNotSilentDrop)
+{
+    // Force a set conflict so a chained read-only line is replaced.
+    MachineConfig cfg = chainedMachine(4);
+    cfg.cache.cacheBytes = 4 * 16; // 4 sets: trivial to conflict
+    Machine m(cfg);
+    const AddressMap &amap = m.addressMap();
+    const Addr a = amap.addrOnNode(1, 0);
+    // Same cache set as `a`: slots spaced by numSets lines.
+    const Addr b = amap.addrOnNode(1, 4);
+    ASSERT_EQ(m.node(0).cache().array().indexOf(amap.lineAddr(a)),
+              m.node(0).cache().array().indexOf(amap.lineAddr(b)));
+    m.spawnOn(0, [a, b](ThreadApi &t) -> Task<> {
+        co_await t.read(a);
+        co_await t.read(b); // evicts `a` via REPC
+    });
+    ASSERT_TRUE(m.run().completed);
+    EXPECT_GE(m.sumCounter("cache", "repc"), 1u);
+    // The chain for `a` is gone; `b` is resident.
+    EXPECT_EQ(m.node(1).mem().chainedDir()->head(amap.lineAddr(a)),
+              invalidNode);
+    EXPECT_NE(m.node(0).cache().array().lookup(amap.lineAddr(b)), nullptr);
+    CoherenceMonitor(m).checkQuiescent();
+}
+
+TEST(Chained, WriteLatencyGrowsLinearlyWithChainLength)
+{
+    // The paper's criticism of chained directories: invalidations are
+    // transmitted sequentially, so write latency ~ worker-set size.
+    double lat4 = 0, lat12 = 0;
+    for (unsigned w : {4u, 12u}) {
+        MachineConfig cfg = chainedMachine(16);
+        WorkerSetParams wp;
+        wp.workerSet = w;
+        wp.rounds = 5;
+        auto wl = std::make_unique<WorkerSetSweep>(wp);
+        Machine m(cfg);
+        wl->install(m);
+        ASSERT_TRUE(m.run().completed);
+        wl->verify(m);
+        (w == 4 ? lat4 : lat12) = wl->meanWriteLatency();
+    }
+    EXPECT_GT(lat12, lat4 * 1.8)
+        << "sequential walk should scale with the chain";
+}
+
+TEST(Chained, FullMapInvalidatesInParallelByContrast)
+{
+    double lat4 = 0, lat12 = 0;
+    for (unsigned w : {4u, 12u}) {
+        MachineConfig cfg = chainedMachine(16);
+        cfg.protocol = protocols::fullMap();
+        WorkerSetParams wp;
+        wp.workerSet = w;
+        wp.rounds = 5;
+        auto wl = std::make_unique<WorkerSetSweep>(wp);
+        Machine m(cfg);
+        wl->install(m);
+        ASSERT_TRUE(m.run().completed);
+        wl->verify(m);
+        (w == 4 ? lat4 : lat12) = wl->meanWriteLatency();
+    }
+    EXPECT_LT(lat12, lat4 * 2.5)
+        << "overlapped INVs should grow much slower than 3x";
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,217 @@
+/** @file Unit tests for directory pointer-set storage schemes. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "directory/chained_dir.hh"
+#include "directory/full_map_dir.hh"
+#include "directory/limited_dir.hh"
+#include "directory/limitless_dir.hh"
+
+namespace limitless
+{
+namespace
+{
+
+std::vector<NodeId>
+sortedSharers(const DirectoryScheme &dir, Addr line)
+{
+    std::vector<NodeId> out;
+    dir.sharers(line, out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// ---------------------------------------------------------------- FullMap
+
+TEST(FullMapDir, AddContainsRemove)
+{
+    FullMapDir dir(64);
+    EXPECT_EQ(dir.tryAdd(0x40, 3), DirAdd::added);
+    EXPECT_EQ(dir.tryAdd(0x40, 3), DirAdd::present);
+    EXPECT_TRUE(dir.contains(0x40, 3));
+    EXPECT_FALSE(dir.contains(0x40, 4));
+    dir.remove(0x40, 3);
+    EXPECT_FALSE(dir.contains(0x40, 3));
+}
+
+TEST(FullMapDir, NeverOverflows)
+{
+    FullMapDir dir(128);
+    for (NodeId n = 0; n < 128; ++n)
+        EXPECT_EQ(dir.tryAdd(0x40, n), DirAdd::added);
+    EXPECT_EQ(dir.numSharers(0x40), 128u);
+    EXPECT_EQ(sortedSharers(dir, 0x40).size(), 128u);
+}
+
+TEST(FullMapDir, ClearDropsAllSharers)
+{
+    FullMapDir dir(64);
+    dir.tryAdd(0x40, 1);
+    dir.tryAdd(0x40, 2);
+    dir.clear(0x40);
+    EXPECT_EQ(dir.numSharers(0x40), 0u);
+}
+
+TEST(FullMapDir, LinesAreIndependent)
+{
+    FullMapDir dir(64);
+    dir.tryAdd(0x40, 1);
+    dir.tryAdd(0x80, 2);
+    EXPECT_TRUE(dir.contains(0x40, 1));
+    EXPECT_FALSE(dir.contains(0x80, 1));
+    EXPECT_TRUE(dir.contains(0x80, 2));
+}
+
+TEST(FullMapDir, MemoryOverheadGrowsLinearlyInN)
+{
+    FullMapDir dir(64);
+    EXPECT_EQ(dir.bitsPerEntry(64), 64u);
+    EXPECT_EQ(dir.bitsPerEntry(1024), 1024u);
+}
+
+// ---------------------------------------------------------------- Limited
+
+TEST(LimitedDir, OverflowsAtPointerLimit)
+{
+    LimitedDir dir(4);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(dir.tryAdd(0x40, n), DirAdd::added);
+    EXPECT_EQ(dir.tryAdd(0x40, 9), DirAdd::overflow);
+    // Already-present nodes do not overflow.
+    EXPECT_EQ(dir.tryAdd(0x40, 2), DirAdd::present);
+}
+
+TEST(LimitedDir, RemoveFreesAPointer)
+{
+    LimitedDir dir(2);
+    dir.tryAdd(0x40, 1);
+    dir.tryAdd(0x40, 2);
+    EXPECT_EQ(dir.tryAdd(0x40, 3), DirAdd::overflow);
+    dir.remove(0x40, 1);
+    EXPECT_EQ(dir.tryAdd(0x40, 3), DirAdd::added);
+    EXPECT_EQ(sortedSharers(dir, 0x40), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(LimitedDir, VictimSelectionIsRoundRobinAndDeterministic)
+{
+    LimitedDir dir(2);
+    dir.tryAdd(0x40, 5);
+    dir.tryAdd(0x40, 6);
+    const NodeId v1 = dir.pickVictim(0x40);
+    const NodeId v2 = dir.pickVictim(0x40);
+    EXPECT_NE(v1, v2); // rotates
+    EXPECT_TRUE(dir.contains(0x40, v1));
+}
+
+TEST(LimitedDir, PointerCostLogarithmicInN)
+{
+    LimitedDir dir(4);
+    EXPECT_EQ(dir.bitsPerEntry(64), 4u * 6u);
+    EXPECT_EQ(dir.bitsPerEntry(1024), 4u * 10u);
+    EXPECT_EQ(LimitedDir::ceilLog2(1), 1u);
+    EXPECT_EQ(LimitedDir::ceilLog2(2), 1u);
+    EXPECT_EQ(LimitedDir::ceilLog2(3), 2u);
+    EXPECT_EQ(LimitedDir::ceilLog2(64), 6u);
+    EXPECT_EQ(LimitedDir::ceilLog2(65), 7u);
+}
+
+// -------------------------------------------------------------- LimitLESS
+
+TEST(LimitlessDir, LocalBitNeverConsumesAPointer)
+{
+    LimitlessDir dir(/*self=*/7, /*pointers=*/2, /*local=*/true);
+    EXPECT_EQ(dir.tryAdd(0x40, 1), DirAdd::added);
+    EXPECT_EQ(dir.tryAdd(0x40, 2), DirAdd::added);
+    // Pointer array full, but the home node still fits via the local bit
+    // (paper Section 4.3: local reads never overflow).
+    EXPECT_EQ(dir.tryAdd(0x40, 7), DirAdd::added);
+    EXPECT_EQ(dir.tryAdd(0x40, 7), DirAdd::present);
+    EXPECT_EQ(dir.tryAdd(0x40, 3), DirAdd::overflow);
+    EXPECT_EQ(dir.numSharers(0x40), 3u);
+}
+
+TEST(LimitlessDir, WithoutLocalBitHomeNodeCompetesForPointers)
+{
+    LimitlessDir dir(7, 2, false);
+    dir.tryAdd(0x40, 1);
+    dir.tryAdd(0x40, 2);
+    EXPECT_EQ(dir.tryAdd(0x40, 7), DirAdd::overflow);
+}
+
+TEST(LimitlessDir, MetaStateDefaultsToNormal)
+{
+    LimitlessDir dir(0, 4, true);
+    EXPECT_EQ(dir.meta(0x40), MetaState::normal);
+    dir.setMeta(0x40, MetaState::trapOnWrite);
+    EXPECT_EQ(dir.meta(0x40), MetaState::trapOnWrite);
+    EXPECT_EQ(dir.meta(0x80), MetaState::normal);
+}
+
+TEST(LimitlessDir, PrevMetaRemembersWhyDiverted)
+{
+    LimitlessDir dir(0, 4, true);
+    dir.setMeta(0x40, MetaState::trapOnWrite);
+    dir.setMeta(0x40, MetaState::transInProgress);
+    EXPECT_EQ(dir.prevMeta(0x40), MetaState::trapOnWrite);
+}
+
+TEST(LimitlessDir, SpillEmptiesPointersButKeepsLocalBit)
+{
+    LimitlessDir dir(7, 2, true);
+    dir.tryAdd(0x40, 1);
+    dir.tryAdd(0x40, 2);
+    dir.tryAdd(0x40, 7); // local bit
+    std::vector<NodeId> spilled;
+    dir.spillPointers(0x40, spilled);
+    std::sort(spilled.begin(), spilled.end());
+    EXPECT_EQ(spilled, (std::vector<NodeId>{1, 2}));
+    EXPECT_TRUE(dir.contains(0x40, 7));
+    EXPECT_FALSE(dir.contains(0x40, 1));
+    // Room for new pointers now.
+    EXPECT_EQ(dir.tryAdd(0x40, 3), DirAdd::added);
+}
+
+TEST(LimitlessDir, EntryCostIsPointersPlusMetaPlusLocalBit)
+{
+    LimitlessDir dir(0, 4, true);
+    EXPECT_EQ(dir.bitsPerEntry(64), 4u * 6u + 2u + 1u);
+    LimitlessDir no_local(0, 4, false);
+    EXPECT_EQ(no_local.bitsPerEntry(64), 4u * 6u + 2u);
+}
+
+TEST(LimitlessDir, MetaStateNames)
+{
+    EXPECT_STREQ(metaStateName(MetaState::normal), "Normal");
+    EXPECT_STREQ(metaStateName(MetaState::transInProgress),
+                 "Trans-In-Progress");
+    EXPECT_STREQ(metaStateName(MetaState::trapOnWrite), "Trap-On-Write");
+    EXPECT_STREQ(metaStateName(MetaState::trapAlways), "Trap-Always");
+}
+
+// ---------------------------------------------------------------- Chained
+
+TEST(ChainedDir, HeadPushAndClear)
+{
+    ChainedDir dir;
+    EXPECT_EQ(dir.head(0x40), invalidNode);
+    dir.push(0x40, 3);
+    EXPECT_EQ(dir.head(0x40), 3u);
+    dir.push(0x40, 9);
+    EXPECT_EQ(dir.head(0x40), 9u);
+    EXPECT_EQ(dir.chainLength(0x40), 2u);
+    dir.clear(0x40);
+    EXPECT_EQ(dir.head(0x40), invalidNode);
+    EXPECT_EQ(dir.chainLength(0x40), 0u);
+}
+
+TEST(ChainedDir, ConstantMemoryPerEntry)
+{
+    ChainedDir dir;
+    EXPECT_EQ(dir.bitsPerEntry(64), 12u);   // head + count pointers
+    EXPECT_EQ(dir.bitsPerEntry(1024), 20u);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,98 @@
+/** @file Unit tests for the deterministic event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(2); }, EventPriority::cpu);
+    eq.schedule(5, [&]() { order.push_back(0); }, EventPriority::network);
+    eq.schedule(5, [&]() { order.push_back(3); }, EventPriority::cpu);
+    eq.schedule(5, [&]() { order.push_back(1); }, EventPriority::deliver);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 28u);
+}
+
+TEST(EventQueue, SameTickScheduleRunsThisTick)
+{
+    EventQueue eq;
+    bool inner = false;
+    eq.schedule(10, [&]() {
+        eq.schedule(10, [&]() { inner = true; });
+    });
+    eq.run();
+    EXPECT_TRUE(inner);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t * 10, [&]() { ++count; });
+    const auto ran = eq.runUntil(50);
+    EXPECT_EQ(ran, 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.pendingEvents(), 5u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 17; ++i)
+        eq.schedule(i, []() {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 17u);
+}
+
+} // namespace
+} // namespace limitless

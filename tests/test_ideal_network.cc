@@ -1,0 +1,120 @@
+/** @file Unit tests for the contention-free network model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "network/ideal_network.hh"
+
+namespace limitless
+{
+namespace
+{
+
+struct Fixture
+{
+    EventQueue eq;
+    IdealNetwork net{eq, MeshTopology(4, 4)};
+    std::vector<PacketPtr> received;
+
+    Fixture()
+    {
+        for (NodeId n = 0; n < 16; ++n) {
+            net.setReceiver(n, [this](PacketPtr pkt) {
+                received.push_back(std::move(pkt));
+            });
+        }
+    }
+};
+
+TEST(IdealNetwork, DeliversToTheRightNode)
+{
+    Fixture f;
+    f.net.send(makeProtocolPacket(0, 5, Opcode::RREQ, 0x40));
+    f.eq.run();
+    ASSERT_EQ(f.received.size(), 1u);
+    EXPECT_EQ(f.received[0]->dest, 5u);
+    EXPECT_EQ(f.received[0]->opcode, Opcode::RREQ);
+}
+
+TEST(IdealNetwork, LatencyGrowsWithDistanceAndLength)
+{
+    // Near, short packet.
+    {
+        Fixture f;
+        f.net.send(makeProtocolPacket(0, 1, Opcode::RREQ, 0x40));
+        f.eq.run();
+        EXPECT_GT(f.eq.now(), 0u);
+    }
+    Tick near_t, far_t, data_t;
+    {
+        Fixture f;
+        f.net.send(makeProtocolPacket(0, 1, Opcode::RREQ, 0x40));
+        f.eq.run();
+        near_t = f.eq.now();
+    }
+    {
+        Fixture f;
+        f.net.send(makeProtocolPacket(0, 15, Opcode::RREQ, 0x40));
+        f.eq.run();
+        far_t = f.eq.now();
+    }
+    {
+        Fixture f;
+        f.net.send(makeDataPacket(0, 1, Opcode::RDATA, 0x40,
+                                  {1, 2, 3, 4}));
+        f.eq.run();
+        data_t = f.eq.now();
+    }
+    EXPECT_GT(far_t, near_t);  // more hops
+    EXPECT_GT(data_t, near_t); // more words
+}
+
+TEST(IdealNetwork, PreservesPointToPointFifoOrder)
+{
+    Fixture f;
+    // A long packet then a short one on the same pair: the short one has
+    // lower raw latency but must not overtake.
+    f.net.send(makeDataPacket(0, 5, Opcode::RDATA, 0x40,
+                              std::vector<std::uint64_t>(8, 1)));
+    f.net.send(makeProtocolPacket(0, 5, Opcode::INV, 0x80));
+    f.eq.run();
+    ASSERT_EQ(f.received.size(), 2u);
+    EXPECT_EQ(f.received[0]->opcode, Opcode::RDATA);
+    EXPECT_EQ(f.received[1]->opcode, Opcode::INV);
+}
+
+TEST(IdealNetwork, BusyWhilePacketsInFlight)
+{
+    Fixture f;
+    EXPECT_FALSE(f.net.busy());
+    f.net.send(makeProtocolPacket(0, 9, Opcode::RREQ, 0x40));
+    EXPECT_TRUE(f.net.busy());
+    f.eq.run();
+    EXPECT_FALSE(f.net.busy());
+}
+
+TEST(IdealNetwork, SelfSendDelivers)
+{
+    Fixture f;
+    f.net.send(makeProtocolPacket(3, 3, Opcode::ACKC, 0x40));
+    f.eq.run();
+    ASSERT_EQ(f.received.size(), 1u);
+}
+
+TEST(IdealNetwork, CountsPacketsAndWords)
+{
+    Fixture f;
+    f.net.send(makeProtocolPacket(0, 1, Opcode::RREQ, 0x40));
+    f.net.send(makeDataPacket(2, 3, Opcode::RDATA, 0x40, {1, 2}));
+    f.eq.run();
+    const auto *packets =
+        static_cast<const Counter *>(f.net.stats().find("packets"));
+    const auto *words =
+        static_cast<const Counter *>(f.net.stats().find("words"));
+    EXPECT_EQ(packets->value(), 2u);
+    EXPECT_EQ(words->value(), 2u + 4u);
+}
+
+} // namespace
+} // namespace limitless

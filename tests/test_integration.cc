@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end integration tests: full machines running real workloads
+ * under every protocol, with workload data verification and quiescent
+ * coherence checks (both performed inside runExperiment).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "workload/hotspot.hh"
+#include "workload/migratory.hh"
+#include "workload/multigrid.hh"
+#include "workload/random_stress.hh"
+#include "workload/weather.hh"
+#include "workload/worker_set.hh"
+
+namespace limitless
+{
+namespace
+{
+
+MachineConfig
+smallMachine(ProtocolParams proto, NetworkKind net = NetworkKind::mesh)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = proto;
+    cfg.network = net;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::vector<ProtocolParams>
+allProtocols()
+{
+    return {
+        protocols::fullMap(),
+        protocols::dirNB(2),
+        protocols::dirNB(4),
+        protocols::limitlessStall(4, 50),
+        protocols::limitlessEmulated(4),
+        protocols::chained(),
+    };
+}
+
+TEST(Integration, MultigridCompletesAndVerifiesUnderEveryProtocol)
+{
+    for (const auto &proto : allProtocols()) {
+        MultigridParams wp;
+        wp.iterations = 4;
+        wp.interiorLines = 8;
+        const auto out = runExperiment(
+            smallMachine(proto),
+            [&]() { return std::make_unique<Multigrid>(wp); });
+        EXPECT_TRUE(out.completed) << out.label;
+        EXPECT_GT(out.cycles, 0u) << out.label;
+    }
+}
+
+TEST(Integration, WeatherCompletesAndVerifiesUnderEveryProtocol)
+{
+    for (const auto &proto : allProtocols()) {
+        WeatherParams wp;
+        wp.iterations = 4;
+        wp.columnLines = 6;
+        const auto out = runExperiment(
+            smallMachine(proto),
+            [&]() { return std::make_unique<Weather>(wp); });
+        EXPECT_TRUE(out.completed) << out.label;
+    }
+}
+
+TEST(Integration, HotspotCompletesUnderEveryProtocol)
+{
+    for (const auto &proto : allProtocols()) {
+        HotspotParams hp;
+        hp.iterations = 4;
+        hp.hotLines = 2;
+        hp.privLines = 4;
+        const auto out = runExperiment(
+            smallMachine(proto),
+            [&]() { return std::make_unique<Hotspot>(hp); });
+        EXPECT_TRUE(out.completed) << out.label;
+    }
+}
+
+TEST(Integration, MigratoryCompletesUnderEveryProtocol)
+{
+    for (const auto &proto : allProtocols()) {
+        MigratoryParams mp;
+        mp.rounds = 2;
+        mp.objectLines = 3;
+        const auto out = runExperiment(
+            smallMachine(proto),
+            [&]() { return std::make_unique<Migratory>(mp); });
+        EXPECT_TRUE(out.completed) << out.label;
+    }
+}
+
+TEST(Integration, RandomStressVerifiesUnderEveryProtocol)
+{
+    for (const auto &proto : allProtocols()) {
+        RandomStressParams rp;
+        rp.opsPerProc = 80;
+        const auto out = runExperiment(
+            smallMachine(proto),
+            [&]() { return std::make_unique<RandomStress>(rp); });
+        EXPECT_TRUE(out.completed) << out.label;
+    }
+}
+
+TEST(Integration, WorkerSetSweepRecordsWriteLatencies)
+{
+    WorkerSetParams wp;
+    wp.workerSet = 6;
+    wp.rounds = 3;
+    const auto out = runExperiment(
+        smallMachine(protocols::fullMap()),
+        [&]() { return std::make_unique<WorkerSetSweep>(wp); });
+    EXPECT_TRUE(out.completed);
+}
+
+TEST(Integration, IdealNetworkAlsoWorks)
+{
+    MultigridParams wp;
+    wp.iterations = 3;
+    const auto out = runExperiment(
+        smallMachine(protocols::limitlessStall(4, 50), NetworkKind::ideal),
+        [&]() { return std::make_unique<Multigrid>(wp); });
+    EXPECT_TRUE(out.completed);
+}
+
+TEST(Integration, SingleNodeMachineDegenerateCase)
+{
+    MachineConfig cfg = smallMachine(protocols::fullMap());
+    cfg.numNodes = 1;
+    MultigridParams wp;
+    wp.iterations = 2;
+    const auto out = runExperiment(
+        cfg, [&]() { return std::make_unique<Multigrid>(wp); });
+    EXPECT_TRUE(out.completed);
+}
+
+TEST(Integration, NonSquareMeshWorks)
+{
+    MachineConfig cfg = smallMachine(protocols::dirNB(2));
+    cfg.numNodes = 12; // resolves to a 4x3 mesh
+    MultigridParams wp;
+    wp.iterations = 2;
+    const auto out = runExperiment(
+        cfg, [&]() { return std::make_unique<Multigrid>(wp); });
+    EXPECT_TRUE(out.completed);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Directed tests for the LimitLESS-specific machinery: pointer-overflow
+ * handling in both models (stall approximation and full emulation via
+ * the trap handler), Trap-On-Write semantics, meta-state interlocking,
+ * the local bit, and the Ts accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "kernel/limitless_handler.hh"
+#include "machine/address_map.hh"
+#include "mem/memory_controller.hh"
+
+namespace limitless
+{
+namespace
+{
+
+/** Controller-in-isolation harness (stall approximation). */
+struct StallHarness
+{
+    EventQueue eq;
+    AddressMap amap{8, 16};
+    MemoryController mc;
+    std::vector<PacketPtr> sent;
+    Tick stalled = 0;
+
+    explicit StallHarness(unsigned pointers = 2, Tick ts = 50,
+                          bool trap_on_write = true)
+        : mc(eq, 0, amap,
+             [&] {
+                 ProtocolParams p = protocols::limitlessStall(pointers, ts);
+                 p.trapOnWrite = trap_on_write;
+                 return p;
+             }(),
+             MemParams{})
+    {
+        mc.setSend([this](PacketPtr p) { sent.push_back(std::move(p)); });
+        mc.setTrapStall([this](Tick t) { stalled += t; });
+        mc.setDivert([](PacketPtr) { FAIL() << "unexpected divert"; });
+    }
+
+    Addr line() const { return amap.addrOnNode(0, 0); }
+
+    void
+    inject(Opcode op, NodeId src, std::vector<std::uint64_t> data = {})
+    {
+        PacketPtr pkt = opcodeCarriesData(op)
+                            ? makeDataPacket(src, 0, op, line(), data)
+                            : makeProtocolPacket(src, 0, op, line());
+        mc.enqueue(std::move(pkt));
+        eq.run();
+    }
+
+    unsigned
+    count(Opcode op, NodeId dest) const
+    {
+        unsigned n = 0;
+        for (const auto &p : sent)
+            n += (p->opcode == op && p->dest == dest);
+        return n;
+    }
+};
+
+TEST(LimitlessStall, OverflowSpillsPointersToSoftwareAndCharges)
+{
+    StallHarness h(/*pointers=*/2, /*ts=*/50);
+    h.inject(Opcode::RREQ, 1);
+    h.inject(Opcode::RREQ, 2);
+    EXPECT_EQ(h.stalled, 0u);
+    h.inject(Opcode::RREQ, 3); // overflow
+    // Requester is still served...
+    EXPECT_EQ(h.count(Opcode::RDATA, 3), 1u);
+    // ...but the trap spilled the old pointers into the bit vector,
+    // stalled the home processor for Ts, and armed Trap-On-Write.
+    EXPECT_EQ(h.stalled, 50u);
+    EXPECT_TRUE(h.mc.softwareTable().contains(h.line(), 1));
+    EXPECT_TRUE(h.mc.softwareTable().contains(h.line(), 2));
+    EXPECT_EQ(h.mc.limitlessDir()->meta(h.line()),
+              MetaState::trapOnWrite);
+    // Hardware pointer array was emptied; the new reader is in hardware.
+    EXPECT_TRUE(h.mc.limitlessDir()->contains(h.line(), 3));
+    EXPECT_FALSE(h.mc.limitlessDir()->contains(h.line(), 1));
+}
+
+TEST(LimitlessStall, TrapOnWriteAbsorbsFurtherReadsInHardware)
+{
+    StallHarness h(2, 50);
+    for (NodeId n = 1; n <= 3; ++n)
+        h.inject(Opcode::RREQ, n); // one overflow trap
+    const Tick after_first = h.stalled;
+    h.inject(Opcode::RREQ, 4); // fits in the freed pointer array
+    EXPECT_EQ(h.stalled, after_first) << "no extra trap";
+    EXPECT_EQ(h.count(Opcode::RDATA, 4), 1u);
+}
+
+TEST(LimitlessStall, OverflowRDataIsDelayedByTs)
+{
+    StallHarness h(2, 50);
+    h.inject(Opcode::RREQ, 1);
+    h.inject(Opcode::RREQ, 2);
+    const Tick before = h.eq.now();
+    h.inject(Opcode::RREQ, 3);
+    // The RDATA event fires Ts after the trap began.
+    EXPECT_GE(h.eq.now(), before + 50);
+}
+
+TEST(LimitlessStall, WriteToOverflowedLineGathersFullWorkerSet)
+{
+    StallHarness h(2, 50);
+    for (NodeId n = 1; n <= 5; ++n)
+        h.inject(Opcode::RREQ, n);
+    h.sent.clear();
+    const Tick stall_before = h.stalled;
+    h.inject(Opcode::WREQ, 1);
+    EXPECT_GT(h.stalled, stall_before) << "write-gather trap charged";
+    // Everyone except the writer gets invalidated, wherever their record
+    // lived (hardware pointers or software vector).
+    for (NodeId n = 2; n <= 5; ++n)
+        EXPECT_EQ(h.count(Opcode::INV, n), 1u) << "node " << n;
+    EXPECT_EQ(h.count(Opcode::INV, 1), 0u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction);
+    EXPECT_EQ(h.mc.ackCounter(h.line()), 4u);
+    // Software state is freed; the line is back in hardware control.
+    EXPECT_FALSE(h.mc.softwareTable().has(h.line()));
+    EXPECT_EQ(h.mc.limitlessDir()->meta(h.line()), MetaState::normal);
+    for (NodeId n = 2; n <= 5; ++n)
+        h.inject(Opcode::ACKC, n);
+    EXPECT_EQ(h.count(Opcode::WDATA, 1), 1u);
+}
+
+TEST(LimitlessStall, TrapAlwaysAblationTrapsEveryRead)
+{
+    StallHarness h(2, 50, /*trap_on_write=*/false);
+    for (NodeId n = 1; n <= 3; ++n)
+        h.inject(Opcode::RREQ, n); // overflow -> Trap-Always
+    EXPECT_EQ(h.mc.limitlessDir()->meta(h.line()), MetaState::trapAlways);
+    const Tick stall_before = h.stalled;
+    h.inject(Opcode::RREQ, 4);
+    EXPECT_EQ(h.stalled, stall_before + 50) << "every read traps now";
+    EXPECT_EQ(h.count(Opcode::RDATA, 4), 1u);
+}
+
+TEST(LimitlessStall, LocalBitKeepsHomeNodeOutOfThePointerArray)
+{
+    StallHarness h(2, 50);
+    h.inject(Opcode::RREQ, 0); // the home node itself
+    h.inject(Opcode::RREQ, 1);
+    h.inject(Opcode::RREQ, 2);
+    // Two remote readers fit the two pointers; the local copy rides the
+    // local bit, so no trap has happened yet.
+    EXPECT_EQ(h.stalled, 0u);
+    h.inject(Opcode::RREQ, 3);
+    EXPECT_EQ(h.stalled, 50u);
+}
+
+TEST(LimitlessStall, OverflowFractionMatchesTrapCounts)
+{
+    StallHarness h(2, 50);
+    for (NodeId n = 1; n <= 4; ++n)
+        h.inject(Opcode::RREQ, n);
+    // 4 requests, traps on the 3rd (overflow). The 4th read hits the
+    // emptied array.
+    EXPECT_NEAR(h.mc.overflowFraction(), 1.0 / 4.0, 1e-9);
+}
+
+// ------------------------------------------------------- Full emulation
+
+/** Full machine (so the IPI + handler + processor path is real). */
+TEST(LimitlessEmulation, TrapHandlerServicesOverflowEndToEnd)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = protocols::limitlessEmulated(2);
+    cfg.seed = 3;
+
+    Machine m(cfg);
+    const Addr hot = m.addressMap().addrOnNode(0, 0);
+    // One thread per node reads the same line; worker-set 16 overflows
+    // the 2-pointer array repeatedly.
+    for (NodeId p = 0; p < 16; ++p) {
+        m.spawnOn(p, [hot](ThreadApi &t) -> Task<> {
+            const std::uint64_t v = co_await t.read(hot);
+            EXPECT_EQ(v, 0u);
+        });
+    }
+    const RunResult r = m.run();
+    EXPECT_TRUE(r.completed);
+    // The handler took read-overflow traps and spilled into the table.
+    EXPECT_GT(m.sumCounter("handler", "read_traps"), 0u);
+    EXPECT_GT(m.sumCounter("ipi", "diverted"), 0u);
+    const SoftwareDirTable &sw = m.node(0).mem().softwareTable();
+    EXPECT_TRUE(sw.has(m.addressMap().lineAddr(hot)));
+}
+
+TEST(LimitlessEmulation, WriteReturnsLineToHardwareControl)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 8;
+    cfg.protocol = protocols::limitlessEmulated(2);
+    cfg.seed = 3;
+
+    Machine m(cfg);
+    const Addr hot = m.addressMap().addrOnNode(1, 0);
+    // Stage 1: everyone reads (overflow). Stage 2: node 0 writes.
+    // Simple handshake through a second flag line.
+    const Addr flag = m.addressMap().addrOnNode(2, 1);
+    for (NodeId p = 0; p < 8; ++p) {
+        m.spawnOn(p, [&m, hot, flag, p](ThreadApi &t) -> Task<> {
+            co_await t.read(hot);
+            co_await t.fetchAdd(flag, 1);
+            if (p == 0) {
+                // Wait until all 8 have read, then write the hot line.
+                for (;;) {
+                    if ((co_await t.read(flag)) == 8)
+                        break;
+                    co_await t.compute(20);
+                }
+                co_await t.write(hot, 77);
+            }
+        });
+    }
+    const RunResult r = m.run();
+    EXPECT_TRUE(r.completed);
+    MemoryController &home = m.node(1).mem();
+    const Addr line = m.addressMap().lineAddr(hot);
+    EXPECT_GT(m.sumCounter("handler", "write_traps"), 0u);
+    EXPECT_FALSE(home.softwareTable().has(line)) << "vector freed";
+    EXPECT_EQ(home.limitlessDir()->meta(line), MetaState::normal);
+    EXPECT_EQ(home.lineState(line), MemState::readWrite);
+}
+
+TEST(LimitlessEmulation, EffectiveTrapCostIsInThePaperRange)
+{
+    KernelCosts costs;
+    // Paper Section 5: "the current estimate of this latency in the
+    // Alewife machine is between 50 and 100 cycles".
+    const Tick t = costs.typicalReadTrap(4);
+    EXPECT_GE(t, 30u);
+    EXPECT_LE(t, 100u);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Migratory-line policy tests (Section 6 extension): FIFO software
+ * eviction on LimitLESS pointer overflow instead of bit-vector
+ * allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "machine/coherence_monitor.hh"
+#include "workload/migratory.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(MigratoryPolicy, OverflowEvictsInsteadOfSpilling)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 8;
+    cfg.protocol = protocols::limitlessStall(2, 50);
+    cfg.seed = 71;
+    Machine m(cfg);
+    const Addr a = m.addressMap().addrOnNode(0, 0);
+    const Addr line = m.addressMap().lineAddr(a);
+    m.policy().markMigratory(line);
+
+    // Five readers overflow the 2-pointer entry three times.
+    for (NodeId p = 1; p <= 5; ++p) {
+        m.spawnOn(p, [a, p](ThreadApi &t) -> Task<> {
+            co_await t.compute(p * 40); // serialize arrivals
+            co_await t.read(a);
+        });
+    }
+    ASSERT_TRUE(m.run().completed);
+    CoherenceMonitor(m).checkQuiescent();
+
+    MemoryController &home = m.node(0).mem();
+    EXPECT_FALSE(home.softwareTable().has(line))
+        << "migratory lines must not allocate bit vectors";
+    EXPECT_EQ(home.softwareTable().allocations(), 0u);
+    const auto *evicts = static_cast<const Counter *>(
+        home.stats().find("migratory_evictions"));
+    EXPECT_EQ(evicts->value(), 3u);
+    // Only the 2 newest readers keep copies.
+    EXPECT_EQ(home.directory().numSharers(line), 2u);
+}
+
+TEST(MigratoryPolicy, MigratoryWorkloadStillVerifies)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 8;
+    cfg.protocol = protocols::limitlessStall(2, 50);
+    cfg.seed = 71;
+    Machine m(cfg);
+    MigratoryParams mp;
+    mp.rounds = 3;
+    mp.objectLines = 3;
+    // Mark the whole migrating object.
+    for (unsigned k = 0; k < mp.objectLines; ++k)
+        m.policy().markMigratory(m.addressMap().addrOnNode(0, k));
+    Migratory wl(mp);
+    wl.install(m);
+    ASSERT_TRUE(m.run().completed);
+    wl.verify(m);
+    CoherenceMonitor(m).checkQuiescent();
+}
+
+TEST(MigratoryPolicy, UnmarkedLinesStillSpillNormally)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 8;
+    cfg.protocol = protocols::limitlessStall(2, 50);
+    cfg.seed = 71;
+    Machine m(cfg);
+    const Addr a = m.addressMap().addrOnNode(0, 0);
+    for (NodeId p = 1; p <= 5; ++p) {
+        m.spawnOn(p, [a, p](ThreadApi &t) -> Task<> {
+            co_await t.compute(p * 40);
+            co_await t.read(a);
+        });
+    }
+    ASSERT_TRUE(m.run().completed);
+    MemoryController &home = m.node(0).mem();
+    EXPECT_TRUE(home.softwareTable().has(m.addressMap().lineAddr(a)));
+    const auto *evicts = static_cast<const Counter *>(
+        home.stats().find("migratory_evictions"));
+    EXPECT_EQ(evicts->value(), 0u);
+    // All five readers keep copies (hardware pointers + spilled vector).
+    CoherenceMonitor(m).checkQuiescent();
+}
+
+} // namespace
+} // namespace limitless

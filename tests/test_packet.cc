@@ -1,0 +1,100 @@
+/** @file Unit tests for opcodes and the uniform packet format. */
+
+#include <gtest/gtest.h>
+
+#include "proto/packet.hh"
+#include "proto/protocol_params.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(Opcode, InterruptClassHasMsbSet)
+{
+    EXPECT_TRUE(isInterruptOpcode(Opcode::IPI_MESSAGE));
+    EXPECT_TRUE(isInterruptOpcode(Opcode::IPI_LOCK_GRANT));
+    EXPECT_FALSE(isInterruptOpcode(Opcode::RREQ));
+    EXPECT_FALSE(isInterruptOpcode(Opcode::WDATA));
+    EXPECT_TRUE(isProtocolOpcode(Opcode::ACKC));
+}
+
+TEST(Opcode, DataCarryingOpcodesMatchPaperTable3)
+{
+    // Paper Table 3: REPM, UPDATE, RDATA, WDATA carry data.
+    EXPECT_TRUE(opcodeCarriesData(Opcode::REPM));
+    EXPECT_TRUE(opcodeCarriesData(Opcode::UPDATE));
+    EXPECT_TRUE(opcodeCarriesData(Opcode::RDATA));
+    EXPECT_TRUE(opcodeCarriesData(Opcode::WDATA));
+    EXPECT_FALSE(opcodeCarriesData(Opcode::RREQ));
+    EXPECT_FALSE(opcodeCarriesData(Opcode::WREQ));
+    EXPECT_FALSE(opcodeCarriesData(Opcode::ACKC));
+    EXPECT_FALSE(opcodeCarriesData(Opcode::INV));
+    EXPECT_FALSE(opcodeCarriesData(Opcode::BUSY));
+}
+
+TEST(Opcode, EveryOpcodeHasAName)
+{
+    for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPM,
+                      Opcode::UPDATE, Opcode::ACKC, Opcode::REPC,
+                      Opcode::RDATA, Opcode::WDATA, Opcode::INV,
+                      Opcode::BUSY, Opcode::REPC_ACK,
+                      Opcode::IPI_MESSAGE}) {
+        EXPECT_STRNE(opcodeName(op), "UNKNOWN");
+    }
+}
+
+TEST(Packet, LengthCountsHeaderOperandsAndData)
+{
+    // Paper Figure 4: header word + operands + data words.
+    auto pkt = makeDataPacket(3, 5, Opcode::RDATA, 0x100, {1, 2});
+    EXPECT_EQ(pkt->lengthWords(), 1u + 1u + 2u);
+    EXPECT_EQ(pkt->src, 3u);
+    EXPECT_EQ(pkt->dest, 5u);
+    EXPECT_EQ(pkt->addr(), 0x100u);
+}
+
+TEST(Packet, ProtocolBuilderSetsAddressOperand)
+{
+    auto pkt = makeProtocolPacket(1, 2, Opcode::RREQ, 0xABCD0);
+    EXPECT_TRUE(pkt->isProtocol());
+    EXPECT_FALSE(pkt->isInterrupt());
+    EXPECT_EQ(pkt->addr(), 0xABCD0u);
+    EXPECT_TRUE(pkt->data.empty());
+}
+
+TEST(Packet, InterruptBuilderKeepsSoftwareDefinedLayout)
+{
+    auto pkt = makeInterruptPacket(7, 9, Opcode::IPI_MESSAGE,
+                                   {11, 22, 33}, {44});
+    EXPECT_TRUE(pkt->isInterrupt());
+    EXPECT_EQ(pkt->operands.size(), 3u);
+    EXPECT_EQ(pkt->data.size(), 1u);
+    EXPECT_EQ(pkt->lengthWords(), 5u);
+}
+
+TEST(Packet, DescribeMentionsOpcodeAndEndpoints)
+{
+    auto pkt = makeProtocolPacket(1, 2, Opcode::WREQ, 0x40);
+    const std::string desc = describePacket(*pkt);
+    EXPECT_NE(desc.find("WREQ"), std::string::npos);
+    EXPECT_NE(desc.find("1->2"), std::string::npos);
+}
+
+TEST(ProtocolParams, NamesMatchPaperNotation)
+{
+    ProtocolParams p;
+    p.kind = ProtocolKind::fullMap;
+    EXPECT_EQ(p.name(), "Full-Map");
+    p.kind = ProtocolKind::limited;
+    p.pointers = 4;
+    EXPECT_EQ(p.name(), "Dir4NB");
+    p.kind = ProtocolKind::limitless;
+    p.softwareLatency = 50;
+    EXPECT_EQ(p.name(), "LimitLESS4 Ts=50");
+    p.kind = ProtocolKind::chained;
+    EXPECT_EQ(p.name(), "Chained");
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Directed tests for the memory-side FSM: every transition of the
+ * paper's Table 2 / Figure 2, plus the message crossings the annotation
+ * implies (REPM racing an INV), exercised against an isolated
+ * MemoryController with captured output messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "machine/address_map.hh"
+#include "mem/memory_controller.hh"
+
+namespace limitless
+{
+namespace
+{
+
+/** Isolated home-node controller with captured sends. */
+struct MemHarness
+{
+    EventQueue eq;
+    AddressMap amap{4, 16};
+    MemoryController mc;
+    std::vector<PacketPtr> sent;
+    std::vector<PacketPtr> diverted;
+
+    explicit MemHarness(ProtocolParams proto, MemParams mem = {})
+        : mc(eq, 0, amap, proto, mem)
+    {
+        mc.setSend([this](PacketPtr p) { sent.push_back(std::move(p)); });
+        mc.setTrapStall([](Tick) {});
+        mc.setDivert([this](PacketPtr p) {
+            diverted.push_back(std::move(p));
+        });
+    }
+
+    /** A line homed at node 0. */
+    Addr line(std::uint64_t slot = 0) const
+    {
+        return amap.addrOnNode(0, slot);
+    }
+
+    void
+    inject(Opcode op, NodeId src, Addr a,
+           std::vector<std::uint64_t> data = {})
+    {
+        PacketPtr pkt;
+        if (opcodeCarriesData(op))
+            pkt = makeDataPacket(src, 0, op, a, data);
+        else
+            pkt = makeProtocolPacket(src, 0, op, a);
+        mc.enqueue(std::move(pkt));
+        eq.run();
+    }
+
+    /** Count of captured messages matching (op, dest). */
+    unsigned
+    count(Opcode op, NodeId dest) const
+    {
+        unsigned n = 0;
+        for (const auto &p : sent)
+            n += (p->opcode == op && p->dest == dest);
+        return n;
+    }
+
+    const Packet *
+    last() const
+    {
+        return sent.empty() ? nullptr : sent.back().get();
+    }
+};
+
+// ------------------------------------------------------- Transitions 1-2
+
+TEST(Table2, T1_ReadOnUncachedLineGrantsAndRecordsPointer)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::RREQ, 1, h.line());
+    ASSERT_EQ(h.sent.size(), 1u);
+    EXPECT_EQ(h.last()->opcode, Opcode::RDATA);
+    EXPECT_EQ(h.last()->dest, 1u);
+    EXPECT_TRUE(h.mc.directory().contains(h.line(), 1));
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readOnly);
+}
+
+TEST(Table2, T1_MultipleReadersAccumulatePointers)
+{
+    MemHarness h(protocols::fullMap());
+    for (NodeId n = 1; n < 4; ++n)
+        h.inject(Opcode::RREQ, n, h.line());
+    EXPECT_EQ(h.mc.directory().numSharers(h.line()), 3u);
+    EXPECT_EQ(h.count(Opcode::RDATA, 1), 1u);
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 1u);
+    EXPECT_EQ(h.count(Opcode::RDATA, 3), 1u);
+}
+
+TEST(Table2, T2_WriteOnUncachedLineGrantsExclusive)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::WREQ, 2, h.line());
+    ASSERT_EQ(h.sent.size(), 1u);
+    EXPECT_EQ(h.last()->opcode, Opcode::WDATA);
+    EXPECT_EQ(h.last()->dest, 2u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readWrite);
+    EXPECT_TRUE(h.mc.directory().contains(h.line(), 2));
+}
+
+TEST(Table2, T2_UpgradeWhenRequesterIsSoleSharer)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::RREQ, 2, h.line());
+    h.inject(Opcode::WREQ, 2, h.line());
+    EXPECT_EQ(h.count(Opcode::WDATA, 2), 1u);
+    EXPECT_EQ(h.count(Opcode::INV, 2), 0u); // no self-invalidation
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readWrite);
+}
+
+// --------------------------------------------------------- Transition 3
+
+TEST(Table2, T3_WriteWithSharersInvalidatesAndCountsAcks)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::RREQ, 1, h.line());
+    h.inject(Opcode::RREQ, 2, h.line());
+    h.inject(Opcode::RREQ, 3, h.line());
+    h.inject(Opcode::WREQ, 1, h.line()); // requester IS a sharer
+    // INVs go to everyone but the requester (AckCtr = n - 1).
+    EXPECT_EQ(h.count(Opcode::INV, 2), 1u);
+    EXPECT_EQ(h.count(Opcode::INV, 3), 1u);
+    EXPECT_EQ(h.count(Opcode::INV, 1), 0u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction);
+    EXPECT_EQ(h.mc.ackCounter(h.line()), 2u);
+    // No data until all acks arrive.
+    EXPECT_EQ(h.count(Opcode::WDATA, 1), 0u);
+
+    h.inject(Opcode::ACKC, 2, h.line());
+    EXPECT_EQ(h.count(Opcode::WDATA, 1), 0u);
+    h.inject(Opcode::ACKC, 3, h.line());
+    EXPECT_EQ(h.count(Opcode::WDATA, 1), 1u); // transition 8
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readWrite);
+}
+
+// ------------------------------------------------------ Transitions 4, 8
+
+TEST(Table2, T4_WriteOverExclusiveOwnerForwardsViaInvalidate)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::WREQ, 1, h.line());
+    h.sent.clear();
+    h.inject(Opcode::WREQ, 2, h.line());
+    EXPECT_EQ(h.count(Opcode::INV, 1), 1u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction);
+    // Owner returns dirty data via UPDATE; requester then gets it.
+    h.inject(Opcode::UPDATE, 1, h.line(), {0xDEAD, 0xBEEF});
+    EXPECT_EQ(h.count(Opcode::WDATA, 2), 1u);
+    EXPECT_EQ(h.mc.readLine(h.line())[0], 0xDEADu);
+    EXPECT_TRUE(h.mc.directory().contains(h.line(), 2));
+    EXPECT_FALSE(h.mc.directory().contains(h.line(), 1));
+}
+
+// ----------------------------------------------------- Transitions 5, 10
+
+TEST(Table2, T5_T10_ReadOverExclusiveOwner)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::WREQ, 1, h.line());
+    h.sent.clear();
+    h.inject(Opcode::RREQ, 2, h.line());
+    EXPECT_EQ(h.count(Opcode::INV, 1), 1u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readTransaction);
+    h.inject(Opcode::UPDATE, 1, h.line(), {7, 8});
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 1u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readOnly);
+    EXPECT_EQ(h.mc.readLine(h.line())[1], 8u);
+}
+
+// --------------------------------------------------------- Transition 6
+
+TEST(Table2, T6_ReplaceModifiedWritesBackAndEmptiesDirectory)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::WREQ, 3, h.line());
+    h.inject(Opcode::REPM, 3, h.line(), {0x11, 0x22});
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readOnly);
+    EXPECT_EQ(h.mc.directory().numSharers(h.line()), 0u);
+    EXPECT_EQ(h.mc.readLine(h.line())[0], 0x11u);
+    EXPECT_EQ(h.mc.readLine(h.line())[1], 0x22u);
+}
+
+// ------------------------------------------------------- Transitions 7, 9
+
+TEST(Table2, T7_RequestsDuringWriteTransactionAreHeldOff)
+{
+    // deferDepth 0 recovers the paper's pure BUSY behaviour.
+    MemParams mem;
+    mem.deferDepth = 0;
+    MemHarness h(protocols::fullMap(), mem);
+    h.inject(Opcode::RREQ, 1, h.line());
+    h.inject(Opcode::RREQ, 2, h.line());
+    h.inject(Opcode::WREQ, 3, h.line());
+    ASSERT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction);
+    h.sent.clear();
+    h.inject(Opcode::RREQ, 1, h.line());
+    EXPECT_EQ(h.count(Opcode::BUSY, 1), 1u);
+    h.inject(Opcode::WREQ, 2, h.line());
+    EXPECT_EQ(h.count(Opcode::BUSY, 2), 1u);
+}
+
+TEST(Table2, T7_DeferredRequestsReplayAfterTransaction)
+{
+    MemHarness h(protocols::fullMap()); // default deferDepth > 0
+    h.inject(Opcode::RREQ, 1, h.line());
+    h.inject(Opcode::WREQ, 3, h.line());
+    ASSERT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction);
+    h.inject(Opcode::RREQ, 2, h.line()); // parked, no BUSY
+    EXPECT_EQ(h.count(Opcode::BUSY, 2), 0u);
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 0u);
+    h.inject(Opcode::ACKC, 1, h.line()); // completes the write
+    // The parked read replays: node 2 is served (after the new owner is
+    // invalidated through a read transaction).
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readTransaction);
+    h.inject(Opcode::UPDATE, 3, h.line(), {1, 2});
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 1u);
+}
+
+TEST(Table2, T9_RequestsDuringReadTransactionAreHeldOff)
+{
+    MemParams mem;
+    mem.deferDepth = 0;
+    MemHarness h(protocols::fullMap(), mem);
+    h.inject(Opcode::WREQ, 1, h.line());
+    h.inject(Opcode::RREQ, 2, h.line());
+    ASSERT_EQ(h.mc.lineState(h.line()), MemState::readTransaction);
+    h.sent.clear();
+    h.inject(Opcode::RREQ, 3, h.line());
+    EXPECT_EQ(h.count(Opcode::BUSY, 3), 1u);
+}
+
+// ------------------------------------------------- Crossing-race handling
+
+TEST(Table2, RepmCrossingInvDuringWriteTransaction)
+{
+    // Owner replaces its dirty line exactly as the home invalidates it:
+    // REPM carries the data (no ack), the owner's ACKC to the INV closes
+    // the transaction (DESIGN.md ack discipline).
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::WREQ, 1, h.line());
+    h.inject(Opcode::WREQ, 2, h.line()); // INV -> 1 in flight
+    ASSERT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction);
+    h.inject(Opcode::REPM, 1, h.line(), {0x77, 0x88});
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::writeTransaction)
+        << "REPM alone must not complete the transaction";
+    h.inject(Opcode::ACKC, 1, h.line());
+    EXPECT_EQ(h.count(Opcode::WDATA, 2), 1u);
+    EXPECT_EQ(h.mc.readLine(h.line())[0], 0x77u)
+        << "replaced data must be visible to the new writer";
+}
+
+TEST(Table2, RepmCrossingInvDuringReadTransaction)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::WREQ, 1, h.line());
+    h.inject(Opcode::RREQ, 2, h.line());
+    ASSERT_EQ(h.mc.lineState(h.line()), MemState::readTransaction);
+    h.inject(Opcode::REPM, 1, h.line(), {0x55, 0x66});
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readTransaction);
+    h.inject(Opcode::ACKC, 1, h.line());
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 1u);
+    EXPECT_EQ(h.mc.readLine(h.line())[0], 0x55u);
+}
+
+// ------------------------------------------- Limited-directory eviction
+
+TEST(LimitedDirFsm, PointerOverflowEvictsAVictim)
+{
+    MemHarness h(protocols::dirNB(2));
+    h.inject(Opcode::RREQ, 1, h.line());
+    h.inject(Opcode::RREQ, 2, h.line());
+    h.sent.clear();
+    h.inject(Opcode::RREQ, 3, h.line()); // overflow
+    // One of the existing sharers is invalidated; requester waits.
+    EXPECT_EQ(h.count(Opcode::INV, 1) + h.count(Opcode::INV, 2), 1u);
+    EXPECT_EQ(h.count(Opcode::RDATA, 3), 0u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::evictTransaction);
+    const NodeId victim = h.count(Opcode::INV, 1) ? 1 : 2;
+    h.inject(Opcode::ACKC, victim, h.line());
+    EXPECT_EQ(h.count(Opcode::RDATA, 3), 1u);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readOnly);
+    EXPECT_FALSE(h.mc.directory().contains(h.line(), victim));
+    EXPECT_TRUE(h.mc.directory().contains(h.line(), 3));
+}
+
+TEST(LimitedDirFsm, SpuriousInvForDroppedCopyStillCompletesEviction)
+{
+    // The victim silently dropped its copy earlier; its cache answers the
+    // INV with an ACKC anyway, and the eviction completes.
+    MemHarness h(protocols::dirNB(1));
+    h.inject(Opcode::RREQ, 1, h.line());
+    h.inject(Opcode::RREQ, 2, h.line()); // evicts 1
+    h.inject(Opcode::ACKC, 1, h.line());
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 1u);
+}
+
+// --------------------------------------------------------- Memory values
+
+TEST(Table2, DataFlowsThroughWriteReadChain)
+{
+    MemHarness h(protocols::fullMap());
+    const Addr a = h.line();
+    h.inject(Opcode::WREQ, 1, a);
+    h.inject(Opcode::REPM, 1, a, {100, 200});
+    h.sent.clear();
+    h.inject(Opcode::RREQ, 2, a);
+    ASSERT_EQ(h.sent.size(), 1u);
+    ASSERT_EQ(h.last()->data.size(), 2u);
+    EXPECT_EQ(h.last()->data[0], 100u);
+    EXPECT_EQ(h.last()->data[1], 200u);
+}
+
+TEST(Table2, UntouchedMemoryReadsAsZero)
+{
+    MemHarness h(protocols::fullMap());
+    h.inject(Opcode::RREQ, 1, h.line(9));
+    ASSERT_EQ(h.sent.size(), 1u);
+    EXPECT_EQ(h.last()->data[0], 0u);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,92 @@
+/** @file Unit tests for the xoshiro256** generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ReseedRestartsTheStream)
+{
+    Rng a(7);
+    const auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02); // law of large numbers
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(17);
+    unsigned buckets[10] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++buckets[r.below(10)];
+    for (unsigned b : buckets) {
+        EXPECT_GT(b, 9000u);
+        EXPECT_LT(b, 11000u);
+    }
+}
+
+} // namespace
+} // namespace limitless

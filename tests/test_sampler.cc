@@ -1,0 +1,90 @@
+/** @file Unit tests for the interval sampler. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/sampler.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(Sampler, RecordsPerIntervalDeltas)
+{
+    EventQueue eq;
+    Counter counter("c", "");
+    Sampler sampler(eq, 10);
+    sampler.addCounter("rate", counter);
+    // Bump the counter at known times.
+    for (Tick t = 1; t <= 50; ++t) {
+        eq.schedule(t, [&counter]() { counter += 2; });
+    }
+    sampler.setStopPredicate([&eq]() { return eq.now() >= 50; });
+    sampler.start();
+    eq.run();
+
+    const auto &values = sampler.values("rate");
+    ASSERT_GE(values.size(), 4u);
+    for (double v : values)
+        EXPECT_DOUBLE_EQ(v, 20.0); // 10 ticks x 2 per tick
+}
+
+TEST(Sampler, StopPredicateEndsSampling)
+{
+    EventQueue eq;
+    Counter counter("c", "");
+    Sampler sampler(eq, 5);
+    sampler.addCounter("x", counter);
+    sampler.setStopPredicate([&eq]() { return eq.now() >= 20; });
+    sampler.start();
+    // Keep the queue alive well past the stop point.
+    eq.schedule(200, []() {});
+    eq.run();
+    EXPECT_LE(sampler.samples(), 5u);
+    EXPECT_EQ(eq.now(), 200u) << "queue must drain past the sampler";
+}
+
+TEST(Sampler, ExplicitStopAlsoWorks)
+{
+    EventQueue eq;
+    Counter counter("c", "");
+    Sampler sampler(eq, 5);
+    sampler.addCounter("x", counter);
+    sampler.start();
+    eq.schedule(18, [&sampler]() { sampler.stop(); });
+    eq.run();
+    EXPECT_LE(sampler.samples(), 4u);
+}
+
+TEST(Sampler, ProfileRendersOneRowPerSeries)
+{
+    EventQueue eq;
+    Counter a("a", ""), b("b", "");
+    Sampler sampler(eq, 2);
+    sampler.addCounter("alpha", a);
+    sampler.addCounter("beta", b);
+    for (Tick t = 1; t <= 20; ++t)
+        eq.schedule(t, [&a, t]() { a += t % 3; });
+    sampler.setStopPredicate([&eq]() { return eq.now() >= 20; });
+    sampler.start();
+    eq.run();
+
+    std::ostringstream os;
+    sampler.printProfile(os, 8);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("peak"), std::string::npos);
+}
+
+TEST(Sampler, UnknownSeriesNameIsFatal)
+{
+    EventQueue eq;
+    Sampler sampler(eq, 5);
+    EXPECT_DEATH(sampler.values("nope"), "no series");
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,94 @@
+/** @file Unit tests for the trap handler's software bit-vector table. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kernel/software_dir.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(SoftwareDir, StartsEmpty)
+{
+    SoftwareDirTable sw(64);
+    EXPECT_FALSE(sw.has(0x40));
+    EXPECT_EQ(sw.entries(), 0u);
+    EXPECT_EQ(sw.numSharers(0x40), 0u);
+}
+
+TEST(SoftwareDir, AddSharerAllocatesVector)
+{
+    SoftwareDirTable sw(64);
+    sw.addSharer(0x40, 17);
+    EXPECT_TRUE(sw.has(0x40));
+    EXPECT_TRUE(sw.contains(0x40, 17));
+    EXPECT_FALSE(sw.contains(0x40, 18));
+    EXPECT_EQ(sw.entries(), 1u);
+    EXPECT_EQ(sw.allocations(), 1u);
+}
+
+TEST(SoftwareDir, BatchSpillSetsAllBits)
+{
+    SoftwareDirTable sw(64);
+    sw.addSharers(0x40, {1, 5, 63});
+    std::vector<NodeId> out;
+    sw.sharers(0x40, out);
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, (std::vector<NodeId>{1, 5, 63}));
+    EXPECT_EQ(sw.numSharers(0x40), 3u);
+}
+
+TEST(SoftwareDir, DuplicatesAreIdempotent)
+{
+    SoftwareDirTable sw(64);
+    sw.addSharer(0x40, 5);
+    sw.addSharer(0x40, 5);
+    sw.addSharers(0x40, {5, 5});
+    EXPECT_EQ(sw.numSharers(0x40), 1u);
+}
+
+TEST(SoftwareDir, FreeReleasesTheVector)
+{
+    SoftwareDirTable sw(64);
+    sw.addSharer(0x40, 5);
+    sw.free(0x40);
+    EXPECT_FALSE(sw.has(0x40));
+    EXPECT_EQ(sw.entries(), 0u);
+}
+
+TEST(SoftwareDir, EmptyBatchAllocatesNothing)
+{
+    SoftwareDirTable sw(64);
+    sw.addSharers(0x40, {});
+    EXPECT_FALSE(sw.has(0x40));
+}
+
+TEST(SoftwareDir, PeakTracksHighWaterMark)
+{
+    SoftwareDirTable sw(64);
+    sw.addSharer(0x40, 1);
+    sw.addSharer(0x80, 1);
+    sw.addSharer(0xC0, 1);
+    sw.free(0x40);
+    sw.free(0x80);
+    EXPECT_EQ(sw.entries(), 1u);
+    EXPECT_EQ(sw.peakEntries(), 3u);
+    EXPECT_GT(sw.footprintBytes(), 0u);
+}
+
+TEST(SoftwareDir, FullWorkerSetOfLargeMachine)
+{
+    SoftwareDirTable sw(1024);
+    for (NodeId n = 0; n < 1024; ++n)
+        sw.addSharer(0x40, n);
+    EXPECT_EQ(sw.numSharers(0x40), 1024u);
+    std::vector<NodeId> out;
+    sw.sharers(0x40, out);
+    EXPECT_EQ(out.size(), 1024u);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,201 @@
+/** @file Unit tests for the coroutine Task type (sim/task.hh). */
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/task.hh"
+
+namespace limitless
+{
+namespace
+{
+
+/** Minimal manual awaitable: suspends and parks the handle. */
+struct ManualGate
+{
+    std::coroutine_handle<> parked;
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            ManualGate *gate;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h) noexcept
+            {
+                gate->parked = h;
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{this};
+    }
+
+    void
+    release()
+    {
+        auto h = parked;
+        parked = nullptr;
+        h.resume();
+    }
+};
+
+TEST(Task, RunsLazilyUntilStart)
+{
+    bool ran = false;
+    auto make = [&]() -> Task<> {
+        ran = true;
+        co_return;
+    };
+    Task<> t = make();
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(t.done());
+    t.start();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, SuspendsAtAwaitAndResumes)
+{
+    ManualGate gate;
+    std::vector<int> order;
+    auto make = [&]() -> Task<> {
+        order.push_back(1);
+        co_await gate.wait();
+        order.push_back(2);
+    };
+    Task<> t = make();
+    t.start();
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_FALSE(t.done());
+    gate.release();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, NestedTasksResumeTheParent)
+{
+    ManualGate gate;
+    std::vector<int> order;
+    auto child = [&]() -> Task<int> {
+        order.push_back(2);
+        co_await gate.wait();
+        order.push_back(3);
+        co_return 42;
+    };
+    auto parent = [&]() -> Task<> {
+        order.push_back(1);
+        const int v = co_await child();
+        order.push_back(4);
+        EXPECT_EQ(v, 42);
+    };
+    Task<> t = parent();
+    t.start();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    gate.release(); // resumes child, whose completion resumes parent
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, DeeplyNestedCompletionChain)
+{
+    ManualGate gate;
+    int depth_reached = 0;
+    // 64 levels of nesting; symmetric transfer must not blow the stack
+    // and completion must cascade back up.
+    std::function<Task<>(int)> rec = [&](int depth) -> Task<> {
+        if (depth == 64) {
+            depth_reached = depth;
+            co_await gate.wait();
+            co_return;
+        }
+        co_await rec(depth + 1);
+    };
+    Task<> t = rec(0);
+    t.start();
+    EXPECT_EQ(depth_reached, 64);
+    EXPECT_FALSE(t.done());
+    gate.release();
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, ValueTaskReturnsResult)
+{
+    auto make = []() -> Task<int> { co_return 7; };
+    Task<int> t = make();
+    t.start();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 7);
+}
+
+TEST(Task, ChildExceptionPropagatesToParentAwait)
+{
+    auto child = []() -> Task<> {
+        throw std::runtime_error("boom");
+        co_return;
+    };
+    bool caught = false;
+    auto parent = [&]() -> Task<> {
+        try {
+            co_await child();
+        } catch (const std::runtime_error &) {
+            caught = true;
+        }
+    };
+    Task<> t = parent();
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(caught);
+}
+
+TEST(Task, RootExceptionSurfacesViaRethrow)
+{
+    auto make = []() -> Task<> {
+        throw std::logic_error("top");
+        co_return;
+    };
+    Task<> t = make();
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.rethrowIfFailed(), std::logic_error);
+}
+
+TEST(Task, DestroyingSuspendedTaskFreesTheFrame)
+{
+    ManualGate gate;
+    bool destroyed = false;
+    struct Sentinel
+    {
+        bool *flag;
+        ~Sentinel() { *flag = true; }
+    };
+    {
+        auto make = [&]() -> Task<> {
+            Sentinel s{&destroyed};
+            co_await gate.wait();
+        };
+        Task<> t = make();
+        t.start();
+        EXPECT_FALSE(destroyed);
+    } // Task destructor destroys the suspended frame
+    EXPECT_TRUE(destroyed);
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    ManualGate gate;
+    auto make = [&]() -> Task<> { co_await gate.wait(); };
+    Task<> a = make();
+    a.start();
+    Task<> b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    gate.release();
+    EXPECT_TRUE(b.done());
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,60 @@
+/** @file Unit tests for mesh topology arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "network/topology.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(Topology, CoordinatesRoundTrip)
+{
+    MeshTopology topo(8, 8);
+    EXPECT_EQ(topo.numNodes(), 64u);
+    for (NodeId n = 0; n < 64; ++n)
+        EXPECT_EQ(topo.nodeAt(topo.xOf(n), topo.yOf(n)), n);
+}
+
+TEST(Topology, ManhattanDistance)
+{
+    MeshTopology topo(8, 8);
+    EXPECT_EQ(topo.hops(0, 0), 0u);
+    EXPECT_EQ(topo.hops(0, 7), 7u);
+    EXPECT_EQ(topo.hops(0, 63), 14u);
+    EXPECT_EQ(topo.hops(topo.nodeAt(2, 3), topo.nodeAt(5, 1)), 5u);
+    // Symmetry.
+    for (NodeId a : {0u, 9u, 27u, 63u})
+        for (NodeId b : {5u, 14u, 40u})
+            EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+}
+
+TEST(Topology, NonSquareMesh)
+{
+    MeshTopology topo(4, 3);
+    EXPECT_EQ(topo.numNodes(), 12u);
+    EXPECT_EQ(topo.xOf(11), 3u);
+    EXPECT_EQ(topo.yOf(11), 2u);
+    EXPECT_EQ(topo.hops(0, 11), 5u);
+}
+
+TEST(Topology, AverageHopsMatchesBruteForce)
+{
+    MeshTopology topo(4, 4);
+    double total = 0;
+    for (NodeId a = 0; a < 16; ++a)
+        for (NodeId b = 0; b < 16; ++b)
+            total += topo.hops(a, b);
+    EXPECT_NEAR(topo.averageHops(), total / (16.0 * 16.0), 1e-9);
+}
+
+TEST(Topology, SingleNodeMesh)
+{
+    MeshTopology topo(1, 1);
+    EXPECT_EQ(topo.numNodes(), 1u);
+    EXPECT_EQ(topo.hops(0, 0), 0u);
+}
+
+} // namespace
+} // namespace limitless

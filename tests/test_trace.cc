@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Trace substrate tests: serialization round-trips, capture semantics
+ * (synchronization references excluded, episodes aligned), and
+ * post-mortem replay across protocols — the ASIM Figure 6 methodology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "machine/coherence_monitor.hh"
+#include "trace/trace_capture.hh"
+#include "trace/trace_replay.hh"
+#include "workload/multigrid.hh"
+#include "workload/weather.hh"
+
+namespace limitless
+{
+namespace
+{
+
+MachineConfig
+machineFor(ProtocolParams proto, unsigned nodes = 16)
+{
+    MachineConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.protocol = proto;
+    cfg.seed = 91;
+    return cfg;
+}
+
+TraceLog
+captureMultigrid(unsigned nodes, unsigned iterations)
+{
+    Machine m(machineFor(protocols::fullMap(), nodes));
+    MultigridParams wp;
+    wp.iterations = iterations;
+    wp.interiorLines = 6;
+    Multigrid wl(wp);
+    wl.install(m);
+    TraceCapture capture(m);
+    const RunResult r = m.run();
+    EXPECT_TRUE(r.completed);
+    wl.verify(m);
+    return capture.takeLog();
+}
+
+TEST(Trace, SaveLoadRoundTripsExactly)
+{
+    TraceLog log(3);
+    log.append(0, TraceOp{TraceKind::read, 0x40, 0, 0});
+    log.append(0, TraceOp{TraceKind::write, 0x80, 1234, 0});
+    log.append(1, TraceOp{TraceKind::fetchAdd, 0xC0, 7, 0});
+    log.append(1, TraceOp{TraceKind::compute, 0, 0, 55});
+    log.append(2, TraceOp{TraceKind::barrier, 0, 0, 0});
+    log.append(2, TraceOp{TraceKind::swap, 0x100, 9, 0});
+
+    std::stringstream ss;
+    log.save(ss);
+    const TraceLog copy = TraceLog::load(ss);
+    EXPECT_TRUE(copy == log);
+    EXPECT_EQ(copy.totalOps(), 6u);
+    EXPECT_EQ(copy.dataOps(), 4u);
+}
+
+TEST(Trace, CaptureExcludesBarrierInternals)
+{
+    Machine m(machineFor(protocols::fullMap(), 8));
+    MultigridParams wp;
+    wp.iterations = 2;
+    wp.interiorLines = 4;
+    Multigrid wl(wp);
+    wl.install(m);
+    TraceCapture capture(m);
+    ASSERT_TRUE(m.run().completed);
+
+    const TraceLog &log = capture.log();
+    // Each proc ran 2 iterations x 2 barriers.
+    for (unsigned p = 0; p < 8; ++p) {
+        unsigned barriers = 0;
+        for (const TraceOp &op : log.stream(p)) {
+            barriers += op.kind == TraceKind::barrier;
+            if (op.kind == TraceKind::fetchAdd) {
+                ADD_FAILURE() << "barrier-internal fetch-add leaked into "
+                                 "the trace (proc " << p << ")";
+            }
+        }
+        EXPECT_EQ(barriers, 4u) << "proc " << p;
+    }
+    // The trace is far smaller than the raw op count (spins excluded).
+    EXPECT_LT(log.dataOps(), m.sumCounter("proc", "ops"));
+    EXPECT_GT(log.dataOps(), 0u);
+}
+
+TEST(Trace, ReplayExecutesEveryRecordUnderEveryProtocol)
+{
+    const TraceLog log = captureMultigrid(16, 3);
+    for (const auto &proto :
+         {protocols::fullMap(), protocols::dirNB(2),
+          protocols::limitlessStall(4, 50), protocols::chained()}) {
+        Machine m(machineFor(proto, 16));
+        TraceReplay replay(log);
+        replay.install(m);
+        const RunResult r = m.run();
+        ASSERT_TRUE(r.completed) << proto.name();
+        replay.verify(m);
+        CoherenceMonitor(m).checkQuiescent();
+        EXPECT_EQ(replay.opsReplayed(), log.totalOps()) << proto.name();
+    }
+}
+
+TEST(Trace, ReplayIsDeterministic)
+{
+    const TraceLog log = captureMultigrid(8, 2);
+    auto run_once = [&]() {
+        Machine m(machineFor(protocols::limitlessStall(4, 50), 8));
+        TraceReplay replay(log);
+        replay.install(m);
+        const RunResult r = m.run();
+        EXPECT_TRUE(r.completed);
+        return r.cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Trace, WeatherTraceReplayPreservesTheFigure8Ordering)
+{
+    // The paper's methodology end to end: capture Weather once, replay
+    // under limited and full-map directories; the hot-spot pathology
+    // must survive the trace round trip.
+    Machine cap(machineFor(protocols::fullMap(), 16));
+    WeatherParams wp;
+    wp.iterations = 6;
+    wp.columnLines = 8;
+    Weather wl(wp);
+    wl.install(cap);
+    TraceCapture capture(cap);
+    ASSERT_TRUE(cap.run().completed);
+    wl.verify(cap);
+    const TraceLog log = capture.takeLog();
+
+    Tick cycles[2] = {};
+    int i = 0;
+    for (const auto &proto :
+         {protocols::dirNB(4), protocols::fullMap()}) {
+        Machine m(machineFor(proto, 16));
+        TraceReplay replay(log);
+        replay.install(m);
+        const RunResult r = m.run();
+        ASSERT_TRUE(r.completed);
+        replay.verify(m);
+        cycles[i++] = r.cycles;
+    }
+    EXPECT_GT(cycles[0], cycles[1] * 5 / 4)
+        << "Dir4NB must still thrash on the replayed hot variable";
+}
+
+TEST(Trace, ReplayRejectsMismatchedMachineSize)
+{
+    const TraceLog log = captureMultigrid(8, 1);
+    Machine m(machineFor(protocols::fullMap(), 16));
+    TraceReplay replay(log);
+    EXPECT_DEATH(replay.install(m), "streams");
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::stringstream ss("not a trace at all");
+    EXPECT_DEATH(TraceLog::load(ss), "bad header");
+}
+
+} // namespace
+} // namespace limitless

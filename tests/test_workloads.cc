@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Workload-level behaviour tests: sharing patterns produce exactly the
+ * directory pressure they are designed to (worker-sets, hot spots,
+ * traps), and verification catches the values each workload promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "workload/hotspot.hh"
+#include "workload/migratory.hh"
+#include "workload/multigrid.hh"
+#include "workload/random_stress.hh"
+#include "workload/weather.hh"
+#include "workload/worker_set.hh"
+
+namespace limitless
+{
+namespace
+{
+
+MachineConfig
+machine16(ProtocolParams proto)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = proto;
+    cfg.seed = 77;
+    return cfg;
+}
+
+TEST(WorkloadMultigrid, SmallWorkerSetsNeverOverflowLimitless)
+{
+    // Multigrid's boundary lines have worker-set 2; with 4 pointers the
+    // LimitLESS machine should take (almost) no traps — the property
+    // Figure 7 relies on.
+    MultigridParams wp;
+    wp.iterations = 5;
+    const auto out =
+        runExperiment(machine16(protocols::limitlessStall(4, 50)),
+                      [&] { return std::make_unique<Multigrid>(wp); });
+    EXPECT_EQ(out.readTraps + out.writeTraps, 0u);
+}
+
+TEST(WorkloadMultigrid, LimitedDirectoryTakesNoEvictionsEither)
+{
+    MultigridParams wp;
+    wp.iterations = 5;
+    const auto out = runExperiment(
+        machine16(protocols::dirNB(4)),
+        [&] { return std::make_unique<Multigrid>(wp); });
+    EXPECT_EQ(out.evictions, 0u);
+}
+
+TEST(WorkloadWeather, UnoptimizedHotVariableThrashesLimitedDirectory)
+{
+    // The hot-spot penalty grows with machine size (the whole point of
+    // Figure 8); at 32 nodes it is already a solid 1.5x.
+    MachineConfig cfg = machine16(protocols::dirNB(4));
+    cfg.numNodes = 32;
+    WeatherParams wp;
+    wp.iterations = 8;
+    const auto limited = runExperiment(
+        cfg, [&] { return std::make_unique<Weather>(wp); });
+    cfg.protocol = protocols::fullMap();
+    const auto full = runExperiment(
+        cfg, [&] { return std::make_unique<Weather>(wp); });
+    EXPECT_GT(limited.evictions, 100u) << "pointer thrashing";
+    EXPECT_GT(limited.cycles, full.cycles * 3 / 2);
+}
+
+TEST(WorkloadWeather, OptimizedVariantRescuesLimitedDirectory)
+{
+    WeatherParams wp;
+    wp.iterations = 8;
+    wp.optimizeHotVariable = true;
+    const auto limited = runExperiment(
+        machine16(protocols::dirNB(4)),
+        [&] { return std::make_unique<Weather>(wp); });
+    const auto full = runExperiment(
+        machine16(protocols::fullMap()),
+        [&] { return std::make_unique<Weather>(wp); });
+    EXPECT_LT(limited.cycles, full.cycles * 5 / 4)
+        << "paper 5.2: flagged read-only makes Dir4NB competitive";
+}
+
+TEST(WorkloadWeather, LimitlessAbsorbsTheHotVariableWithBoundedTraps)
+{
+    WeatherParams wp;
+    wp.iterations = 8;
+    const auto out =
+        runExperiment(machine16(protocols::limitlessStall(4, 50)),
+                      [&] { return std::make_unique<Weather>(wp); });
+    // Worker-set build-up is one-time: roughly (N - pointers) / pointers
+    // traps for the hot line, far fewer than iterations * N.
+    EXPECT_GT(out.readTraps, 0u);
+    EXPECT_LT(out.readTraps, 16u * 8u / 4u);
+    EXPECT_EQ(out.evictions, 0u);
+}
+
+TEST(WorkloadWeather, PairwiseVariablesBreakLimitless1)
+{
+    WeatherParams wp;
+    wp.iterations = 8;
+    const auto one =
+        runExperiment(machine16(protocols::limitlessStall(1, 50)),
+                      [&] { return std::make_unique<Weather>(wp); });
+    const auto four =
+        runExperiment(machine16(protocols::limitlessStall(4, 50)),
+                      [&] { return std::make_unique<Weather>(wp); });
+    EXPECT_GT(one.readTraps + one.writeTraps,
+              4 * (four.readTraps + four.writeTraps))
+        << "worker-set-2 variables trap every iteration with one pointer";
+    EXPECT_GT(one.cycles, four.cycles);
+}
+
+TEST(WorkloadHotspot, WritePeriodControlsRecurringOverflow)
+{
+    HotspotParams one_time;
+    one_time.iterations = 8;
+    one_time.writePeriod = 0; // never re-dirtied
+    HotspotParams recurring = one_time;
+    recurring.writePeriod = 1;
+
+    const auto once =
+        runExperiment(machine16(protocols::limitlessStall(4, 50)),
+                      [&] { return std::make_unique<Hotspot>(one_time); });
+    const auto often = runExperiment(
+        machine16(protocols::limitlessStall(4, 50)),
+        [&] { return std::make_unique<Hotspot>(recurring); });
+    EXPECT_GT(often.readTraps, 2 * once.readTraps);
+    EXPECT_GT(often.overflowFraction, once.overflowFraction);
+}
+
+TEST(WorkloadWorkerSet, MeanLatencyReflectsInvalidations)
+{
+    WorkerSetParams small;
+    small.workerSet = 2;
+    small.rounds = 6;
+    WorkerSetParams large = small;
+    large.workerSet = 12;
+
+    for (auto proto : {protocols::fullMap(), protocols::chained()}) {
+        auto ws_small = std::make_unique<WorkerSetSweep>(small);
+        Machine m1(machine16(proto));
+        ws_small->install(m1);
+        ASSERT_TRUE(m1.run().completed);
+        ws_small->verify(m1);
+
+        auto ws_large = std::make_unique<WorkerSetSweep>(large);
+        Machine m2(machine16(proto));
+        ws_large->install(m2);
+        ASSERT_TRUE(m2.run().completed);
+        ws_large->verify(m2);
+
+        EXPECT_GT(ws_large->meanWriteLatency(),
+                  ws_small->meanWriteLatency())
+            << proto.name();
+    }
+}
+
+TEST(WorkloadMigratory, OwnershipMigratesThroughRWTransitions)
+{
+    MigratoryParams mp;
+    mp.rounds = 3;
+    mp.objectLines = 2;
+    const auto out = runExperiment(
+        machine16(protocols::fullMap()),
+        [&] { return std::make_unique<Migratory>(mp); });
+    EXPECT_TRUE(out.completed);
+    // Each hand-off invalidates the previous owner: at least
+    // (procs * rounds - 1) * lines ownership transfers.
+    EXPECT_GT(out.invsSent, 16u * 3u - 1u);
+}
+
+TEST(WorkloadRandomStress, DifferentSeedsBothVerify)
+{
+    for (std::uint64_t seed : {1ull, 999ull}) {
+        RandomStressParams rp;
+        rp.opsPerProc = 60;
+        rp.seed = seed;
+        const auto out = runExperiment(
+            machine16(protocols::limitlessStall(2, 50)),
+            [&] { return std::make_unique<RandomStress>(rp); });
+        EXPECT_TRUE(out.completed);
+    }
+}
+
+TEST(WorkloadNames, AreStable)
+{
+    EXPECT_EQ(Multigrid().name(), "multigrid");
+    EXPECT_EQ(Weather().name(), "weather");
+    WeatherParams wo;
+    wo.optimizeHotVariable = true;
+    EXPECT_EQ(Weather(wo).name(), "weather(opt)");
+    EXPECT_EQ(Hotspot().name(), "hotspot");
+    EXPECT_EQ(Migratory().name(), "migratory");
+    EXPECT_EQ(RandomStress().name(), "random-stress");
+    EXPECT_EQ(WorkerSetSweep().name(), "worker-set");
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * limitless-sim: the command-line front end (the role ASIM's driver
+ * plays in paper Figure 6). Runs one (workload, protocol, machine)
+ * configuration and reports execution time and the headline statistics;
+ * can capture the run as a post-mortem trace or replay a previously
+ * captured trace.
+ *
+ * Examples:
+ *   limitless-sim --workload weather --protocol dir4nb --nodes 64
+ *   limitless-sim --workload weather --protocol limitless4 --ts 100
+ *   limitless-sim --workload multigrid --protocol full-map \
+ *                 --capture-trace mg.trace
+ *   limitless-sim --replay-trace mg.trace --protocol limitless4
+ *   limitless-sim --workload random-stress --protocol chained \
+ *                 --memory-model weak --dump-stats
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "harness/cli.hh"
+#include "machine/coherence_monitor.hh"
+#include "sim/log.hh"
+#include "trace/trace_capture.hh"
+#include "trace/trace_replay.hh"
+
+using namespace limitless;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "limitless-sim — LimitLESS directory coherence simulator\n\n"
+        "  --workload <name>      one of: ";
+    for (const auto &name : workloadNames())
+        std::cout << name << " ";
+    std::cout <<
+        "\n"
+        "  --protocol <name>      full-map | dir<i>nb | limitless<i> | "
+        "chained | private-only\n"
+        "  --nodes <n>            machine size (default 64)\n"
+        "  --iterations <n>       workload main-loop length (default: "
+        "workload's own)\n"
+        "  --ts <cycles>          LimitLESS software latency (default "
+        "50)\n"
+        "  --emulate              run the full LimitLESS trap handler "
+        "instead of the\n"
+        "                         paper's stall approximation\n"
+        "  --no-trap-on-write     disable the Trap-On-Write "
+        "optimization (D1)\n"
+        "  --no-local-bit         disable the Local Bit (D3)\n"
+        "  --network <mesh|ideal> fabric model (default mesh)\n"
+        "  --memory-model <sc|weak>\n"
+        "  --seed <n>             RNG seed (default 1)\n"
+        "  --capture-trace <file> record the run as a post-mortem trace\n"
+        "  --replay-trace <file>  replay a captured trace (ignores "
+        "--workload)\n"
+        "  --dump-stats           print every per-node statistic\n"
+        "  --log <tag>            enable debug logging (mem, cache, net, "
+        "handler, all)\n"
+        "  --help\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::map<std::string, bool> known = {
+        {"workload", true},      {"protocol", true},
+        {"nodes", true},         {"iterations", true},
+        {"ts", true},            {"emulate", false},
+        {"no-trap-on-write", false}, {"no-local-bit", false},
+        {"network", true},       {"memory-model", true},
+        {"seed", true},          {"capture-trace", true},
+        {"replay-trace", true},  {"dump-stats", false},
+        {"log", true},           {"help", false},
+    };
+    const CliOptions opts = CliOptions::parse(argc, argv, known);
+    if (opts.has("help") || argc == 1) {
+        usage();
+        return 0;
+    }
+    if (opts.has("log"))
+        Log::enable(opts.str("log"));
+
+    MachineConfig cfg;
+    cfg.numNodes = static_cast<unsigned>(opts.num("nodes", 64));
+    cfg.seed = opts.num("seed", 1);
+    cfg.protocol = parseProtocol(opts.str("protocol", "limitless4"));
+    if (opts.has("ts"))
+        cfg.protocol.softwareLatency = opts.num("ts", 50);
+    if (opts.has("emulate"))
+        cfg.protocol.limitlessMode = LimitlessMode::fullEmulation;
+    if (opts.has("no-trap-on-write"))
+        cfg.protocol.trapOnWrite = false;
+    if (opts.has("no-local-bit"))
+        cfg.protocol.localBit = false;
+    if (opts.str("network", "mesh") == "ideal")
+        cfg.network = NetworkKind::ideal;
+    if (opts.str("memory-model", "sc") == "weak")
+        cfg.proc.memoryModel = MemoryModel::weak;
+
+    Machine machine(cfg);
+
+    std::unique_ptr<Workload> workload;
+    if (opts.has("replay-trace")) {
+        std::ifstream in(opts.str("replay-trace"));
+        if (!in)
+            fatal("cannot open trace '%s'",
+                  opts.str("replay-trace").c_str());
+        workload = std::make_unique<TraceReplay>(TraceLog::load(in));
+    } else {
+        workload = makeWorkloadFactory(
+            opts.str("workload", "weather"),
+            static_cast<unsigned>(opts.num("iterations", 0)))();
+    }
+    workload->install(machine);
+
+    std::unique_ptr<TraceCapture> capture;
+    if (opts.has("capture-trace"))
+        capture = std::make_unique<TraceCapture>(machine);
+
+    const RunResult run = machine.run();
+    if (!run.completed)
+        fatal("run did not complete");
+    workload->verify(machine);
+    CoherenceMonitor(machine).checkQuiescent();
+
+    if (capture) {
+        std::ofstream out(opts.str("capture-trace"));
+        if (!out)
+            fatal("cannot write trace '%s'",
+                  opts.str("capture-trace").c_str());
+        capture->log().save(out);
+        std::cout << "trace: " << capture->log().totalOps()
+                  << " records -> " << opts.str("capture-trace") << "\n";
+    }
+
+    std::cout << "workload:          " << workload->name() << "\n"
+              << "protocol:          " << cfg.protocol.name() << "\n"
+              << "nodes:             " << cfg.numNodes << " ("
+              << cfg.resolvedMeshWidth() << "x"
+              << cfg.resolvedMeshHeight() << " mesh)\n"
+              << "execution time:    " << run.cycles << " cycles ("
+              << run.cycles / 1e6 << " Mcycles)\n"
+              << "simulator events:  " << run.events << "\n"
+              << "remote latency:    "
+              << machine.meanAccumulator("cache", "remote_latency")
+              << " cycles mean\n"
+              << "cache hits/misses: "
+              << machine.sumCounter("cache", "hits") << " / "
+              << machine.sumCounter("cache", "misses") << "\n"
+              << "invalidations:     "
+              << machine.sumCounter("mem", "invs_sent") << "\n"
+              << "pointer evictions: "
+              << machine.sumCounter("mem", "evictions") << "\n"
+              << "LimitLESS traps:   "
+              << machine.sumCounter("mem", "read_traps") << " read, "
+              << machine.sumCounter("mem", "write_traps")
+              << " write (m = " << machine.overflowFraction() << ")\n";
+
+    if (opts.has("dump-stats"))
+        machine.dumpStats(std::cout);
+    return 0;
+}
