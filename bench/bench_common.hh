@@ -9,11 +9,14 @@
 #define LIMITLESS_BENCH_BENCH_COMMON_HH
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "harness/experiment.hh"
 #include "harness/result_table.hh"
+#include "obs/json.hh"
+#include "obs/stats_json.hh"
 #include "workload/multigrid.hh"
 #include "workload/weather.hh"
 
@@ -67,6 +70,41 @@ wantCsv(int argc, char **argv)
         if (!std::strcmp(argv[i], "--csv"))
             return true;
     return false;
+}
+
+/**
+ * Write the table's rows (headline numbers plus the per-phase latency
+ * breakdown) to BENCH_<name>.json in the working directory, for
+ * downstream plotting without scraping stdout.
+ */
+inline void
+writeBenchJson(const std::string &name, const ResultTable &table)
+{
+    const std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench: cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": ";
+    jsonEscape(out, name);
+    out << ",\n  \"rows\": [";
+    bool first = true;
+    for (const auto &r : table.rows()) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"label\": ";
+        jsonEscape(out, r.label);
+        out << ", \"cycles\": " << r.cycles << ", \"mcycles\": "
+            << r.mcycles << ", \"remote_latency\": " << r.remoteLatency
+            << ", \"m\": " << r.overflowFraction << ", \"read_traps\": "
+            << r.readTraps << ", \"write_traps\": " << r.writeTraps
+            << ", \"invs_sent\": " << r.invsSent << ", \"phases\": ";
+        phasesJson(out, r.phases);
+        out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "json: " << path << "\n";
 }
 
 } // namespace limitless::bench

@@ -38,8 +38,10 @@ main(int argc, char **argv)
 
     table.printBars(std::cout);
     table.printDetails(std::cout);
+    table.printPhases(std::cout);
     if (wantCsv(argc, argv))
         table.printCsv(std::cout);
+    writeBenchJson("fig10_weather_pointers", table);
 
     const double l1 = table.row("LimitLESS1").mcycles;
     const double l2 = table.row("LimitLESS2").mcycles;

@@ -33,8 +33,10 @@ main(int argc, char **argv)
 
     table.printBars(std::cout);
     table.printDetails(std::cout);
+    table.printPhases(std::cout);
     if (wantCsv(argc, argv))
         table.printCsv(std::cout);
+    writeBenchJson("fig7_multigrid", table);
 
     // Shape check: max spread within 10%.
     const double base = table.row("Full-Map").mcycles;

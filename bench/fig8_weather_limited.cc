@@ -36,6 +36,7 @@ main(int argc, char **argv)
     }
     table.printBars(std::cout);
     table.printDetails(std::cout);
+    table.printPhases(std::cout);
 
     // Section 5.2: the optimized program ("variable flagged as
     // read-only") removes the pathology.
@@ -52,6 +53,8 @@ main(int argc, char **argv)
         table.printCsv(std::cout);
         opt.printCsv(std::cout);
     }
+    writeBenchJson("fig8_weather_limited", table);
+    writeBenchJson("fig8_weather_optimized", opt);
 
     const double full = table.row("Full-Map").mcycles;
     bool ok = true;

@@ -13,6 +13,10 @@
  * shows it at par instead.)
  */
 
+#include <iomanip>
+#include <utility>
+#include <vector>
+
 #include "bench_common.hh"
 
 using namespace limitless;
@@ -33,10 +37,13 @@ main(int argc, char **argv)
 
     ResultTable table("Figure 9: weather, LimitLESS Ts sweep");
     table.add(runExperiment(alewife64(protocols::dirNB(4)), make));
+    std::vector<std::pair<Tick, ExperimentOutcome>> sweep;
     for (Tick ts : {150, 100, 50, 25}) {
-        table.add(
+        ExperimentOutcome out =
             runExperiment(alewife64(protocols::limitlessStall(4, ts)),
-                          make));
+                          make);
+        sweep.emplace_back(ts, out);
+        table.add(std::move(out));
     }
     table.add(
         runExperiment(alewife64(protocols::limitlessEmulated(4)), make));
@@ -44,8 +51,29 @@ main(int argc, char **argv)
 
     table.printBars(std::cout);
     table.printDetails(std::cout);
+    table.printPhases(std::cout);
     if (wantCsv(argc, argv))
         table.printCsv(std::cout);
+    writeBenchJson("fig9_weather_ts", table);
+
+    // The model says software emulation adds m*Ts cycles to the mean
+    // remote latency (Section 5.1). Compare the *measured* trap phase
+    // from the latency tracker against that analytic term.
+    std::cout << "\n  measured software share vs the analytic m*Ts:\n";
+    std::cout << "    Ts   measured-trap   m        m*Ts   share-of-T\n";
+    for (const auto &[ts, r] : sweep) {
+        const double analytic =
+            r.overflowFraction * static_cast<double>(ts);
+        const double share =
+            r.phases.total > 0 ? r.phases.trap / r.phases.total : 0.0;
+        std::cout << "    " << std::left << std::setw(5) << ts
+                  << std::right << std::fixed << std::setprecision(2)
+                  << std::setw(9) << r.phases.trap << " cyc "
+                  << std::setw(8) << std::setprecision(4)
+                  << r.overflowFraction << std::setw(9)
+                  << std::setprecision(2) << analytic << std::setw(10)
+                  << std::setprecision(1) << share * 100 << "%\n";
+    }
 
     const double full = table.row("Full-Map").mcycles;
     bool ok = true;

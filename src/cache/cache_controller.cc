@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -179,6 +180,12 @@ CacheController::startAccess(const MemOp &op, Completion done,
     txn.issued = _eq.now();
     txn.remote = _amap.homeOf(line) != _self;
 
+    // Only plain remote RREQ/WREQ misses feed the phase decomposition;
+    // the uncached-read and write-update paths have no fill to time.
+    if (txn.remote)
+        FlightRecorder::instance().latency().onInject(_eq.now(), _self,
+                                                      line, write);
+
     const bool upgrade = cl && write && cl->state == CacheState::readOnly;
     if (upgrade)
         _statUpgrades += 1;
@@ -239,6 +246,20 @@ CacheController::startRequest(Addr line, Txn &txn)
         return;
     }
     const Opcode op = txn.forWrite ? Opcode::WREQ : Opcode::RREQ;
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "miss_req";
+        ev.cat = EventCat::cache;
+        ev.node = _self;
+        ev.line = line;
+        ev.op = op;
+        ev.hasOp = true;
+        ev.src = _self;
+        ev.dest = _amap.homeOf(line);
+        ev.detail = txn.retries ? "retry" : nullptr;
+        FR_RECORD(ev);
+    }
     _send(makeProtocolPacket(_self, _amap.homeOf(line), op, line));
 }
 
@@ -371,10 +392,26 @@ void
 CacheController::finish(Txn txn, std::uint64_t value)
 {
     const double lat = static_cast<double>(_eq.now() - txn.issued);
+    const Addr line = _amap.lineAddr(txn.op.addr);
     if (txn.remote)
         _statRemoteLatency.sample(lat);
     else
         _statLocalMissLatency.sample(lat);
+    if (txn.remote && !txn.updateWrite && !txn.uncachedRead)
+        FlightRecorder::instance().latency().onComplete(_eq.now(), _self,
+                                                        line);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "miss_done";
+        ev.cat = EventCat::cache;
+        ev.node = _self;
+        ev.line = line;
+        ev.detail = txn.remote ? "remote" : "local";
+        ev.arg = static_cast<std::uint64_t>(lat);
+        ev.hasArg = true;
+        FR_RECORD(ev);
+    }
     _eq.schedule(_eq.now(),
                  [done = std::move(txn.done), value]() { done(value); },
                  EventPriority::cpu);
@@ -388,6 +425,16 @@ CacheController::handleInv(const Packet &pkt)
         pkt.operands.size() > 1 ? static_cast<NodeId>(pkt.operands[1])
                                 : pkt.src;
     _statInvsReceived += 1;
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "inv_rx";
+        ev.cat = EventCat::cache;
+        ev.node = _self;
+        ev.line = line;
+        ev.src = pkt.src;
+        FR_RECORD(ev);
+    }
 
     CacheLine *cl = _array.lookup(line);
     if (!cl) {
@@ -446,6 +493,18 @@ CacheController::handleBusy(const Packet &pkt)
               (unsigned long long)line);
 
     _statBusyRetries += 1;
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "busy_rx";
+        ev.cat = EventCat::cache;
+        ev.node = _self;
+        ev.line = line;
+        ev.src = pkt.src;
+        ev.arg = txn->retries;
+        ev.hasArg = true;
+        FR_RECORD(ev);
+    }
     const unsigned shift =
         std::min(txn->retries, _params.retryCapShift);
     ++txn->retries;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
+
 namespace limitless
 {
 
@@ -40,7 +42,20 @@ FullMapDir::remove(Addr line, NodeId n)
 void
 FullMapDir::clear(Addr line)
 {
-    _entries.erase(line);
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        return;
+    // A clear is the full map's only wholesale transition (ownership
+    // change / write fan-out); record how many sharers it dropped.
+    TraceEvent ev;
+    ev.ts = FlightRecorder::instance().now();
+    ev.name = "dir_clear";
+    ev.cat = EventCat::dir;
+    ev.line = line;
+    ev.arg = numSharers(line);
+    ev.hasArg = true;
+    FR_RECORD(ev);
+    _entries.erase(it);
 }
 
 void

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hh"
+
 namespace limitless
 {
 
@@ -32,8 +34,18 @@ LimitedDir::tryAdd(Addr line, NodeId n)
     for (unsigned i = 0; i < e.used; ++i)
         if (e.ptr[i] == n)
             return DirAdd::present;
-    if (e.used >= _pointers)
+    if (e.used >= _pointers) {
+        TraceEvent ev;
+        ev.ts = FlightRecorder::instance().now();
+        ev.name = "ptr_overflow";
+        ev.cat = EventCat::dir;
+        ev.line = line;
+        ev.src = n;
+        ev.arg = e.used;
+        ev.hasArg = true;
+        FR_RECORD(ev);
         return DirAdd::overflow;
+    }
     e.ptr[e.used++] = n;
     return DirAdd::added;
 }

@@ -1,7 +1,29 @@
 #include "directory/limitless_dir.hh"
 
+#include "obs/flight_recorder.hh"
+
 namespace limitless
 {
+
+namespace
+{
+
+// Directories have no clock of their own; timestamp events off the
+// machine clock the FlightRecorder was registered with.
+TraceEvent
+dirEvent(const char *name, NodeId node, Addr line)
+{
+    FlightRecorder &fr = FlightRecorder::instance();
+    TraceEvent ev;
+    ev.ts = fr.now();
+    ev.name = name;
+    ev.cat = EventCat::dir;
+    ev.node = node;
+    ev.line = line;
+    return ev;
+}
+
+} // namespace
 
 const char *
 metaStateName(MetaState m)
@@ -42,8 +64,14 @@ LimitlessDir::tryAdd(Addr line, NodeId n)
     for (unsigned i = 0; i < e.used; ++i)
         if (e.ptr[i] == n)
             return DirAdd::present;
-    if (e.used >= _pointers)
+    if (e.used >= _pointers) {
+        TraceEvent ev = dirEvent("ptr_overflow", _self, line);
+        ev.src = n;
+        ev.arg = e.used;
+        ev.hasArg = true;
+        FR_RECORD(ev);
         return DirAdd::overflow;
+    }
     e.ptr[e.used++] = n;
     return DirAdd::added;
 }
@@ -126,6 +154,11 @@ LimitlessDir::setMeta(Addr line, MetaState m)
     Entry &e = _entries.try_emplace(line).first->second;
     e.prevMeta = e.meta;
     e.meta = m;
+    if (e.prevMeta != m) {
+        TraceEvent ev = dirEvent("meta", _self, line);
+        ev.detail = metaStateName(m);
+        FR_RECORD(ev);
+    }
 }
 
 MetaState
@@ -143,6 +176,12 @@ LimitlessDir::spillPointers(Addr line, std::vector<NodeId> &out)
         return;
     for (unsigned i = 0; i < e->used; ++i)
         out.push_back(e->ptr[i]);
+    {
+        TraceEvent ev = dirEvent("spill", _self, line);
+        ev.arg = e->used;
+        ev.hasArg = true;
+        FR_RECORD(ev);
+    }
     e->used = 0;
 }
 

@@ -27,14 +27,29 @@ CliOptions::parse(int argc, char **argv,
             fatal("unexpected argument '%s' (flags start with --)",
                   arg.c_str());
         arg = arg.substr(2);
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline = true;
+        }
         auto it = known.find(arg);
         if (it == known.end())
             fatal("unknown flag --%s", arg.c_str());
         if (it->second) {
-            if (i + 1 >= argc)
-                fatal("flag --%s needs a value", arg.c_str());
-            opts._values[arg] = argv[++i];
+            if (has_inline) {
+                opts._values[arg] = inline_value;
+            } else {
+                if (i + 1 >= argc)
+                    fatal("flag --%s needs a value", arg.c_str());
+                opts._values[arg] = argv[++i];
+            }
         } else {
+            if (has_inline)
+                fatal("flag --%s takes no value", arg.c_str());
             opts._values[arg] = "1";
         }
     }

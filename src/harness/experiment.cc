@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include "machine/coherence_monitor.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -11,6 +12,10 @@ runExperiment(const MachineConfig &cfg,
               const WorkloadFactory &make_workload,
               const std::string &label)
 {
+    // The latency tracker is process-global; start each experiment with
+    // a clean slate so phases reflect this run only.
+    FlightRecorder::instance().latency().reset();
+
     Machine machine(cfg);
     std::unique_ptr<Workload> wl = make_workload();
     wl->install(machine);
@@ -34,6 +39,10 @@ runExperiment(const MachineConfig &cfg,
     out.readTraps = machine.sumCounter("mem", "read_traps");
     out.writeTraps = machine.sumCounter("mem", "write_traps");
     out.invsSent = machine.sumCounter("mem", "invs_sent");
+    if (const StatSet *net = machine.network().statSet())
+        if (const Stat *s = net->find("packets"))
+            out.networkPackets = static_cast<const Counter *>(s)->value();
+    out.phases = FlightRecorder::instance().latency().snapshot();
     return out;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "machine/machine.hh"
+#include "obs/latency_tracker.hh"
 #include "workload/workload.hh"
 
 namespace limitless
@@ -34,6 +35,11 @@ struct ExperimentOutcome
     std::uint64_t writeTraps = 0;
     std::uint64_t invsSent = 0;
     std::uint64_t networkPackets = 0;
+
+    /** Mean per-phase decomposition of the remote-miss latency (request
+     *  network / home service / software trap / invalidation fan-out /
+     *  reply network), from the flight recorder's latency tracker. */
+    PhaseBreakdown phases;
 };
 
 using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;

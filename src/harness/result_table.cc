@@ -50,16 +50,41 @@ ResultTable::printDetails(std::ostream &os) const
 }
 
 void
+ResultTable::printPhases(std::ostream &os) const
+{
+    os << "\n  remote-miss latency by phase (mean cycles)\n";
+    os << "  " << std::left << std::setw(26) << "scheme" << std::right
+       << std::setw(8) << "count" << std::setw(9) << "req_net"
+       << std::setw(8) << "home" << std::setw(8) << "trap"
+       << std::setw(8) << "inv" << std::setw(10) << "reply_net"
+       << std::setw(8) << "total" << "\n";
+    for (const auto &r : _rows) {
+        const PhaseBreakdown &p = r.phases;
+        os << "  " << std::left << std::setw(26) << r.label << std::right
+           << std::setw(8) << p.completed << std::fixed
+           << std::setprecision(1) << std::setw(9) << p.reqNet
+           << std::setw(8) << p.home << std::setw(8) << p.trap
+           << std::setw(8) << p.inv << std::setw(10) << p.replyNet
+           << std::setw(8) << p.total << "\n";
+    }
+}
+
+void
 ResultTable::printCsv(std::ostream &os) const
 {
     os << "scheme,cycles,mcycles,remote_latency,overflow_fraction,"
-          "read_traps,write_traps,evictions,busy_retries,invs_sent\n";
+          "read_traps,write_traps,evictions,busy_retries,invs_sent,"
+          "phase_req_net,phase_home,phase_trap,phase_inv,phase_reply_net,"
+          "phase_total\n";
     for (const auto &r : _rows) {
         os << '"' << r.label << '"' << ',' << r.cycles << ','
            << r.mcycles << ',' << r.remoteLatency << ','
            << r.overflowFraction << ',' << r.readTraps << ','
            << r.writeTraps << ',' << r.evictions << ',' << r.busyRetries
-           << ',' << r.invsSent << "\n";
+           << ',' << r.invsSent << ',' << r.phases.reqNet << ','
+           << r.phases.home << ',' << r.phases.trap << ','
+           << r.phases.inv << ',' << r.phases.replyNet << ','
+           << r.phases.total << "\n";
     }
 }
 

@@ -31,6 +31,10 @@ class ResultTable
     /** Aligned detail table (cycles, latency, m, traps, retries). */
     void printDetails(std::ostream &os) const;
 
+    /** Per-phase remote-latency decomposition (req_net / home / trap /
+     *  inv / reply_net), one row per scheme. */
+    void printPhases(std::ostream &os) const;
+
     /** CSV for downstream plotting. */
     void printCsv(std::ostream &os) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -150,6 +151,19 @@ LimitlessHandler::handleReadOverflow(const Packet &pkt,
 
     _statReadTraps += 1;
     _mc.noteReadTrap(cost);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "ptr_overflow";
+        ev.cat = EventCat::trap;
+        ev.node = _mc.nodeId();
+        ev.line = line;
+        ev.src = src;
+        ev.detail = "read_overflow";
+        ev.arg = spilled.size();
+        ev.hasArg = true;
+        FR_RECORD(ev);
+    }
     return cost;
 }
 
@@ -171,6 +185,17 @@ LimitlessHandler::handleSoftwareRead(const Packet &pkt,
                       _costs.stateUpdate;
     _statReadTraps += 1;
     _mc.noteReadTrap(cost);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "sw_read";
+        ev.cat = EventCat::trap;
+        ev.node = _mc.nodeId();
+        ev.line = line;
+        ev.src = pkt.src;
+        ev.detail = "trap_always";
+        FR_RECORD(ev);
+    }
     return cost;
 }
 
@@ -231,6 +256,18 @@ LimitlessHandler::handleWrite(const Packet &pkt,
 
     _statWriteTraps += 1;
     _mc.noteWriteTrap(cost);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "write_gather";
+        ev.cat = EventCat::trap;
+        ev.node = _mc.nodeId();
+        ev.line = line;
+        ev.src = src;
+        ev.arg = others.size();
+        ev.hasArg = true;
+        FR_RECORD(ev);
+    }
     return cost;
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "kernel/limitless_handler.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -60,14 +61,53 @@ TrapDispatcher::processNext()
         _statCycles += cost;
         _proc.stallFor(cost);
         const Addr line = pkt->addr();
+        const NodeId requester = pkt->src;
+        const NodeId home = pkt->dest;
+        FlightRecorder::instance().latency().onTrap(requester, line,
+                                                    cost);
+        {
+            TraceEvent ev;
+            ev.ts = _eq.now();
+            ev.name = "trap_enter";
+            ev.cat = EventCat::trap;
+            ev.node = home;
+            ev.line = line;
+            ev.op = pkt->opcode;
+            ev.hasOp = true;
+            ev.src = requester;
+            ev.arg = cost;
+            ev.hasArg = true;
+            FR_RECORD(ev);
+        }
         // Effects become visible when the handler returns.
         _eq.schedule(_eq.now() + cost,
-                     [this, line, restore,
+                     [this, line, restore, requester, home,
                       out = std::make_shared<std::vector<PacketPtr>>(
                           std::move(outgoing))]() mutable {
-            for (auto &p : *out)
+            for (auto &p : *out) {
+                // Replies / invalidations launch as the handler returns:
+                // stamp them here so the trap window is not also counted
+                // as network or fan-out time.
+                if (p->opcode == Opcode::RDATA ||
+                    p->opcode == Opcode::WDATA)
+                    FlightRecorder::instance().latency().onReplySent(
+                        _eq.now(), p->dest, line);
+                else if (p->opcode == Opcode::INV)
+                    FlightRecorder::instance().latency().onInvStart(
+                        _eq.now(), requester, line);
                 _ipi.send(std::move(p));
+            }
             _protocol->finishLine(line, restore);
+            {
+                TraceEvent ev;
+                ev.ts = _eq.now();
+                ev.name = "trap_exit";
+                ev.cat = EventCat::trap;
+                ev.node = home;
+                ev.line = line;
+                ev.src = requester;
+                FR_RECORD(ev);
+            }
             processNext();
         }, EventPriority::ctrl);
         return;

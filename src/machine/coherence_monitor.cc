@@ -3,6 +3,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -41,6 +42,9 @@ CoherenceMonitor::checkGlobalInvariants() const
 {
     const auto copies = collectCopies(_m);
     for (const auto &[line, lc] : copies) {
+        // Focus the panic-hook postmortem on the line under scrutiny so a
+        // violation prints that line's causal history, not the whole ring.
+        FlightRecorder::instance().setPanicFocus(line);
         if (lc.writers.size() > 1)
             panic("coherence: line %#llx has %zu Read-Write copies",
                   (unsigned long long)line, lc.writers.size());
@@ -50,6 +54,7 @@ CoherenceMonitor::checkGlobalInvariants() const
                   (unsigned long long)line, lc.writers[0],
                   lc.readers.size());
     }
+    FlightRecorder::instance().setPanicFocus(0);
 }
 
 void
@@ -62,6 +67,7 @@ CoherenceMonitor::checkQuiescent() const
     // (c) every memory FSM stable.
     for (unsigned i = 0; i < _m.numNodes(); ++i) {
         _m.node(i).mem().forEachLine([&](Addr line, MemState st) {
+            FlightRecorder::instance().setPanicFocus(line);
             if (st != MemState::readOnly && st != MemState::readWrite)
                 panic("coherence: home %u line %#llx stuck in %s at "
                       "quiescence",
@@ -70,6 +76,7 @@ CoherenceMonitor::checkQuiescent() const
     }
 
     for (const auto &[line, lc] : copies) {
+        FlightRecorder::instance().setPanicFocus(line);
         MemoryController &home = _m.node(amap.homeOf(line)).mem();
         DirectoryScheme &dir = home.directory();
         const SoftwareDirTable &sw = home.softwareTable();
@@ -124,6 +131,7 @@ CoherenceMonitor::checkQuiescent() const
             }
         }
     }
+    FlightRecorder::instance().setPanicFocus(0);
 }
 
 } // namespace limitless

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <iostream>
 
+#include "obs/flight_recorder.hh"
+#include "obs/json.hh"
+#include "obs/stats_json.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -26,9 +29,18 @@ Machine::Machine(const MachineConfig &cfg)
     for (NodeId i = 0; i < cfg.numNodes; ++i)
         _nodes.push_back(std::make_unique<Node>(_eq, i, _amap, _cfg,
                                                 *_net, _policy));
+
+    // Let tick-less components (directories) timestamp trace events off
+    // this machine's clock.
+    FlightRecorder::instance().setClock(&_eq);
 }
 
-Machine::~Machine() = default;
+Machine::~Machine()
+{
+    FlightRecorder &fr = FlightRecorder::instance();
+    if (fr.clock() == &_eq)
+        fr.setClock(nullptr);
+}
 
 void
 Machine::spawnOn(NodeId node_id, Processor::ThreadFn fn)
@@ -186,6 +198,112 @@ Machine::dumpStats(std::ostream &os) const
                 set->dump(os);
         }
     }
+}
+
+namespace
+{
+
+/** Components aggregated and detailed by dumpStatsJson. */
+constexpr const char *statComponents[] = {"proc", "cache",   "mem",
+                                          "ipi",  "handler", "trap"};
+
+} // namespace
+
+void
+Machine::dumpStatsJson(std::ostream &os, Tick cycles) const
+{
+    const PhaseBreakdown phases =
+        FlightRecorder::instance().latency().snapshot();
+    const double m = overflowFraction();
+    const double ts = static_cast<double>(_cfg.protocol.softwareLatency);
+
+    os << "{\n";
+    os << "  \"schema\": \"limitless-stats-v1\",\n";
+    os << "  \"protocol\": ";
+    jsonEscape(os, _cfg.protocol.name());
+    os << ",\n";
+    os << "  \"nodes\": " << _cfg.numNodes << ",\n";
+    os << "  \"cycles\": " << cycles << ",\n";
+    // The paper's model terms: T = Th + m * Ts.
+    os << "  \"model\": {\"m\": " << m << ", \"ts\": " << ts
+       << ", \"m_ts\": " << m * ts << "},\n";
+    os << "  \"phases\": ";
+    phasesJson(os, phases);
+    os << ",\n";
+
+    // Machine-wide aggregates: counters summed, accumulators merged with
+    // the parallel-variance formula, bucketed stats reduced to their
+    // sample count (full buckets live in nodes_detail).
+    os << "  \"aggregate\": {";
+    bool first_comp = true;
+    for (const char *comp : statComponents) {
+        const StatSet *shape = nullptr;
+        for (const auto &node : _nodes)
+            if ((shape = node->statSet(comp)))
+                break;
+        if (!shape)
+            continue;
+        os << (first_comp ? "\n" : ",\n");
+        first_comp = false;
+        os << "    \"" << comp << "\": {";
+        bool first_stat = true;
+        for (const auto &stat : shape->all()) {
+            os << (first_stat ? "" : ", ");
+            first_stat = false;
+            jsonEscape(os, stat->name());
+            os << ": ";
+            if (dynamic_cast<const Counter *>(stat.get())) {
+                os << sumCounter(comp, stat->name());
+            } else if (dynamic_cast<const Accumulator *>(stat.get())) {
+                Accumulator agg(stat->name(), stat->desc());
+                for (const auto &node : _nodes) {
+                    const StatSet *set = node->statSet(comp);
+                    const Stat *s = set ? set->find(stat->name()) : nullptr;
+                    if (const auto *acc =
+                            dynamic_cast<const Accumulator *>(s))
+                        agg.merge(*acc);
+                }
+                agg.json(os);
+            } else {
+                std::uint64_t count = 0;
+                for (const auto &node : _nodes) {
+                    const StatSet *set = node->statSet(comp);
+                    const Stat *s = set ? set->find(stat->name()) : nullptr;
+                    if (const auto *h = dynamic_cast<const Histogram *>(s))
+                        count += h->count();
+                    else if (const auto *d =
+                                 dynamic_cast<const Distribution *>(s))
+                        count += d->count();
+                }
+                os << "{\"count\": " << count << "}";
+            }
+        }
+        os << "}";
+    }
+    os << "\n  },\n";
+
+    os << "  \"network\": ";
+    if (const StatSet *net = _net->statSet())
+        net->json(os);
+    else
+        os << "{}";
+    os << ",\n";
+
+    os << "  \"nodes_detail\": [";
+    for (unsigned i = 0; i < _nodes.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        os << "    {\"node\": " << i;
+        for (const char *comp : statComponents) {
+            const StatSet *set = _nodes[i]->statSet(comp);
+            if (!set)
+                continue;
+            os << ", \"" << comp << "\": ";
+            set->json(os);
+        }
+        os << "}";
+    }
+    os << "\n  ]\n";
+    os << "}\n";
 }
 
 } // namespace limitless

@@ -80,6 +80,15 @@ class Machine
     /** Dump every node's stats plus the network's. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Emit the whole machine's stats as one JSON document
+     * ("limitless-stats-v1"): run metadata, the remote-miss phase
+     * breakdown from the flight recorder's latency tracker, per-component
+     * aggregates (counters summed, accumulators variance-merged across
+     * nodes), network stats, and per-node detail.
+     */
+    void dumpStatsJson(std::ostream &os, Tick cycles = 0) const;
+
   private:
     MachineConfig _cfg;
     EventQueue _eq;

@@ -5,6 +5,7 @@
 
 #include "directory/full_map_dir.hh"
 #include "directory/limited_dir.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -206,7 +207,41 @@ MemoryController::service()
                    memStateName(lineState(pkt->addr())),
                    describePacket(*pkt).c_str());
 
+    const Addr line = pkt->addr();
+    const NodeId src = pkt->src;
+    const Opcode op = pkt->opcode;
+    const MemState pre = lineState(line);
+    // Re-stamped on deferred replay / BUSY retry, so earlier service
+    // rounds land in the req_net phase.
+    if (op == Opcode::RREQ || op == Opcode::WREQ)
+        FlightRecorder::instance().latency().onHomeArrival(_eq.now(), src,
+                                                           line);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "service";
+        ev.cat = EventCat::mem;
+        ev.node = _self;
+        ev.line = line;
+        ev.op = op;
+        ev.hasOp = true;
+        ev.src = src;
+        ev.detail = memStateName(pre);
+        FR_RECORD(ev);
+    }
+
     process(pkt, false);
+    const MemState post = lineState(line);
+    if (post != pre) {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "fsm_state";
+        ev.cat = EventCat::mem;
+        ev.node = _self;
+        ev.line = line;
+        ev.detail = memStateName(post);
+        FR_RECORD(ev);
+    }
     _busyUntil = _eq.now() + _params.serviceCycles + _extraDelay;
     scheduleService();
 }
@@ -238,6 +273,11 @@ isRequestOpcode(Opcode op)
 void
 MemoryController::sendReadData(NodeId to, Addr line, NodeId old_head)
 {
+    // The reply leaves once any in-flight Ts charge has elapsed (see
+    // dispatch); stamp the launch at that time so trap cycles are not
+    // double-counted into the reply_net phase.
+    FlightRecorder::instance().latency().onReplySent(
+        _eq.now() + _extraDelay, to, line);
     const LineWords &mem = readLine(line);
     auto pkt = makeDataPacket(
         _self, to, Opcode::RDATA, line,
@@ -250,6 +290,8 @@ MemoryController::sendReadData(NodeId to, Addr line, NodeId old_head)
 void
 MemoryController::sendWriteData(NodeId to, Addr line)
 {
+    FlightRecorder::instance().latency().onReplySent(
+        _eq.now() + _extraDelay, to, line);
     const LineWords &mem = readLine(line);
     dispatch(makeDataPacket(
         _self, to, Opcode::WDATA, line,
@@ -260,6 +302,22 @@ void
 MemoryController::sendInv(NodeId to, Addr line)
 {
     _statInvsSent += 1;
+    // Every fan-out assigns hl.pending before the first sendInv, so it
+    // names the requester whose transaction this invalidation serves.
+    const NodeId pending = lineFor(line).pending;
+    if (pending != invalidNode)
+        FlightRecorder::instance().latency().onInvStart(
+            _eq.now() + _extraDelay, pending, line);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "inv_tx";
+        ev.cat = EventCat::mem;
+        ev.node = _self;
+        ev.line = line;
+        ev.dest = to;
+        FR_RECORD(ev);
+    }
     auto pkt = makeProtocolPacket(_self, to, Opcode::INV, line);
     pkt->operands.push_back(_self);
     dispatch(std::move(pkt));
@@ -286,10 +344,23 @@ MemoryController::dispatch(PacketPtr pkt)
 }
 
 void
-MemoryController::chargeTrap(Tick cycles)
+MemoryController::chargeTrap(Tick cycles, NodeId requester, Addr line)
 {
     _extraDelay = cycles;
     _statTrapCycles += cycles;
+    FlightRecorder::instance().latency().onTrap(requester, line, cycles);
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "trap_charge";
+        ev.cat = EventCat::trap;
+        ev.node = _self;
+        ev.line = line;
+        ev.src = requester;
+        ev.arg = cycles;
+        ev.hasArg = true;
+        FR_RECORD(ev);
+    }
     if (_trapStall)
         _trapStall(cycles);
 }
@@ -396,7 +467,7 @@ MemoryController::processReadOnly(PacketPtr &pkt, HomeLine &hl,
             _swTable.addSharer(line, src);
             _profile.addSharer(line, src);
             _statReadTraps += 1;
-            chargeTrap(_proto.softwareLatency);
+            chargeTrap(_proto.softwareLatency, src, line);
             sendReadData(src, line);
             return;
         }
@@ -511,7 +582,7 @@ MemoryController::processReadWrite(Packet &pkt, HomeLine &hl)
         (pkt.opcode == Opcode::RREQ || pkt.opcode == Opcode::WREQ)) {
         _profile.addSharer(line, src);
         _statReadTraps += 1;
-        chargeTrap(_proto.softwareLatency);
+        chargeTrap(_proto.softwareLatency, src, line);
     }
 
     switch (pkt.opcode) {
@@ -607,6 +678,8 @@ MemoryController::processReadTransaction(PacketPtr &pkt, HomeLine &hl)
       case Opcode::UPDATE:
         // Transition 10: previous owner returns the data.
         writeLine(line, pkt->data);
+        FlightRecorder::instance().latency().onInvEnd(_eq.now(),
+                                                      hl.pending, line);
         sendReadData(hl.pending, line);
         hl.state = MemState::readOnly;
         hl.dataSeen = false;
@@ -623,6 +696,8 @@ MemoryController::processReadTransaction(PacketPtr &pkt, HomeLine &hl)
 
       case Opcode::ACKC:
         if (hl.dataSeen) {
+            FlightRecorder::instance().latency().onInvEnd(_eq.now(),
+                                                          hl.pending, line);
             sendReadData(hl.pending, line);
             hl.state = MemState::readOnly;
             hl.dataSeen = false;
@@ -661,6 +736,8 @@ MemoryController::processWriteTransaction(PacketPtr &pkt, HomeLine &hl)
         assert(hl.ackCtr > 0 && "acknowledgment counter underflow");
         --hl.ackCtr;
         if (hl.ackCtr == 0) {
+            FlightRecorder::instance().latency().onInvEnd(_eq.now(),
+                                                          hl.pending, line);
             if (hl.updWrite) {
                 if (hl.updApply) {
                     // Recalled-data case: apply the write now that the
@@ -734,6 +811,8 @@ MemoryController::processEvictTransaction(PacketPtr &pkt, HomeLine &hl)
         const DirAdd r = _dir->tryAdd(line, hl.pending);
         assert(r != DirAdd::overflow);
         (void)r;
+        FlightRecorder::instance().latency().onInvEnd(_eq.now(),
+                                                      hl.pending, line);
         sendReadData(hl.pending, line);
         hl.evictVictim = invalidNode;
         hl.state = MemState::readOnly;
@@ -771,7 +850,7 @@ MemoryController::limitlessReadOverflow(Packet &pkt, HomeLine &hl)
         if (victim == _self && hw.size() > 1)
             victim = hw[1];
         _statMigratoryEvictions += 1;
-        chargeTrap(_proto.softwareLatency);
+        chargeTrap(_proto.softwareLatency, pkt.src, line);
         hl.state = MemState::evictTransaction;
         hl.evictVictim = victim;
         hl.pending = pkt.src;
@@ -783,7 +862,7 @@ MemoryController::limitlessReadOverflow(Packet &pkt, HomeLine &hl)
     _ldir->spillPointers(line, spilled);
     _swTable.addSharers(line, spilled);
     _statReadTraps += 1;
-    chargeTrap(_proto.softwareLatency);
+    chargeTrap(_proto.softwareLatency, pkt.src, line);
 
     if (_proto.trapOnWrite) {
         // Trap-On-Write optimization: the emptied pointer array lets the
@@ -839,7 +918,7 @@ MemoryController::limitlessWriteTrap(Packet &pkt, HomeLine &hl)
     (void)r;
 
     _statWriteTraps += 1;
-    chargeTrap(_proto.softwareLatency);
+    chargeTrap(_proto.softwareLatency, src, line);
     startWriteTransaction(line, hl, src, others);
 }
 
@@ -887,7 +966,7 @@ MemoryController::handleWriteUpdate(Packet &pkt, HomeLine &hl)
     // This is a software-synthesized coherence type on the LimitLESS
     // machine: charge the handler occupancy.
     if (_ldir)
-        chargeTrap(_proto.softwareLatency);
+        chargeTrap(_proto.softwareLatency, src, line);
 
     if (sharers.empty()) {
         if (!silent) {

@@ -230,7 +230,9 @@ class MemoryController
     void limitlessReadOverflow(Packet &pkt, HomeLine &hl);
     bool limitlessWriteNeedsTrap(Addr line) const;
     void limitlessWriteTrap(Packet &pkt, HomeLine &hl);
-    void chargeTrap(Tick cycles);
+    /** Charge Ts emulation cycles against the in-flight service, on
+     *  behalf of @p requester's transaction on @p line. */
+    void chargeTrap(Tick cycles, NodeId requester, Addr line);
 
     HomeLine &lineFor(Addr line);
 

@@ -2,10 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
 {
+
+namespace
+{
+
+TraceEvent
+netEvent(Tick ts, const char *name, const Packet &pkt, NodeId node)
+{
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.name = name;
+    ev.cat = EventCat::net;
+    ev.node = node;
+    if (isProtocolOpcode(pkt.opcode) && !pkt.operands.empty())
+        ev.line = pkt.addr();
+    ev.op = pkt.opcode;
+    ev.hasOp = true;
+    ev.src = pkt.src;
+    ev.dest = pkt.dest;
+    return ev;
+}
+
+} // namespace
 
 double
 MeshTopology::averageHops() const
@@ -53,11 +76,13 @@ IdealNetwork::send(PacketPtr pkt)
     _statPackets += 1;
     _statWords += pkt->lengthWords();
     _statLatency.sample(static_cast<double>(arrive - _eq.now()));
+    FR_RECORD(netEvent(_eq.now(), "send", *pkt, pkt->src));
 
     Packet *raw = pkt.release();
     _eq.schedule(arrive, [this, raw]() {
         PacketPtr owned(raw);
         --_inFlight;
+        FR_RECORD(netEvent(_eq.now(), "recv", *owned, owned->dest));
         Receiver &recv = _receivers.at(owned->dest);
         if (!recv)
             panic("ideal network: no receiver at node %u", owned->dest);

@@ -48,6 +48,7 @@ class IdealNetwork : public Network
     bool busy() const override { return _inFlight != 0; }
 
     StatSet &stats() { return _stats; }
+    const StatSet *statSet() const override { return &_stats; }
 
   private:
     EventQueue &_eq;

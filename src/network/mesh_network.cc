@@ -2,10 +2,33 @@
 
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
 {
+
+namespace
+{
+
+TraceEvent
+netEvent(Tick ts, const char *name, const Packet &pkt, NodeId node)
+{
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.name = name;
+    ev.cat = EventCat::net;
+    ev.node = node;
+    if (isProtocolOpcode(pkt.opcode) && !pkt.operands.empty())
+        ev.line = pkt.addr();
+    ev.op = pkt.opcode;
+    ev.hasOp = true;
+    ev.src = pkt.src;
+    ev.dest = pkt.dest;
+    return ev;
+}
+
+} // namespace
 
 MeshNetwork::MeshNetwork(EventQueue &eq, MeshTopology topo,
                          MeshNetworkParams params)
@@ -44,6 +67,7 @@ MeshNetwork::send(PacketPtr pkt)
     assert(pkt);
     assert(pkt->src < numNodes() && pkt->dest < numNodes());
     const unsigned flits = flitsForPacket(*pkt);
+    FR_RECORD(netEvent(_eq.now(), "send", *pkt, pkt->src));
     Packet *raw = pkt.release();
     _injectTick.emplace(raw, _eq.now());
 
@@ -223,6 +247,7 @@ MeshNetwork::deliver(Packet *raw)
     _statPackets += 1;
 
     PacketPtr owned(raw);
+    FR_RECORD(netEvent(_eq.now(), "recv", *owned, owned->dest));
     Receiver &recv = _receivers.at(owned->dest);
     if (!recv)
         panic("mesh network: no receiver at node %u", owned->dest);

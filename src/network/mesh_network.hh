@@ -56,6 +56,7 @@ class MeshNetwork : public Network
     bool busy() const override { return _activeFlits != 0; }
 
     StatSet &stats() { return _stats; }
+    const StatSet *statSet() const override { return &_stats; }
 
     /** Flits a given packet occupies on the wire. */
     unsigned

@@ -20,6 +20,8 @@
 namespace limitless
 {
 
+class StatSet;
+
 /** Packet-moving fabric connecting all nodes of a machine. */
 class Network
 {
@@ -39,6 +41,9 @@ class Network
 
     /** True while any packet is in flight (used by deadlock watchdogs). */
     virtual bool busy() const = 0;
+
+    /** The fabric's stats, if the implementation keeps any. */
+    virtual const StatSet *statSet() const { return nullptr; }
 };
 
 } // namespace limitless

@@ -1,0 +1,200 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "obs/json.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+namespace
+{
+
+constexpr std::size_t defaultRingCapacity = 8192;
+
+} // namespace
+
+const char *
+eventCatName(EventCat cat)
+{
+    switch (cat) {
+      case EventCat::net: return "net";
+      case EventCat::cache: return "cache";
+      case EventCat::dir: return "dir";
+      case EventCat::mem: return "mem";
+      case EventCat::trap: return "trap";
+    }
+    return "?";
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+FlightRecorder::FlightRecorder()
+{
+    _ring.resize(defaultRingCapacity);
+    // Let panic() surface the causal history of whatever blew up.
+    setPanicHook([] {
+        const FlightRecorder &fr = FlightRecorder::instance();
+        fr.dumpPostmortem(std::cerr, fr.panicFocus());
+    });
+}
+
+Tick
+FlightRecorder::now() const
+{
+    return _clock ? _clock->now() : 0;
+}
+
+bool
+FlightRecorder::traceOpen(const std::string &path)
+{
+    traceClose();
+    _trace.open(path, std::ios::out | std::ios::trunc);
+    if (!_trace.is_open())
+        return false;
+    _trace << "[\n";
+    _traceOpen = true;
+    _traceFirst = true;
+    return true;
+}
+
+void
+FlightRecorder::traceClose()
+{
+    if (!_traceOpen)
+        return;
+    _trace << "\n]\n";
+    _trace.close();
+    _traceOpen = false;
+    _traceFirst = true;
+}
+
+void
+FlightRecorder::setLineFilter(std::unordered_set<Addr> lines)
+{
+    _lineFilter = std::move(lines);
+}
+
+void
+FlightRecorder::setRingCapacity(std::size_t events)
+{
+    _ring.assign(std::max<std::size_t>(events, 1), TraceEvent{});
+    _ringHead = 0;
+    _ringCount = 0;
+}
+
+void
+FlightRecorder::record(const TraceEvent &ev)
+{
+    _ring[_ringHead] = ev;
+    _ringHead = (_ringHead + 1) % _ring.size();
+    if (_ringCount < _ring.size())
+        ++_ringCount;
+
+    if (_traceOpen &&
+        (_lineFilter.empty() || _lineFilter.count(ev.line)))
+        writeTraceEvent(ev);
+}
+
+void
+FlightRecorder::writeTraceEvent(const TraceEvent &ev)
+{
+    if (!_traceFirst)
+        _trace << ",\n";
+    _traceFirst = false;
+
+    // Chrome trace_event instant event, one per line. "ts" is in
+    // microseconds in the viewer; we map one cycle to one microsecond.
+    _trace << "{\"name\":";
+    jsonEscape(_trace, ev.name);
+    _trace << ",\"cat\":\"" << eventCatName(ev.cat)
+           << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ev.ts
+           << ",\"pid\":0,\"tid\":"
+           << (ev.node == invalidNode ? 0 : ev.node) << ",\"args\":{";
+    bool first = true;
+    const auto field = [&](const char *key) -> std::ostream & {
+        if (!first)
+            _trace << ',';
+        first = false;
+        _trace << '"' << key << "\":";
+        return _trace;
+    };
+    if (ev.line)
+        field("line") << "\"0x" << std::hex << ev.line << std::dec << '"';
+    if (ev.hasOp)
+        field("op") << '"' << opcodeName(ev.op) << '"';
+    if (ev.src != invalidNode)
+        field("src") << ev.src;
+    if (ev.dest != invalidNode)
+        field("dest") << ev.dest;
+    if (ev.detail)
+        field("detail") << '"' << ev.detail << '"';
+    if (ev.hasArg)
+        field("arg") << ev.arg;
+    _trace << "}}";
+}
+
+void
+FlightRecorder::dumpPostmortem(std::ostream &os, Addr line,
+                               std::size_t maxEvents) const
+{
+    // Collect the matching tail of the ring, oldest first.
+    std::vector<const TraceEvent *> match;
+    const std::size_t cap = _ring.size();
+    const std::size_t start = (_ringHead + cap - _ringCount) % cap;
+    for (std::size_t i = 0; i < _ringCount; ++i) {
+        const TraceEvent &ev = _ring[(start + i) % cap];
+        if (line == 0 || ev.line == line)
+            match.push_back(&ev);
+    }
+    const std::size_t skip =
+        match.size() > maxEvents ? match.size() - maxEvents : 0;
+
+    os << "==== postmortem: last " << (match.size() - skip)
+       << " protocol events";
+    if (line)
+        os << " for line 0x" << std::hex << line << std::dec;
+    os << " ====\n";
+    if (match.empty())
+        os << "  (no recorded events)\n";
+    for (std::size_t i = skip; i < match.size(); ++i) {
+        const TraceEvent &ev = *match[i];
+        os << "  @" << ev.ts << " node " << ev.node << " ["
+           << eventCatName(ev.cat) << "] " << ev.name;
+        if (ev.line)
+            os << " line=0x" << std::hex << ev.line << std::dec;
+        if (ev.hasOp)
+            os << " op=" << opcodeName(ev.op);
+        if (ev.src != invalidNode)
+            os << " src=" << ev.src;
+        if (ev.dest != invalidNode)
+            os << " dest=" << ev.dest;
+        if (ev.detail)
+            os << ' ' << ev.detail;
+        if (ev.hasArg)
+            os << " arg=" << ev.arg;
+        os << '\n';
+    }
+    os << "==== end postmortem ====" << std::endl;
+}
+
+void
+FlightRecorder::resetRun()
+{
+    _ringHead = 0;
+    _ringCount = 0;
+    _lineFilter.clear();
+    _latency.reset();
+    _clock = nullptr;
+    _panicFocus = 0;
+}
+
+} // namespace limitless

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal JSON emission and validation helpers for the observability
+ * layer. Deliberately tiny: the simulator only ever *writes* JSON
+ * (trace-event streams, stats exports), and the only reading we do is a
+ * structural validity check used by tests and the CI smoke run.
+ */
+
+#ifndef LIMITLESS_OBS_JSON_HH
+#define LIMITLESS_OBS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+namespace limitless
+{
+
+/** Write @p s as a JSON string literal (quotes and escapes included). */
+void jsonEscape(std::ostream &os, const std::string &s);
+
+/**
+ * Structural JSON validity check (RFC 8259 grammar, no semantic limits).
+ * @return true when @p text is exactly one valid JSON value; on failure
+ *         @p err (if non-null) receives a byte offset and reason.
+ */
+bool jsonValidate(const std::string &text, std::string *err = nullptr);
+
+} // namespace limitless
+
+#endif // LIMITLESS_OBS_JSON_HH

@@ -1,0 +1,146 @@
+#include "obs/latency_tracker.hh"
+
+namespace limitless
+{
+
+void
+LatencyTracker::reset()
+{
+    _open.clear();
+    _completed = 0;
+    _sumReqNet = 0.0;
+    _sumHome = 0.0;
+    _sumTrap = 0.0;
+    _sumInv = 0.0;
+    _sumReplyNet = 0.0;
+    _sumTotal = 0.0;
+}
+
+LatencyTracker::Open *
+LatencyTracker::find(NodeId requester, Addr line)
+{
+    auto it = _open.find(key(requester, line));
+    return it == _open.end() ? nullptr : &it->second;
+}
+
+void
+LatencyTracker::onInject(Tick now, NodeId requester, Addr line, bool write)
+{
+    Open open;
+    open.inject = now;
+    open.write = write;
+    // Overwrite any stale entry: a BUSY-NAKed transaction re-injects
+    // under the same key and the retry rounds fold into req_net.
+    _open[key(requester, line)] = open;
+}
+
+void
+LatencyTracker::onHomeArrival(Tick now, NodeId requester, Addr line)
+{
+    if (Open *open = find(requester, line))
+        open->homeArrival = now;
+}
+
+void
+LatencyTracker::onTrap(NodeId requester, Addr line, Tick cycles)
+{
+    if (Open *open = find(requester, line))
+        open->trapCycles += cycles;
+}
+
+void
+LatencyTracker::onInvStart(Tick now, NodeId requester, Addr line)
+{
+    if (Open *open = find(requester, line))
+        if (!open->invStart)
+            open->invStart = now;
+}
+
+void
+LatencyTracker::onInvEnd(Tick now, NodeId requester, Addr line)
+{
+    if (Open *open = find(requester, line))
+        open->invEnd = now;
+}
+
+void
+LatencyTracker::onReplySent(Tick now, NodeId requester, Addr line)
+{
+    if (Open *open = find(requester, line))
+        open->replySent = now;
+}
+
+void
+LatencyTracker::onComplete(Tick now, NodeId requester, Addr line)
+{
+    auto it = _open.find(key(requester, line));
+    if (it == _open.end())
+        return;
+    const Open open = it->second;
+    _open.erase(it);
+
+    const double total = static_cast<double>(now - open.inject);
+
+    // Raw phase windows from the stamps. Any stamp the transaction never
+    // hit (e.g. no invalidations) contributes zero.
+    double reqNet = 0.0;
+    if (open.homeArrival > open.inject)
+        reqNet = static_cast<double>(open.homeArrival - open.inject);
+
+    double inv = 0.0;
+    if (open.invEnd > open.invStart && open.invStart)
+        inv = static_cast<double>(open.invEnd - open.invStart);
+
+    double trap = static_cast<double>(open.trapCycles);
+
+    double replyNet = 0.0;
+    if (open.replySent && now > open.replySent)
+        replyNet = static_cast<double>(now - open.replySent);
+
+    // Home time is the residual, so the five phases sum to the total by
+    // construction. Windows can overlap (a trap charge delays the reply
+    // launch; an invalidation fan-out may span the trap), which would
+    // drive the residual negative — fold any deficit back through the
+    // softer windows in order so every phase stays non-negative.
+    double home = total - reqNet - trap - inv - replyNet;
+    if (home < 0.0) {
+        double deficit = -home;
+        home = 0.0;
+        const auto bleed = [&deficit](double &phase) {
+            const double take = phase < deficit ? phase : deficit;
+            phase -= take;
+            deficit -= take;
+        };
+        bleed(inv);
+        bleed(trap);
+        bleed(replyNet);
+        bleed(reqNet);
+    }
+
+    _completed += 1;
+    _sumReqNet += reqNet;
+    _sumHome += home;
+    _sumTrap += trap;
+    _sumInv += inv;
+    _sumReplyNet += replyNet;
+    _sumTotal += total;
+}
+
+PhaseBreakdown
+LatencyTracker::snapshot() const
+{
+    PhaseBreakdown phases;
+    phases.completed = _completed;
+    if (_completed == 0)
+        return phases;
+    const double n = static_cast<double>(_completed);
+    phases.reqNet = _sumReqNet / n;
+    phases.home = _sumHome / n;
+    phases.trap = _sumTrap / n;
+    phases.inv = _sumInv / n;
+    phases.replyNet = _sumReplyNet / n;
+    phases.total = _sumTotal / n;
+    return phases;
+}
+
+} // namespace limitless

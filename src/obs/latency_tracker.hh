@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Remote-transaction latency tracker: decomposes the measured remote
+ * access time T into the components of the paper's model T = Th + m*Ts.
+ *
+ * Every plain remote RREQ/WREQ miss is stamped at five points of its
+ * life: injection at the requesting cache, arrival at the home memory
+ * controller, software-trap emulation (the Ts charge), invalidation
+ * fan-out, and reply receipt. On completion the end-to-end latency is
+ * attributed to five phases that sum exactly to the total:
+ *
+ *   req_net    injection -> (last) arrival at the home controller,
+ *              including service queueing and BUSY-retry round trips
+ *   trap       cycles charged to software emulation (m*Ts component)
+ *   inv        invalidation fan-out window (first INV -> last ACK)
+ *   home       residual home-side occupancy
+ *   reply_net  reply launch -> arrival back at the requester
+ *
+ * One tracker instance is owned by the FlightRecorder singleton;
+ * harnesses reset() it per experiment and snapshot() it afterwards.
+ */
+
+#ifndef LIMITLESS_OBS_LATENCY_TRACKER_HH
+#define LIMITLESS_OBS_LATENCY_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** Mean per-phase latency over the completed remote transactions. */
+struct PhaseBreakdown
+{
+    std::uint64_t completed = 0; ///< transactions measured
+    double reqNet = 0.0;   ///< request network + queueing + retries
+    double home = 0.0;     ///< residual home controller occupancy
+    double trap = 0.0;     ///< software emulation charge (m*Ts)
+    double inv = 0.0;      ///< invalidation fan-out window
+    double replyNet = 0.0; ///< reply network
+    double total = 0.0;    ///< end-to-end (== sum of the five phases)
+
+    double sum() const { return reqNet + home + trap + inv + replyNet; }
+};
+
+/** Stamps in-flight remote misses and accumulates per-phase sums. */
+class LatencyTracker
+{
+  public:
+    /** Drop all in-flight stamps and accumulated sums. */
+    void reset();
+
+    /** Requesting cache issued a remote RREQ/WREQ miss. */
+    void onInject(Tick now, NodeId requester, Addr line, bool write);
+
+    /** Home controller started servicing the request (re-stamped on
+     *  BUSY-retry / deferral replay; earlier rounds land in req_net). */
+    void onHomeArrival(Tick now, NodeId requester, Addr line);
+
+    /** Software-trap cycles charged while servicing this request. */
+    void onTrap(NodeId requester, Addr line, Tick cycles);
+
+    /** Home launched the invalidation fan-out for this request. */
+    void onInvStart(Tick now, NodeId requester, Addr line);
+
+    /** Last acknowledgment arrived; fan-out complete. */
+    void onInvEnd(Tick now, NodeId requester, Addr line);
+
+    /** Home launched the data reply toward the requester. */
+    void onReplySent(Tick now, NodeId requester, Addr line);
+
+    /** Requester's cache completed the access. */
+    void onComplete(Tick now, NodeId requester, Addr line);
+
+    PhaseBreakdown snapshot() const;
+
+    std::uint64_t inFlight() const { return _open.size(); }
+    std::uint64_t completed() const { return _completed; }
+
+  private:
+    struct Open
+    {
+        Tick inject = 0;
+        Tick homeArrival = 0;
+        Tick invStart = 0;
+        Tick invEnd = 0;
+        Tick replySent = 0;
+        Tick trapCycles = 0;
+        bool write = false;
+    };
+
+    static std::uint64_t
+    key(NodeId requester, Addr line)
+    {
+        return (static_cast<std::uint64_t>(requester) << 48) ^ line;
+    }
+
+    Open *find(NodeId requester, Addr line);
+
+    std::unordered_map<std::uint64_t, Open> _open;
+
+    std::uint64_t _completed = 0;
+    double _sumReqNet = 0.0;
+    double _sumHome = 0.0;
+    double _sumTrap = 0.0;
+    double _sumInv = 0.0;
+    double _sumReplyNet = 0.0;
+    double _sumTotal = 0.0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_OBS_LATENCY_TRACKER_HH

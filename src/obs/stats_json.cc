@@ -1,0 +1,23 @@
+#include "obs/stats_json.hh"
+
+#include <limits>
+
+namespace limitless
+{
+
+void
+phasesJson(std::ostream &os, const PhaseBreakdown &phases)
+{
+    // Full round-trip precision: consumers check that the phases sum to
+    // the total, which 6-significant-digit default formatting breaks.
+    const auto prec =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"count\":" << phases.completed
+       << ",\"req_net\":" << phases.reqNet << ",\"home\":" << phases.home
+       << ",\"trap\":" << phases.trap << ",\"inv\":" << phases.inv
+       << ",\"reply_net\":" << phases.replyNet
+       << ",\"total\":" << phases.total << "}";
+    os.precision(prec);
+}
+
+} // namespace limitless

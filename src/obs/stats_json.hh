@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared JSON fragments for the observability layer: the per-phase
+ * latency breakdown object embedded in stats exports (Machine,
+ * limitless_sim, bench binaries).
+ */
+
+#ifndef LIMITLESS_OBS_STATS_JSON_HH
+#define LIMITLESS_OBS_STATS_JSON_HH
+
+#include <ostream>
+
+#include "obs/latency_tracker.hh"
+
+namespace limitless
+{
+
+/**
+ * Emit @p phases as one JSON object:
+ * {"count":N,"req_net":..,"home":..,"trap":..,"inv":..,
+ *  "reply_net":..,"total":..}
+ * The five phase means sum to "total" by construction.
+ */
+void phasesJson(std::ostream &os, const PhaseBreakdown &phases);
+
+} // namespace limitless
+
+#endif // LIMITLESS_OBS_STATS_JSON_HH

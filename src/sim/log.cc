@@ -7,6 +7,35 @@
 namespace limitless
 {
 
+void
+Log::debug(Tick now, const char *tag, const char *fmt, ...)
+{
+    if (!enabled(tag))
+        return;
+    std::fprintf(stderr, "%10llu [%s] ",
+                 static_cast<unsigned long long>(now), tag);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+namespace
+{
+
+PanicHook panicHook = nullptr;
+
+} // namespace
+
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    PanicHook prev = panicHook;
+    panicHook = hook;
+    return prev;
+}
+
 [[noreturn]] void
 panic(const char *fmt, ...)
 {
@@ -16,6 +45,13 @@ panic(const char *fmt, ...)
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
     va_end(ap);
+    // Give the flight recorder a chance to dump its event ring, but
+    // never recurse if the dump itself panics.
+    static bool inPanic = false;
+    if (panicHook && !inPanic) {
+        inPanic = true;
+        panicHook();
+    }
     std::abort();
 }
 

@@ -10,11 +10,25 @@
 #ifndef LIMITLESS_SIM_LOG_HH
 #define LIMITLESS_SIM_LOG_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <unordered_set>
 
 #include "sim/types.hh"
+
+/**
+ * Mark a function as taking a printf-style format string so the
+ * compiler cross-checks arguments against it. @p fmtIdx / @p vaIdx are
+ * 1-based parameter positions (static member functions have no
+ * implicit `this`).
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define LIMITLESS_PRINTF(fmtIdx, vaIdx) \
+    __attribute__((format(printf, fmtIdx, vaIdx)))
+#else
+#define LIMITLESS_PRINTF(fmtIdx, vaIdx)
+#endif
 
 namespace limitless
 {
@@ -38,26 +52,8 @@ class Log
     }
 
     /** printf-style debug line, prefixed by tick and tag. */
-    template <typename... Args>
-    static void
-    debug(Tick now, const char *tag, const char *fmt, Args... args)
-    {
-        if (!enabled(tag))
-            return;
-        std::fprintf(stderr, "%10llu [%s] ",
-                     static_cast<unsigned long long>(now), tag);
-        std::fprintf(stderr, fmt, args...);
-        std::fputc('\n', stderr);
-    }
-
-    static void
-    debug(Tick now, const char *tag, const char *msg)
-    {
-        if (!enabled(tag))
-            return;
-        std::fprintf(stderr, "%10llu [%s] %s\n",
-                     static_cast<unsigned long long>(now), tag, msg);
-    }
+    static void debug(Tick now, const char *tag, const char *fmt, ...)
+        LIMITLESS_PRINTF(3, 4);
 
   private:
     static std::unordered_set<std::string> &
@@ -72,13 +68,21 @@ class Log
  * Abort with a message: a simulator bug (never the user's fault).
  * Mirrors gem5's panic().
  */
-[[noreturn]] void panic(const char *fmt, ...);
+[[noreturn]] void panic(const char *fmt, ...) LIMITLESS_PRINTF(1, 2);
 
 /**
  * Exit with a message: a configuration / usage error.
  * Mirrors gem5's fatal().
  */
-[[noreturn]] void fatal(const char *fmt, ...);
+[[noreturn]] void fatal(const char *fmt, ...) LIMITLESS_PRINTF(1, 2);
+
+/**
+ * Hook run by panic() after the message and before abort(), used by the
+ * flight recorder to dump its postmortem event ring. Returns the
+ * previous hook. Reentrant panics skip the hook.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
 
 } // namespace limitless
 

@@ -1,5 +1,6 @@
 #include "stats/stats.hh"
 
+#include <cmath>
 #include <iomanip>
 
 #include "sim/log.hh"
@@ -7,11 +8,56 @@
 namespace limitless
 {
 
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        _count = other._count;
+        _sum = other._sum;
+        _min = other._min;
+        _max = other._max;
+        _mean = other._mean;
+        _m2 = other._m2;
+        return;
+    }
+    // Chan et al.'s pairwise update of the sum of squared deviations.
+    const double na = static_cast<double>(_count);
+    const double nb = static_cast<double>(other._count);
+    const double delta = other._mean - _mean;
+    const double n = na + nb;
+    _mean += delta * nb / n;
+    _m2 += other._m2 + delta * delta * na * nb / n;
+    _count += other._count;
+    _sum += other._sum;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
 void
 Accumulator::print(std::ostream &os) const
 {
-    os << "count=" << _count << " mean=" << mean() << " min=" << minimum()
+    os << "count=" << _count << " mean=" << mean()
+       << " stddev=" << stddev() << " min=" << minimum()
        << " max=" << maximum();
+}
+
+void
+Accumulator::json(std::ostream &os) const
+{
+    const auto prec =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"count\":" << _count << ",\"mean\":" << mean()
+       << ",\"stddev\":" << stddev() << ",\"min\":" << minimum()
+       << ",\"max\":" << maximum() << ",\"sum\":" << sum() << "}";
+    os.precision(prec);
 }
 
 void
@@ -31,6 +77,22 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::json(std::ostream &os) const
+{
+    os << "{\"count\":" << _count << ",\"buckets\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << i << "\":" << _buckets[i];
+    }
+    os << "}}";
+}
+
+void
 Distribution::print(std::ostream &os) const
 {
     os << "count=" << _count << " [";
@@ -44,6 +106,22 @@ Distribution::print(std::ostream &os) const
         os << i << ":" << _counts[i];
     }
     os << "]";
+}
+
+void
+Distribution::json(std::ostream &os) const
+{
+    os << "{\"count\":" << _count << ",\"values\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << i << "\":" << _counts[i];
+    }
+    os << "}}";
 }
 
 template <typename T, typename... Args>
@@ -111,6 +189,21 @@ StatSet::dump(std::ostream &os) const
         s->print(os);
         os << "   # " << s->desc() << "\n";
     }
+}
+
+void
+StatSet::json(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &s : _stats) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << s->name() << "\":";
+        s->json(os);
+    }
+    os << "}";
 }
 
 void

@@ -39,6 +39,9 @@ class Stat
     /** One-line textual dump (without the name column). */
     virtual void print(std::ostream &os) const = 0;
 
+    /** Emit the stat's value(s) as one JSON value. */
+    virtual void json(std::ostream &os) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -59,13 +62,14 @@ class Counter : public Stat
     std::uint64_t value() const { return _value; }
 
     void print(std::ostream &os) const override { os << _value; }
+    void json(std::ostream &os) const override { os << _value; }
     void reset() override { _value = 0; }
 
   private:
     std::uint64_t _value = 0;
 };
 
-/** Running min / max / mean / count over samples (e.g. latencies). */
+/** Running min / max / mean / stddev / count over samples (latencies). */
 class Accumulator : public Stat
 {
   public:
@@ -78,6 +82,11 @@ class Accumulator : public Stat
         _sum += v;
         _min = std::min(_min, v);
         _max = std::max(_max, v);
+        // Welford's online update keeps the variance numerically stable
+        // regardless of the magnitude of the samples.
+        const double delta = v - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (v - _mean);
     }
 
     std::uint64_t count() const { return _count; }
@@ -85,8 +94,18 @@ class Accumulator : public Stat
     double mean() const { return _count ? _sum / _count : 0.0; }
     double minimum() const { return _count ? _min : 0.0; }
     double maximum() const { return _count ? _max : 0.0; }
+    /** Population variance over the samples seen so far. */
+    double variance() const { return _count ? _m2 / _count : 0.0; }
+    double stddev() const;
+    /** Sum of squared deviations (for Chan-style parallel merges). */
+    double m2() const { return _m2; }
+
+    /** Fold another accumulator's samples into this one (Chan et al.'s
+     *  parallel-variance merge), for cross-node aggregation. */
+    void merge(const Accumulator &other);
 
     void print(std::ostream &os) const override;
+    void json(std::ostream &os) const override;
 
     void
     reset() override
@@ -95,6 +114,8 @@ class Accumulator : public Stat
         _sum = 0.0;
         _min = std::numeric_limits<double>::infinity();
         _max = -std::numeric_limits<double>::infinity();
+        _mean = 0.0;
+        _m2 = 0.0;
     }
 
   private:
@@ -102,6 +123,8 @@ class Accumulator : public Stat
     double _sum = 0.0;
     double _min = std::numeric_limits<double>::infinity();
     double _max = -std::numeric_limits<double>::infinity();
+    double _mean = 0.0;
+    double _m2 = 0.0;
 };
 
 /**
@@ -132,6 +155,7 @@ class Histogram : public Stat
     unsigned numBuckets() const { return _buckets.size(); }
 
     void print(std::ostream &os) const override;
+    void json(std::ostream &os) const override;
 
     void
     reset() override
@@ -165,6 +189,7 @@ class Distribution : public Stat
     std::size_t domain() const { return _counts.size(); }
 
     void print(std::ostream &os) const override;
+    void json(std::ostream &os) const override;
 
     void
     reset() override
@@ -208,6 +233,9 @@ class StatSet
 
     /** Dump every stat, one "prefix.name value # desc" line each. */
     void dump(std::ostream &os) const;
+
+    /** Emit the whole set as one JSON object keyed by stat name. */
+    void json(std::ostream &os) const;
 
     void resetAll();
 

@@ -18,9 +18,11 @@
 
 #include <fstream>
 #include <iostream>
+#include <unordered_set>
 
 #include "harness/cli.hh"
 #include "machine/coherence_monitor.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 #include "trace/trace_capture.hh"
 #include "trace/trace_replay.hh"
@@ -60,6 +62,12 @@ usage()
         "  --replay-trace <file>  replay a captured trace (ignores "
         "--workload)\n"
         "  --dump-stats           print every per-node statistic\n"
+        "  --trace-out <file>     stream protocol events as Chrome "
+        "trace_event JSON\n"
+        "                         (open at ui.perfetto.dev)\n"
+        "  --trace-lines <a,b,..> restrict the streamed trace to these "
+        "line addresses\n"
+        "  --stats-json <file>    write the machine's stats as JSON\n"
         "  --log <tag>            enable debug logging (mem, cache, net, "
         "handler, all)\n"
         "  --help\n";
@@ -79,6 +87,8 @@ main(int argc, char **argv)
         {"seed", true},          {"capture-trace", true},
         {"replay-trace", true},  {"dump-stats", false},
         {"log", true},           {"help", false},
+        {"trace-out", true},     {"trace-lines", true},
+        {"stats-json", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -105,6 +115,32 @@ main(int argc, char **argv)
     if (opts.str("memory-model", "sc") == "weak")
         cfg.proc.memoryModel = MemoryModel::weak;
 
+    FlightRecorder &fr = FlightRecorder::instance();
+    fr.latency().reset();
+    if (opts.has("trace-out") && !fr.traceOpen(opts.str("trace-out")))
+        fatal("cannot write trace '%s'", opts.str("trace-out").c_str());
+    if (opts.has("trace-lines")) {
+        std::unordered_set<Addr> lines;
+        const std::string list = opts.str("trace-lines");
+        if (list.empty())
+            fatal("--trace-lines: expected a comma-separated address list");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            std::size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            const std::string tok = list.substr(pos, comma - pos);
+            try {
+                lines.insert(std::stoull(tok, nullptr, 0));
+            } catch (...) {
+                fatal("--trace-lines: '%s' is not an address",
+                      tok.c_str());
+            }
+            pos = comma + 1;
+        }
+        fr.setLineFilter(std::move(lines));
+    }
+
     Machine machine(cfg);
 
     std::unique_ptr<Workload> workload;
@@ -130,6 +166,7 @@ main(int argc, char **argv)
         fatal("run did not complete");
     workload->verify(machine);
     CoherenceMonitor(machine).checkQuiescent();
+    fr.traceClose();
 
     if (capture) {
         std::ofstream out(opts.str("capture-trace"));
@@ -163,6 +200,29 @@ main(int argc, char **argv)
               << machine.sumCounter("mem", "read_traps") << " read, "
               << machine.sumCounter("mem", "write_traps")
               << " write (m = " << machine.overflowFraction() << ")\n";
+
+    const PhaseBreakdown phases = fr.latency().snapshot();
+    if (phases.completed) {
+        std::cout << "remote phases:     req_net " << phases.reqNet
+                  << " + home " << phases.home << " + trap "
+                  << phases.trap << " + inv " << phases.inv
+                  << " + reply_net " << phases.replyNet << " = "
+                  << phases.total << " cycles over " << phases.completed
+                  << " misses\n";
+    }
+
+    if (opts.has("trace-out"))
+        std::cout << "event trace:       " << opts.str("trace-out")
+                  << "\n";
+    if (opts.has("stats-json")) {
+        std::ofstream out(opts.str("stats-json"));
+        if (!out)
+            fatal("cannot write stats '%s'",
+                  opts.str("stats-json").c_str());
+        machine.dumpStatsJson(out, run.cycles);
+        std::cout << "stats json:        " << opts.str("stats-json")
+                  << "\n";
+    }
 
     if (opts.has("dump-stats"))
         machine.dumpStats(std::cout);
