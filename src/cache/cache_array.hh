@@ -13,20 +13,11 @@
 #include <vector>
 
 #include "machine/address_map.hh"
+#include "proto/states.hh"
 #include "sim/types.hh"
 
 namespace limitless
 {
-
-/** Cache-side line states (paper Table 1). */
-enum class CacheState : std::uint8_t
-{
-    invalid,   ///< may not be read or written
-    readOnly,  ///< may be read, not written
-    readWrite, ///< may be read or written (exclusive, dirty)
-};
-
-const char *cacheStateName(CacheState s);
 
 /** One cache line. */
 struct CacheLine

@@ -9,17 +9,6 @@
 namespace limitless
 {
 
-const char *
-cacheStateName(CacheState s)
-{
-    switch (s) {
-      case CacheState::invalid: return "Invalid";
-      case CacheState::readOnly: return "Read-Only";
-      case CacheState::readWrite: return "Read-Write";
-    }
-    return "?";
-}
-
 CacheController::CacheController(EventQueue &eq, NodeId self,
                                  const AddressMap &amap,
                                  const CacheParams &params,
@@ -44,6 +33,7 @@ CacheController::CacheController(EventQueue &eq, NodeId self,
       _statLocalMissLatency(_stats.accumulator(
           "local_miss_latency", "local-home miss latency (cycles)"))
 {
+    _table = &tableFor(protocol);
 }
 
 CacheController::IssueClass
@@ -270,107 +260,29 @@ CacheController::handlePacket(PacketPtr pkt)
     if (Log::enabled("cache"))
         Log::debug(_eq.now(), "cache", "node %u rx %s", _self,
                    describePacket(*pkt).c_str());
-    switch (pkt->opcode) {
-      case Opcode::RDATA: {
-        const Addr line = pkt->addr();
-        auto it = _txns.find(line);
-        if (it == _txns.end())
-            panic("node %u: RDATA for line %#llx with no transaction",
-                  _self, (unsigned long long)line);
-        assert(!it->second.forWrite);
-        assert(pkt->data.size() >= _amap.wordsPerLine());
-        if (it->second.uncachedRead) {
-            // Private-only: complete the load straight from the packet;
-            // nothing is installed.
-            Txn txn = std::move(it->second);
-            _txns.erase(it);
-            const std::uint64_t value =
-                pkt->data[_amap.wordOf(txn.op.addr)];
-            finish(std::move(txn), value);
-            drainWaiting();
-            break;
-        }
-        CacheLine &cl = _array.install(line, CacheState::readOnly,
-                                       pkt->data.data(),
-                                       _amap.wordsPerLine());
-        if (_protocol == ProtocolKind::chained && pkt->operands.size() > 1)
-            cl.chainNext = static_cast<NodeId>(pkt->operands[1]);
-        completeTxn(line, cl);
-        break;
-      }
-      case Opcode::WDATA: {
-        const Addr line = pkt->addr();
-        auto it = _txns.find(line);
-        if (it == _txns.end())
-            panic("node %u: WDATA for line %#llx with no transaction",
-                  _self, (unsigned long long)line);
-        assert(it->second.forWrite);
-        assert(pkt->data.size() >= _amap.wordsPerLine());
-        CacheLine &cl = _array.install(line, CacheState::readWrite,
-                                       pkt->data.data(),
-                                       _amap.wordsPerLine());
-        completeTxn(line, cl);
-        break;
-      }
-      case Opcode::INV:
-        handleInv(*pkt);
-        break;
-      case Opcode::MUPD: {
-        // Refresh a cached copy of an update-mode line in place.
-        const Addr line = pkt->addr();
-        CacheLine *cl = _array.lookup(line);
-        if (cl) {
-            assert(cl->state == CacheState::readOnly &&
-                   "update-mode line must not be exclusive");
-            for (unsigned w = 0; w < _amap.wordsPerLine(); ++w)
-                cl->words[w] = pkt->data[w];
-        } else {
-            _statSpuriousInvs += 1;
-        }
-        auto ack = makeProtocolPacket(_self, pkt->src, Opcode::ACKC, line);
-        ack->operands.push_back(invalidNode);
-        _send(std::move(ack));
-        break;
-      }
-      case Opcode::WACK: {
-        // Update-mode write performed at the home; the old word value
-        // rides in operand 1.
-        const Addr line = pkt->addr();
-        auto it = _txns.find(line);
-        if (it == _txns.end())
-            panic("node %u: WACK for line %#llx with no transaction",
-                  _self, (unsigned long long)line);
-        assert(it->second.updateWrite);
-        Txn txn = std::move(it->second);
-        _txns.erase(it);
-        finish(std::move(txn), pkt->operands.at(1));
-        drainWaiting();
-        break;
-      }
-      case Opcode::BUSY:
-        handleBusy(*pkt);
-        break;
-      case Opcode::REPC_ACK: {
-        // Find the transaction whose eviction this grant unblocks.
-        const Addr victim = pkt->addr();
-        for (auto &[line, txn] : _txns) {
-            if (txn.awaitingRepc && txn.repcLine == victim) {
-                txn.awaitingRepc = false;
-                // The chain walk normally invalidated our copy already;
-                // force-drop in case the walk found the chain empty.
-                CacheLine *cl = _array.lookup(victim);
-                if (cl)
-                    cl->state = CacheState::invalid;
-                startRequest(line, txn);
-                return;
-            }
-        }
-        panic("node %u: REPC_ACK for line %#llx with no waiting txn",
-              _self, (unsigned long long)victim);
-      }
-      default:
-        panic("node %u: cache cannot handle opcode %s", _self,
-              opcodeName(pkt->opcode));
+    const Addr line = pkt->addr();
+    const NodeId src = pkt->src;
+    const Opcode op = pkt->opcode;
+    CacheCtx ctx{*this, pkt, _array.lookup(line)};
+    const auto pre = static_cast<std::uint8_t>(
+        ctx.cl ? ctx.cl->state : CacheState::invalid);
+    const auto &tr = _table->fire(ctx, pre, op);
+    _observed.insert((static_cast<std::uint32_t>(pre) << 16) |
+                     static_cast<std::uint16_t>(op));
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "transition";
+        ev.cat = EventCat::cache;
+        ev.node = _self;
+        ev.line = line;
+        ev.op = op;
+        ev.hasOp = true;
+        ev.src = src;
+        ev.detail = tr.label;
+        ev.arg = tr.id;
+        ev.hasArg = true;
+        FR_RECORD(ev);
     }
 }
 
@@ -418,12 +330,8 @@ CacheController::finish(Txn txn, std::uint64_t value)
 }
 
 void
-CacheController::handleInv(const Packet &pkt)
+CacheController::noteInvReceived(const Packet &pkt)
 {
-    const Addr line = pkt.addr();
-    const NodeId home =
-        pkt.operands.size() > 1 ? static_cast<NodeId>(pkt.operands[1])
-                                : pkt.src;
     _statInvsReceived += 1;
     {
         TraceEvent ev;
@@ -431,39 +339,17 @@ CacheController::handleInv(const Packet &pkt)
         ev.name = "inv_rx";
         ev.cat = EventCat::cache;
         ev.node = _self;
-        ev.line = line;
+        ev.line = pkt.addr();
         ev.src = pkt.src;
         FR_RECORD(ev);
     }
+}
 
-    CacheLine *cl = _array.lookup(line);
-    if (!cl) {
-        // Stale directory pointer (we dropped the copy silently) or a
-        // crossing with our own REPM; acknowledge regardless.
-        _statSpuriousInvs += 1;
-        auto ack = makeProtocolPacket(_self, home, Opcode::ACKC, line);
-        ack->operands.push_back(invalidNode);
-        _send(std::move(ack));
-        return;
-    }
-
-    if (cl->state == CacheState::readWrite) {
-        // Dirty copy: return the data (paper transition 8/10 input).
-        auto upd = makeDataPacket(
-            _self, home, Opcode::UPDATE, line,
-            {cl->words.begin(), cl->words.begin() + _amap.wordsPerLine()});
-        cl->state = CacheState::invalid;
-        _send(std::move(upd));
-        return;
-    }
-
-    // Clean copy: acknowledge; in chained mode the ack carries our chain
-    // successor so the home can continue the sequential walk.
-    const NodeId next = cl->chainNext;
-    cl->state = CacheState::invalid;
-    cl->chainNext = invalidNode;
-    auto ack = makeProtocolPacket(_self, home, Opcode::ACKC, line);
-    ack->operands.push_back(next);
+void
+CacheController::sendAck(NodeId to, Addr line, NodeId chain_next)
+{
+    auto ack = makeProtocolPacket(_self, to, Opcode::ACKC, line);
+    ack->operands.push_back(chain_next);
     _send(std::move(ack));
 }
 

@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cache/cache_array.hh"
 #include "cache/mem_op.hh"
@@ -27,12 +28,37 @@
 #include "machine/coherence_policy.hh"
 #include "proto/packet.hh"
 #include "proto/protocol_params.hh"
+#include "proto/protocol_table.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "stats/stats.hh"
 
 namespace limitless
 {
+
+class CacheController;
+
+/**
+ * Dispatch context for one incoming cache-side packet: the controller,
+ * the packet, and the lookup result for its line (null when the line is
+ * not resident — the Invalid state rows). Install actions repoint cl at
+ * the filled line.
+ */
+struct CacheCtx
+{
+    CacheController &cc;
+    PacketPtr &pkt;
+    CacheLine *cl;
+
+    /** Engine hook: apply a transition's static next state. A null cl
+     *  (nothing resident, nothing installed) has no state to write. */
+    void
+    setState(std::uint8_t s)
+    {
+        if (cl)
+            cl->state = static_cast<CacheState>(s);
+    }
+};
 
 /** Cache controller tuning. */
 struct CacheParams
@@ -76,6 +102,25 @@ class CacheController
     void handlePacket(PacketPtr pkt);
 
     NodeId nodeId() const { return _self; }
+    ProtocolKind protocol() const { return _protocol; }
+
+    /**
+     * The cache-side transition table for @p kind (built + registered on
+     * first use; see src/cache/cache_protocol.cc). The controller
+     * dispatches every incoming packet through it.
+     */
+    static const TransitionTable<CacheCtx> &tableFor(ProtocolKind kind);
+
+    /** Iterate the (state, opcode) pairs this controller has fired
+     *  (coherence-monitor cross-check against the declared table). */
+    template <typename Fn>
+    void
+    forEachObservedTransition(Fn &&fn) const
+    {
+        for (std::uint32_t packed : _observed)
+            fn(static_cast<std::uint8_t>(packed >> 16),
+               static_cast<Opcode>(packed & 0xffff));
+    }
 
     /** Home node of an address (exposed for the processor's
      *  switch-on-remote-miss policy). */
@@ -118,10 +163,27 @@ class CacheController
     void completeTxn(Addr line, CacheLine &cl);
     void finish(Txn txn, std::uint64_t value);
     void applyOp(const MemOp &op, CacheLine &cl, std::uint64_t &out);
-    void handleInv(const Packet &pkt);
     void handleBusy(const Packet &pkt);
     void scheduleRetry(Addr line);
     void drainWaiting();
+    void noteInvReceived(const Packet &pkt);
+    void sendAck(NodeId to, Addr line, NodeId chain_next);
+
+    /** @name Transition-table guards and actions (cache_protocol.cc). */
+    /// @{
+    static bool txnUncached(const CacheCtx &c);
+    static void rdataUncached(CacheCtx &c);
+    static void rdataInstall(CacheCtx &c);
+    static void wdataInstall(CacheCtx &c);
+    static void invSpurious(CacheCtx &c);
+    static void invCleanAck(CacheCtx &c);
+    static void invWriteback(CacheCtx &c);
+    static void mupdRefresh(CacheCtx &c);
+    static void mupdSpurious(CacheCtx &c);
+    static void wackComplete(CacheCtx &c);
+    static void busyRetry(CacheCtx &c);
+    static void repcResume(CacheCtx &c);
+    /// @}
 
     EventQueue &_eq;
     NodeId _self;
@@ -133,8 +195,10 @@ class CacheController
     SendFn _send;
     Rng _rng;
 
+    const TransitionTable<CacheCtx> *_table = nullptr;
     std::unordered_map<Addr, Txn> _txns;
     std::deque<WaitingAccess> _waiting;
+    std::unordered_set<std::uint32_t> _observed; ///< fired (state, op)
     bool _drainScheduled = false;
 
     StatSet _stats{"cache"};

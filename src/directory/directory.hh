@@ -38,6 +38,13 @@ class DirectoryScheme
     /** Record node n as a sharer of line. */
     virtual DirAdd tryAdd(Addr line, NodeId n) = 0;
 
+    /**
+     * Pure overflow probe: would tryAdd(line, n) succeed? Used as a
+     * transition guard; unlike tryAdd it must not mutate the entry or
+     * record trace events.
+     */
+    virtual bool canAdd(Addr line, NodeId n) const = 0;
+
     virtual bool contains(Addr line, NodeId n) const = 0;
 
     /** Forget one sharer (no-op if absent). */

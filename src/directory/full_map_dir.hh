@@ -24,6 +24,7 @@ class FullMapDir : public DirectoryScheme
     {}
 
     DirAdd tryAdd(Addr line, NodeId n) override;
+    bool canAdd(Addr, NodeId) const override { return true; }
     bool contains(Addr line, NodeId n) const override;
     void remove(Addr line, NodeId n) override;
     void clear(Addr line) override;

@@ -51,6 +51,18 @@ LimitedDir::tryAdd(Addr line, NodeId n)
 }
 
 bool
+LimitedDir::canAdd(Addr line, NodeId n) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return true;
+    for (unsigned i = 0; i < e->used; ++i)
+        if (e->ptr[i] == n)
+            return true;
+    return e->used < _pointers;
+}
+
+bool
 LimitedDir::contains(Addr line, NodeId n) const
 {
     const Entry *e = find(line);

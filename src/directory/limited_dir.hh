@@ -30,6 +30,7 @@ class LimitedDir : public DirectoryScheme
     }
 
     DirAdd tryAdd(Addr line, NodeId n) override;
+    bool canAdd(Addr line, NodeId n) const override;
     bool contains(Addr line, NodeId n) const override;
     void remove(Addr line, NodeId n) override;
     void clear(Addr line) override;

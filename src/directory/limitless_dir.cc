@@ -25,18 +25,6 @@ dirEvent(const char *name, NodeId node, Addr line)
 
 } // namespace
 
-const char *
-metaStateName(MetaState m)
-{
-    switch (m) {
-      case MetaState::normal: return "Normal";
-      case MetaState::transInProgress: return "Trans-In-Progress";
-      case MetaState::trapOnWrite: return "Trap-On-Write";
-      case MetaState::trapAlways: return "Trap-Always";
-    }
-    return "?";
-}
-
 LimitlessDir::Entry *
 LimitlessDir::find(Addr line)
 {
@@ -74,6 +62,20 @@ LimitlessDir::tryAdd(Addr line, NodeId n)
     }
     e.ptr[e.used++] = n;
     return DirAdd::added;
+}
+
+bool
+LimitlessDir::canAdd(Addr line, NodeId n) const
+{
+    const Entry *e = find(line);
+    if (!e)
+        return true;
+    if (_useLocalBit && n == _self)
+        return true;
+    for (unsigned i = 0; i < e->used; ++i)
+        if (e->ptr[i] == n)
+            return true;
+    return e->used < _pointers;
 }
 
 bool

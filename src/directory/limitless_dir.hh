@@ -19,20 +19,10 @@
 
 #include "directory/directory.hh"
 #include "directory/limited_dir.hh"
+#include "proto/states.hh"
 
 namespace limitless
 {
-
-/** Directory meta states (paper Table 4). */
-enum class MetaState : std::uint8_t
-{
-    normal,          ///< handled by hardware
-    transInProgress, ///< interlock: software processing in progress
-    trapOnWrite,     ///< trap for WREQ, UPDATE and REPM; reads in hardware
-    trapAlways,      ///< trap for all incoming protocol packets
-};
-
-const char *metaStateName(MetaState m);
 
 /** LimitLESS hardware directory: pointers + meta state + local bit. */
 class LimitlessDir : public DirectoryScheme
@@ -50,6 +40,7 @@ class LimitlessDir : public DirectoryScheme
     }
 
     DirAdd tryAdd(Addr line, NodeId n) override;
+    bool canAdd(Addr line, NodeId n) const override;
     bool contains(Addr line, NodeId n) const override;
     void remove(Addr line, NodeId n) override;
     void clear(Addr line) override;

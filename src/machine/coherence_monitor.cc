@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.hh"
+#include "proto/protocol_table.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -58,9 +59,41 @@ CoherenceMonitor::checkGlobalInvariants() const
 }
 
 void
+CoherenceMonitor::checkDeclaredTransitions() const
+{
+    const ProtocolTableRegistry &reg = ProtocolTableRegistry::instance();
+    for (unsigned i = 0; i < _m.numNodes(); ++i) {
+        const CacheController &cache = _m.node(i).cache();
+        const TableInfo *ct = reg.find(cache.protocol(), TableSide::cache);
+        assert(ct && "cache table unregistered despite being dispatched");
+        cache.forEachObservedTransition(
+            [&](std::uint8_t state, Opcode op) {
+                if (!ct->declares(state, op))
+                    panic("monitor: node %u cache fired undeclared "
+                          "%s-side transition (%s, %s)",
+                          i, tableSideName(TableSide::cache),
+                          ct->stateName(state), opcodeName(op));
+            });
+        const MemoryController &mem = _m.node(i).mem();
+        const TableInfo *ht =
+            reg.find(mem.protocol().kind, TableSide::home);
+        assert(ht && "home table unregistered despite being dispatched");
+        mem.forEachObservedTransition(
+            [&](std::uint8_t state, Opcode op) {
+                if (!ht->declares(state, op))
+                    panic("monitor: home %u fired undeclared %s-side "
+                          "transition (%s, %s)",
+                          i, tableSideName(TableSide::home),
+                          ht->stateName(state), opcodeName(op));
+            });
+    }
+}
+
+void
 CoherenceMonitor::checkQuiescent() const
 {
     checkGlobalInvariants();
+    checkDeclaredTransitions();
     const auto copies = collectCopies(_m);
     const AddressMap &amap = _m.addressMap();
 

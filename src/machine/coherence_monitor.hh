@@ -36,6 +36,16 @@ class CoherenceMonitor
     /** Full structural check; call only when the machine is idle. */
     void checkQuiescent() const;
 
+    /**
+     * Cross-check every (state, opcode) pair the controllers actually
+     * fired against the transitions their schemes declare. Observed
+     * pairs come from the table dispatch itself, so this catches a
+     * registry/table mismatch (e.g. a table mutated after
+     * registration), not a dispatch bug — dispatch of an undeclared
+     * pair already panics.
+     */
+    void checkDeclaredTransitions() const;
+
   private:
     Machine &_m;
 };

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Force-builds every scheme's transition tables.
+ *
+ * The tables are lazily constructed function-local statics, so a process
+ * that only runs one protocol registers one pair. Introspection users
+ * (--dump-protocol-table, the exhaustiveness tests) call this first to
+ * make the registry complete; the machine layer is the only one that
+ * links both the home and cache sides.
+ */
+
+#include "cache/cache_controller.hh"
+#include "mem/home/home_policy.hh"
+#include "proto/protocol_table.hh"
+
+namespace limitless
+{
+
+void
+registerAllProtocolTables()
+{
+    static const ProtocolKind kinds[] = {
+        ProtocolKind::fullMap,   ProtocolKind::limited,
+        ProtocolKind::limitless, ProtocolKind::chained,
+        ProtocolKind::privateOnly,
+    };
+    for (ProtocolKind kind : kinds) {
+        (void)home::homePolicyFor(kind);
+        (void)CacheController::tableFor(kind);
+    }
+}
+
+} // namespace limitless

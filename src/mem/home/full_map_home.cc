@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Full-map home policy (paper Section 2.2 baseline): one presence bit
+ * per cache, so the directory never overflows and every Read-Only
+ * request is served in hardware. The table is exactly the paper's
+ * Table 3 FSM with no overflow rows; Evict-Transaction is unreachable
+ * and therefore undeclared.
+ */
+
+#include "mem/home/home_actions.hh"
+#include "proto/states.hh"
+
+namespace limitless
+{
+namespace home
+{
+
+const HomePolicy &
+fullMapHomePolicy()
+{
+    static const HomePolicy policy = [] {
+        static HomeTable t("full-map", ProtocolKind::fullMap,
+                           TableSide::home, homeStateName);
+        t.add(stRO, Opcode::RREQ, "ro_grant_read", grantRead, stRO);
+        t.add(stRO, Opcode::WREQ, "ro_write", roWrite, dynamicNextState);
+        addRoCommonRows(t);
+        addRwRows(t, rwRead, rwWrite);
+        addRtRows(t);
+        addWtRows(t);
+        t.registerSelf();
+        return HomePolicy{&t, nullptr};
+    }();
+    return policy;
+}
+
+} // namespace home
+} // namespace limitless

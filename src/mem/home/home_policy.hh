@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-scheme home-node policy units: each directory scheme's home-side
+ * protocol is a guarded-action transition table over HomeCtx (see
+ * src/proto/protocol_table.hh), built once on first use and registered
+ * with the process-wide table registry.
+ *
+ * The policy accessors below return immortal singletons; the
+ * MemoryController picks one at construction and its process() becomes a
+ * single table dispatch. The LimitLESS policy additionally carries a
+ * preDispatch hook for the full-emulation meta-state checks, which must
+ * run before the FSM proper (a diverted packet never reaches the table).
+ */
+
+#ifndef LIMITLESS_MEM_HOME_HOME_POLICY_HH
+#define LIMITLESS_MEM_HOME_HOME_POLICY_HH
+
+#include "mem/home/home_line.hh"
+#include "proto/packet.hh"
+#include "proto/protocol_table.hh"
+
+namespace limitless
+{
+
+class MemoryController;
+
+namespace home
+{
+
+/**
+ * Dispatch context for one home-side packet: the controller, the packet
+ * (by reference to the owning pointer — defer/divert actions move it
+ * out), and the line's bookkeeping. Actions that move the packet must
+ * capture line/src first.
+ */
+struct HomeCtx
+{
+    MemoryController &mc;
+    PacketPtr &pkt;
+    HomeLine &hl;
+    bool bypassMeta; ///< trap-handler re-entry (processBypassingMeta)
+
+    Addr line() const { return pkt->addr(); }
+    NodeId src() const { return pkt->src; }
+
+    /** Engine hook: apply a transition's static next state. */
+    void
+    setState(std::uint8_t s)
+    {
+        hl.state = static_cast<MemState>(s);
+    }
+};
+
+using HomeTable = TransitionTable<HomeCtx>;
+
+/** One scheme's home side: its table plus an optional pre-table hook
+ *  (returns true when it consumed the packet). */
+struct HomePolicy
+{
+    const HomeTable *table;
+    bool (*preDispatch)(HomeCtx &);
+};
+
+const HomePolicy &fullMapHomePolicy();
+const HomePolicy &limitedHomePolicy();
+const HomePolicy &limitlessHomePolicy();
+const HomePolicy &chainedHomePolicy();
+const HomePolicy &privateHomePolicy();
+
+/** The policy singleton for @p kind (builds + registers it on first use). */
+const HomePolicy &homePolicyFor(ProtocolKind kind);
+
+} // namespace home
+} // namespace limitless
+
+#endif // LIMITLESS_MEM_HOME_HOME_POLICY_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Limited-directory (Dir_i NB) home policy, paper Section 2.2: i
+ * hardware pointers and no broadcast. A read that overflows the pointer
+ * array evicts a victim copy first (Evict-Transaction) and recycles its
+ * pointer — the eviction traffic that makes Dir_i NB fall off a cliff on
+ * widely shared data (paper Figure 7).
+ */
+
+#include <cassert>
+
+#include "directory/limited_dir.hh"
+#include "mem/home/home_actions.hh"
+#include "mem/memory_controller.hh"
+#include "proto/states.hh"
+
+namespace limitless
+{
+namespace home
+{
+
+namespace
+{
+
+/**
+ * Dir_i NB pointer eviction: invalidate a victim copy, then grant the
+ * pointer to the new reader once its ACKC arrives (etComplete).
+ */
+void
+roPointerEvict(HomeCtx &c)
+{
+    const Addr line = c.line();
+    const NodeId src = c.src();
+    c.mc.noteRead();
+    // Replays the original control flow: the failed tryAdd is what
+    // records the ptr_overflow trace event.
+    const DirAdd r = c.mc.directory().tryAdd(line, src);
+    assert(r == DirAdd::overflow && "guard admitted a non-overflow");
+    (void)r;
+    auto *ldir = static_cast<LimitedDir *>(&c.mc.directory());
+    const NodeId victim = ldir->pickVictim(line);
+    c.mc.noteEviction();
+    c.hl.evictVictim = victim;
+    c.hl.pending = src;
+    c.mc.sendInv(victim, line);
+}
+
+} // namespace
+
+const HomePolicy &
+limitedHomePolicy()
+{
+    static const HomePolicy policy = [] {
+        static HomeTable t("limited", ProtocolKind::limited,
+                           TableSide::home, homeStateName);
+        t.add(stRO, Opcode::RREQ, "ro_grant_read", dirHasRoom,
+              "dir_has_room", grantRead, stRO);
+        t.add(stRO, Opcode::RREQ, "ro_ptr_evict", roPointerEvict, stET);
+        t.add(stRO, Opcode::WREQ, "ro_write", roWrite, dynamicNextState);
+        addRoCommonRows(t);
+        addRwRows(t, rwRead, rwWrite);
+        addRtRows(t);
+        addWtRows(t);
+        addEtRows(t);
+        t.registerSelf();
+        return HomePolicy{&t, nullptr};
+    }();
+    return policy;
+}
+
+} // namespace home
+} // namespace limitless

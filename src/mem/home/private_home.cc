@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Private-only home policy: the no-shared-caching baseline. Only the
+ * home node ever caches a line (remote accesses arrive as RUNC / WUPD),
+ * so the full-map directory backing it can never overflow; the table is
+ * structurally the full-map one, dominated in practice by the
+ * uncached-read and write-update rows.
+ */
+
+#include "mem/home/home_actions.hh"
+#include "proto/states.hh"
+
+namespace limitless
+{
+namespace home
+{
+
+const HomePolicy &
+privateHomePolicy()
+{
+    static const HomePolicy policy = [] {
+        static HomeTable t("private", ProtocolKind::privateOnly,
+                           TableSide::home, homeStateName);
+        t.add(stRO, Opcode::RREQ, "ro_grant_read", grantRead, stRO);
+        t.add(stRO, Opcode::WREQ, "ro_write", roWrite, dynamicNextState);
+        addRoCommonRows(t);
+        addRwRows(t, rwRead, rwWrite);
+        addRtRows(t);
+        addWtRows(t);
+        t.registerSelf();
+        return HomePolicy{&t, nullptr};
+    }();
+    return policy;
+}
+
+} // namespace home
+} // namespace limitless

@@ -5,24 +5,12 @@
 
 #include "directory/full_map_dir.hh"
 #include "directory/limited_dir.hh"
+#include "mem/home/home_policy.hh"
 #include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
 {
-
-const char *
-memStateName(MemState s)
-{
-    switch (s) {
-      case MemState::readOnly: return "Read-Only";
-      case MemState::readWrite: return "Read-Write";
-      case MemState::readTransaction: return "Read-Transaction";
-      case MemState::writeTransaction: return "Write-Transaction";
-      case MemState::evictTransaction: return "Evict-Transaction";
-    }
-    return "?";
-}
 
 MemoryController::MemoryController(EventQueue &eq, NodeId self,
                                    const AddressMap &amap,
@@ -79,57 +67,7 @@ MemoryController::MemoryController(EventQueue &eq, NodeId self,
         _dir = std::make_unique<FullMapDir>(_amap.numNodes());
         break;
     }
-}
-
-MemoryController::HomeLine &
-MemoryController::lineFor(Addr line)
-{
-    return _lines.try_emplace(line).first->second;
-}
-
-MemState
-MemoryController::lineState(Addr line) const
-{
-    auto it = _lines.find(line);
-    return it == _lines.end() ? MemState::readOnly : it->second.state;
-}
-
-void
-MemoryController::setLineState(Addr line, MemState s)
-{
-    lineFor(line).state = s;
-}
-
-std::uint32_t
-MemoryController::ackCounter(Addr line) const
-{
-    auto it = _lines.find(line);
-    return it == _lines.end() ? 0 : it->second.ackCtr;
-}
-
-void
-MemoryController::setAckCounter(Addr line, std::uint32_t n)
-{
-    lineFor(line).ackCtr = n;
-}
-
-NodeId
-MemoryController::pendingRequester(Addr line) const
-{
-    auto it = _lines.find(line);
-    return it == _lines.end() ? invalidNode : it->second.pending;
-}
-
-void
-MemoryController::setPendingRequester(Addr line, NodeId n)
-{
-    lineFor(line).pending = n;
-}
-
-const LineWords &
-MemoryController::readLine(Addr line)
-{
-    return _memory.try_emplace(line).first->second;
+    _homePolicy = &home::homePolicyFor(_proto.kind);
 }
 
 void
@@ -257,19 +195,6 @@ MemoryController::processBypassingMeta(PacketPtr pkt)
 // Send helpers (honour the Ts delay of an in-flight software emulation)
 // --------------------------------------------------------------------
 
-namespace
-{
-
-bool
-isRequestOpcode(Opcode op)
-{
-    return op == Opcode::RREQ || op == Opcode::WREQ ||
-           op == Opcode::REPC || op == Opcode::WUPD ||
-           op == Opcode::RUNC;
-}
-
-} // namespace
-
 void
 MemoryController::sendReadData(NodeId to, Addr line, NodeId old_head)
 {
@@ -368,7 +293,7 @@ MemoryController::chargeTrap(Tick cycles, NodeId requester, Addr line)
 void
 MemoryController::deferOrBusy(PacketPtr &pkt, HomeLine &hl)
 {
-    assert(isRequestOpcode(pkt->opcode));
+    assert(opcodeIsHomeRequest(pkt->opcode));
     if (hl.deferred.size() < _params.deferDepth) {
         hl.deferred.push_back(std::move(pkt));
         return;
@@ -388,626 +313,40 @@ MemoryController::replayDeferred(HomeLine &hl)
 }
 
 // --------------------------------------------------------------------
-// Protocol FSM
+// Protocol dispatch: one guarded-action table lookup (src/mem/home/)
 // --------------------------------------------------------------------
 
 void
 MemoryController::process(PacketPtr &pkt, bool bypass_meta)
 {
     const Addr line = pkt->addr();
-    HomeLine &hl = lineFor(line);
-
-    if (_chained) {
-        processChained(pkt, hl);
-        return;
-    }
-
-    // LimitLESS meta-state checks (full emulation mode only; the stall
-    // approximation emulates traps inline and never leaves Normal-mode
-    // processing windows).
-    if (_ldir && !bypass_meta &&
-        _proto.limitlessMode == LimitlessMode::fullEmulation) {
-        const MetaState meta = _ldir->meta(line);
-        if (meta == MetaState::transInProgress) {
-            if (isRequestOpcode(pkt->opcode)) {
-                sendBusy(pkt->src, line);
-                return;
-            }
-            panic("home %u: response %s for interlocked line %#llx", _self,
-                  opcodeName(pkt->opcode), (unsigned long long)line);
-        }
-        const bool trap_write =
-            meta == MetaState::trapOnWrite &&
-            (pkt->opcode == Opcode::WREQ ||
-             pkt->opcode == Opcode::UPDATE || pkt->opcode == Opcode::REPM);
-        if (meta == MetaState::trapAlways || trap_write) {
-            if (pkt->opcode == Opcode::WREQ)
-                _statWrites += 1;
-            else if (pkt->opcode == Opcode::RREQ)
-                _statReads += 1;
-            _ldir->setMeta(line, MetaState::transInProgress);
-            _divert(std::move(pkt));
-            return;
-        }
-    }
-
-    switch (hl.state) {
-      case MemState::readOnly:
-        processReadOnly(pkt, hl, bypass_meta);
-        break;
-      case MemState::readWrite:
-        processReadWrite(*pkt, hl);
-        break;
-      case MemState::readTransaction:
-        processReadTransaction(pkt, hl);
-        break;
-      case MemState::writeTransaction:
-        processWriteTransaction(pkt, hl);
-        break;
-      case MemState::evictTransaction:
-        processEvictTransaction(pkt, hl);
-        break;
-    }
-}
-
-void
-MemoryController::processReadOnly(PacketPtr &pkt, HomeLine &hl,
-                                  bool bypass_meta)
-{
-    const Addr line = pkt->addr();
     const NodeId src = pkt->src;
+    const Opcode op = pkt->opcode;
+    HomeLine &hl = lineFor(line);
+    home::HomeCtx ctx{*this, pkt, hl, bypass_meta};
 
-    switch (pkt->opcode) {
-      case Opcode::RREQ: {
-        _statReads += 1;
-        // Stall-approximation Trap-Always ablation: once a line has been
-        // demoted to software, every access traps.
-        if (_ldir && _proto.limitlessMode == LimitlessMode::stallApprox &&
-            _ldir->meta(line) == MetaState::trapAlways) {
-            _swTable.addSharer(line, src);
-            _profile.addSharer(line, src);
-            _statReadTraps += 1;
-            chargeTrap(_proto.softwareLatency, src, line);
-            sendReadData(src, line);
-            return;
-        }
-        const DirAdd r = _dir->tryAdd(line, src);
-        if (r != DirAdd::overflow) {
-            sendReadData(src, line);
-            return;
-        }
-        switch (_proto.kind) {
-          case ProtocolKind::fullMap:
-            panic("full-map directory overflowed");
-          case ProtocolKind::limited: {
-            // Dir_i NB pointer eviction: invalidate a victim copy, then
-            // grant the pointer to the new reader.
-            auto *ldir = static_cast<LimitedDir *>(_dir.get());
-            const NodeId victim = ldir->pickVictim(line);
-            _statEvictions += 1;
-            hl.state = MemState::evictTransaction;
-            hl.evictVictim = victim;
-            hl.pending = src;
-            sendInv(victim, line);
-            return;
-          }
-          case ProtocolKind::limitless:
-            if (_proto.limitlessMode == LimitlessMode::stallApprox) {
-                limitlessReadOverflow(*pkt, hl);
-            } else {
-                assert(!bypass_meta &&
-                       "trap handler must not overflow the pointers");
-                _ldir->setMeta(line, MetaState::transInProgress);
-                _divert(std::move(pkt));
-            }
-            return;
-          case ProtocolKind::chained:
-            panic("chained protocol in pointer FSM");
-          case ProtocolKind::privateOnly:
-            panic("private-only machine overflowed a full map");
-        }
-        return;
-      }
-
-      case Opcode::WREQ: {
-        _statWrites += 1;
-        if (_ldir && limitlessWriteNeedsTrap(line)) {
-            // Only reachable inline in stall-approximation mode (full
-            // emulation diverts trapped writes before the FSM).
-            limitlessWriteTrap(*pkt, hl);
-            return;
-        }
-        std::vector<NodeId> sharer_list;
-        _dir->sharers(line, sharer_list);
-        std::vector<NodeId> others;
-        for (NodeId n : sharer_list)
-            if (n != src)
-                others.push_back(n);
-        _statWorkerSet.sample(others.size() + 1);
-        _dir->clear(line);
-        const DirAdd r = _dir->tryAdd(line, src);
-        assert(r != DirAdd::overflow);
-        (void)r;
-        startWriteTransaction(line, hl, src, others);
-        return;
-      }
-
-      case Opcode::WUPD:
-        handleWriteUpdate(*pkt, hl);
+    if (_homePolicy->preDispatch && _homePolicy->preDispatch(ctx))
         return;
 
-      case Opcode::RUNC:
-        // Uncached read (private-only baseline): data, no pointer.
-        _statReads += 1;
-        sendReadData(src, line);
-        return;
-
-      case Opcode::REPM:
-        panic("home %u: REPM in Read-Only state for line %#llx", _self,
-              (unsigned long long)line);
-
-      case Opcode::UPDATE:
-        panic("home %u: UPDATE in Read-Only state for line %#llx", _self,
-              (unsigned long long)line);
-
-      case Opcode::ACKC:
-        // Legally unreachable (see DESIGN.md ack-discipline note); kept
-        // tolerant so the stat can be asserted zero in property tests.
-        _statStaleAcks += 1;
-        return;
-
-      default:
-        panic("home %u: bad opcode %s in Read-Only", _self,
-              opcodeName(pkt->opcode));
+    const auto pre = static_cast<std::uint8_t>(hl.state);
+    const auto &tr = _homePolicy->table->fire(ctx, pre, op);
+    _observed.insert((static_cast<std::uint32_t>(pre) << 16) |
+                     static_cast<std::uint16_t>(op));
+    {
+        TraceEvent ev;
+        ev.ts = _eq.now();
+        ev.name = "transition";
+        ev.cat = EventCat::mem;
+        ev.node = _self;
+        ev.line = line;
+        ev.op = op;
+        ev.hasOp = true;
+        ev.src = src;
+        ev.detail = tr.label;
+        ev.arg = tr.id;
+        ev.hasArg = true;
+        FR_RECORD(ev);
     }
-}
-
-void
-MemoryController::processReadWrite(Packet &pkt, HomeLine &hl)
-{
-    const Addr line = pkt.addr();
-    const NodeId src = pkt.src;
-
-    std::vector<NodeId> owner_list;
-    _dir->sharers(line, owner_list);
-    assert(owner_list.size() == 1 && "Read-Write must have one owner");
-    const NodeId owner = owner_list[0];
-
-    // Trap-Always lines are software-handled even when exclusively
-    // owned: the request still goes through the normal ownership
-    // transfer below, but the access is recorded and charged Ts
-    // (stall-approximation path; full emulation diverts before the FSM).
-    if (_ldir && _proto.limitlessMode == LimitlessMode::stallApprox &&
-        _ldir->meta(line) == MetaState::trapAlways &&
-        (pkt.opcode == Opcode::RREQ || pkt.opcode == Opcode::WREQ)) {
-        _profile.addSharer(line, src);
-        _statReadTraps += 1;
-        chargeTrap(_proto.softwareLatency, src, line);
-    }
-
-    switch (pkt.opcode) {
-      case Opcode::RREQ:
-        _statReads += 1;
-        assert(src != owner && "owner re-requesting a line it owns");
-        _dir->clear(line);
-        _dir->tryAdd(line, src);
-        hl.pending = src;
-        hl.dataSeen = false;
-        hl.state = MemState::readTransaction;
-        sendInv(owner, line);
-        return;
-
-      case Opcode::WREQ:
-        _statWrites += 1;
-        assert(src != owner);
-        _statWorkerSet.sample(1);
-        _dir->clear(line);
-        _dir->tryAdd(line, src);
-        hl.pending = src;
-        hl.ackCtr = 1;
-        hl.state = MemState::writeTransaction;
-        sendInv(owner, line);
-        return;
-
-      case Opcode::RUNC:
-        // Uncached read of a dirty line: recall the data first, then
-        // answer without recording a pointer.
-        _statReads += 1;
-        assert(src != owner);
-        _dir->clear(line);
-        hl.pending = src;
-        hl.pendingUncached = true;
-        hl.dataSeen = false;
-        hl.state = MemState::readTransaction;
-        sendInv(owner, line);
-        return;
-
-      case Opcode::WUPD: {
-        // Write-update against a dirty line (private-only remote write,
-        // or a mixed-policy race): recall the data, then apply.
-        if (_policy && _policy->isUpdateMode(line))
-            panic("home %u: update-mode line %#llx held exclusively "
-                  "(mark lines before first use)",
-                  _self, (unsigned long long)line);
-        _statWrites += 1;
-        _dir->clear(line);
-        hl.pending = src;
-        hl.ackCtr = 1;
-        hl.state = MemState::writeTransaction;
-        hl.updWrite = true;
-        hl.updApply = true;
-        hl.updWord = static_cast<unsigned>(pkt.operands.at(1));
-        hl.updKind = static_cast<std::uint8_t>(pkt.operands.at(2));
-        hl.updValue = pkt.operands.at(3);
-        sendInv(owner, line);
-        return;
-      }
-
-      case Opcode::REPM:
-        assert(src == owner && "REPM from a non-owner");
-        writeLine(line, pkt.data);
-        _dir->clear(line);
-        hl.state = MemState::readOnly;
-        replayDeferred(hl);
-        return;
-
-      case Opcode::ACKC:
-        _statStaleAcks += 1;
-        return;
-
-      default:
-        panic("home %u: bad opcode %s in Read-Write", _self,
-              opcodeName(pkt.opcode));
-    }
-}
-
-void
-MemoryController::processReadTransaction(PacketPtr &pkt, HomeLine &hl)
-{
-    const Addr line = pkt->addr();
-
-    switch (pkt->opcode) {
-      case Opcode::RREQ:
-      case Opcode::WREQ:
-      case Opcode::REPC:
-      case Opcode::WUPD:
-      case Opcode::RUNC:
-        deferOrBusy(pkt, hl);
-        return;
-
-      case Opcode::UPDATE:
-        // Transition 10: previous owner returns the data.
-        writeLine(line, pkt->data);
-        FlightRecorder::instance().latency().onInvEnd(_eq.now(),
-                                                      hl.pending, line);
-        sendReadData(hl.pending, line);
-        hl.state = MemState::readOnly;
-        hl.dataSeen = false;
-        hl.pendingUncached = false;
-        replayDeferred(hl);
-        return;
-
-      case Opcode::REPM:
-        // The owner's replacement crossed our INV; the data arrives here
-        // and the owner's ACKC (to the INV) closes the transaction.
-        writeLine(line, pkt->data);
-        hl.dataSeen = true;
-        return;
-
-      case Opcode::ACKC:
-        if (hl.dataSeen) {
-            FlightRecorder::instance().latency().onInvEnd(_eq.now(),
-                                                          hl.pending, line);
-            sendReadData(hl.pending, line);
-            hl.state = MemState::readOnly;
-            hl.dataSeen = false;
-            hl.pendingUncached = false;
-            replayDeferred(hl);
-        } else {
-            _statStaleAcks += 1;
-        }
-        return;
-
-      default:
-        panic("home %u: bad opcode %s in Read-Transaction", _self,
-              opcodeName(pkt->opcode));
-    }
-}
-
-void
-MemoryController::processWriteTransaction(PacketPtr &pkt, HomeLine &hl)
-{
-    const Addr line = pkt->addr();
-
-    switch (pkt->opcode) {
-      case Opcode::RREQ:
-      case Opcode::WREQ:
-      case Opcode::REPC:
-      case Opcode::WUPD:
-      case Opcode::RUNC:
-        // Transition 7: requests wait out the invalidation.
-        deferOrBusy(pkt, hl);
-        return;
-
-      case Opcode::UPDATE:
-        writeLine(line, pkt->data);
-        [[fallthrough]];
-      case Opcode::ACKC:
-        assert(hl.ackCtr > 0 && "acknowledgment counter underflow");
-        --hl.ackCtr;
-        if (hl.ackCtr == 0) {
-            FlightRecorder::instance().latency().onInvEnd(_eq.now(),
-                                                          hl.pending, line);
-            if (hl.updWrite) {
-                if (hl.updApply) {
-                    // Recalled-data case: apply the write now that the
-                    // owner's data is in memory.
-                    LineWords &mem =
-                        _memory.try_emplace(line).first->second;
-                    hl.updOld = mem[hl.updWord];
-                    switch (static_cast<MemOpKind>(hl.updKind)) {
-                      case MemOpKind::store:
-                      case MemOpKind::swap:
-                        mem[hl.updWord] = hl.updValue;
-                        break;
-                      case MemOpKind::fetchAdd:
-                        mem[hl.updWord] = hl.updOld + hl.updValue;
-                        break;
-                      case MemOpKind::load:
-                        panic("WUPD carrying a load");
-                    }
-                    _statWriteUpdates += 1;
-                    hl.updApply = false;
-                }
-                // Update-mode write: every cached copy is refreshed; the
-                // writer gets the old word, the line stays Read-Only.
-                if (!hl.updSilent) {
-                    auto wack = makeProtocolPacket(_self, hl.pending,
-                                                   Opcode::WACK, line);
-                    wack->operands.push_back(hl.updOld);
-                    dispatch(std::move(wack));
-                }
-                hl.updWrite = false;
-                hl.updSilent = false;
-                hl.state = MemState::readOnly;
-            } else {
-                // Transition 8: grant write permission.
-                sendWriteData(hl.pending, line);
-                hl.state = MemState::readWrite;
-            }
-            replayDeferred(hl);
-        }
-        return;
-
-      case Opcode::REPM:
-        // Crossed replacement: take the data; the ACKC that follows the
-        // INV performs the decrement (ack discipline, DESIGN.md §7).
-        writeLine(line, pkt->data);
-        return;
-
-      default:
-        panic("home %u: bad opcode %s in Write-Transaction", _self,
-              opcodeName(pkt->opcode));
-    }
-}
-
-void
-MemoryController::processEvictTransaction(PacketPtr &pkt, HomeLine &hl)
-{
-    const Addr line = pkt->addr();
-
-    switch (pkt->opcode) {
-      case Opcode::RREQ:
-      case Opcode::WREQ:
-      case Opcode::REPC:
-      case Opcode::WUPD:
-      case Opcode::RUNC:
-        deferOrBusy(pkt, hl);
-        return;
-
-      case Opcode::ACKC: {
-        // Victim invalidated: recycle its pointer for the waiting reader.
-        _dir->remove(line, hl.evictVictim);
-        const DirAdd r = _dir->tryAdd(line, hl.pending);
-        assert(r != DirAdd::overflow);
-        (void)r;
-        FlightRecorder::instance().latency().onInvEnd(_eq.now(),
-                                                      hl.pending, line);
-        sendReadData(hl.pending, line);
-        hl.evictVictim = invalidNode;
-        hl.state = MemState::readOnly;
-        replayDeferred(hl);
-        return;
-      }
-
-      default:
-        panic("home %u: bad opcode %s in Evict-Transaction", _self,
-              opcodeName(pkt->opcode));
-    }
-}
-
-// --------------------------------------------------------------------
-// LimitLESS software paths (stall approximation)
-// --------------------------------------------------------------------
-
-void
-MemoryController::limitlessReadOverflow(Packet &pkt, HomeLine &hl)
-{
-    const Addr line = pkt.addr();
-
-    // Migratory lines (Section 6): the handler evicts the oldest
-    // pointer FIFO instead of spilling a bit vector — the worker-set
-    // is about to move on anyway, so a full map would be stale the
-    // moment it was allocated.
-    if (_policy && _policy->isMigratory(line)) {
-        std::vector<NodeId> hw;
-        _ldir->sharers(line, hw);
-        assert(!hw.empty());
-        // Oldest remote pointer (slot 0; sharers() lists the local bit
-        // first when set, and the local copy is never the right victim
-        // for migrating data).
-        NodeId victim = hw[0];
-        if (victim == _self && hw.size() > 1)
-            victim = hw[1];
-        _statMigratoryEvictions += 1;
-        chargeTrap(_proto.softwareLatency, pkt.src, line);
-        hl.state = MemState::evictTransaction;
-        hl.evictVictim = victim;
-        hl.pending = pkt.src;
-        sendInv(victim, line);
-        return;
-    }
-
-    std::vector<NodeId> spilled;
-    _ldir->spillPointers(line, spilled);
-    _swTable.addSharers(line, spilled);
-    _statReadTraps += 1;
-    chargeTrap(_proto.softwareLatency, pkt.src, line);
-
-    if (_proto.trapOnWrite) {
-        // Trap-On-Write optimization: the emptied pointer array lets the
-        // controller absorb further reads in hardware.
-        const DirAdd r = _dir->tryAdd(line, pkt.src);
-        assert(r != DirAdd::overflow);
-        (void)r;
-        _ldir->setMeta(line, MetaState::trapOnWrite);
-    } else {
-        // Ablation D1: leave the line fully software-handled.
-        _swTable.addSharer(line, pkt.src);
-        _ldir->setMeta(line, MetaState::trapAlways);
-    }
-    sendReadData(pkt.src, line);
-}
-
-bool
-MemoryController::limitlessWriteNeedsTrap(Addr line) const
-{
-    return _swTable.has(line) || _ldir->meta(line) != MetaState::normal;
-}
-
-void
-MemoryController::limitlessWriteTrap(Packet &pkt, HomeLine &hl)
-{
-    const Addr line = pkt.addr();
-    const NodeId src = pkt.src;
-
-    std::vector<NodeId> all;
-    _ldir->sharers(line, all);
-    _swTable.sharers(line, all);
-    std::sort(all.begin(), all.end());
-    all.erase(std::unique(all.begin(), all.end()), all.end());
-    std::vector<NodeId> others;
-    for (NodeId n : all)
-        if (n != src)
-            others.push_back(n);
-    _statWorkerSet.sample(others.size() + 1);
-
-    // Trap-Always lines stay software-handled (profiling / ablation D1)
-    // and keep accumulating their access profile across writes.
-    const bool sticky = _ldir->meta(line) == MetaState::trapAlways;
-    if (sticky) {
-        _profile.addSharers(line, all);
-        _profile.addSharer(line, src);
-    }
-    _swTable.free(line);
-    _ldir->clear(line);
-    _ldir->setMeta(line,
-                   sticky ? MetaState::trapAlways : MetaState::normal);
-    const DirAdd r = _ldir->tryAdd(line, src);
-    assert(r != DirAdd::overflow);
-    (void)r;
-
-    _statWriteTraps += 1;
-    chargeTrap(_proto.softwareLatency, src, line);
-    startWriteTransaction(line, hl, src, others);
-}
-
-void
-MemoryController::handleWriteUpdate(Packet &pkt, HomeLine &hl)
-{
-    if (_chained)
-        panic("update-mode coherence is not supported under the chained "
-              "protocol");
-    const Addr line = pkt.addr();
-    const NodeId src = pkt.src;
-    const unsigned word = static_cast<unsigned>(pkt.operands.at(1));
-    const auto kind = static_cast<MemOpKind>(pkt.operands.at(2));
-    const std::uint64_t value = pkt.operands.at(3);
-    const bool silent =
-        pkt.operands.size() > 4 && (pkt.operands[4] & 1);
-    assert(word < _amap.wordsPerLine());
-
-    // Perform the operation at memory (atomic: the home serializes).
-    LineWords &mem = _memory.try_emplace(line).first->second;
-    const std::uint64_t old = mem[word];
-    switch (kind) {
-      case MemOpKind::store:
-      case MemOpKind::swap:
-        mem[word] = value;
-        break;
-      case MemOpKind::fetchAdd:
-        mem[word] = old + value;
-        break;
-      case MemOpKind::load:
-        panic("WUPD carrying a load");
-    }
-    _statWriteUpdates += 1;
-
-    // Refresh every cached copy in place; the sharer set is untouched
-    // (that is the whole point of update mode). Software-extended state
-    // is consulted but not freed.
-    std::vector<NodeId> sharers;
-    _dir->sharers(line, sharers);
-    _swTable.sharers(line, sharers);
-    std::sort(sharers.begin(), sharers.end());
-    sharers.erase(std::unique(sharers.begin(), sharers.end()),
-                  sharers.end());
-
-    // This is a software-synthesized coherence type on the LimitLESS
-    // machine: charge the handler occupancy.
-    if (_ldir)
-        chargeTrap(_proto.softwareLatency, src, line);
-
-    if (sharers.empty()) {
-        if (!silent) {
-            auto wack = makeProtocolPacket(_self, src, Opcode::WACK,
-                                           line);
-            wack->operands.push_back(old);
-            dispatch(std::move(wack));
-        }
-        return;
-    }
-    hl.state = MemState::writeTransaction;
-    hl.updWrite = true;
-    hl.updSilent = silent;
-    hl.updOld = old;
-    hl.pending = src;
-    hl.ackCtr = static_cast<std::uint32_t>(sharers.size());
-    for (NodeId n : sharers) {
-        auto mupd = makeDataPacket(
-            _self, n, Opcode::MUPD, line,
-            {mem.begin(), mem.begin() + _amap.wordsPerLine()});
-        dispatch(std::move(mupd));
-    }
-}
-
-void
-MemoryController::startWriteTransaction(Addr line, HomeLine &hl,
-                                        NodeId requester,
-                                        const std::vector<NodeId> &to_inv)
-{
-    if (to_inv.empty()) {
-        // Transition 2: no other copies; grant immediately.
-        hl.state = MemState::readWrite;
-        sendWriteData(requester, line);
-        return;
-    }
-    // Transition 3: invalidate every other copy first.
-    hl.state = MemState::writeTransaction;
-    hl.pending = requester;
-    hl.ackCtr = static_cast<std::uint32_t>(to_inv.size());
-    for (NodeId n : to_inv)
-        sendInv(n, line);
 }
 
 } // namespace limitless

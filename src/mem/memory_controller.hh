@@ -1,13 +1,20 @@
 /**
  * @file
- * Memory-side coherence controller: the Figure 2 / Table 2 state machine
- * of the paper, layered over a pluggable directory scheme.
+ * Memory-side coherence controller: the shared home-node core (service
+ * loop, HomeLine map, ack counters, send helpers, statistics) behind
+ * the per-scheme policy units in src/mem/home/.
  *
  * One controller per node; it owns the node's slice of globally shared
  * memory (real data words) and the directory entries for lines homed
  * there. Incoming protocol packets are serviced one at a time with a
  * configurable occupancy, which is what makes widely shared lines into
  * hot spots.
+ *
+ * All protocol behavior lives in the guarded-action transition tables
+ * of src/mem/home/{full_map,limited,limitless,chained,private}_home.cc
+ * (see src/proto/protocol_table.hh); process() is a single table
+ * dispatch. The transition actions drive this class exclusively through
+ * its public transition-action API below.
  *
  * LimitLESS support: in stall-approximation mode (the paper's evaluation
  * methodology) pointer overflows are emulated inline and charged Ts
@@ -27,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cache/mem_op.hh"
 #include "directory/chained_dir.hh"
@@ -35,26 +43,20 @@
 #include "kernel/software_dir.hh"
 #include "machine/address_map.hh"
 #include "machine/coherence_policy.hh"
+#include "mem/home/home_line.hh"
 #include "proto/packet.hh"
 #include "proto/protocol_params.hh"
+#include "proto/states.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
 namespace limitless
 {
 
-/** Memory-side line states (paper Table 1). An absent entry is
- *  Read-Only with an empty pointer set (uncached). */
-enum class MemState : std::uint8_t
+namespace home
 {
-    readOnly,         ///< some number of read-only copies (possibly zero)
-    readWrite,        ///< exactly one dirty copy
-    readTransaction,  ///< holding a read request, update in progress
-    writeTransaction, ///< holding a write request, invalidation in progress
-    evictTransaction, ///< limited-dir pointer eviction / chained unlink
-};
-
-const char *memStateName(MemState s);
+struct HomePolicy;
+} // namespace home
 
 /** Controller timing knobs. */
 struct MemParams
@@ -108,6 +110,60 @@ class MemoryController
     double overflowFraction() const;
 
     // ------------------------------------------------------------------
+    // Transition-action API: the per-scheme policy units in
+    // src/mem/home/ drive the controller through these.
+    // ------------------------------------------------------------------
+
+    /** Current simulation time (the controller's event-queue clock). */
+    Tick now() const { return _eq.now(); }
+
+    /** Per-line protocol bookkeeping (created on first touch). */
+    HomeLine &
+    lineFor(Addr line)
+    {
+        return _lines.try_emplace(line).first->second;
+    }
+
+    /** Mutable memory words of a line (zero-filled on first touch). */
+    LineWords &
+    lineWords(Addr line)
+    {
+        return _memory.try_emplace(line).first->second;
+    }
+
+    void sendReadData(NodeId to, Addr line, NodeId old_head = invalidNode);
+    void sendWriteData(NodeId to, Addr line);
+    void sendInv(NodeId to, Addr line);
+    void sendBusy(NodeId to, Addr line);
+    /** Launch a packet, honouring any in-flight Ts emulation charge. */
+    void dispatch(PacketPtr pkt);
+
+    /** Park a mid-transaction request, or BUSY it if the buffer is full. */
+    void deferOrBusy(PacketPtr &pkt, HomeLine &hl);
+    /** Replay parked requests after a transaction completes. */
+    void replayDeferred(HomeLine &hl);
+
+    /** Charge Ts emulation cycles against the in-flight service, on
+     *  behalf of @p requester's transaction on @p line. */
+    void chargeTrap(Tick cycles, NodeId requester, Addr line);
+
+    /** Hand a packet to the software trap handler (full emulation). */
+    void divertToHandler(PacketPtr pkt) { _divert(std::move(pkt)); }
+
+    /** @name Statistics hooks for transition actions. */
+    /// @{
+    void noteRead() { _statReads += 1; }
+    void noteWrite() { _statWrites += 1; }
+    void noteEviction() { _statEvictions += 1; }
+    void noteStaleAck() { _statStaleAcks += 1; }
+    void noteWriteUpdate() { _statWriteUpdates += 1; }
+    void noteMigratoryEviction() { _statMigratoryEvictions += 1; }
+    /** Trap counters alone (inline paths charge cycles via chargeTrap). */
+    void noteReadTrapTaken() { _statReadTraps += 1; }
+    void noteWriteTrapTaken() { _statWriteTraps += 1; }
+    /// @}
+
+    // ------------------------------------------------------------------
     // Software / monitor access ("the directories are placed in a special
     // region of memory that may be read and written by the processor").
     // ------------------------------------------------------------------
@@ -129,15 +185,38 @@ class MemoryController
     SoftwareDirTable &profileTable() { return _profile; }
     const SoftwareDirTable &profileTable() const { return _profile; }
 
-    MemState lineState(Addr line) const;
-    void setLineState(Addr line, MemState s);
-    std::uint32_t ackCounter(Addr line) const;
-    void setAckCounter(Addr line, std::uint32_t n);
-    NodeId pendingRequester(Addr line) const;
-    void setPendingRequester(Addr line, NodeId n);
+    MemState
+    lineState(Addr line) const
+    {
+        auto it = _lines.find(line);
+        return it == _lines.end() ? MemState::readOnly : it->second.state;
+    }
+    void setLineState(Addr line, MemState s) { lineFor(line).state = s; }
+
+    std::uint32_t
+    ackCounter(Addr line) const
+    {
+        auto it = _lines.find(line);
+        return it == _lines.end() ? 0 : it->second.ackCtr;
+    }
+    void setAckCounter(Addr line, std::uint32_t n)
+    {
+        lineFor(line).ackCtr = n;
+    }
+
+    NodeId
+    pendingRequester(Addr line) const
+    {
+        auto it = _lines.find(line);
+        return it == _lines.end() ? invalidNode : it->second.pending;
+    }
+    void setPendingRequester(Addr line, NodeId n)
+    {
+        lineFor(line).pending = n;
+    }
 
     /** Current memory contents of a line (zero-filled on first touch). */
-    const LineWords &readLine(Addr line);
+    const LineWords &readLine(Addr line) { return lineWords(line); }
     void writeLine(Addr line, const std::vector<std::uint64_t> &words);
 
     /** Trap handler send path (protocol packets launched via IPI). */
@@ -167,74 +246,21 @@ class MemoryController
             fn(line, st.state);
     }
 
-  private:
-    struct HomeLine
+    /** Iterate the (state, opcode) pairs this controller has fired
+     *  (coherence-monitor cross-check against the declared table). */
+    template <typename Fn>
+    void
+    forEachObservedTransition(Fn &&fn) const
     {
-        MemState state = MemState::readOnly;
-        std::uint32_t ackCtr = 0;
-        NodeId pending = invalidNode;
-        bool dataSeen = false;        ///< RT: REPM data arrived
-        NodeId evictVictim = invalidNode;
-        /** Update-mode write in flight: complete with WACK, stay RO. */
-        bool updWrite = false;
-        std::uint64_t updOld = 0;
-        /** Kernel-injected WUPD: no WACK wanted (fire and forget). */
-        bool updSilent = false;
-        /** WUPD against a dirty line: apply after the owner's data. */
-        bool updApply = false;
-        unsigned updWord = 0;
-        std::uint8_t updKind = 0;
-        std::uint64_t updValue = 0;
-        /** RUNC in flight: answer without recording a pointer. */
-        bool pendingUncached = false;
-        /** Chained-walk bookkeeping. */
-        NodeId walkTarget = invalidNode;
-        NodeId repcRequester = invalidNode;
-        /** Requests parked during a transaction (see MemParams). */
-        std::deque<PacketPtr> deferred;
-    };
+        for (std::uint32_t packed : _observed)
+            fn(static_cast<std::uint8_t>(packed >> 16),
+               static_cast<Opcode>(packed & 0xffff));
+    }
 
+  private:
     void scheduleService();
     void service();
     void process(PacketPtr &pkt, bool bypass_meta);
-    void processReadOnly(PacketPtr &pkt, HomeLine &hl, bool bypass_meta);
-    void processReadWrite(Packet &pkt, HomeLine &hl);
-    void processReadTransaction(PacketPtr &pkt, HomeLine &hl);
-    void processWriteTransaction(PacketPtr &pkt, HomeLine &hl);
-    void processEvictTransaction(PacketPtr &pkt, HomeLine &hl);
-
-    /** Update-mode write service (paper Section 6 extension). */
-    void handleWriteUpdate(Packet &pkt, HomeLine &hl);
-
-    /** Park a mid-transaction request, or BUSY it if the buffer is full. */
-    void deferOrBusy(PacketPtr &pkt, HomeLine &hl);
-    /** Replay parked requests after a transaction completes. */
-    void replayDeferred(HomeLine &hl);
-
-    // Chained-protocol variants.
-    void processChained(PacketPtr &pkt, HomeLine &hl);
-    void chainedReadOnly(PacketPtr &pkt, HomeLine &hl);
-    void chainedWalkStep(Addr line, HomeLine &hl, NodeId target);
-    void chainedWalkAck(Packet &pkt, HomeLine &hl);
-
-    // Helpers shared by transitions.
-    void sendReadData(NodeId to, Addr line, NodeId old_head = invalidNode);
-    void sendWriteData(NodeId to, Addr line);
-    void sendInv(NodeId to, Addr line);
-    void sendBusy(NodeId to, Addr line);
-    void dispatch(PacketPtr pkt);
-    void startWriteTransaction(Addr line, HomeLine &hl, NodeId requester,
-                               const std::vector<NodeId> &to_invalidate);
-
-    // LimitLESS software paths (stall approximation).
-    void limitlessReadOverflow(Packet &pkt, HomeLine &hl);
-    bool limitlessWriteNeedsTrap(Addr line) const;
-    void limitlessWriteTrap(Packet &pkt, HomeLine &hl);
-    /** Charge Ts emulation cycles against the in-flight service, on
-     *  behalf of @p requester's transaction on @p line. */
-    void chargeTrap(Tick cycles, NodeId requester, Addr line);
-
-    HomeLine &lineFor(Addr line);
 
     EventQueue &_eq;
     NodeId _self;
@@ -245,6 +271,7 @@ class MemoryController
     TrapStallFn _trapStall;
     DivertFn _divert;
     const CoherencePolicy *_policy = nullptr;
+    const home::HomePolicy *_homePolicy = nullptr;
 
     std::unique_ptr<DirectoryScheme> _dir;
     LimitlessDir *_ldir = nullptr;          ///< alias into _dir
@@ -254,6 +281,7 @@ class MemoryController
 
     std::unordered_map<Addr, HomeLine> _lines;
     std::unordered_map<Addr, LineWords> _memory;
+    std::unordered_set<std::uint32_t> _observed; ///< fired (state, op)
 
     std::deque<PacketPtr> _queue;
     bool _serviceScheduled = false;

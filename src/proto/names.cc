@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Single source of truth for protocol mnemonic strings: opcode, memory /
+ * cache line state and LimitLESS meta-state names. Every printer (debug
+ * log, trace sink, postmortem dump, table dump) calls these; no other
+ * layer re-switches over the enums.
+ */
+
+#include "proto/opcode.hh"
+#include "proto/states.hh"
+
+namespace limitless
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::RREQ: return "RREQ";
+      case Opcode::WREQ: return "WREQ";
+      case Opcode::REPM: return "REPM";
+      case Opcode::UPDATE: return "UPDATE";
+      case Opcode::ACKC: return "ACKC";
+      case Opcode::REPC: return "REPC";
+      case Opcode::REPC_ACK: return "REPC_ACK";
+      case Opcode::WUPD: return "WUPD";
+      case Opcode::RUNC: return "RUNC";
+      case Opcode::MUPD: return "MUPD";
+      case Opcode::WACK: return "WACK";
+      case Opcode::RDATA: return "RDATA";
+      case Opcode::WDATA: return "WDATA";
+      case Opcode::INV: return "INV";
+      case Opcode::BUSY: return "BUSY";
+      case Opcode::IPI_FLAG: return "IPI_FLAG";
+      case Opcode::IPI_MESSAGE: return "IPI_MESSAGE";
+      case Opcode::IPI_LOCK_GRANT: return "IPI_LOCK_GRANT";
+      case Opcode::IPI_BLOCK_XFER: return "IPI_BLOCK_XFER";
+    }
+    return "UNKNOWN";
+}
+
+const char *
+memStateName(MemState s)
+{
+    switch (s) {
+      case MemState::readOnly: return "Read-Only";
+      case MemState::readWrite: return "Read-Write";
+      case MemState::readTransaction: return "Read-Transaction";
+      case MemState::writeTransaction: return "Write-Transaction";
+      case MemState::evictTransaction: return "Evict-Transaction";
+    }
+    return "?";
+}
+
+const char *
+cacheStateName(CacheState s)
+{
+    switch (s) {
+      case CacheState::invalid: return "Invalid";
+      case CacheState::readOnly: return "Read-Only";
+      case CacheState::readWrite: return "Read-Write";
+    }
+    return "?";
+}
+
+const char *
+metaStateName(MetaState m)
+{
+    switch (m) {
+      case MetaState::normal: return "Normal";
+      case MetaState::transInProgress: return "Trans-In-Progress";
+      case MetaState::trapOnWrite: return "Trap-On-Write";
+      case MetaState::trapAlways: return "Trap-Always";
+    }
+    return "?";
+}
+
+const char *
+homeStateName(std::uint8_t s)
+{
+    return memStateName(static_cast<MemState>(s));
+}
+
+const char *
+cacheSideStateName(std::uint8_t s)
+{
+    return cacheStateName(static_cast<CacheState>(s));
+}
+
+} // namespace limitless

@@ -79,7 +79,20 @@ opcodeCarriesData(Opcode op)
     }
 }
 
-/** Short mnemonic for tracing. */
+/**
+ * True for the opcodes a home node treats as *requests*: they may be
+ * BUSY-nacked or parked in the defer buffer during a transaction.
+ * Responses (UPDATE, ACKC, REPM data) must always be accepted.
+ */
+constexpr bool
+opcodeIsHomeRequest(Opcode op)
+{
+    return op == Opcode::RREQ || op == Opcode::WREQ ||
+           op == Opcode::REPC || op == Opcode::WUPD ||
+           op == Opcode::RUNC;
+}
+
+/** Short mnemonic for tracing (implemented in proto/names.cc). */
 const char *opcodeName(Opcode op);
 
 } // namespace limitless

@@ -6,33 +6,6 @@
 namespace limitless
 {
 
-const char *
-opcodeName(Opcode op)
-{
-    switch (op) {
-      case Opcode::RREQ: return "RREQ";
-      case Opcode::WREQ: return "WREQ";
-      case Opcode::REPM: return "REPM";
-      case Opcode::UPDATE: return "UPDATE";
-      case Opcode::ACKC: return "ACKC";
-      case Opcode::REPC: return "REPC";
-      case Opcode::REPC_ACK: return "REPC_ACK";
-      case Opcode::WUPD: return "WUPD";
-      case Opcode::RUNC: return "RUNC";
-      case Opcode::MUPD: return "MUPD";
-      case Opcode::WACK: return "WACK";
-      case Opcode::RDATA: return "RDATA";
-      case Opcode::WDATA: return "WDATA";
-      case Opcode::INV: return "INV";
-      case Opcode::BUSY: return "BUSY";
-      case Opcode::IPI_FLAG: return "IPI_FLAG";
-      case Opcode::IPI_MESSAGE: return "IPI_MESSAGE";
-      case Opcode::IPI_LOCK_GRANT: return "IPI_LOCK_GRANT";
-      case Opcode::IPI_BLOCK_XFER: return "IPI_BLOCK_XFER";
-    }
-    return "UNKNOWN";
-}
-
 PacketPtr
 makeProtocolPacket(NodeId src, NodeId dest, Opcode op, Addr addr)
 {

@@ -1,0 +1,121 @@
+#include "proto/protocol_table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+
+namespace limitless
+{
+
+const char *
+tableSideName(TableSide side)
+{
+    switch (side) {
+      case TableSide::home: return "home";
+      case TableSide::cache: return "cache";
+    }
+    return "?";
+}
+
+bool
+TableInfo::declares(std::uint8_t state, Opcode op) const
+{
+    for (const TransitionRow &row : rows)
+        if (row.state == state && row.opcode == op)
+            return true;
+    return false;
+}
+
+ProtocolTableRegistry &
+ProtocolTableRegistry::instance()
+{
+    static ProtocolTableRegistry registry;
+    return registry;
+}
+
+void
+ProtocolTableRegistry::registerTable(const TableInfo *info)
+{
+    for (const TableInfo *t : _tables) {
+        if (t->kind == info->kind && t->side == info->side) {
+            assert(t == info && "duplicate table for (kind, side)");
+            return;
+        }
+    }
+    _tables.push_back(info);
+}
+
+const TableInfo *
+ProtocolTableRegistry::find(ProtocolKind kind, TableSide side) const
+{
+    for (const TableInfo *t : _tables)
+        if (t->kind == kind && t->side == side)
+            return t;
+    return nullptr;
+}
+
+void
+ProtocolTableRegistry::dump(std::ostream &os) const
+{
+    // Registration order depends on construction order; sort by
+    // (kind, side) so the dump is stable for the golden-file diff.
+    std::vector<const TableInfo *> sorted = _tables;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TableInfo *a, const TableInfo *b) {
+                  if (a->kind != b->kind)
+                      return static_cast<int>(a->kind) <
+                             static_cast<int>(b->kind);
+                  return static_cast<int>(a->side) <
+                         static_cast<int>(b->side);
+              });
+
+    os << "protocol transition tables\n"
+       << "==========================\n";
+    for (const TableInfo *t : sorted) {
+        os << "\nscheme " << t->scheme << " (" << tableSideName(t->side)
+           << " side), " << t->rows.size() << " transitions\n";
+
+        // Coverage matrix over the states and opcodes the table names.
+        std::vector<std::uint8_t> states;
+        std::vector<Opcode> opcodes;
+        for (const TransitionRow &row : t->rows) {
+            if (std::find(states.begin(), states.end(), row.state) ==
+                states.end())
+                states.push_back(row.state);
+            if (std::find(opcodes.begin(), opcodes.end(), row.opcode) ==
+                opcodes.end())
+                opcodes.push_back(row.opcode);
+        }
+        std::sort(states.begin(), states.end());
+        std::sort(opcodes.begin(), opcodes.end());
+
+        os << "  coverage (x = declared):\n";
+        os << "    " << std::left << std::setw(20) << "state";
+        for (Opcode op : opcodes)
+            os << std::setw(9) << opcodeName(op);
+        os << "\n";
+        for (std::uint8_t s : states) {
+            os << "    " << std::setw(20) << t->stateName(s);
+            for (Opcode op : opcodes)
+                os << std::setw(9) << (t->declares(s, op) ? "x" : ".");
+            os << "\n";
+        }
+
+        os << "  transitions:\n";
+        for (const TransitionRow &row : t->rows) {
+            os << "    " << std::right << std::setw(3) << row.id << "  "
+               << std::left << std::setw(19) << t->stateName(row.state)
+               << std::setw(10) << opcodeName(row.opcode) << std::setw(28)
+               << row.guardName << std::setw(19)
+               << (row.next == dynamicNextState
+                       ? "(dynamic)"
+                       : t->stateName(
+                             static_cast<std::uint8_t>(row.next)))
+               << row.label << "\n";
+        }
+    }
+    os << std::right;
+}
+
+} // namespace limitless

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Transition tables and the process-wide table registry.
+ *
+ * A TransitionTable<Ctx> holds one protocol side's guarded transitions
+ * and dispatches by (state, opcode) lookup; any unhandled pair (or a
+ * pair whose guards all fail) panics through the postmortem ring, so a
+ * dropped transition dies loudly with the line's causal history instead
+ * of silently falling through a switch.
+ *
+ * Each table registers a type-erased TableInfo with the
+ * ProtocolTableRegistry when it is built, which is what the coherence
+ * monitor cross-checks observed transitions against and what the
+ * --dump-protocol-table CLI flag prints.
+ */
+
+#ifndef LIMITLESS_PROTO_PROTOCOL_TABLE_HH
+#define LIMITLESS_PROTO_PROTOCOL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/protocol_params.hh"
+#include "proto/transition.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+/** Type-erased transition row, kept for introspection and dumping. */
+struct TransitionRow
+{
+    std::uint16_t id;
+    std::uint8_t state;
+    Opcode opcode;
+    const char *label;
+    const char *guardName;
+    std::int16_t next; ///< state index, or dynamicNextState
+};
+
+/** Introspection view of one registered table. */
+struct TableInfo
+{
+    const char *scheme = ""; ///< scheme name, e.g. "full-map"
+    ProtocolKind kind = ProtocolKind::fullMap;
+    TableSide side = TableSide::home;
+    const char *(*stateName)(std::uint8_t) = nullptr;
+    std::vector<TransitionRow> rows; ///< declaration order
+
+    /** True when at least one transition covers (state, opcode). */
+    bool declares(std::uint8_t state, Opcode op) const;
+};
+
+/** All tables built in this process, in registration order. */
+class ProtocolTableRegistry
+{
+  public:
+    static ProtocolTableRegistry &instance();
+
+    /** Called by TransitionTable construction; info must be immortal. */
+    void registerTable(const TableInfo *info);
+
+    /** Table for (kind, side), or nullptr if none was built yet. */
+    const TableInfo *find(ProtocolKind kind, TableSide side) const;
+
+    const std::vector<const TableInfo *> &tables() const
+    {
+        return _tables;
+    }
+
+    /** Print every table: per-scheme (state, opcode) coverage matrix
+     *  plus the numbered transition rows. Deterministic order. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::vector<const TableInfo *> _tables;
+};
+
+/**
+ * Build every scheme's home- and cache-side table (they are lazily
+ * constructed statics) so the registry is complete. Implemented in
+ * src/machine (the one layer that links both sides).
+ */
+void registerAllProtocolTables();
+
+/** Guarded-transition dispatch table over context type @p Ctx. */
+template <typename Ctx>
+class TransitionTable
+{
+  public:
+    TransitionTable(const char *scheme, ProtocolKind kind, TableSide side,
+                    const char *(*state_name)(std::uint8_t))
+    {
+        _info.scheme = scheme;
+        _info.kind = kind;
+        _info.side = side;
+        _info.stateName = state_name;
+    }
+
+    /** Append one transition; rows added first are tried first. */
+    TransitionTable &
+    add(std::uint8_t state, Opcode op, const char *label,
+        bool (*guard)(const Ctx &), const char *guard_name,
+        void (*action)(Ctx &), std::int16_t next)
+    {
+        const auto id = static_cast<std::uint16_t>(_rows.size());
+        _rows.push_back(Transition<Ctx>{state, op, label, guard,
+                                        guard ? guard_name : "-", action,
+                                        next, id});
+        _info.rows.push_back(TransitionRow{id, state, op, label,
+                                           guard ? guard_name : "-",
+                                           next});
+        _index[key(state, op)].push_back(id);
+        return *this;
+    }
+
+    /** Unconditional transition. */
+    TransitionTable &
+    add(std::uint8_t state, Opcode op, const char *label,
+        void (*action)(Ctx &), std::int16_t next)
+    {
+        return add(state, op, label, nullptr, "-", action, next);
+    }
+
+    /**
+     * Dispatch: run the first transition for (state, opcode) whose
+     * guard holds, then apply its static next state (if any) through
+     * ctx.setState(). Panics on an undeclared pair or when every guard
+     * fails. Returns the fired transition.
+     */
+    const Transition<Ctx> &
+    fire(Ctx &ctx, std::uint8_t state, Opcode op) const
+    {
+        auto it = _index.find(key(state, op));
+        if (it == _index.end()) {
+            panic("%s/%s table: no transition for (%s, %s)",
+                  _info.scheme, tableSideName(_info.side),
+                  _info.stateName(state), opcodeName(op));
+        }
+        for (std::uint16_t id : it->second) {
+            const Transition<Ctx> &tr = _rows[id];
+            if (tr.guard && !tr.guard(ctx))
+                continue;
+            tr.action(ctx);
+            if (tr.next != dynamicNextState)
+                ctx.setState(static_cast<std::uint8_t>(tr.next));
+            return tr;
+        }
+        panic("%s/%s table: every guard failed for (%s, %s)",
+              _info.scheme, tableSideName(_info.side),
+              _info.stateName(state), opcodeName(op));
+    }
+
+    const TableInfo &info() const { return _info; }
+
+    /** Register with the process-wide registry; call once, after the
+     *  last add(). Returns *this for builder-style use. */
+    const TransitionTable &
+    registerSelf() const
+    {
+        ProtocolTableRegistry::instance().registerTable(&_info);
+        return *this;
+    }
+
+  private:
+    static std::uint32_t
+    key(std::uint8_t state, Opcode op)
+    {
+        return (static_cast<std::uint32_t>(state) << 16) |
+               static_cast<std::uint16_t>(op);
+    }
+
+    std::vector<Transition<Ctx>> _rows;
+    std::unordered_map<std::uint32_t, std::vector<std::uint16_t>> _index;
+    TableInfo _info;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_PROTO_PROTOCOL_TABLE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Guarded-action transition: the unit of the table-driven protocol
+ * engine (after Meunier et al.'s guarded action language — see
+ * PAPERS.md). A transition is
+ *
+ *     { state, opcode, guard, action, next-state }
+ *
+ * and a protocol (home side or cache side of one directory scheme) is a
+ * list of transitions dispatched by (state, opcode) lookup. Several
+ * transitions may share a (state, opcode) pair; the first one whose
+ * guard holds fires. Guards must be pure (they may be evaluated any
+ * number of times and must not change simulation state); all mutation
+ * belongs in the action.
+ */
+
+#ifndef LIMITLESS_PROTO_TRANSITION_HH
+#define LIMITLESS_PROTO_TRANSITION_HH
+
+#include <cstdint>
+
+#include "proto/opcode.hh"
+
+namespace limitless
+{
+
+/** Which half of the protocol a table describes. */
+enum class TableSide : std::uint8_t
+{
+    home,  ///< memory-side (directory) controller
+    cache, ///< cache-side controller
+};
+
+const char *tableSideName(TableSide side);
+
+/**
+ * Next-state sentinel: the action computes the successor itself (e.g.
+ * an ack-counter reaching zero picks Read-Only vs Read-Write). Static
+ * next states are applied by the engine after the action runs.
+ */
+constexpr std::int16_t dynamicNextState = -1;
+
+/**
+ * One guarded transition over a context type @p Ctx (the bundle of
+ * controller, packet and line handed to guards and actions).
+ */
+template <typename Ctx>
+struct Transition
+{
+    std::uint8_t state;          ///< current-state index
+    Opcode opcode;               ///< triggering packet opcode
+    const char *label;           ///< short action mnemonic (static string)
+    bool (*guard)(const Ctx &);  ///< nullptr = unconditional
+    const char *guardName;       ///< "-" when unconditional
+    void (*action)(Ctx &);
+    std::int16_t next;           ///< state index, or dynamicNextState
+    std::uint16_t id;            ///< table-unique id (assigned by add())
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_PROTO_TRANSITION_HH

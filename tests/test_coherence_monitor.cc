@@ -141,13 +141,15 @@ TEST(HomeFsmGuards, RejectsUpdateInReadOnly)
     MemoryController mc(eq, 0, amap, protocols::fullMap(), MemParams{});
     mc.setSend([](PacketPtr) {});
     const Addr line = amap.addrOnNode(0, 0);
+    // The transition engine panics on the undeclared (state, opcode)
+    // pair, dumping the postmortem ring on the way out.
     EXPECT_DEATH(
         {
             mc.enqueue(
                 makeDataPacket(1, 0, Opcode::UPDATE, line, {1, 2}));
             eq.run();
         },
-        "UPDATE in Read-Only");
+        "no transition for \\(Read-Only, UPDATE\\)");
 }
 
 } // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Transition-table exhaustiveness tests.
+ *
+ * The tables are data, so the protocol's message coverage is checkable
+ * by inspection: each scheme's declared (state, opcode) set is compared
+ * against an exact expected set — removing a transition (or adding an
+ * undocumented one) fails the test before any simulation runs. Also
+ * checks structural invariants every table must satisfy: a guarded row
+ * group ends in an unconditional fallback, and all five schemes agree
+ * on the shared hardware subset of the protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "proto/protocol_table.hh"
+#include "proto/states.hh"
+
+namespace limitless
+{
+namespace
+{
+
+using Pair = std::pair<std::uint8_t, Opcode>;
+using PairSet = std::set<Pair>;
+
+constexpr std::uint8_t hRO =
+    static_cast<std::uint8_t>(MemState::readOnly);
+constexpr std::uint8_t hRW =
+    static_cast<std::uint8_t>(MemState::readWrite);
+constexpr std::uint8_t hRT =
+    static_cast<std::uint8_t>(MemState::readTransaction);
+constexpr std::uint8_t hWT =
+    static_cast<std::uint8_t>(MemState::writeTransaction);
+constexpr std::uint8_t hET =
+    static_cast<std::uint8_t>(MemState::evictTransaction);
+
+constexpr std::uint8_t cI =
+    static_cast<std::uint8_t>(CacheState::invalid);
+constexpr std::uint8_t cRO =
+    static_cast<std::uint8_t>(CacheState::readOnly);
+constexpr std::uint8_t cRW =
+    static_cast<std::uint8_t>(CacheState::readWrite);
+
+const TableInfo &
+table(ProtocolKind kind, TableSide side)
+{
+    registerAllProtocolTables();
+    const TableInfo *t =
+        ProtocolTableRegistry::instance().find(kind, side);
+    EXPECT_NE(t, nullptr);
+    return *t;
+}
+
+PairSet
+declaredPairs(const TableInfo &t)
+{
+    PairSet pairs;
+    for (const TransitionRow &row : t.rows)
+        pairs.insert({row.state, row.opcode});
+    return pairs;
+}
+
+/** Expected home-side pairs for the four pointer-directory schemes
+ *  (full-map, limited, limitless, private); @p evict adds the limited /
+ *  limitless pointer-eviction state. */
+PairSet
+pointerHomePairs(bool evict)
+{
+    PairSet s;
+    for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::WUPD,
+                      Opcode::RUNC, Opcode::ACKC})
+        s.insert({hRO, op});
+    for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::WUPD,
+                      Opcode::RUNC, Opcode::REPM, Opcode::ACKC})
+        s.insert({hRW, op});
+    for (std::uint8_t st : {hRT, hWT})
+        for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPC,
+                          Opcode::WUPD, Opcode::RUNC, Opcode::UPDATE,
+                          Opcode::REPM, Opcode::ACKC})
+            s.insert({st, op});
+    if (evict)
+        for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPC,
+                          Opcode::WUPD, Opcode::RUNC, Opcode::ACKC})
+            s.insert({hET, op});
+    return s;
+}
+
+PairSet
+chainedHomePairs()
+{
+    PairSet s;
+    for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPC,
+                      Opcode::ACKC})
+        s.insert({hRO, op});
+    for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPM,
+                      Opcode::REPC})
+        s.insert({hRW, op});
+    for (std::uint8_t st : {hRT, hWT})
+        for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPC,
+                          Opcode::UPDATE, Opcode::REPM, Opcode::ACKC})
+            s.insert({st, op});
+    for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPC,
+                      Opcode::ACKC})
+        s.insert({hET, op});
+    return s;
+}
+
+/** Cache-side pairs; chained swaps MUPD/WACK for REPC_ACK. */
+PairSet
+cachePairs(bool chained)
+{
+    PairSet s;
+    for (Opcode op : {Opcode::RDATA, Opcode::WDATA, Opcode::INV,
+                      Opcode::BUSY})
+        s.insert({cI, op});
+    for (Opcode op : {Opcode::WDATA, Opcode::INV, Opcode::BUSY})
+        s.insert({cRO, op});
+    s.insert({cRW, Opcode::INV});
+    if (chained) {
+        s.insert({cI, Opcode::REPC_ACK});
+        s.insert({cRO, Opcode::REPC_ACK});
+    } else {
+        for (Opcode op : {Opcode::MUPD, Opcode::WACK})
+            for (std::uint8_t st : {cI, cRO})
+                s.insert({st, op});
+    }
+    return s;
+}
+
+// --------------------------------------------------------- exact coverage
+
+TEST(ProtocolTableExhaustive, FullMapHome)
+{
+    EXPECT_EQ(declaredPairs(table(ProtocolKind::fullMap,
+                                  TableSide::home)),
+              pointerHomePairs(false));
+}
+
+TEST(ProtocolTableExhaustive, PrivateHome)
+{
+    EXPECT_EQ(declaredPairs(table(ProtocolKind::privateOnly,
+                                  TableSide::home)),
+              pointerHomePairs(false));
+}
+
+TEST(ProtocolTableExhaustive, LimitedHome)
+{
+    EXPECT_EQ(declaredPairs(table(ProtocolKind::limited,
+                                  TableSide::home)),
+              pointerHomePairs(true));
+}
+
+TEST(ProtocolTableExhaustive, LimitlessHome)
+{
+    EXPECT_EQ(declaredPairs(table(ProtocolKind::limitless,
+                                  TableSide::home)),
+              pointerHomePairs(true));
+}
+
+TEST(ProtocolTableExhaustive, ChainedHome)
+{
+    EXPECT_EQ(declaredPairs(table(ProtocolKind::chained,
+                                  TableSide::home)),
+              chainedHomePairs());
+}
+
+TEST(ProtocolTableExhaustive, CacheSides)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::fullMap, ProtocolKind::limited,
+          ProtocolKind::limitless, ProtocolKind::privateOnly})
+        EXPECT_EQ(declaredPairs(table(kind, TableSide::cache)),
+                  cachePairs(false))
+            << "scheme " << table(kind, TableSide::cache).scheme;
+    EXPECT_EQ(declaredPairs(table(ProtocolKind::chained,
+                                  TableSide::cache)),
+              cachePairs(true));
+}
+
+// ------------------------------------------------- structural invariants
+
+/** Every (state, opcode) group must end in an unconditional row, or a
+ *  run where all guards fail would panic on a declared pair. */
+TEST(ProtocolTableStructure, GuardChainsEndUnconditional)
+{
+    registerAllProtocolTables();
+    for (const TableInfo *t :
+         ProtocolTableRegistry::instance().tables()) {
+        std::map<Pair, const TransitionRow *> last;
+        for (const TransitionRow &row : t->rows)
+            last[{row.state, row.opcode}] = &row;
+        for (const auto &[pair, row] : last) {
+            EXPECT_STREQ(row->guardName, "-")
+                << t->scheme << "/" << tableSideName(t->side) << " ("
+                << t->stateName(pair.first) << ", "
+                << opcodeName(pair.second)
+                << ") can fall through every guard";
+        }
+    }
+}
+
+/** Transition ids must match declaration order (the flight recorder
+ *  tags trace events with them). */
+TEST(ProtocolTableStructure, IdsAreDense)
+{
+    registerAllProtocolTables();
+    for (const TableInfo *t :
+         ProtocolTableRegistry::instance().tables())
+        for (std::size_t i = 0; i < t->rows.size(); ++i)
+            EXPECT_EQ(t->rows[i].id, i) << t->scheme;
+}
+
+/**
+ * The hardware subset every DirNNB variant shares (paper Table 3): all
+ * five schemes must serve the same request/ack skeleton, whatever they
+ * bolt on top.
+ */
+TEST(ProtocolTableStructure, SchemesAgreeOnSharedHardwareSubset)
+{
+    registerAllProtocolTables();
+    for (ProtocolKind kind :
+         {ProtocolKind::fullMap, ProtocolKind::limited,
+          ProtocolKind::limitless, ProtocolKind::chained,
+          ProtocolKind::privateOnly}) {
+        const TableInfo &home = table(kind, TableSide::home);
+        for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::ACKC})
+            EXPECT_TRUE(home.declares(hRO, op)) << home.scheme;
+        for (Opcode op : {Opcode::RREQ, Opcode::WREQ, Opcode::REPM})
+            EXPECT_TRUE(home.declares(hRW, op)) << home.scheme;
+        for (std::uint8_t st : {hRT, hWT})
+            for (Opcode op : {Opcode::UPDATE, Opcode::REPM,
+                              Opcode::ACKC})
+                EXPECT_TRUE(home.declares(st, op)) << home.scheme;
+
+        const TableInfo &cache = table(kind, TableSide::cache);
+        for (Opcode op : {Opcode::RDATA, Opcode::WDATA, Opcode::INV,
+                          Opcode::BUSY})
+            EXPECT_TRUE(cache.declares(cI, op)) << cache.scheme;
+        for (Opcode op : {Opcode::WDATA, Opcode::INV, Opcode::BUSY})
+            EXPECT_TRUE(cache.declares(cRO, op)) << cache.scheme;
+        EXPECT_TRUE(cache.declares(cRW, Opcode::INV)) << cache.scheme;
+    }
+}
+
+TEST(ProtocolTableStructure, RegistryHoldsAllTenTables)
+{
+    registerAllProtocolTables();
+    const auto &tables = ProtocolTableRegistry::instance().tables();
+    EXPECT_EQ(tables.size(), 10u);
+    for (ProtocolKind kind :
+         {ProtocolKind::fullMap, ProtocolKind::limited,
+          ProtocolKind::limitless, ProtocolKind::chained,
+          ProtocolKind::privateOnly})
+        for (TableSide side : {TableSide::home, TableSide::cache})
+            EXPECT_NE(ProtocolTableRegistry::instance().find(kind, side),
+                      nullptr);
+}
+
+} // namespace
+} // namespace limitless

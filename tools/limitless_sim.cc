@@ -23,6 +23,7 @@
 #include "harness/cli.hh"
 #include "machine/coherence_monitor.hh"
 #include "obs/flight_recorder.hh"
+#include "proto/protocol_table.hh"
 #include "sim/log.hh"
 #include "trace/trace_capture.hh"
 #include "trace/trace_replay.hh"
@@ -68,6 +69,8 @@ usage()
         "  --trace-lines <a,b,..> restrict the streamed trace to these "
         "line addresses\n"
         "  --stats-json <file>    write the machine's stats as JSON\n"
+        "  --dump-protocol-table  print every scheme's transition tables "
+        "and exit\n"
         "  --log <tag>            enable debug logging (mem, cache, net, "
         "handler, all)\n"
         "  --help\n";
@@ -88,11 +91,16 @@ main(int argc, char **argv)
         {"replay-trace", true},  {"dump-stats", false},
         {"log", true},           {"help", false},
         {"trace-out", true},     {"trace-lines", true},
-        {"stats-json", true},
+        {"stats-json", true},    {"dump-protocol-table", false},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
         usage();
+        return 0;
+    }
+    if (opts.has("dump-protocol-table")) {
+        registerAllProtocolTables();
+        ProtocolTableRegistry::instance().dump(std::cout);
         return 0;
     }
     if (opts.has("log"))
