@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <ostream>
 
 #include "obs/flight_recorder.hh"
 #include "sim/log.hh"
@@ -418,6 +420,45 @@ CacheController::handleBusy(const Packet &pkt)
             panic("node %u: retry lost its transaction", _self);
         startRequest(key, it2->second);
     }, EventPriority::ctrl);
+}
+
+void
+CacheController::checkpoint(std::ostream &os) const
+{
+    os << "cache" << _self << "{";
+    // Resident lines, in set order (the array is a fixed-size vector).
+    for (std::size_t s = 0; s < _array.numSets(); ++s) {
+        const CacheLine &cl = _array.setFor(s * _amap.lineBytes());
+        if (!cl.valid())
+            continue;
+        os << "L" << std::hex << cl.tag << std::dec << ":"
+           << cacheStateName(cl.state);
+        if (cl.chainNext != invalidNode)
+            os << ">" << cl.chainNext;
+        os << "=";
+        for (unsigned w = 0; w < _amap.wordsPerLine(); ++w)
+            os << cl.words[w] << (w + 1 < _amap.wordsPerLine() ? "," : "");
+        os << ";";
+    }
+    // Outstanding transactions, in line order. Timing-only fields
+    // (retries, issued tick, remote flag) are excluded on purpose.
+    std::map<Addr, const Txn *> ordered;
+    for (const auto &[line, txn] : _txns)
+        ordered.emplace(line, &txn);
+    for (const auto &[line, txn] : ordered) {
+        os << "T" << std::hex << line << std::dec << ":"
+           << static_cast<int>(txn->op.kind) << "@" << std::hex
+           << txn->op.addr << std::dec << "v" << txn->op.value
+           << (txn->forWrite ? "w" : "") << (txn->updateWrite ? "u" : "")
+           << (txn->uncachedRead ? "n" : "");
+        if (txn->awaitingRepc)
+            os << "r" << std::hex << txn->repcLine << std::dec;
+        os << ";";
+    }
+    for (const WaitingAccess &w : _waiting)
+        os << "W" << static_cast<int>(w.op.kind) << "@" << std::hex
+           << w.op.addr << std::dec << "v" << w.op.value << ";";
+    os << "}";
 }
 
 void

@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -131,6 +132,15 @@ class CacheController
 
     bool idle() const { return _txns.empty() && _waiting.empty(); }
     std::size_t outstanding() const { return _txns.size(); }
+
+    /**
+     * Serialize the controller's protocol-relevant state (resident
+     * lines, outstanding transactions, queued accesses) in a
+     * deterministic text form. The model checker fingerprints machine
+     * states with this; timing-only fields (retry counts, issue ticks)
+     * are deliberately excluded — see docs/CHECKER.md.
+     */
+    void checkpoint(std::ostream &os) const;
 
   private:
     /** Outstanding miss / upgrade / replacement transaction on a line. */

@@ -1,0 +1,133 @@
+#include "check/check_config.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+const char *
+checkKindName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::fullMap: return "full_map";
+      case ProtocolKind::limited: return "limited";
+      case ProtocolKind::limitless: return "limitless";
+      case ProtocolKind::chained: return "chained";
+      case ProtocolKind::privateOnly: return "private";
+    }
+    return "?";
+}
+
+ProtocolKind
+checkKindFromName(const std::string &name)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::fullMap, ProtocolKind::limited,
+          ProtocolKind::limitless, ProtocolKind::chained,
+          ProtocolKind::privateOnly}) {
+        if (name == checkKindName(kind))
+            return kind;
+    }
+    fatal("unknown protocol kind '%s'", name.c_str());
+}
+
+std::string
+CheckConfig::name() const
+{
+    std::ostringstream os;
+    os << checkKindName(protocol.kind);
+    if (protocol.kind == ProtocolKind::limited ||
+        protocol.kind == ProtocolKind::limitless)
+        os << protocol.pointers;
+    if (protocol.kind == ProtocolKind::limitless &&
+        protocol.limitlessMode == LimitlessMode::fullEmulation)
+        os << "-emu";
+    if (!protocol.trapOnWrite)
+        os << "-ta"; // Trap-Always
+    os << "/" << script << " " << nodes << "n " << lines << "l";
+    if (deferDepth != 4)
+        os << " d" << deferDepth;
+    return os.str();
+}
+
+MachineConfig
+CheckConfig::machineConfig() const
+{
+    MachineConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.meshWidth = nodes; // 1 x N line; irrelevant under makeNetwork
+    cfg.protocol = protocol;
+    cfg.mem.deferDepth = deferDepth;
+    // One cache set per node: any two distinct lines conflict, so the
+    // scripts can force evictions and replacement races.
+    cfg.cache.cacheBytes = cfg.lineBytes;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<Addr>
+CheckConfig::lineSet(const AddressMap &amap) const
+{
+    std::vector<Addr> set;
+    set.reserve(lines);
+    for (unsigned j = 0; j < lines; ++j)
+        set.push_back(amap.addrOnNode(j % nodes, j / nodes));
+    return set;
+}
+
+std::vector<std::vector<MemOp>>
+CheckConfig::buildScript(const AddressMap &amap) const
+{
+    const std::vector<Addr> line = lineSet(amap);
+    std::vector<std::vector<MemOp>> per_node(nodes);
+
+    auto store = [&](Addr a, std::uint64_t v) {
+        return MemOp{MemOpKind::store, a, v};
+    };
+    auto load = [&](Addr a) { return MemOp{MemOpKind::load, a, 0}; };
+
+    for (unsigned i = 0; i < nodes; ++i) {
+        std::vector<MemOp> &ops = per_node[i];
+        // Distinct store values per (node, op index) so wild data is
+        // attributable; see CheckWorld's observed-value check.
+        const std::uint64_t base = (i + 1) * 100;
+        if (script == "smoke") {
+            ops.push_back(store(line[0], base + 1));
+            ops.push_back(load(line[0]));
+        } else if (script == "conflict") {
+            assert(lines >= 2 && "conflict script needs two lines");
+            ops.push_back(store(line[0], base + 1));
+            ops.push_back(load(line[1]));
+            ops.push_back(load(line[0]));
+        } else if (script == "update") {
+            ops.push_back(store(line[0], base + 1));
+            ops.push_back(load(line[0]));
+            ops.push_back(store(line[0], base + 2));
+        } else if (script == "rmw") {
+            // Read-modify-write: the store on a read-shared line takes
+            // the RO -> RW upgrade path (cache-side upgrade_rw row).
+            ops.push_back(load(line[0]));
+            ops.push_back(store(line[0], base + 1));
+        } else {
+            fatal("unknown check script '%s'", script.c_str());
+        }
+        if (opsPerNode) {
+            // Cycle the pattern up (or trim down) to the requested
+            // length, keeping store values distinct.
+            const std::vector<MemOp> pattern = ops;
+            ops.clear();
+            for (unsigned k = 0; k < opsPerNode; ++k) {
+                MemOp op = pattern[k % pattern.size()];
+                if (op.kind == MemOpKind::store)
+                    op.value = base + k + 1;
+                ops.push_back(op);
+            }
+        }
+    }
+    return per_node;
+}
+
+} // namespace limitless

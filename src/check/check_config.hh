@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Model-checker configuration: one small machine instance (2–4 nodes,
+ * 1–2 lines) plus a named per-node operation script. The checker
+ * explores every interleaving of packet deliveries and script-op issues
+ * over the real Machine built from this config — the same
+ * TransitionTable rows and home policy units the simulator runs.
+ */
+
+#ifndef LIMITLESS_CHECK_CHECK_CONFIG_HH
+#define LIMITLESS_CHECK_CHECK_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/mem_op.hh"
+#include "machine/machine_config.hh"
+#include "proto/protocol_params.hh"
+
+namespace limitless
+{
+
+/** Short stable scheme name used in trace files and reports. */
+const char *checkKindName(ProtocolKind kind);
+/** Inverse of checkKindName; aborts on unknown names. */
+ProtocolKind checkKindFromName(const std::string &name);
+
+/** One model-checking configuration. */
+struct CheckConfig
+{
+    ProtocolParams protocol;
+    unsigned nodes = 2;
+    unsigned lines = 1;
+
+    /**
+     * Operation script: "smoke" (each node stores then loads line 0),
+     * "conflict" (stores + loads over two lines that collide in the
+     * one-set cache, forcing REPM/REPC races; needs lines >= 2),
+     * "update" (line 0 is marked update-mode, writes take the
+     * WUPD/MUPD/WACK path), "rmw" (each node loads then stores line 0,
+     * driving the RO -> RW upgrade path).
+     */
+    std::string script = "smoke";
+
+    /** Ops per node; 0 keeps the script's natural length. */
+    unsigned opsPerNode = 0;
+
+    unsigned deferDepth = 4; ///< home defer-buffer depth (MemParams)
+    std::uint64_t seed = 1;
+
+    /** Human-readable one-liner, e.g. "limitless1/smoke 2n 1l". */
+    std::string name() const;
+
+    /**
+     * The equivalent simulator config: a one-set cache (so distinct
+     * lines always conflict) and the checker's ControlledNetwork is
+     * installed by CheckWorld via MachineConfig::makeNetwork.
+     */
+    MachineConfig machineConfig() const;
+
+    /** The line addresses the scripts touch, homed round-robin. */
+    std::vector<Addr> lineSet(const AddressMap &amap) const;
+
+    /** Per-node operation lists. */
+    std::vector<std::vector<MemOp>> buildScript(const AddressMap &amap) const;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_CHECK_CHECK_CONFIG_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The checker's unit of nondeterminism. A run of the real machine is
+ * fully determined by its choice schedule: at each step the checker
+ * either delivers the head packet of one (src, dest) network channel or
+ * issues the next scripted operation on an idle node, then lets the
+ * event queue drain completely. Channels are FIFO — the protocol relies
+ * on point-to-point ordering (see src/network/network.hh) — so only
+ * *inter*-channel reorderings are explored.
+ */
+
+#ifndef LIMITLESS_CHECK_CHOICE_HH
+#define LIMITLESS_CHECK_CHOICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/opcode.hh"
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+/** One scheduling decision. */
+struct Choice
+{
+    enum class Kind : std::uint8_t
+    {
+        issue,   ///< start the issuing node's next scripted MemOp
+        deliver, ///< deliver the head packet of channel (src, node)
+    };
+
+    Kind kind = Kind::issue;
+    NodeId node = 0; ///< issue: the issuing node; deliver: destination
+    NodeId src = 0;  ///< deliver only: channel source
+
+    /** Annotations (head packet at enumeration time): not needed to
+     *  re-apply the choice, but kept for readable traces. */
+    Opcode opcode = Opcode::RREQ;
+    Addr line = 0;
+};
+
+using Schedule = std::vector<Choice>;
+
+std::string describeChoice(const Choice &c);
+
+} // namespace limitless
+
+#endif // LIMITLESS_CHECK_CHOICE_HH

@@ -1,0 +1,71 @@
+#include "check/controlled_network.hh"
+
+#include <cassert>
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+void
+ControlledNetwork::send(PacketPtr pkt)
+{
+    assert(pkt);
+    assert(pkt->src < numNodes() && pkt->dest < numNodes());
+    assert(pkt->src != pkt->dest &&
+           "local loopback bypasses the network (Node::sendFrom)");
+    _channels[{pkt->src, pkt->dest}].push_back(std::move(pkt));
+}
+
+void
+ControlledNetwork::setReceiver(NodeId node, Receiver recv)
+{
+    _recv.at(node) = std::move(recv);
+}
+
+std::size_t
+ControlledNetwork::inFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, q] : _channels)
+        n += q.size();
+    return n;
+}
+
+bool
+ControlledNetwork::deliverHead(NodeId src, NodeId dest)
+{
+    auto it = _channels.find({src, dest});
+    if (it == _channels.end() || it->second.empty())
+        return false;
+    PacketPtr pkt = std::move(it->second.front());
+    it->second.pop_front();
+    assert(_recv.at(dest) && "no receiver registered for node");
+    _recv[dest](std::move(pkt));
+    return true;
+}
+
+void
+ControlledNetwork::checkpoint(std::ostream &os) const
+{
+    os << "net{";
+    for (const auto &[key, q] : _channels) {
+        if (q.empty())
+            continue;
+        os << key.first << ">" << key.second << ":";
+        for (const PacketPtr &pkt : q) {
+            os << opcodeName(pkt->opcode) << "(";
+            for (std::size_t i = 0; i < pkt->operands.size(); ++i)
+                os << (i ? "," : "") << pkt->operands[i];
+            os << "|";
+            for (std::size_t i = 0; i < pkt->data.size(); ++i)
+                os << (i ? "," : "") << pkt->data[i];
+            os << ")";
+        }
+        os << ";";
+    }
+    os << "}";
+}
+
+} // namespace limitless

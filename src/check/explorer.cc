@@ -1,0 +1,135 @@
+#include "check/explorer.hh"
+
+#include <chrono>
+#include <deque>
+#include <unordered_set>
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+std::unique_ptr<CheckWorld>
+replaySchedule(const CheckConfig &cfg, const Schedule &schedule)
+{
+    auto world = std::make_unique<CheckWorld>(cfg);
+    for (const Choice &c : schedule) {
+        std::string why;
+        if (!world->apply(c, &why))
+            fatal("explorer replay diverged at '%s': %s",
+                  describeChoice(c).c_str(), why.c_str());
+    }
+    return world;
+}
+
+ExploreResult
+explore(const CheckConfig &cfg, const ExploreLimits &limits)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    auto elapsed_ms = [&]() {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - start)
+                .count());
+    };
+
+    ExploreResult result;
+    ExploreStats &stats = result.stats;
+
+    struct Frontier
+    {
+        Schedule schedule;
+        std::vector<Choice> enabled;
+    };
+
+    std::deque<Frontier> queue;
+    std::unordered_set<std::string> visited;
+
+    // Root state: the machine before any choice.
+    {
+        CheckWorld root(cfg);
+        visited.insert(root.fingerprint());
+        stats.states = 1;
+        std::vector<Choice> en = root.enabled();
+        if (en.empty()) {
+            stats.terminals = 1;
+            WorldViolations v = root.checkTerminal();
+            if (v.any())
+                result.cex = Counterexample{v.kind, {}, v.messages};
+            stats.elapsedMs = elapsed_ms();
+            return result;
+        }
+        queue.push_back(Frontier{{}, std::move(en)});
+    }
+
+    while (!queue.empty()) {
+        if (limits.maxMillis && elapsed_ms() > limits.maxMillis) {
+            stats.truncatedByTime = true;
+            break;
+        }
+        Frontier cur = std::move(queue.front());
+        queue.pop_front();
+
+        for (const Choice &choice : cur.enabled) {
+            if (visited.size() >= limits.maxStates) {
+                stats.truncatedByStates = true;
+                break;
+            }
+            std::unique_ptr<CheckWorld> world =
+                replaySchedule(cfg, cur.schedule);
+            if (!world->apply(choice))
+                fatal("explorer: enumerated choice '%s' failed to apply",
+                      describeChoice(choice).c_str());
+            ++stats.transitions;
+
+            Schedule schedule = cur.schedule;
+            schedule.push_back(choice);
+
+            const WorldViolations step = world->checkStep();
+            if (step.any()) {
+                result.cex = Counterexample{step.kind, std::move(schedule),
+                                            step.messages};
+                stats.states = visited.size();
+                stats.elapsedMs = elapsed_ms();
+                return result;
+            }
+
+            if (!visited.insert(world->fingerprint()).second) {
+                ++stats.duplicates;
+                continue;
+            }
+            const auto depth = static_cast<unsigned>(schedule.size());
+            if (depth > stats.maxDepth)
+                stats.maxDepth = depth;
+
+            std::vector<Choice> en = world->enabled();
+            if (en.empty()) {
+                ++stats.terminals;
+                const WorldViolations term = world->checkTerminal();
+                if (term.any()) {
+                    result.cex = Counterexample{
+                        term.kind, std::move(schedule), term.messages};
+                    stats.states = visited.size();
+                    stats.elapsedMs = elapsed_ms();
+                    return result;
+                }
+                continue;
+            }
+            if (depth >= limits.maxDepth) {
+                stats.truncatedByDepth = true;
+                continue;
+            }
+            queue.push_back(
+                Frontier{std::move(schedule), std::move(en)});
+        }
+        if (stats.truncatedByStates)
+            break;
+    }
+
+    stats.states = visited.size();
+    stats.elapsedMs = elapsed_ms();
+    return result;
+}
+
+} // namespace limitless

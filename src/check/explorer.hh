@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bounded exhaustive breadth-first exploration over CheckWorld states.
+ *
+ * Worlds cannot be snapshotted, so the frontier stores choice schedules
+ * and every edge is taken by replaying its schedule on a fresh world
+ * (stateless model checking). Visited states are deduplicated by exact
+ * fingerprint; BFS order makes the first counterexample a shortest one.
+ */
+
+#ifndef LIMITLESS_CHECK_EXPLORER_HH
+#define LIMITLESS_CHECK_EXPLORER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "check/check_config.hh"
+#include "check/choice.hh"
+#include "check/world.hh"
+
+namespace limitless
+{
+
+/** Exploration bounds. All are soft: hitting one truncates coverage
+ *  and is reported, it is not a violation. */
+struct ExploreLimits
+{
+    std::uint64_t maxStates = 200'000;
+    unsigned maxDepth = 64;
+    std::uint64_t maxMillis = 0; ///< wall clock; 0 = unbounded
+};
+
+/** Exploration statistics. */
+struct ExploreStats
+{
+    std::uint64_t states = 0;      ///< unique fingerprints reached
+    std::uint64_t transitions = 0; ///< edges applied (incl. duplicates)
+    std::uint64_t duplicates = 0;  ///< edges landing on a known state
+    std::uint64_t terminals = 0;   ///< states with no enabled choice
+    unsigned maxDepth = 0;
+    bool truncatedByStates = false;
+    bool truncatedByDepth = false;
+    bool truncatedByTime = false;
+    std::uint64_t elapsedMs = 0;
+
+    bool
+    exhaustive() const
+    {
+        return !truncatedByStates && !truncatedByDepth && !truncatedByTime;
+    }
+};
+
+/** A violating execution: the schedule that reaches it plus messages. */
+struct Counterexample
+{
+    ViolationKind kind = ViolationKind::none;
+    Schedule schedule;
+    std::vector<std::string> messages;
+};
+
+/** Outcome of one exploration. */
+struct ExploreResult
+{
+    std::optional<Counterexample> cex;
+    ExploreStats stats;
+
+    bool ok() const { return !cex.has_value(); }
+};
+
+/**
+ * Explore cfg's state space within limits. Dispatch hooks (coverage
+ * observers, guard flips) installed by the caller stay active for every
+ * replayed world, so fault-injection runs use the same entry point.
+ */
+ExploreResult explore(const CheckConfig &cfg, const ExploreLimits &limits);
+
+/** Replay @p schedule on a fresh world; aborts if any choice fails to
+ *  apply (schedules produced by explore() always re-apply cleanly). */
+std::unique_ptr<CheckWorld> replaySchedule(const CheckConfig &cfg,
+                                           const Schedule &schedule);
+
+} // namespace limitless
+
+#endif // LIMITLESS_CHECK_EXPLORER_HH

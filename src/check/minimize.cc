@@ -1,0 +1,70 @@
+#include "check/minimize.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace limitless
+{
+
+bool
+scheduleViolates(const CheckConfig &cfg, const Schedule &schedule,
+                 ViolationKind kind, std::vector<std::string> *messages)
+{
+    CheckWorld world(cfg);
+    for (const Choice &c : schedule) {
+        if (!world.apply(c))
+            continue; // candidate dropped this choice's precondition
+        const WorldViolations v = world.checkStep();
+        if (v.any()) {
+            if (messages)
+                *messages = v.messages;
+            return v.kind == kind;
+        }
+    }
+    if (!world.enabled().empty())
+        return false; // not terminal: deadlock/quiescence undefined here
+    const WorldViolations v = world.checkTerminal();
+    if (v.any() && messages)
+        *messages = v.messages;
+    return v.kind == kind;
+}
+
+Schedule
+minimizeSchedule(const CheckConfig &cfg, const Schedule &schedule,
+                 ViolationKind kind)
+{
+    assert(scheduleViolates(cfg, schedule, kind) &&
+           "minimize called with a non-failing schedule");
+
+    Schedule current = schedule;
+    std::size_t granularity = 2;
+    while (current.size() >= 2) {
+        const std::size_t chunk =
+            std::max<std::size_t>(1, current.size() / granularity);
+        bool reduced = false;
+        for (std::size_t begin = 0; begin < current.size();
+             begin += chunk) {
+            // Candidate = current minus [begin, begin+chunk).
+            Schedule candidate;
+            candidate.reserve(current.size());
+            for (std::size_t i = 0; i < current.size(); ++i)
+                if (i < begin || i >= begin + chunk)
+                    candidate.push_back(current[i]);
+            if (candidate.size() < current.size() &&
+                scheduleViolates(cfg, candidate, kind)) {
+                current = std::move(candidate);
+                granularity = std::max<std::size_t>(granularity - 1, 2);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (granularity >= current.size())
+                break;
+            granularity = std::min(granularity * 2, current.size());
+        }
+    }
+    return current;
+}
+
+} // namespace limitless

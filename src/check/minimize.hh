@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Counterexample minimization: delta debugging (Zeller's ddmin) over
+ * the choice schedule. A candidate subsequence is replayed on a fresh
+ * world — choices that no longer apply are skipped — and kept when it
+ * still produces a violation of the same kind. BFS already yields
+ * shortest-depth counterexamples; ddmin strips the choices that were
+ * merely concurrent with the bug.
+ */
+
+#ifndef LIMITLESS_CHECK_MINIMIZE_HH
+#define LIMITLESS_CHECK_MINIMIZE_HH
+
+#include "check/check_config.hh"
+#include "check/choice.hh"
+#include "check/world.hh"
+
+namespace limitless
+{
+
+/**
+ * True when replaying @p schedule (skipping inapplicable choices)
+ * produces a violation of @p kind — the ddmin test predicate, also
+ * used by trace replay.
+ */
+bool scheduleViolates(const CheckConfig &cfg, const Schedule &schedule,
+                      ViolationKind kind,
+                      std::vector<std::string> *messages = nullptr);
+
+/**
+ * Minimize @p schedule while it keeps producing a @p kind violation.
+ * Guard flips active in DispatchHooks stay in force for every probe, so
+ * fault-injection counterexamples minimize under the same fault.
+ */
+Schedule minimizeSchedule(const CheckConfig &cfg, const Schedule &schedule,
+                          ViolationKind kind);
+
+} // namespace limitless
+
+#endif // LIMITLESS_CHECK_MINIMIZE_HH

@@ -1,0 +1,335 @@
+#include "check/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "proto/protocol_table.hh"
+
+namespace limitless
+{
+
+namespace
+{
+
+const char *
+limitlessModeName(LimitlessMode mode)
+{
+    return mode == LimitlessMode::fullEmulation ? "emulate" : "stall";
+}
+
+bool
+limitlessModeFromName(const std::string &name, LimitlessMode &out)
+{
+    if (name == "stall") {
+        out = LimitlessMode::stallApprox;
+        return true;
+    }
+    if (name == "emulate") {
+        out = LimitlessMode::fullEmulation;
+        return true;
+    }
+    return false;
+}
+
+bool
+kindFromNameNoAbort(const std::string &name, ProtocolKind &out)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::fullMap, ProtocolKind::limited,
+          ProtocolKind::limitless, ProtocolKind::chained,
+          ProtocolKind::privateOnly}) {
+        if (name == checkKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+tableSideFromName(const std::string &name, TableSide &out)
+{
+    for (TableSide side : {TableSide::home, TableSide::cache}) {
+        if (name == tableSideName(side)) {
+            out = side;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    static const Opcode all[] = {
+        Opcode::RREQ,     Opcode::WREQ,  Opcode::REPM,
+        Opcode::UPDATE,   Opcode::ACKC,  Opcode::REPC,
+        Opcode::WUPD,     Opcode::RUNC,  Opcode::RDATA,
+        Opcode::WDATA,    Opcode::INV,   Opcode::BUSY,
+        Opcode::REPC_ACK, Opcode::MUPD,  Opcode::WACK,
+        Opcode::IPI_MESSAGE, Opcode::IPI_LOCK_GRANT,
+        Opcode::IPI_BLOCK_XFER,
+    };
+    for (Opcode op : all) {
+        if (name == opcodeName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+fail(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+/** Clears every installed guard flip on scope exit. */
+struct FlipCleanup
+{
+    ~FlipCleanup() { DispatchHooks::instance().clearFlips(); }
+};
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const CheckTrace &trace)
+{
+    const CheckConfig &cfg = trace.config;
+    os << "limitless-check-trace-v1\n"
+       << "kind " << checkKindName(cfg.protocol.kind) << "\n"
+       << "pointers " << cfg.protocol.pointers << "\n"
+       << "limitless_mode "
+       << limitlessModeName(cfg.protocol.limitlessMode) << "\n"
+       << "software_latency " << cfg.protocol.softwareLatency << "\n"
+       << "trap_on_write " << (cfg.protocol.trapOnWrite ? 1 : 0) << "\n"
+       << "local_bit " << (cfg.protocol.localBit ? 1 : 0) << "\n"
+       << "nodes " << cfg.nodes << "\n"
+       << "lines " << cfg.lines << "\n"
+       << "script " << cfg.script << "\n"
+       << "ops_per_node " << cfg.opsPerNode << "\n"
+       << "defer_depth " << cfg.deferDepth << "\n"
+       << "seed " << cfg.seed << "\n";
+    for (const GuardFlip &f : trace.flips)
+        os << "flip " << checkKindName(f.kind) << " "
+           << tableSideName(f.side) << " " << f.row << "\n";
+    os << "violation " << violationKindName(trace.violation) << "\n";
+    for (const std::string &m : trace.messages)
+        os << "msg " << m << "\n";
+    os << "schedule\n";
+    for (const Choice &c : trace.schedule) {
+        if (c.kind == Choice::Kind::issue) {
+            os << "issue " << unsigned(c.node) << "\n";
+        } else {
+            os << "deliver " << unsigned(c.src) << " " << unsigned(c.node)
+               << " " << opcodeName(c.opcode) << " 0x" << std::hex
+               << c.line << std::dec << "\n";
+        }
+    }
+    os << "end\n";
+}
+
+bool
+parseTrace(std::istream &is, CheckTrace &out, std::string *error)
+{
+    out = CheckTrace{};
+    std::string line;
+    if (!std::getline(is, line) || line != "limitless-check-trace-v1")
+        return fail(error, "missing limitless-check-trace-v1 header");
+
+    bool in_schedule = false;
+    bool saw_end = false;
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        auto bad = [&](const char *what) {
+            std::ostringstream msg;
+            msg << "line " << lineno << ": " << what << " ('" << line
+                << "')";
+            return fail(error, msg.str());
+        };
+
+        if (!in_schedule) {
+            std::string value;
+            if (key == "msg") {
+                std::getline(ls, value);
+                if (!value.empty() && value[0] == ' ')
+                    value.erase(0, 1);
+                out.messages.push_back(value);
+                continue;
+            }
+            if (key == "schedule") {
+                in_schedule = true;
+                continue;
+            }
+            if (key == "flip") {
+                std::string kind_s, side_s;
+                unsigned row = 0;
+                if (!(ls >> kind_s >> side_s >> row))
+                    return bad("malformed flip");
+                GuardFlip f;
+                if (!kindFromNameNoAbort(kind_s, f.kind))
+                    return bad("unknown scheme");
+                if (!tableSideFromName(side_s, f.side))
+                    return bad("unknown table side");
+                f.row = static_cast<std::uint16_t>(row);
+                out.flips.push_back(f);
+                continue;
+            }
+            if (!(ls >> value))
+                return bad("missing value");
+            CheckConfig &cfg = out.config;
+            if (key == "kind") {
+                if (!kindFromNameNoAbort(value, cfg.protocol.kind))
+                    return bad("unknown scheme");
+            } else if (key == "pointers")
+                cfg.protocol.pointers = std::stoul(value);
+            else if (key == "limitless_mode") {
+                if (!limitlessModeFromName(value,
+                                           cfg.protocol.limitlessMode))
+                    return bad("unknown limitless_mode");
+            } else if (key == "software_latency")
+                cfg.protocol.softwareLatency = std::stoull(value);
+            else if (key == "trap_on_write")
+                cfg.protocol.trapOnWrite = value != "0";
+            else if (key == "local_bit")
+                cfg.protocol.localBit = value != "0";
+            else if (key == "nodes")
+                cfg.nodes = std::stoul(value);
+            else if (key == "lines")
+                cfg.lines = std::stoul(value);
+            else if (key == "script")
+                cfg.script = value;
+            else if (key == "ops_per_node")
+                cfg.opsPerNode = std::stoul(value);
+            else if (key == "defer_depth")
+                cfg.deferDepth = std::stoul(value);
+            else if (key == "seed")
+                cfg.seed = std::stoull(value);
+            else if (key == "violation")
+                out.violation = violationKindFromName(value);
+            else
+                return bad("unknown key");
+            continue;
+        }
+
+        if (key == "end") {
+            saw_end = true;
+            break;
+        }
+        Choice c;
+        if (key == "issue") {
+            unsigned node = 0;
+            if (!(ls >> node))
+                return bad("malformed issue");
+            c.kind = Choice::Kind::issue;
+            c.node = static_cast<NodeId>(node);
+        } else if (key == "deliver") {
+            unsigned src = 0, dest = 0;
+            std::string op_s, line_s;
+            if (!(ls >> src >> dest >> op_s >> line_s))
+                return bad("malformed deliver");
+            c.kind = Choice::Kind::deliver;
+            c.src = static_cast<NodeId>(src);
+            c.node = static_cast<NodeId>(dest);
+            if (!opcodeFromName(op_s, c.opcode))
+                return bad("unknown opcode");
+            c.line = std::stoull(line_s, nullptr, 0);
+        } else {
+            return bad("unknown schedule entry");
+        }
+        out.schedule.push_back(c);
+    }
+    if (!saw_end)
+        return fail(error, "trace truncated: no 'end' line");
+    return true;
+}
+
+bool
+saveTrace(const std::string &path, const CheckTrace &trace,
+          std::string *error)
+{
+    std::ofstream os(path);
+    if (!os)
+        return fail(error, "cannot open '" + path + "' for writing");
+    writeTrace(os, trace);
+    return os.good() || fail(error, "write to '" + path + "' failed");
+}
+
+bool
+loadTrace(const std::string &path, CheckTrace &out, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is)
+        return fail(error, "cannot open '" + path + "'");
+    return parseTrace(is, out, error);
+}
+
+bool
+replayTrace(const CheckTrace &trace, std::ostream *verbose)
+{
+    FlipCleanup cleanup;
+    DispatchHooks::instance().clearFlips();
+    for (const GuardFlip &f : trace.flips)
+        DispatchHooks::instance().flipGuard(f.kind, f.side, f.row);
+
+    CheckWorld world(trace.config);
+    if (verbose) {
+        *verbose << "replaying " << trace.config.name() << ", "
+                 << trace.schedule.size() << " choices, expecting "
+                 << violationKindName(trace.violation) << "\n";
+        for (const GuardFlip &f : trace.flips)
+            *verbose << "  guard flip: " << checkKindName(f.kind) << "/"
+                     << tableSideName(f.side) << " row " << f.row << "\n";
+    }
+
+    auto report = [&](const WorldViolations &v, const char *when) {
+        if (!verbose)
+            return;
+        *verbose << when << ": " << violationKindName(v.kind) << "\n";
+        for (const std::string &m : v.messages)
+            *verbose << "    " << m << "\n";
+    };
+
+    std::size_t step = 0;
+    for (const Choice &c : trace.schedule) {
+        ++step;
+        std::string why;
+        const bool applied = world.apply(c, &why);
+        if (verbose)
+            *verbose << "  [" << step << "] " << describeChoice(c)
+                     << (applied ? "" : "  (skipped: " + why + ")")
+                     << "\n";
+        if (!applied)
+            continue;
+        const WorldViolations v = world.checkStep();
+        if (v.any()) {
+            report(v, "violation after step");
+            return v.kind == trace.violation;
+        }
+    }
+    if (!world.enabled().empty()) {
+        if (verbose)
+            *verbose << "schedule exhausted with choices still enabled; "
+                        "no violation observed\n";
+        return trace.violation == ViolationKind::none;
+    }
+    const WorldViolations v = world.checkTerminal();
+    if (v.any()) {
+        report(v, "violation at terminal state");
+        return v.kind == trace.violation;
+    }
+    if (verbose)
+        *verbose << "terminal state clean; no violation observed\n";
+    return trace.violation == ViolationKind::none;
+}
+
+} // namespace limitless

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Counterexample trace files: a line-oriented text format
+ * ("limitless-check-trace-v1") holding the full CheckConfig, any
+ * injected guard flips, the violation the schedule produced, and the
+ * choice schedule itself. `limitless-check --trace-out` writes one on a
+ * violation; `limitless-check --replay` and `limitless-sim
+ * --replay-check` step through it on a fresh world and report whether
+ * the recorded violation reproduces. See docs/CHECKER.md for the
+ * grammar.
+ */
+
+#ifndef LIMITLESS_CHECK_TRACE_IO_HH
+#define LIMITLESS_CHECK_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/check_config.hh"
+#include "check/choice.hh"
+#include "check/world.hh"
+
+namespace limitless
+{
+
+/** One injected guard inversion recorded in a trace. */
+struct GuardFlip
+{
+    ProtocolKind kind = ProtocolKind::fullMap;
+    TableSide side = TableSide::home;
+    std::uint16_t row = 0;
+};
+
+/** A replayable counterexample (or any recorded schedule). */
+struct CheckTrace
+{
+    CheckConfig config;
+    std::vector<GuardFlip> flips;
+    ViolationKind violation = ViolationKind::none;
+    std::vector<std::string> messages;
+    Schedule schedule;
+};
+
+void writeTrace(std::ostream &os, const CheckTrace &trace);
+
+/** Parse a trace; on failure returns false and sets @p error. */
+bool parseTrace(std::istream &is, CheckTrace &out, std::string *error);
+
+bool saveTrace(const std::string &path, const CheckTrace &trace,
+               std::string *error = nullptr);
+bool loadTrace(const std::string &path, CheckTrace &out,
+               std::string *error = nullptr);
+
+/**
+ * Re-run the trace on a fresh world with its guard flips installed
+ * (restoring the hooks afterwards). Steps are echoed to @p verbose when
+ * given, one line per choice plus the machine's violation messages.
+ * Returns true when the recorded violation kind reproduces.
+ */
+bool replayTrace(const CheckTrace &trace, std::ostream *verbose = nullptr);
+
+} // namespace limitless
+
+#endif // LIMITLESS_CHECK_TRACE_IO_HH

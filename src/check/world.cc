@@ -1,0 +1,268 @@
+#include "check/world.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "machine/coherence_monitor.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+const char *
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::none: return "none";
+      case ViolationKind::safety: return "safety";
+      case ViolationKind::value: return "value";
+      case ViolationKind::livelock: return "livelock";
+      case ViolationKind::deadlock: return "deadlock";
+      case ViolationKind::quiescent: return "quiescent";
+      case ViolationKind::undeclared: return "undeclared";
+    }
+    return "?";
+}
+
+ViolationKind
+violationKindFromName(const std::string &name)
+{
+    for (ViolationKind kind :
+         {ViolationKind::none, ViolationKind::safety, ViolationKind::value,
+          ViolationKind::livelock, ViolationKind::deadlock,
+          ViolationKind::quiescent, ViolationKind::undeclared}) {
+        if (name == violationKindName(kind))
+            return kind;
+    }
+    fatal("unknown violation kind '%s'", name.c_str());
+}
+
+std::string
+describeChoice(const Choice &c)
+{
+    std::ostringstream os;
+    if (c.kind == Choice::Kind::issue) {
+        os << "issue node " << c.node;
+    } else {
+        os << "deliver " << c.src << "->" << c.node << " "
+           << opcodeName(c.opcode) << " line 0x" << std::hex << c.line;
+    }
+    return os.str();
+}
+
+CheckWorld::CheckWorld(const CheckConfig &cfg)
+    : _cfg(cfg), _prog(cfg.nodes)
+{
+    MachineConfig mc = cfg.machineConfig();
+    mc.makeNetwork = [this, nodes = cfg.nodes](EventQueue &)
+        -> std::unique_ptr<Network> {
+        auto net = std::make_unique<ControlledNetwork>(nodes);
+        _net = net.get();
+        return net;
+    };
+    _m = std::make_unique<Machine>(mc);
+    assert(_net);
+
+    const AddressMap &amap = _m->addressMap();
+    if (cfg.script == "update")
+        _m->policy().markUpdateMode(cfg.lineSet(amap)[0]);
+
+    _script = cfg.buildScript(amap);
+    for (const std::vector<MemOp> &ops : _script) {
+        for (const MemOp &op : ops)
+            if (op.kind != MemOpKind::load)
+                _legalValues[op.addr].insert(op.value);
+    }
+}
+
+std::vector<Choice>
+CheckWorld::enabled() const
+{
+    std::vector<Choice> out;
+    for (unsigned i = 0; i < _cfg.nodes; ++i) {
+        const Progress &p = _prog[i];
+        if (!p.outstanding && p.next < _script[i].size()) {
+            Choice c;
+            c.kind = Choice::Kind::issue;
+            c.node = i;
+            const MemOp &op = _script[i][p.next];
+            c.line = _m->addressMap().lineAddr(op.addr);
+            out.push_back(c);
+        }
+    }
+    _net->forEachChannel([&](NodeId src, NodeId dest, const Packet &head,
+                             std::size_t) {
+        Choice c;
+        c.kind = Choice::Kind::deliver;
+        c.node = dest;
+        c.src = src;
+        c.opcode = head.opcode;
+        c.line = head.operands.empty()
+                     ? 0
+                     : _m->addressMap().lineAddr(head.addr());
+        out.push_back(c);
+    });
+    return out;
+}
+
+bool
+CheckWorld::apply(const Choice &c, std::string *why)
+{
+    if (c.kind == Choice::Kind::issue) {
+        if (c.node >= _cfg.nodes) {
+            if (why)
+                *why = "no such node";
+            return false;
+        }
+        Progress &p = _prog[c.node];
+        if (p.outstanding) {
+            if (why)
+                *why = "node has an outstanding operation";
+            return false;
+        }
+        if (p.next >= _script[c.node].size()) {
+            if (why)
+                *why = "script exhausted";
+            return false;
+        }
+        const MemOp op = _script[c.node][p.next];
+        ++p.next;
+        p.outstanding = true;
+        const unsigned node = c.node;
+        _m->node(node).cache().access(op,
+                                      [this, node, op](std::uint64_t v) {
+                                          onComplete(node, op, v);
+                                      });
+    } else {
+        if (!_net->deliverHead(c.src, c.node)) {
+            if (why)
+                *why = "channel empty";
+            return false;
+        }
+    }
+    ++_steps;
+    drain();
+    return true;
+}
+
+void
+CheckWorld::onComplete(unsigned node, const MemOp &op, std::uint64_t value)
+{
+    assert(_prog[node].outstanding);
+    _prog[node].outstanding = false;
+
+    // Observed-value check: every load (and store pre-value) must see
+    // either the initial zero or a value some scripted store wrote to
+    // that word. Catches wild data the structural checks can miss while
+    // traffic is still in flight.
+    if (value == 0)
+        return;
+    auto it = _legalValues.find(op.addr);
+    if (it != _legalValues.end() && it->second.count(value))
+        return;
+    std::ostringstream os;
+    os << "value: node " << node << " observed " << value << " at 0x"
+       << std::hex << op.addr << std::dec
+       << ", which no scripted store wrote there";
+    _valueViolations.push_back(os.str());
+}
+
+void
+CheckWorld::drain()
+{
+    std::uint64_t n = 0;
+    while (_m->eventQueue().runOne()) {
+        if (++n > drainEventCap) {
+            _livelock = true;
+            break;
+        }
+    }
+}
+
+bool
+CheckWorld::done() const
+{
+    for (unsigned i = 0; i < _cfg.nodes; ++i)
+        if (_prog[i].outstanding || _prog[i].next < _script[i].size())
+            return false;
+    return true;
+}
+
+WorldViolations
+CheckWorld::checkStep() const
+{
+    WorldViolations v;
+    if (_livelock) {
+        v.kind = ViolationKind::livelock;
+        v.messages.push_back("livelock: a drain exceeded the event cap");
+        return v;
+    }
+    CoherenceMonitor monitor(*_m);
+    for (const CoherenceViolation &cv : monitor.collectGlobalViolations())
+        v.messages.push_back(cv.what);
+    if (!v.messages.empty()) {
+        v.kind = ViolationKind::safety;
+        return v;
+    }
+    if (!_valueViolations.empty()) {
+        v.kind = ViolationKind::value;
+        v.messages = _valueViolations;
+    }
+    return v;
+}
+
+WorldViolations
+CheckWorld::checkTerminal() const
+{
+    WorldViolations v;
+    if (!done()) {
+        v.kind = ViolationKind::deadlock;
+        for (unsigned i = 0; i < _cfg.nodes; ++i) {
+            const Progress &p = _prog[i];
+            if (!p.outstanding && p.next >= _script[i].size())
+                continue;
+            std::ostringstream os;
+            os << "deadlock: node " << i << " stuck at script op "
+               << (p.outstanding ? p.next - 1 : p.next) << "/"
+               << _script[i].size()
+               << (p.outstanding ? " (outstanding, never acked)"
+                                 : " (never issued)");
+            v.messages.push_back(os.str());
+        }
+        return v;
+    }
+    CoherenceMonitor monitor(*_m);
+    for (const CoherenceViolation &cv : monitor.collectGlobalViolations())
+        v.messages.push_back(cv.what);
+    for (const CoherenceViolation &cv :
+         monitor.collectQuiescentViolations())
+        v.messages.push_back(cv.what);
+    if (!v.messages.empty()) {
+        v.kind = ViolationKind::quiescent;
+        return v;
+    }
+    for (const CoherenceViolation &cv :
+         monitor.collectUndeclaredTransitions())
+        v.messages.push_back(cv.what);
+    if (!v.messages.empty())
+        v.kind = ViolationKind::undeclared;
+    return v;
+}
+
+std::string
+CheckWorld::fingerprint() const
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < _cfg.nodes; ++i) {
+        const Node &node = _m->node(i);
+        node.cache().checkpoint(os);
+        node.mem().checkpoint(os);
+        os << "i" << node.ipi().depth();
+    }
+    _net->checkpoint(os);
+    for (unsigned i = 0; i < _cfg.nodes; ++i)
+        os << "p" << _prog[i].next << (_prog[i].outstanding ? "o" : ".");
+    return os.str();
+}
+
+} // namespace limitless

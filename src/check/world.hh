@@ -1,0 +1,132 @@
+/**
+ * @file
+ * CheckWorld: one explorable instance of the real simulator.
+ *
+ * A world wraps a real Machine (real CacheController, MemoryController,
+ * home policy tables, IPI + trap handler) whose network is a
+ * ControlledNetwork. A *step* applies one Choice — deliver a channel
+ * head or issue a scripted operation — and then drains the event queue
+ * completely, so between steps the machine is at an event-quiescent
+ * point and the only pending nondeterminism is which packet/op goes
+ * next. States are compared by an exact serialized fingerprint of the
+ * protocol-relevant state (timing excluded; see docs/CHECKER.md for the
+ * timing-invariance argument).
+ *
+ * Worlds are not snapshottable (components hold callbacks and event
+ * references), so the explorer re-reaches states by replaying choice
+ * schedules from scratch — the stateless-model-checking approach.
+ */
+
+#ifndef LIMITLESS_CHECK_WORLD_HH
+#define LIMITLESS_CHECK_WORLD_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/check_config.hh"
+#include "check/choice.hh"
+#include "check/controlled_network.hh"
+#include "machine/machine.hh"
+
+namespace limitless
+{
+
+/** What kind of property a violation breaches. */
+enum class ViolationKind
+{
+    none,
+    safety,     ///< instant invariant (single-writer / writer-excludes-readers)
+    value,      ///< an access observed a value no script op ever wrote
+    livelock,   ///< a drain exceeded the event cap
+    deadlock,   ///< no choice enabled but scripted ops incomplete
+    quiescent,  ///< structural directory/cache mismatch at quiescence
+    undeclared, ///< a controller fired a transition its table lacks
+};
+
+const char *violationKindName(ViolationKind kind);
+ViolationKind violationKindFromName(const std::string &name);
+
+/** A classified set of violation messages (empty = property holds). */
+struct WorldViolations
+{
+    ViolationKind kind = ViolationKind::none;
+    std::vector<std::string> messages;
+
+    bool any() const { return kind != ViolationKind::none; }
+};
+
+/** One explorable machine instance. */
+class CheckWorld
+{
+  public:
+    explicit CheckWorld(const CheckConfig &cfg);
+
+    /** Completion callbacks inside the machine capture `this`. */
+    CheckWorld(const CheckWorld &) = delete;
+    CheckWorld &operator=(const CheckWorld &) = delete;
+
+    const CheckConfig &config() const { return _cfg; }
+    Machine &machine() { return *_m; }
+    ControlledNetwork &network() { return *_net; }
+
+    /** Every choice applicable in the current state: script issues on
+     *  idle nodes first, then channel-head deliveries. Deterministic
+     *  order. */
+    std::vector<Choice> enabled() const;
+
+    /**
+     * Apply one choice and drain. Returns false without side effects
+     * when the choice does not apply to the current state (empty
+     * channel, node busy or script exhausted) — replay and
+     * delta-debugging candidates use this to skip stale choices.
+     */
+    bool apply(const Choice &c, std::string *why = nullptr);
+
+    /** Properties that must hold after every step. */
+    WorldViolations checkStep() const;
+
+    /** Properties of a terminal state (call when enabled() is empty). */
+    WorldViolations checkTerminal() const;
+
+    /** All scripted operations issued and completed. */
+    bool done() const;
+
+    /** Exact serialized protocol state (see class comment). */
+    std::string fingerprint() const;
+
+    std::uint64_t stepsApplied() const { return _steps; }
+
+  private:
+    void drain();
+    void onComplete(unsigned node, const MemOp &op, std::uint64_t value);
+
+    CheckConfig _cfg;
+    ControlledNetwork *_net = nullptr; ///< owned by _m
+    std::unique_ptr<Machine> _m;
+    std::vector<std::vector<MemOp>> _script;
+
+    struct Progress
+    {
+        unsigned next = 0; ///< next unissued script index
+        bool outstanding = false;
+    };
+    std::vector<Progress> _prog;
+
+    /** Word address -> values some scripted store writes there. Any
+     *  observed value outside {0} ∪ this set is wild data. */
+    std::map<Addr, std::set<std::uint64_t>> _legalValues;
+    std::vector<std::string> _valueViolations;
+    bool _livelock = false;
+    std::uint64_t _steps = 0;
+
+    /** A drain that runs this many events is livelocked: the largest
+     *  legitimate drains (trap storms on 4 nodes) are ~10^2 events. */
+    static constexpr std::uint64_t drainEventCap = 1'000'000;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_CHECK_WORLD_HH

@@ -118,7 +118,8 @@ parseProtocol(const std::string &name)
 }
 
 WorkloadFactory
-makeWorkloadFactory(const std::string &name, unsigned iterations)
+makeWorkloadFactory(const std::string &name, unsigned iterations,
+                    std::uint64_t seed)
 {
     if (name == "multigrid") {
         MultigridParams wp;
@@ -161,6 +162,8 @@ makeWorkloadFactory(const std::string &name, unsigned iterations)
         RandomStressParams rp;
         if (iterations)
             rp.opsPerProc = iterations;
+        if (seed)
+            rp.seed = seed;
         return [rp] { return std::make_unique<RandomStress>(rp); };
     }
     fatal("unknown workload '%s'", name.c_str());

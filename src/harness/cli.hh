@@ -58,10 +58,13 @@ ProtocolParams parseProtocol(const std::string &name);
 /**
  * Workload factory by name: multigrid, weather, weather-opt, hotspot,
  * worker-set, migratory, random-stress. Size knobs: @p iterations
- * scales the main loop (0 keeps each workload's default).
+ * scales the main loop (0 keeps each workload's default); @p seed
+ * seeds the workload's own RNG where it has one (0 keeps the
+ * workload's default seed).
  */
 WorkloadFactory makeWorkloadFactory(const std::string &name,
-                                    unsigned iterations);
+                                    unsigned iterations,
+                                    std::uint64_t seed = 0);
 
 /** Names accepted by makeWorkloadFactory, for --help. */
 std::vector<std::string> workloadNames();

@@ -1,5 +1,7 @@
 #include "machine/coherence_monitor.hh"
 
+#include <cstdarg>
+#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -36,31 +38,61 @@ collectCopies(Machine &m)
     return copies;
 }
 
+__attribute__((format(printf, 3, 4))) void
+addViolation(std::vector<CoherenceViolation> &out, Addr line,
+             const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out.push_back(CoherenceViolation{line, buf});
+}
+
+/** Aborting wrapper: die on the first collected violation, with the
+ *  flight recorder's postmortem focused on the offending line. */
+[[noreturn]] void
+panicOn(const CoherenceViolation &v)
+{
+    FlightRecorder::instance().setPanicFocus(v.line);
+    panic("%s", v.what.c_str());
+}
+
 } // namespace
+
+std::vector<CoherenceViolation>
+CoherenceMonitor::collectGlobalViolations() const
+{
+    std::vector<CoherenceViolation> out;
+    const auto copies = collectCopies(_m);
+    for (const auto &[line, lc] : copies) {
+        if (lc.writers.size() > 1)
+            addViolation(out, line,
+                         "coherence: line %#llx has %zu Read-Write copies",
+                         (unsigned long long)line, lc.writers.size());
+        if (!lc.writers.empty() && !lc.readers.empty())
+            addViolation(out, line,
+                         "coherence: line %#llx has a Read-Write copy at "
+                         "node %u alongside %zu Read-Only copies",
+                         (unsigned long long)line, lc.writers[0],
+                         lc.readers.size());
+    }
+    return out;
+}
 
 void
 CoherenceMonitor::checkGlobalInvariants() const
 {
-    const auto copies = collectCopies(_m);
-    for (const auto &[line, lc] : copies) {
-        // Focus the panic-hook postmortem on the line under scrutiny so a
-        // violation prints that line's causal history, not the whole ring.
-        FlightRecorder::instance().setPanicFocus(line);
-        if (lc.writers.size() > 1)
-            panic("coherence: line %#llx has %zu Read-Write copies",
-                  (unsigned long long)line, lc.writers.size());
-        if (!lc.writers.empty() && !lc.readers.empty())
-            panic("coherence: line %#llx has a Read-Write copy at node "
-                  "%u alongside %zu Read-Only copies",
-                  (unsigned long long)line, lc.writers[0],
-                  lc.readers.size());
-    }
-    FlightRecorder::instance().setPanicFocus(0);
+    const auto violations = collectGlobalViolations();
+    if (!violations.empty())
+        panicOn(violations.front());
 }
 
-void
-CoherenceMonitor::checkDeclaredTransitions() const
+std::vector<CoherenceViolation>
+CoherenceMonitor::collectUndeclaredTransitions() const
 {
+    std::vector<CoherenceViolation> out;
     const ProtocolTableRegistry &reg = ProtocolTableRegistry::instance();
     for (unsigned i = 0; i < _m.numNodes(); ++i) {
         const CacheController &cache = _m.node(i).cache();
@@ -69,10 +101,11 @@ CoherenceMonitor::checkDeclaredTransitions() const
         cache.forEachObservedTransition(
             [&](std::uint8_t state, Opcode op) {
                 if (!ct->declares(state, op))
-                    panic("monitor: node %u cache fired undeclared "
-                          "%s-side transition (%s, %s)",
-                          i, tableSideName(TableSide::cache),
-                          ct->stateName(state), opcodeName(op));
+                    addViolation(out, 0,
+                                 "monitor: node %u cache fired undeclared "
+                                 "%s-side transition (%s, %s)",
+                                 i, tableSideName(TableSide::cache),
+                                 ct->stateName(state), opcodeName(op));
             });
         const MemoryController &mem = _m.node(i).mem();
         const TableInfo *ht =
@@ -81,35 +114,44 @@ CoherenceMonitor::checkDeclaredTransitions() const
         mem.forEachObservedTransition(
             [&](std::uint8_t state, Opcode op) {
                 if (!ht->declares(state, op))
-                    panic("monitor: home %u fired undeclared %s-side "
-                          "transition (%s, %s)",
-                          i, tableSideName(TableSide::home),
-                          ht->stateName(state), opcodeName(op));
+                    addViolation(out, 0,
+                                 "monitor: home %u fired undeclared "
+                                 "%s-side transition (%s, %s)",
+                                 i, tableSideName(TableSide::home),
+                                 ht->stateName(state), opcodeName(op));
             });
     }
+    return out;
 }
 
 void
-CoherenceMonitor::checkQuiescent() const
+CoherenceMonitor::checkDeclaredTransitions() const
 {
-    checkGlobalInvariants();
-    checkDeclaredTransitions();
+    const auto violations = collectUndeclaredTransitions();
+    if (!violations.empty())
+        panicOn(violations.front());
+}
+
+std::vector<CoherenceViolation>
+CoherenceMonitor::collectQuiescentViolations() const
+{
+    std::vector<CoherenceViolation> out;
     const auto copies = collectCopies(_m);
     const AddressMap &amap = _m.addressMap();
 
     // (c) every memory FSM stable.
     for (unsigned i = 0; i < _m.numNodes(); ++i) {
         _m.node(i).mem().forEachLine([&](Addr line, MemState st) {
-            FlightRecorder::instance().setPanicFocus(line);
             if (st != MemState::readOnly && st != MemState::readWrite)
-                panic("coherence: home %u line %#llx stuck in %s at "
-                      "quiescence",
-                      i, (unsigned long long)line, memStateName(st));
+                addViolation(out, line,
+                             "coherence: home %u line %#llx stuck in %s "
+                             "at quiescence",
+                             i, (unsigned long long)line,
+                             memStateName(st));
         });
     }
 
     for (const auto &[line, lc] : copies) {
-        FlightRecorder::instance().setPanicFocus(line);
         MemoryController &home = _m.node(amap.homeOf(line)).mem();
         DirectoryScheme &dir = home.directory();
         const SoftwareDirTable &sw = home.softwareTable();
@@ -120,10 +162,11 @@ CoherenceMonitor::checkQuiescent() const
             for (NodeId reader : lc.readers) {
                 if (!dir.contains(line, reader) &&
                     !sw.contains(line, reader)) {
-                    panic("coherence: node %u holds %#llx Read-Only but "
-                          "is in neither the directory nor the software "
-                          "vector",
-                          reader, (unsigned long long)line);
+                    addViolation(
+                        out, line,
+                        "coherence: node %u holds %#llx Read-Only but is "
+                        "in neither the directory nor the software vector",
+                        reader, (unsigned long long)line);
                 }
             }
         }
@@ -131,22 +174,25 @@ CoherenceMonitor::checkQuiescent() const
         if (!lc.writers.empty()) {
             const NodeId owner = lc.writers[0];
             if (home.lineState(line) != MemState::readWrite)
-                panic("coherence: node %u holds %#llx Read-Write but home "
-                      "state is %s",
-                      owner, (unsigned long long)line,
-                      memStateName(home.lineState(line)));
+                addViolation(out, line,
+                             "coherence: node %u holds %#llx Read-Write "
+                             "but home state is %s",
+                             owner, (unsigned long long)line,
+                             memStateName(home.lineState(line)));
             const bool tracked =
                 chained ? home.chainedDir()->head(line) == owner
                         : dir.contains(line, owner);
             if (!tracked)
-                panic("coherence: Read-Write owner %u of %#llx is not in "
-                      "the directory",
-                      owner, (unsigned long long)line);
+                addViolation(out, line,
+                             "coherence: Read-Write owner %u of %#llx is "
+                             "not in the directory",
+                             owner, (unsigned long long)line);
         } else {
             if (home.lineState(line) == MemState::readWrite)
-                panic("coherence: home says %#llx is Read-Write but no "
-                      "cache holds it",
-                      (unsigned long long)line);
+                addViolation(out, line,
+                             "coherence: home says %#llx is Read-Write "
+                             "but no cache holds it",
+                             (unsigned long long)line);
             // (e) read-only copies agree with memory.
             const LineWords &mem = home.readLine(line);
             for (NodeId reader : lc.readers) {
@@ -155,16 +201,28 @@ CoherenceMonitor::checkQuiescent() const
                 assert(cl);
                 for (unsigned w = 0; w < amap.wordsPerLine(); ++w) {
                     if (cl->words[w] != mem[w])
-                        panic("coherence: node %u copy of %#llx word %u "
-                              "is %llu, memory has %llu",
-                              reader, (unsigned long long)line, w,
-                              (unsigned long long)cl->words[w],
-                              (unsigned long long)mem[w]);
+                        addViolation(
+                            out, line,
+                            "coherence: node %u copy of %#llx word %u is "
+                            "%llu, memory has %llu",
+                            reader, (unsigned long long)line, w,
+                            (unsigned long long)cl->words[w],
+                            (unsigned long long)mem[w]);
                 }
             }
         }
     }
-    FlightRecorder::instance().setPanicFocus(0);
+    return out;
+}
+
+void
+CoherenceMonitor::checkQuiescent() const
+{
+    checkGlobalInvariants();
+    checkDeclaredTransitions();
+    const auto violations = collectQuiescentViolations();
+    if (!violations.empty())
+        panicOn(violations.front());
 }
 
 } // namespace limitless

@@ -1,6 +1,7 @@
 /**
  * @file
- * Global coherence invariant checker used by tests.
+ * Global coherence invariant checker used by tests and the model
+ * checker (src/check/).
  *
  * Two check levels:
  *  - checkGlobalInvariants() holds at *every* instant of a run:
@@ -14,15 +15,31 @@
  *          bit vectors too),
  *      (e) Read-Only copies agree with memory word-for-word, and a
  *          Read-Write line's owner is recorded in the directory.
+ *
+ * Each check exists in two forms: a collect*() variant that returns the
+ * violations as text (the model checker turns these into
+ * counterexamples instead of dying), and a check*() variant that panics
+ * on the first violation with the flight recorder focused on the
+ * offending line (the test-suite entry point).
  */
 
 #ifndef LIMITLESS_MACHINE_COHERENCE_MONITOR_HH
 #define LIMITLESS_MACHINE_COHERENCE_MONITOR_HH
 
+#include <string>
+#include <vector>
+
 #include "machine/machine.hh"
 
 namespace limitless
 {
+
+/** One invariant violation: the line it concerns plus a description. */
+struct CoherenceViolation
+{
+    Addr line = 0;
+    std::string what;
+};
 
 /** Invariant checker over a whole Machine. */
 class CoherenceMonitor
@@ -45,6 +62,16 @@ class CoherenceMonitor
      * pair already panics.
      */
     void checkDeclaredTransitions() const;
+
+    /** @name Non-aborting variants (model-checker support).
+     *  Empty result = invariant holds. */
+    /// @{
+    std::vector<CoherenceViolation> collectGlobalViolations() const;
+    /** The structural quiescent checks (c)-(e) only; callers wanting
+     *  the full checkQuiescent() set also collect the global ones. */
+    std::vector<CoherenceViolation> collectQuiescentViolations() const;
+    std::vector<CoherenceViolation> collectUndeclaredTransitions() const;
+    /// @}
 
   private:
     Machine &_m;

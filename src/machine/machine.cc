@@ -20,10 +20,14 @@ Machine::Machine(const MachineConfig &cfg)
     assert(topo.numNodes() == cfg.numNodes &&
            "mesh dimensions must cover every node");
 
-    if (cfg.network == NetworkKind::mesh)
+    if (cfg.makeNetwork)
+        _net = cfg.makeNetwork(_eq);
+    else if (cfg.network == NetworkKind::mesh)
         _net = std::make_unique<MeshNetwork>(_eq, topo, cfg.meshParams);
     else
         _net = std::make_unique<IdealNetwork>(_eq, topo, cfg.idealParams);
+    assert(_net->numNodes() >= cfg.numNodes &&
+           "network must cover every node");
 
     _nodes.reserve(cfg.numNodes);
     for (NodeId i = 0; i < cfg.numNodes; ++i)
@@ -223,6 +227,7 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles) const
     jsonEscape(os, _cfg.protocol.name());
     os << ",\n";
     os << "  \"nodes\": " << _cfg.numNodes << ",\n";
+    os << "  \"seed\": " << _cfg.seed << ",\n";
     os << "  \"cycles\": " << cycles << ",\n";
     // The paper's model terms: T = Th + m * Ts.
     os << "  \"model\": {\"m\": " << m << ", \"ts\": " << ts

@@ -7,6 +7,9 @@
 #ifndef LIMITLESS_MACHINE_MACHINE_CONFIG_HH
 #define LIMITLESS_MACHINE_MACHINE_CONFIG_HH
 
+#include <functional>
+#include <memory>
+
 #include "cache/cache_controller.hh"
 #include "kernel/kernel_costs.hh"
 #include "machine/address_map.hh"
@@ -42,6 +45,13 @@ struct MachineConfig
     NetworkKind network = NetworkKind::mesh;
     MeshNetworkParams meshParams;
     IdealNetworkParams idealParams;
+
+    /**
+     * Test/checker hook: when set, overrides `network` with a
+     * caller-built fabric (e.g. the model checker's ControlledNetwork,
+     * which holds packets until the exploration delivers them).
+     */
+    std::function<std::unique_ptr<Network>(EventQueue &)> makeNetwork;
 
     /** Cache <-> local memory controller hop (no network involved). */
     Tick localHopLatency = 2;

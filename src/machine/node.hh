@@ -44,6 +44,7 @@ class Node
     const Processor &processor() const { return *_proc; }
     const CacheController &cache() const { return *_cache; }
     const MemoryController &mem() const { return *_mem; }
+    const IpiInterface &ipi() const { return *_ipi; }
 
     /** Outbound path used by every on-node component. */
     void sendFrom(PacketPtr pkt);

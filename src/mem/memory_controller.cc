@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
+#include <set>
 
 #include "directory/full_map_dir.hh"
 #include "directory/limited_dir.hh"
@@ -103,6 +105,99 @@ MemoryController::overflowFraction() const
     if (reqs == 0)
         return 0.0;
     return (_statReadTraps.value() + _statWriteTraps.value()) / reqs;
+}
+
+namespace
+{
+
+void
+checkpointPacket(std::ostream &os, const Packet &pkt)
+{
+    os << opcodeName(pkt.opcode) << pkt.src << ">" << pkt.dest << "(";
+    for (std::size_t i = 0; i < pkt.operands.size(); ++i)
+        os << (i ? "," : "") << pkt.operands[i];
+    os << "|";
+    for (std::size_t i = 0; i < pkt.data.size(); ++i)
+        os << (i ? "," : "") << pkt.data[i];
+    os << ")";
+}
+
+} // namespace
+
+void
+MemoryController::checkpoint(std::ostream &os) const
+{
+    // Deterministic line order: union of protocol-touched and
+    // memory-touched lines, sorted.
+    std::set<Addr> lines;
+    for (const auto &[line, hl] : _lines)
+        lines.insert(line);
+    for (const auto &[line, words] : _memory)
+        lines.insert(line);
+
+    os << "mem" << _self << "{";
+    for (Addr line : lines) {
+        os << "L" << std::hex << line << std::dec << ":";
+        auto lit = _lines.find(line);
+        if (lit != _lines.end()) {
+            const HomeLine &hl = lit->second;
+            os << memStateName(hl.state) << ",a" << hl.ackCtr << ",p";
+            if (hl.pending != invalidNode)
+                os << hl.pending;
+            os << (hl.dataSeen ? ",d" : "");
+            if (hl.evictVictim != invalidNode)
+                os << ",e" << hl.evictVictim;
+            if (hl.updWrite || hl.updApply)
+                os << ",u" << hl.updWrite << hl.updSilent << hl.updApply
+                   << "." << hl.updWord << "." << int(hl.updKind) << "."
+                   << hl.updValue << "." << hl.updOld;
+            if (hl.pendingUncached)
+                os << ",n";
+            if (hl.walkTarget != invalidNode)
+                os << ",w" << hl.walkTarget;
+            if (hl.repcRequester != invalidNode)
+                os << ",r" << hl.repcRequester;
+            for (const PacketPtr &pkt : hl.deferred) {
+                os << ",q";
+                checkpointPacket(os, *pkt);
+            }
+        }
+        // Directory view of the line (pointer sets are unordered
+        // internally; sort for stability).
+        std::vector<NodeId> sharers;
+        _dir->sharers(line, sharers);
+        std::sort(sharers.begin(), sharers.end());
+        os << "/dir";
+        for (NodeId n : sharers)
+            os << "." << n;
+        if (_ldir)
+            os << "/meta" << metaStateName(_ldir->meta(line));
+        if (_swTable.has(line)) {
+            sharers.clear();
+            _swTable.sharers(line, sharers);
+            std::sort(sharers.begin(), sharers.end());
+            os << "/sw";
+            for (NodeId n : sharers)
+                os << "." << n;
+        }
+        if (_chained && _chained->head(line) != invalidNode)
+            os << "/ch" << _chained->head(line) << "x"
+               << _chained->chainLength(line);
+        auto mit = _memory.find(line);
+        if (mit != _memory.end()) {
+            os << "/m";
+            for (unsigned w = 0; w < _amap.wordsPerLine(); ++w)
+                os << (w ? "," : "") << mit->second[w];
+        }
+        os << ";";
+    }
+    // Packets accepted but not yet serviced.
+    for (const PacketPtr &pkt : _queue) {
+        os << "Q";
+        checkpointPacket(os, *pkt);
+        os << ";";
+    }
+    os << "}";
 }
 
 // --------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -236,6 +237,15 @@ class MemoryController
      * the hardware path do the actual protocol work.
      */
     void processBypassingMeta(PacketPtr pkt);
+
+    /**
+     * Serialize the controller's protocol-relevant state (per-line FSM
+     * + scratch fields, deferred packets, directory / software-vector /
+     * chain contents, memory words) in a deterministic text form. The
+     * model checker fingerprints machine states with this; ticks and
+     * statistics are deliberately excluded — see docs/CHECKER.md.
+     */
+    void checkpoint(std::ostream &os) const;
 
     /** Iterate touched lines (coherence-monitor support). */
     template <typename Fn>

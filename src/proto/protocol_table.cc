@@ -55,6 +55,41 @@ ProtocolTableRegistry::find(ProtocolKind kind, TableSide side) const
     return nullptr;
 }
 
+namespace
+{
+
+std::uint32_t
+flipKey(ProtocolKind kind, TableSide side, std::uint16_t row)
+{
+    return (static_cast<std::uint32_t>(kind) << 24) |
+           (static_cast<std::uint32_t>(side) << 16) | row;
+}
+
+} // namespace
+
+DispatchHooks &
+DispatchHooks::instance()
+{
+    static DispatchHooks hooks;
+    return hooks;
+}
+
+void
+DispatchHooks::flipGuard(ProtocolKind kind, TableSide side,
+                         std::uint16_t row)
+{
+    const std::uint32_t k = flipKey(kind, side, row);
+    if (std::find(_flips.begin(), _flips.end(), k) == _flips.end())
+        _flips.push_back(k);
+}
+
+bool
+DispatchHooks::flipped(const TableInfo &info, std::uint16_t row) const
+{
+    const std::uint32_t k = flipKey(info.kind, info.side, row);
+    return std::find(_flips.begin(), _flips.end(), k) != _flips.end();
+}
+
 void
 ProtocolTableRegistry::dump(std::ostream &os) const
 {

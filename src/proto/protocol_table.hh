@@ -85,6 +85,52 @@ class ProtocolTableRegistry
  */
 void registerAllProtocolTables();
 
+/**
+ * Process-wide instrumentation over table dispatch, used by the model
+ * checker (src/check/): an observer sees every row that fires (row
+ * coverage / dead-row reporting), and guard flips invert one row's
+ * guard to inject a protocol bug in a controlled, declared way (the
+ * checker's counterexample demonstrations). Inactive by default — the
+ * simulator pays one branch per dispatch.
+ */
+class DispatchHooks
+{
+  public:
+    using Observer = void (*)(void *user, const TableInfo &info,
+                              const TransitionRow &row);
+
+    static DispatchHooks &instance();
+
+    void
+    setObserver(Observer fn, void *user)
+    {
+        _observer = fn;
+        _user = user;
+    }
+    void clearObserver() { setObserver(nullptr, nullptr); }
+
+    /** Invert one declared row's guard: a guarded row fires when its
+     *  guard fails, and an unconditional row never fires (dispatch
+     *  falls through to the next row, or panics). */
+    void flipGuard(ProtocolKind kind, TableSide side, std::uint16_t row);
+    void clearFlips() { _flips.clear(); }
+
+    bool active() const { return _observer != nullptr || !_flips.empty(); }
+    bool flipped(const TableInfo &info, std::uint16_t row) const;
+
+    void
+    notify(const TableInfo &info, const TransitionRow &row) const
+    {
+        if (_observer)
+            _observer(_user, info, row);
+    }
+
+  private:
+    Observer _observer = nullptr;
+    void *_user = nullptr;
+    std::vector<std::uint32_t> _flips; ///< packed (kind, side, row)
+};
+
 /** Guarded-transition dispatch table over context type @p Ctx. */
 template <typename Ctx>
 class TransitionTable
@@ -139,13 +185,20 @@ class TransitionTable
                   _info.scheme, tableSideName(_info.side),
                   _info.stateName(state), opcodeName(op));
         }
+        const DispatchHooks &hooks = DispatchHooks::instance();
+        const bool hooked = hooks.active();
         for (std::uint16_t id : it->second) {
             const Transition<Ctx> &tr = _rows[id];
-            if (tr.guard && !tr.guard(ctx))
+            bool take = !tr.guard || tr.guard(ctx);
+            if (hooked && hooks.flipped(_info, id))
+                take = !take;
+            if (!take)
                 continue;
             tr.action(ctx);
             if (tr.next != dynamicNextState)
                 ctx.setState(static_cast<std::uint8_t>(tr.next));
+            if (hooked)
+                hooks.notify(_info, _info.rows[id]);
             return tr;
         }
         panic("%s/%s table: every guard failed for (%s, %s)",

@@ -234,6 +234,96 @@ TEST(LimitlessEmulation, WriteReturnsLineToHardwareControl)
     EXPECT_EQ(home.lineState(line), MemState::readWrite);
 }
 
+// ------------------------------------------------- Trap-window races
+
+/** Controller-in-isolation harness for the full-emulation meta-state
+ *  interlock: diverted packets are captured instead of IPI-queued, so
+ *  a test can hold the software-ownership window open indefinitely. */
+struct EmuHarness
+{
+    EventQueue eq;
+    AddressMap amap{8, 16};
+    MemoryController mc;
+    std::vector<PacketPtr> sent;
+    std::vector<PacketPtr> diverted;
+
+    explicit EmuHarness(unsigned pointers = 2)
+        : mc(eq, 0, amap, protocols::limitlessEmulated(pointers),
+             MemParams{})
+    {
+        mc.setSend([this](PacketPtr p) { sent.push_back(std::move(p)); });
+        mc.setDivert(
+            [this](PacketPtr p) { diverted.push_back(std::move(p)); });
+    }
+
+    Addr line() const { return amap.addrOnNode(0, 0); }
+
+    void
+    inject(Opcode op, NodeId src, std::vector<std::uint64_t> data = {})
+    {
+        PacketPtr pkt = opcodeCarriesData(op)
+                            ? makeDataPacket(src, 0, op, line(), data)
+                            : makeProtocolPacket(src, 0, op, line());
+        mc.enqueue(std::move(pkt));
+        eq.run();
+    }
+
+    unsigned
+    count(Opcode op, NodeId dest) const
+    {
+        unsigned n = 0;
+        for (const auto &p : sent)
+            n += (p->opcode == op && p->dest == dest);
+        return n;
+    }
+};
+
+TEST(TrapWindowRace, EvictionDuringTrapOnWriteIsDivertedNotApplied)
+{
+    // A dirty eviction (REPM) that lands while the line's directory is
+    // in Trap-On-Write must be diverted to the software handler — the
+    // hardware pointer array no longer describes the sharer set, so
+    // applying the replacement in hardware would desynchronize it from
+    // the software-held vector. The packet must also close the window
+    // (Trans-In-Progress) so nothing else slips through mid-handler.
+    EmuHarness h;
+    h.inject(Opcode::WREQ, 1); // node 1 becomes the dirty owner
+    ASSERT_EQ(h.count(Opcode::WDATA, 1), 1u);
+    ASSERT_EQ(h.mc.lineState(h.line()), MemState::readWrite);
+    h.mc.limitlessDir()->setMeta(h.line(), MetaState::trapOnWrite);
+
+    h.inject(Opcode::REPM, 1, {7, 7});
+    ASSERT_EQ(h.diverted.size(), 1u);
+    EXPECT_EQ(h.diverted[0]->opcode, Opcode::REPM);
+    EXPECT_EQ(h.mc.limitlessDir()->meta(h.line()),
+              MetaState::transInProgress);
+    EXPECT_EQ(h.mc.lineState(h.line()), MemState::readWrite)
+        << "hardware FSM must not process the diverted eviction";
+}
+
+TEST(TrapWindowRace, RequestsDuringHandlerOwnershipAreBusyNacked)
+{
+    // While the kernel handler owns the line (Trans-In-Progress), every
+    // hardware-level request must be interlocked with BUSY, never
+    // serviced from the (stale) hardware state.
+    EmuHarness h;
+    h.inject(Opcode::RREQ, 1);
+    ASSERT_EQ(h.count(Opcode::RDATA, 1), 1u);
+    h.mc.limitlessDir()->setMeta(h.line(), MetaState::transInProgress);
+
+    h.inject(Opcode::RREQ, 2);
+    EXPECT_EQ(h.count(Opcode::BUSY, 2), 1u);
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 0u);
+    h.inject(Opcode::WREQ, 3);
+    EXPECT_EQ(h.count(Opcode::BUSY, 3), 1u);
+    EXPECT_EQ(h.count(Opcode::WDATA, 3), 0u);
+
+    // Reopening the window (handler done) services requests again.
+    h.mc.limitlessDir()->setMeta(h.line(), MetaState::normal);
+    h.inject(Opcode::RREQ, 2);
+    EXPECT_EQ(h.count(Opcode::RDATA, 2), 1u);
+}
+
 TEST(LimitlessEmulation, EffectiveTrapCostIsInThePaperRange)
 {
     KernelCosts costs;

@@ -6,15 +6,24 @@
  * every (state, opcode) pair the controllers fired is declared by the
  * scheme's registered transition table — the end-to-end version of the
  * static exhaustiveness test.
+ *
+ * On failure the test prints the exact scheme + seed and a
+ * copy-pasteable limitless-sim command line (including when the
+ * machine panics: a panic hook emits the case before the postmortem),
+ * then automatically re-runs the same seed on the minimal 4-node
+ * machine to report whether the small config reproduces it — the
+ * starting point for a limitless-check script.
  */
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <memory>
 #include <sstream>
 
 #include "harness/experiment.hh"
 #include "machine/coherence_monitor.hh"
+#include "sim/log.hh"
 #include "sim/rng.hh"
 #include "workload/random_stress.hh"
 
@@ -30,6 +39,112 @@ struct FuzzCase
     std::uint64_t seed;
 };
 
+/** CLI spelling of a protocol, for the reproduce hint. */
+std::string
+protocolFlag(const ProtocolParams &p)
+{
+    std::ostringstream os;
+    switch (p.kind) {
+      case ProtocolKind::fullMap: os << "full-map"; break;
+      case ProtocolKind::limited: os << "dir" << p.pointers << "nb"; break;
+      case ProtocolKind::limitless:
+        os << "limitless" << p.pointers;
+        if (p.limitlessMode == LimitlessMode::fullEmulation)
+            os << " --emulate";
+        break;
+      case ProtocolKind::chained: os << "chained"; break;
+      case ProtocolKind::privateOnly: os << "private-only"; break;
+    }
+    return os.str();
+}
+
+std::string
+reproduceHint(const FuzzCase &fc, unsigned ops)
+{
+    std::ostringstream os;
+    os << "fuzz case: " << fc.proto.name() << " nodes=" << fc.nodes
+       << " seed=" << fc.seed << "\n  reproduce: limitless-sim "
+       << "--workload random-stress --protocol " << protocolFlag(fc.proto)
+       << " --nodes " << fc.nodes << " --iterations " << ops << " --seed "
+       << fc.seed;
+    return os.str();
+}
+
+/** Case description printed by the panic hook, so even an abort deep in
+ *  the machine names the failing seed + scheme before the postmortem. */
+std::string g_activeCase;
+PanicHook g_prevHook = nullptr;
+
+void
+fuzzPanicHook()
+{
+    if (!g_activeCase.empty())
+        std::cerr << "\n==== protocol fuzz: failing case ====\n"
+                  << g_activeCase << "\n\n";
+    if (g_prevHook)
+        g_prevHook();
+}
+
+/** Run one (proto, nodes, seed) stress case and return every coherence
+ *  violation (empty = clean). Uses the monitor's non-aborting
+ *  collectors so a failure is reported, not abort()ed. */
+std::vector<std::string>
+runCase(const ProtocolParams &proto, unsigned nodes, std::uint64_t seed,
+        unsigned ops)
+{
+    MachineConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.protocol = proto;
+    cfg.seed = seed;
+    // Tiny cache so replacements and spurious INVs exercise the rare
+    // rows, not just the fill path.
+    cfg.cache.cacheBytes = 16 * 16;
+
+    Machine m(cfg);
+    RandomStressParams rp;
+    rp.opsPerProc = ops;
+    rp.counterLines = 4;
+    rp.valueLines = 8;
+    rp.seed = seed;
+    RandomStress wl(rp);
+    wl.install(m);
+
+    std::vector<std::string> out;
+    const RunResult r = m.run();
+    if (!r.completed) {
+        out.push_back("run did not complete");
+        return out;
+    }
+    wl.verify(m);
+
+    CoherenceMonitor monitor(m);
+    for (const CoherenceViolation &v : monitor.collectGlobalViolations())
+        out.push_back(v.what);
+    for (const CoherenceViolation &v :
+         monitor.collectQuiescentViolations())
+        out.push_back(v.what);
+    for (const CoherenceViolation &v :
+         monitor.collectUndeclaredTransitions())
+        out.push_back(v.what);
+    return out;
+}
+
+class ProtocolFuzz : public testing::TestWithParam<FuzzCase>
+{
+  protected:
+    void SetUp() override
+    {
+        g_activeCase = reproduceHint(GetParam(), 60);
+        g_prevHook = setPanicHook(&fuzzPanicHook);
+    }
+    void TearDown() override
+    {
+        setPanicHook(g_prevHook);
+        g_prevHook = nullptr;
+        g_activeCase.clear();
+    }
+};
+
 std::string
 caseName(const testing::TestParamInfo<FuzzCase> &info)
 {
@@ -43,37 +158,36 @@ caseName(const testing::TestParamInfo<FuzzCase> &info)
     return s;
 }
 
-class ProtocolFuzz : public testing::TestWithParam<FuzzCase>
-{
-};
-
 TEST_P(ProtocolFuzz, ObservedTransitionsAreDeclared)
 {
     const FuzzCase &fc = GetParam();
-    MachineConfig cfg;
-    cfg.numNodes = fc.nodes;
-    cfg.protocol = fc.proto;
-    cfg.seed = fc.seed;
-    // Tiny cache so replacements and spurious INVs exercise the rare
-    // rows, not just the fill path.
-    cfg.cache.cacheBytes = 16 * 16;
+    SCOPED_TRACE(g_activeCase);
 
-    Machine m(cfg);
-    RandomStressParams rp;
-    rp.opsPerProc = 60;
-    rp.counterLines = 4;
-    rp.valueLines = 8;
-    rp.seed = fc.seed;
-    RandomStress wl(rp);
-    wl.install(m);
+    const std::vector<std::string> violations =
+        runCase(fc.proto, fc.nodes, fc.seed, 60);
+    if (violations.empty())
+        return;
 
-    const RunResult r = m.run();
-    ASSERT_TRUE(r.completed);
+    std::ostringstream report;
+    report << g_activeCase << "\n  violations:";
+    for (const std::string &v : violations)
+        report << "\n    " << v;
 
-    wl.verify(m);
-    CoherenceMonitor monitor(m);
-    monitor.checkQuiescent();
-    monitor.checkDeclaredTransitions();
+    // Automatic shrink: the same seed on the minimal 4-node machine
+    // with a short script. When it reproduces there, the case is small
+    // enough to study under limitless-check / --log.
+    const unsigned min_nodes = 4, min_ops = 12;
+    g_activeCase = reproduceHint(FuzzCase{fc.proto, min_nodes, fc.seed},
+                                 min_ops);
+    const std::vector<std::string> minimal =
+        runCase(fc.proto, min_nodes, fc.seed, min_ops);
+    report << "\n  minimal config (" << min_nodes << " nodes, " << min_ops
+           << " ops): "
+           << (minimal.empty() ? "does NOT reproduce" : "REPRODUCES");
+    for (const std::string &v : minimal)
+        report << "\n    " << v;
+
+    FAIL() << report.str();
 }
 
 std::vector<FuzzCase>

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <set>
 #include <vector>
 
+#include "check/explorer.hh"
 #include "harness/experiment.hh"
 #include "machine/machine.hh"
+#include "mem/memory_controller.hh"
 
 namespace limitless
 {
@@ -133,6 +137,89 @@ TEST(TrapDispatcher, ProtocolTrapsAndMessagesInterleaveSafely)
     const auto *proto_traps = static_cast<const Counter *>(
         m.node(0).statSet("trap")->find("protocol_traps"));
     EXPECT_GT(proto_traps->value(), 0u);
+}
+
+TEST(TrapWindowRace, RequestDuringWriteGatherIsNotGrantedData)
+{
+    // End-to-end version of the trap-window interlock. The
+    // Trans-In-Progress meta-state itself is sub-step: the handler is
+    // IPI-dispatched and completes within one event drain, restoring
+    // Normal mode and handing the line back to hardware as a
+    // Write-Transaction awaiting ACKCs (handler handleWrite, paper
+    // §4.4). So the window that is *observable between steps* — and that
+    // a real concurrent requester can race into — is that hardware
+    // gather: invalidations in flight, acknowledgment counter armed.
+    //
+    // Search the limitless full-emulation state space for a reachable
+    // state where the home line sits in that post-trap gather while
+    // another node's RREQ/WREQ is already in flight toward the home,
+    // deliver the request into the window, and require that it is
+    // interlocked (deferred or BUSY-nacked), never answered with data
+    // from the still-unacknowledged line.
+    //
+    // The rmw script (every node loads, then stores, line 0) makes the
+    // window easy to reach with one hardware pointer: the loads overflow
+    // into Trap-On-Write, the first store trips the write-gather trap,
+    // and the remaining nodes' requests race into it.
+    CheckConfig cfg;
+    cfg.protocol = protocols::limitlessEmulated(1);
+    cfg.nodes = 3;
+    cfg.script = "rmw";
+
+    std::deque<Schedule> frontier{Schedule{}};
+    std::set<std::string> seen;
+    unsigned windows = 0, expanded = 0;
+    while (!frontier.empty() && windows == 0 && expanded < 20000) {
+        const Schedule sched = frontier.front();
+        frontier.pop_front();
+        ++expanded;
+        auto w = replaySchedule(cfg, sched);
+        if (!seen.insert(w->fingerprint()).second)
+            continue;
+
+        Machine &m = w->machine();
+        const Addr line = cfg.lineSet(m.addressMap())[0];
+        const NodeId home = m.addressMap().homeOf(line);
+        const bool in_window =
+            m.node(home).mem().lineState(line) ==
+                MemState::writeTransaction &&
+            m.sumCounter("handler", "write_traps") > 0;
+
+        for (const Choice &c : w->enabled()) {
+            const bool racing_request =
+                c.kind == Choice::Kind::deliver && c.node == home &&
+                c.line == line &&
+                (c.opcode == Opcode::RREQ || c.opcode == Opcode::WREQ);
+            if (in_window && racing_request) {
+                const NodeId requester = c.src;
+                ASSERT_TRUE(w->apply(c));
+                EXPECT_FALSE(w->checkStep().any());
+                // Still gathering: the race must not have produced a
+                // grant. Any data packet home->requester now in flight
+                // would be an answer to the delivered request (the
+                // requester was idle, its earlier replies consumed).
+                EXPECT_EQ(m.node(home).mem().lineState(line),
+                          MemState::writeTransaction);
+                w->network().forEachChannel(
+                    [&](NodeId src, NodeId dest, const Packet &head,
+                        std::size_t) {
+                        if (src == home && dest == requester)
+                            EXPECT_TRUE(head.opcode != Opcode::RDATA &&
+                                        head.opcode != Opcode::WDATA)
+                                << describePacket(head)
+                                << " granted inside the gather window";
+                    });
+                ++windows;
+                break;
+            }
+            Schedule next = sched;
+            next.push_back(c);
+            frontier.push_back(std::move(next));
+        }
+    }
+    EXPECT_GT(windows, 0u)
+        << "no reachable write-gather window with a racing request in "
+        << expanded << " expansions — script or search broken";
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <unordered_set>
 
+#include "check/trace_io.hh"
 #include "harness/cli.hh"
 #include "machine/coherence_monitor.hh"
 #include "obs/flight_recorder.hh"
@@ -62,6 +63,10 @@ usage()
         "  --capture-trace <file> record the run as a post-mortem trace\n"
         "  --replay-trace <file>  replay a captured trace (ignores "
         "--workload)\n"
+        "  --replay-check <file>  step through a limitless-check "
+        "counterexample trace\n"
+        "                         (exits 0 when the recorded violation "
+        "reproduces)\n"
         "  --dump-stats           print every per-node statistic\n"
         "  --trace-out <file>     stream protocol events as Chrome "
         "trace_event JSON\n"
@@ -88,7 +93,8 @@ main(int argc, char **argv)
         {"no-trap-on-write", false}, {"no-local-bit", false},
         {"network", true},       {"memory-model", true},
         {"seed", true},          {"capture-trace", true},
-        {"replay-trace", true},  {"dump-stats", false},
+        {"replay-trace", true},  {"replay-check", true},
+        {"dump-stats", false},
         {"log", true},           {"help", false},
         {"trace-out", true},     {"trace-lines", true},
         {"stats-json", true},    {"dump-protocol-table", false},
@@ -105,6 +111,17 @@ main(int argc, char **argv)
     }
     if (opts.has("log"))
         Log::enable(opts.str("log"));
+    if (opts.has("replay-check")) {
+        CheckTrace trace;
+        std::string error;
+        if (!loadTrace(opts.str("replay-check"), trace, &error))
+            fatal("--replay-check: %s", error.c_str());
+        const bool reproduced = replayTrace(trace, &std::cout);
+        std::cout << (reproduced ? "REPRODUCED" : "NOT REPRODUCED")
+                  << ": " << violationKindName(trace.violation) << " in "
+                  << trace.config.name() << "\n";
+        return reproduced ? 0 : 1;
+    }
 
     MachineConfig cfg;
     cfg.numNodes = static_cast<unsigned>(opts.num("nodes", 64));
@@ -161,7 +178,8 @@ main(int argc, char **argv)
     } else {
         workload = makeWorkloadFactory(
             opts.str("workload", "weather"),
-            static_cast<unsigned>(opts.num("iterations", 0)))();
+            static_cast<unsigned>(opts.num("iterations", 0)),
+            opts.has("seed") ? cfg.seed : 0)();
     }
     workload->install(machine);
 
@@ -191,6 +209,7 @@ main(int argc, char **argv)
               << "nodes:             " << cfg.numNodes << " ("
               << cfg.resolvedMeshWidth() << "x"
               << cfg.resolvedMeshHeight() << " mesh)\n"
+              << "seed:              " << cfg.seed << "\n"
               << "execution time:    " << run.cycles << " cycles ("
               << run.cycles / 1e6 << " Mcycles)\n"
               << "simulator events:  " << run.events << "\n"
