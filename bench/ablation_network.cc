@@ -32,6 +32,7 @@ main(int argc, char **argv)
         "Expected: the Dir4NB/full-map ratio shrinks "
         "substantially\nonce home-node contention is idealized away.");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
@@ -48,28 +49,31 @@ main(int argc, char **argv)
     };
 
     ResultTable table("weather, 64 procs, contention-model ablation");
+    std::vector<std::function<ExperimentOutcome()>> runs;
+    for (const Mode &mode : modes) {
+        for (auto proto : {protocols::dirNB(4), protocols::fullMap()}) {
+            runs.push_back([mode, proto, &make]() {
+                MachineConfig cfg = alewife64(proto);
+                cfg.network = mode.net;
+                if (mode.ideal_controller) {
+                    cfg.mem.serviceCycles = 0;
+                    cfg.mem.deferDepth = 64;
+                }
+                return runExperiment(
+                    cfg, make,
+                    std::string(proto.kind == ProtocolKind::limited
+                                    ? "Dir4NB "
+                                    : "Full-Map ") +
+                        mode.name);
+            });
+        }
+    }
+    runSweep(table, std::move(runs), jobs);
+
     double ratios[3] = {};
     for (int i = 0; i < 3; ++i) {
-        const Mode &mode = modes[i];
-        double cycles[2] = {};
-        int k = 0;
-        for (auto proto : {protocols::dirNB(4), protocols::fullMap()}) {
-            MachineConfig cfg = alewife64(proto);
-            cfg.network = mode.net;
-            if (mode.ideal_controller) {
-                cfg.mem.serviceCycles = 0;
-                cfg.mem.deferDepth = 64;
-            }
-            const auto out = runExperiment(
-                cfg, make,
-                std::string(proto.kind == ProtocolKind::limited
-                                ? "Dir4NB "
-                                : "Full-Map ") +
-                    mode.name);
-            table.add(out);
-            cycles[k++] = out.mcycles;
-        }
-        ratios[i] = cycles[0] / cycles[1];
+        ratios[i] = table.rows()[2 * i].mcycles /
+                    table.rows()[2 * i + 1].mcycles;
     }
 
     table.printBars(std::cout);

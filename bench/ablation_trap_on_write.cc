@@ -39,30 +39,47 @@ main(int argc, char **argv)
 
     ResultTable table("LimitLESS4 Ts=50 ablations, hotspot, 64 procs");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
+    struct Variant
     {
-        MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
-        table.add(runExperiment(cfg, make, "baseline (all on)"));
+        const char *label;
+        std::function<MachineConfig()> build;
+    };
+    const std::vector<Variant> variants = {
+        {"baseline (all on)",
+         [] { return alewife64(protocols::limitlessStall(4, 50)); }},
+        {"no Trap-On-Write (D1)",
+         [] {
+             MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
+             cfg.protocol.trapOnWrite = false;
+             return cfg;
+         }},
+        {"no Local Bit (D3)",
+         [] {
+             MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
+             cfg.protocol.localBit = false;
+             return cfg;
+         }},
+        {"no deferral, BUSY only (D4)",
+         [] {
+             MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
+             cfg.mem.deferDepth = 0;
+             return cfg;
+         }},
+        {"Dir4NB, BUSY only (D4)",
+         [] {
+             MachineConfig cfg = alewife64(protocols::dirNB(4));
+             cfg.mem.deferDepth = 0;
+             return cfg;
+         }},
+    };
+    std::vector<std::function<ExperimentOutcome()>> runs;
+    for (const Variant &v : variants) {
+        runs.push_back([&v, &make]() {
+            return runExperiment(v.build(), make, v.label);
+        });
     }
-    {
-        MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
-        cfg.protocol.trapOnWrite = false;
-        table.add(runExperiment(cfg, make, "no Trap-On-Write (D1)"));
-    }
-    {
-        MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
-        cfg.protocol.localBit = false;
-        table.add(runExperiment(cfg, make, "no Local Bit (D3)"));
-    }
-    {
-        MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
-        cfg.mem.deferDepth = 0;
-        table.add(runExperiment(cfg, make, "no deferral, BUSY only (D4)"));
-    }
-    {
-        MachineConfig cfg = alewife64(protocols::dirNB(4));
-        cfg.mem.deferDepth = 0;
-        table.add(runExperiment(cfg, make, "Dir4NB, BUSY only (D4)"));
-    }
+    runSweep(table, std::move(runs), jobs);
 
     table.printBars(std::cout);
     table.printDetails(std::cout);

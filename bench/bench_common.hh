@@ -10,10 +10,13 @@
 
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/result_table.hh"
 #include "obs/json.hh"
 #include "obs/stats_json.hh"
@@ -70,6 +73,27 @@ wantCsv(int argc, char **argv)
         if (!std::strcmp(argv[i], "--csv"))
             return true;
     return false;
+}
+
+/**
+ * Run one experiment per thunk, optionally across threads (`--jobs N`,
+ * parsed by the caller via parseJobsFlag; default 1 = serial, exactly
+ * the pre-parallelism loop). Rows are appended to @p table in thunk
+ * order whatever the job count, so figure output is identical serial
+ * or parallel — the experiments are independent machines and every
+ * per-run global (flight recorder, packet pool) is thread-local.
+ */
+inline void
+runSweep(ResultTable &table,
+         std::vector<std::function<ExperimentOutcome()>> runs,
+         unsigned jobs)
+{
+    ParallelRunner runner(jobs);
+    const ParallelRunner::Task<ExperimentOutcome> task =
+        [&runs](std::size_t i, std::ostream &) { return runs[i](); };
+    for (const ExperimentOutcome &o :
+         runner.map<ExperimentOutcome>(runs.size(), task, std::cout))
+        table.add(o);
 }
 
 /**

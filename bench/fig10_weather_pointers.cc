@@ -25,16 +25,25 @@ main(int argc, char **argv)
         "graceful degradation, LimitLESS1 clearly worst of the "
         "LimitLESS points but still better than Dir4NB.");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
     ResultTable table("Figure 10: weather, LimitLESS pointer sweep");
-    table.add(runExperiment(alewife64(protocols::dirNB(4)), make));
+    std::vector<std::function<ExperimentOutcome()>> runs;
+    runs.push_back([&make]() {
+        return runExperiment(alewife64(protocols::dirNB(4)), make);
+    });
     for (unsigned p : {1u, 2u, 4u}) {
-        table.add(runExperiment(
-            alewife64(protocols::limitlessStall(p, 50)), make));
+        runs.push_back([p, &make]() {
+            return runExperiment(alewife64(protocols::limitlessStall(p, 50)),
+                                 make);
+        });
     }
-    table.add(runExperiment(alewife64(protocols::fullMap()), make));
+    runs.push_back([&make]() {
+        return runExperiment(alewife64(protocols::fullMap()), make);
+    });
+    runSweep(table, std::move(runs), jobs);
 
     table.printBars(std::cout);
     table.printDetails(std::cout);

@@ -21,15 +21,19 @@ main(int argc, char **argv)
         "Paper: all four schemes complete in ~the same time (~1.4 "
         "Mcycles each);\nexpected shape: four nearly equal bars.");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
     const MultigridParams mp = multigridFigureParams();
     auto make = [&]() { return std::make_unique<Multigrid>(mp); };
 
     ResultTable table("Figure 7: multigrid, 64 processors");
+    std::vector<std::function<ExperimentOutcome()>> runs;
     for (const auto &proto :
          {protocols::dirNB(4), protocols::limitlessStall(4, 100),
           protocols::limitlessStall(4, 50), protocols::fullMap()}) {
-        table.add(runExperiment(alewife64(proto), make));
+        runs.push_back(
+            [proto, &make]() { return runExperiment(alewife64(proto), make); });
     }
+    runSweep(table, std::move(runs), jobs);
 
     table.printBars(std::cout);
     table.printDetails(std::cout);

@@ -25,15 +25,19 @@ main(int argc, char **argv)
         "~0.6 Mcycles;\nexpected shape: every limited directory "
         ">= ~2.3x full-map.");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
     ResultTable table("Figure 8: weather (unoptimized hot variable)");
+    std::vector<std::function<ExperimentOutcome()>> runs;
     for (const auto &proto :
          {protocols::dirNB(1), protocols::dirNB(2), protocols::dirNB(4),
           protocols::fullMap()}) {
-        table.add(runExperiment(alewife64(proto), make));
+        runs.push_back(
+            [proto, &make]() { return runExperiment(alewife64(proto), make); });
     }
+    runSweep(table, std::move(runs), jobs);
     table.printBars(std::cout);
     table.printDetails(std::cout);
     table.printPhases(std::cout);
@@ -44,8 +48,13 @@ main(int argc, char **argv)
     auto make_opt = [&]() { return std::make_unique<Weather>(wo); };
     ResultTable opt("Section 5.2: weather with the hot variable "
                     "flagged read-only");
-    for (const auto &proto : {protocols::dirNB(4), protocols::fullMap()})
-        opt.add(runExperiment(alewife64(proto), make_opt));
+    std::vector<std::function<ExperimentOutcome()>> opt_runs;
+    for (const auto &proto : {protocols::dirNB(4), protocols::fullMap()}) {
+        opt_runs.push_back([proto, &make_opt]() {
+            return runExperiment(alewife64(proto), make_opt);
+        });
+    }
+    runSweep(opt, std::move(opt_runs), jobs);
     opt.printBars(std::cout);
     opt.printDetails(std::cout);
 

@@ -32,22 +32,35 @@ main(int argc, char **argv)
         "~0.6M; Full-Map ~0.6 Mcycles;\nexpected shape: LimitLESS "
         "within ~15% of full-map at every Ts, Dir4NB >> both.");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
     ResultTable table("Figure 9: weather, LimitLESS Ts sweep");
-    table.add(runExperiment(alewife64(protocols::dirNB(4)), make));
-    std::vector<std::pair<Tick, ExperimentOutcome>> sweep;
-    for (Tick ts : {150, 100, 50, 25}) {
-        ExperimentOutcome out =
-            runExperiment(alewife64(protocols::limitlessStall(4, ts)),
-                          make);
-        sweep.emplace_back(ts, out);
-        table.add(std::move(out));
+    const std::vector<Tick> ts_points = {150, 100, 50, 25};
+    std::vector<std::function<ExperimentOutcome()>> runs;
+    runs.push_back([&make]() {
+        return runExperiment(alewife64(protocols::dirNB(4)), make);
+    });
+    for (Tick ts : ts_points) {
+        runs.push_back([ts, &make]() {
+            return runExperiment(alewife64(protocols::limitlessStall(4, ts)),
+                                 make);
+        });
     }
-    table.add(
-        runExperiment(alewife64(protocols::limitlessEmulated(4)), make));
-    table.add(runExperiment(alewife64(protocols::fullMap()), make));
+    runs.push_back([&make]() {
+        return runExperiment(alewife64(protocols::limitlessEmulated(4)),
+                             make);
+    });
+    runs.push_back([&make]() {
+        return runExperiment(alewife64(protocols::fullMap()), make);
+    });
+    runSweep(table, std::move(runs), jobs);
+
+    // Rows 1..4 are the Ts sweep, in ts_points order.
+    std::vector<std::pair<Tick, ExperimentOutcome>> sweep;
+    for (std::size_t i = 0; i < ts_points.size(); ++i)
+        sweep.emplace_back(ts_points[i], table.rows()[1 + i]);
 
     table.printBars(std::cout);
     table.printDetails(std::cout);

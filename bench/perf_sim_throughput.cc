@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Host-side simulator throughput: events/second and wall time for the
+ * 64-node Weather figure workload under all five coherence schemes.
+ *
+ * This measures the simulator, not the simulated machine — simulated
+ * cycle counts must not move when the event core changes, but
+ * events/sec should. Runs are serial (never --jobs) so each
+ * measurement has the whole host core; writes BENCH_sim_throughput.json
+ * for CI trend tracking.
+ */
+
+#include <iomanip>
+
+#include "bench_common.hh"
+#include "proto/packet_pool.hh"
+
+using namespace limitless;
+using namespace limitless::bench;
+
+namespace
+{
+
+struct Row
+{
+    std::string label;
+    Tick cycles = 0;
+    std::uint64_t events = 0;
+    double hostSeconds = 0.0;
+    double eventsPerSec = 0.0;
+    std::uint64_t packetAllocs = 0;   ///< fresh Packet heap allocations
+    std::uint64_t packetRecycles = 0; ///< frames served from the pool
+};
+
+Row
+measure(const char *label, const ProtocolParams &proto)
+{
+    const WeatherParams wp = weatherFigureParams();
+    const MachineConfig cfg = alewife64(proto);
+
+    const std::uint64_t alloc0 = PacketPool::local().freshAllocs();
+    const std::uint64_t recyc0 = PacketPool::local().recycled();
+
+    Machine machine(cfg);
+    Weather wl(wp);
+    wl.install(machine);
+    const RunResult run = machine.run();
+    if (!run.completed)
+        fatal("perf_sim_throughput: '%s' did not complete", label);
+    wl.verify(machine);
+
+    Row row;
+    row.label = label;
+    row.cycles = run.cycles;
+    row.events = run.events;
+    row.hostSeconds = run.hostSeconds;
+    row.eventsPerSec = run.eventsPerSecond();
+    row.packetAllocs = PacketPool::local().freshAllocs() - alloc0;
+    row.packetRecycles = PacketPool::local().recycled() - recyc0;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Scheme
+    {
+        const char *label;
+        ProtocolParams proto;
+    };
+    const Scheme schemes[] = {
+        {"full-map", protocols::fullMap()},
+        {"dir4nb", protocols::dirNB(4)},
+        {"limitless4", protocols::limitlessStall(4, 50)},
+        {"limitless4-emu", protocols::limitlessEmulated(4)},
+        {"chained", protocols::chained()},
+    };
+
+    std::cout << "simulator throughput: weather, 64 nodes, figure "
+                 "params\n\n"
+              << "  " << std::left << std::setw(16) << "scheme"
+              << std::right << std::setw(12) << "sim cycles"
+              << std::setw(12) << "events" << std::setw(10) << "wall s"
+              << std::setw(10) << "Mev/s" << std::setw(12) << "pkt alloc"
+              << std::setw(12) << "pkt reuse" << "\n";
+
+    std::vector<Row> rows;
+    for (const Scheme &s : schemes) {
+        Row row = measure(s.label, s.proto);
+        std::cout << "  " << std::left << std::setw(16) << row.label
+                  << std::right << std::setw(12) << row.cycles
+                  << std::setw(12) << row.events << std::setw(10)
+                  << std::fixed << std::setprecision(2) << row.hostSeconds
+                  << std::setw(10) << row.eventsPerSec / 1e6
+                  << std::setw(12) << row.packetAllocs << std::setw(12)
+                  << row.packetRecycles << "\n";
+        rows.push_back(std::move(row));
+    }
+
+    const std::string path = "BENCH_sim_throughput.json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench: cannot write " << path << "\n";
+        return 1;
+    }
+    out << "{\n  \"bench\": \"sim_throughput\",\n  \"rows\": [";
+    bool first = true;
+    for (const Row &r : rows) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"label\": ";
+        jsonEscape(out, r.label);
+        out << ", \"cycles\": " << r.cycles << ", \"events\": "
+            << r.events << ", \"host_seconds\": " << r.hostSeconds
+            << ", \"events_per_sec\": " << r.eventsPerSec
+            << ", \"packet_allocs\": " << r.packetAllocs
+            << ", \"packet_recycles\": " << r.packetRecycles << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "\njson: " << path << "\n";
+    return 0;
+}

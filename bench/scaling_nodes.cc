@@ -20,7 +20,7 @@ using namespace limitless;
 using namespace limitless::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     paperReference(
         "Scaling with machine size (Section 3.1)",
@@ -28,9 +28,30 @@ main()
         "grows (Th dwarfs Ts).\nExpected: Dir4NB/full-map grows with N; "
         "LimitLESS4/full-map stays ~1.0 throughout.");
 
+    const unsigned jobs = parseJobsFlag(argc, argv);
     WeatherParams wp;
     wp.iterations = 40;
     wp.columnLines = 32;
+
+    // All nine (size, scheme) cells are independent machines: fan them
+    // out, then print the per-size rows from the ordered results.
+    const std::vector<unsigned> sizes = {16u, 32u, 64u};
+    const ProtocolParams protos[3] = {
+        protocols::dirNB(4),
+        protocols::limitlessStall(4, 50),
+        protocols::fullMap(),
+    };
+    ParallelRunner runner(jobs);
+    const ParallelRunner::Task<ExperimentOutcome> cell =
+        [&](std::size_t idx, std::ostream &) {
+            MachineConfig cfg = alewife64(protos[idx % 3]);
+            cfg.numNodes = sizes[idx / 3];
+            return runExperiment(cfg, [&] {
+                return std::make_unique<Weather>(wp);
+            });
+        };
+    const std::vector<ExperimentOutcome> outs =
+        runner.map<ExperimentOutcome>(sizes.size() * 3, cell, std::cout);
 
     std::cout << "\n  " << std::setw(6) << "nodes" << std::setw(14)
               << "Dir4NB" << std::setw(14) << "LimitLESS4"
@@ -38,21 +59,11 @@ main()
               << "Dir4/full" << std::setw(12) << "LL4/full" << "\n";
 
     double dir_ratio_small = 0, dir_ratio_big = 0, ll_worst = 0;
-    for (unsigned nodes : {16u, 32u, 64u}) {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        const unsigned nodes = sizes[s];
         Tick cycles[3] = {};
-        const ProtocolParams protos[3] = {
-            protocols::dirNB(4),
-            protocols::limitlessStall(4, 50),
-            protocols::fullMap(),
-        };
-        for (int i = 0; i < 3; ++i) {
-            MachineConfig cfg = alewife64(protos[i]);
-            cfg.numNodes = nodes;
-            const auto out = runExperiment(cfg, [&] {
-                return std::make_unique<Weather>(wp);
-            });
-            cycles[i] = out.cycles;
-        }
+        for (int i = 0; i < 3; ++i)
+            cycles[i] = outs[s * 3 + i].cycles;
         const double dir_ratio = double(cycles[0]) / cycles[2];
         const double ll_ratio = double(cycles[1]) / cycles[2];
         std::cout << "  " << std::setw(6) << nodes << std::setw(14)

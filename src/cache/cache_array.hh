@@ -49,7 +49,7 @@ class CacheArray
     std::size_t
     indexOf(Addr line) const
     {
-        return (line / _amap.lineBytes()) & (_numSets - 1);
+        return (line >> _amap.lineShift()) & (_numSets - 1);
     }
 
     /** Line currently resident in the set the address maps to. */

@@ -83,22 +83,26 @@ CacheController::startAccess(const MemOp &op, Completion done,
         _statStores += 1;
 
     // Block behind any outstanding transaction touching the same line or
-    // the same direct-mapped set (the in-flight fill owns that set).
-    const std::size_t set = _array.indexOf(line);
-    bool blocked = _txns.count(line) > 0;
-    if (!blocked) {
-        for (const auto &[tline, txn] : _txns) {
-            if (_array.indexOf(tline) == set ||
-                (txn.awaitingRepc && _array.indexOf(txn.repcLine) == set)) {
-                blocked = true;
-                break;
+    // the same direct-mapped set (the in-flight fill owns that set). The
+    // empty() gate keeps the hash probe off the common hit path.
+    if (!_txns.empty()) {
+        const std::size_t set = _array.indexOf(line);
+        bool blocked = _txns.count(line) > 0;
+        if (!blocked) {
+            for (const auto &[tline, txn] : _txns) {
+                if (_array.indexOf(tline) == set ||
+                    (txn.awaitingRepc &&
+                     _array.indexOf(txn.repcLine) == set)) {
+                    blocked = true;
+                    break;
+                }
             }
         }
-    }
-    if (blocked) {
-        _waiting.push_back(WaitingAccess{op, std::move(done)});
-        was_hit = false;
-        return;
+        if (blocked) {
+            _waiting.push_back(WaitingAccess{op, std::move(done)});
+            was_hit = false;
+            return;
+        }
     }
 
     CacheLine *cl = _array.lookup(line);
@@ -189,9 +193,8 @@ CacheController::startAccess(const MemOp &op, Completion done,
                 _statRepm += 1;
                 auto pkt = makeDataPacket(
                     _self, _amap.homeOf(victim.tag), Opcode::REPM,
-                    victim.tag,
-                    {victim.words.begin(),
-                     victim.words.begin() + _amap.wordsPerLine()});
+                    victim.tag, victim.words.data(),
+                    _amap.wordsPerLine());
                 victim.state = CacheState::invalid;
                 _send(std::move(pkt));
             } else if (_protocol == ProtocolKind::chained) {

@@ -168,10 +168,9 @@ CacheController::invWriteback(CacheCtx &c)
     CacheController &cc = c.cc;
     cc.noteInvReceived(*c.pkt);
     const Addr line = c.pkt->addr();
-    auto upd = makeDataPacket(
-        cc._self, invHome(*c.pkt), Opcode::UPDATE, line,
-        {c.cl->words.begin(),
-         c.cl->words.begin() + cc._amap.wordsPerLine()});
+    auto upd = makeDataPacket(cc._self, invHome(*c.pkt), Opcode::UPDATE,
+                              line, c.cl->words.data(),
+                              cc._amap.wordsPerLine());
     cc._send(std::move(upd));
 }
 

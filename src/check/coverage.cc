@@ -26,6 +26,7 @@ CoverageScope::onFire(void *user, const TableInfo &info,
                       const TransitionRow &row)
 {
     auto *scope = static_cast<CoverageScope *>(user);
+    std::lock_guard<std::mutex> lock(scope->_mu);
     scope->_fired.insert(RowKey{info.kind, info.side, row.id});
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -22,7 +23,10 @@ namespace limitless
 {
 
 /** RAII scope recording every fired table row process-wide. Only one
- *  scope may be active at a time (the hooks are a singleton). */
+ *  scope may be active at a time (the hooks are a singleton), but rows
+ *  may fire from several sweep-worker threads at once (`--jobs`); the
+ *  fired set is mutex-guarded. Read accessors (fired/covered) are meant
+ *  for after the workers have joined. */
 class CoverageScope
 {
   public:
@@ -46,6 +50,7 @@ class CoverageScope
     static void onFire(void *user, const TableInfo &info,
                        const TransitionRow &row);
 
+    std::mutex _mu;
     std::set<RowKey> _fired;
 };
 

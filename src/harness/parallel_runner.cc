@@ -1,0 +1,150 @@
+#include "harness/parallel_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "proto/protocol_table.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+ParallelRunner::ParallelRunner(unsigned jobs) : _jobs(jobs)
+{
+    if (_jobs == 0) {
+        _jobs = std::thread::hardware_concurrency();
+        if (_jobs == 0)
+            _jobs = 1;
+    }
+}
+
+void
+ParallelRunner::run(std::size_t n, const Task<void> &task, std::ostream &out)
+{
+    runImpl(n, task, out);
+}
+
+void
+ParallelRunner::runImpl(
+    std::size_t n,
+    const std::function<void(std::size_t, std::ostream &)> &task,
+    std::ostream &out)
+{
+    if (n == 0)
+        return;
+
+    if (_jobs == 1 || n == 1) {
+        // Serial: run inline, writing straight to the shared stream —
+        // byte-identical to the pre-parallelism code path.
+        for (std::size_t i = 0; i < n; ++i)
+            task(i, out);
+        return;
+    }
+
+    // The protocol tables register lazily into a process-global vector on
+    // first dispatch; force them all now so workers only ever read it.
+    registerAllProtocolTables();
+
+    struct TaskSlot
+    {
+        std::string output;
+        bool done = false;
+    };
+    std::vector<TaskSlot> slots(n);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+
+    std::mutex mu;               // guards slots[i].done, flushed, firstError
+    std::size_t flushed = 0;     // all slots below this are on `out`
+    std::exception_ptr firstError;
+    std::size_t firstErrorIdx = n;
+
+    auto worker = [&]() {
+        while (!abort.load(std::memory_order_relaxed)) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            std::ostringstream os;
+            std::exception_ptr err;
+            try {
+                task(i, os);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            slots[i].output = os.str();
+            slots[i].done = true;
+            if (err) {
+                abort.store(true, std::memory_order_relaxed);
+                if (i < firstErrorIdx) {
+                    firstErrorIdx = i;
+                    firstError = err;
+                }
+            }
+            // Flush the completed prefix in submission order; exactly one
+            // thread holds the lock, so lines never interleave.
+            while (flushed < n && slots[flushed].done) {
+                out << slots[flushed].output;
+                slots[flushed].output.clear();
+                ++flushed;
+            }
+        }
+    };
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(_jobs, n));
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    out.flush();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+bool
+isJobsFlag(const char *arg, bool &consumes_next)
+{
+    consumes_next = false;
+    if (!std::strcmp(arg, "--jobs") || !std::strcmp(arg, "-j")) {
+        consumes_next = true;
+        return true;
+    }
+    return !std::strncmp(arg, "--jobs=", 7);
+}
+
+unsigned
+parseJobsFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (!std::strcmp(arg, "--jobs") || !std::strcmp(arg, "-j")) {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", arg);
+            value = argv[i + 1];
+        } else if (!std::strncmp(arg, "--jobs=", 7)) {
+            value = arg + 7;
+        } else {
+            continue;
+        }
+        char *end = nullptr;
+        const long jobs = std::strtol(value, &end, 10);
+        if (!end || *end != '\0' || jobs < 0)
+            fatal("bad --jobs value '%s'", value);
+        return static_cast<unsigned>(jobs);
+    }
+    return 1;
+}
+
+} // namespace limitless

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Thread-pool fan-out for independent experiment configs.
+ *
+ * Sweeps (figure benches, the checker's standard sweep, scaling studies)
+ * run many fully independent simulations: each Machine owns its own
+ * EventQueue and every per-run global is thread-local (flight recorder,
+ * packet pool), so configs can run on separate threads without sharing
+ * state. The ParallelRunner fans tasks across `jobs` worker threads and
+ * keeps the OUTPUT deterministic:
+ *
+ *  - each task writes its human-readable output to a private buffer;
+ *  - buffers are flushed to the shared stream in submission (index)
+ *    order, as soon as the contiguous prefix is complete, so no two
+ *    tasks' log lines ever interleave;
+ *  - results come back as a vector indexed by submission order, so a
+ *    ResultTable built from them is byte-identical to a serial run.
+ *
+ * With jobs == 1 the runner degenerates to an inline loop writing
+ * directly to the output stream — the exact pre-parallelism behaviour.
+ */
+
+#ifndef LIMITLESS_HARNESS_PARALLEL_RUNNER_HH
+#define LIMITLESS_HARNESS_PARALLEL_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+namespace limitless
+{
+
+/** Fans independent tasks across a fixed-size thread pool. */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker count; 0 means "one per hardware thread". */
+    explicit ParallelRunner(unsigned jobs);
+
+    unsigned jobs() const { return _jobs; }
+
+    /** A task: (submission index, per-task output stream) -> result. */
+    template <typename R>
+    using Task = std::function<R(std::size_t, std::ostream &)>;
+
+    /**
+     * Run tasks 0..n-1 and return their results in submission order.
+     * Task output is flushed to @p out in submission order (see file
+     * comment). A task that throws stops the sweep: remaining unstarted
+     * tasks are skipped and the lowest-index exception rethrows here
+     * after all workers join.
+     */
+    template <typename R>
+    std::vector<R>
+    map(std::size_t n, const Task<R> &task, std::ostream &out)
+    {
+        std::vector<R> results(n);
+        runImpl(
+            n,
+            [&](std::size_t i, std::ostream &os) {
+                results[i] = task(i, os);
+            },
+            out);
+        return results;
+    }
+
+    /** Result-less variant of map(). */
+    void run(std::size_t n, const Task<void> &task, std::ostream &out);
+
+  private:
+    void runImpl(std::size_t n,
+                 const std::function<void(std::size_t, std::ostream &)> &task,
+                 std::ostream &out);
+
+    unsigned _jobs;
+};
+
+/**
+ * Parse a `--jobs N` / `--jobs=N` argument pair (tools and benches share
+ * the flag). Returns the job count (default 1 — serial) and removes
+ * nothing from argv; callers that do their own argv scanning should skip
+ * the flag and its value. N == 0 means one job per hardware thread.
+ */
+unsigned parseJobsFlag(int argc, char **argv);
+
+/** True when argv[i] is the --jobs flag (so scanners can skip it). */
+bool isJobsFlag(const char *arg, bool &consumes_next);
+
+} // namespace limitless
+
+#endif // LIMITLESS_HARNESS_PARALLEL_RUNNER_HH

@@ -59,8 +59,7 @@ LimitlessHandler::handlePacket(const Packet &pkt,
     if (why == MetaState::trapAlways && unstable &&
         (pkt.opcode == Opcode::RREQ || pkt.opcode == Opcode::WREQ)) {
         restore_meta = MetaState::trapAlways;
-        auto copy = std::make_unique<Packet>(pkt);
-        _mc.processBypassingMeta(std::move(copy));
+        _mc.processBypassingMeta(clonePacket(pkt));
         cost = _costs.trapEntry + _costs.decode + _costs.stateUpdate;
     } else {
         switch (pkt.opcode) {
@@ -80,8 +79,7 @@ LimitlessHandler::handlePacket(const Packet &pkt,
             // These only occur through exotic races; hand them back to
             // the hardware path after restoring the mode.
             restore_meta = why;
-            auto copy = std::make_unique<Packet>(pkt);
-            _mc.processBypassingMeta(std::move(copy));
+            _mc.processBypassingMeta(clonePacket(pkt));
             cost = _costs.trapEntry + _costs.decode + _costs.stateUpdate;
             break;
           }
@@ -101,8 +99,7 @@ LimitlessHandler::buildData(Opcode op, NodeId to, Addr line)
 {
     const LineWords &mem = _mc.readLine(line);
     const unsigned words = _mc.addressMap().wordsPerLine();
-    return makeDataPacket(_mc.nodeId(), to, op, line,
-                          {mem.begin(), mem.begin() + words});
+    return makeDataPacket(_mc.nodeId(), to, op, line, mem.data(), words);
 }
 
 PacketPtr

@@ -15,6 +15,7 @@
 #ifndef LIMITLESS_MACHINE_ADDRESS_MAP_HH
 #define LIMITLESS_MACHINE_ADDRESS_MAP_HH
 
+#include <bit>
 #include <cassert>
 
 #include "sim/types.hh"
@@ -39,7 +40,10 @@ class AddressMap
                std::uint64_t bytes_per_node = 4ull << 20,
                HomeMapping mapping = HomeMapping::interleaved)
         : _numNodes(num_nodes), _lineBytes(line_bytes),
-          _bytesPerNode(bytes_per_node), _mapping(mapping)
+          _bytesPerNode(bytes_per_node), _mapping(mapping),
+          _lineShift(static_cast<unsigned>(
+              std::countr_zero(static_cast<unsigned>(line_bytes)))),
+          _nodesPow2((num_nodes & (num_nodes - 1)) == 0)
     {
         assert(num_nodes >= 1);
         assert(line_bytes >= bytesPerWord &&
@@ -52,6 +56,7 @@ class AddressMap
 
     unsigned numNodes() const { return _numNodes; }
     unsigned lineBytes() const { return _lineBytes; }
+    unsigned lineShift() const { return _lineShift; }
     unsigned wordsPerLine() const { return _lineBytes / bytesPerWord; }
     std::uint64_t bytesPerNode() const { return _bytesPerNode; }
 
@@ -62,16 +67,23 @@ class AddressMap
     unsigned
     wordOf(Addr a) const
     {
-        return static_cast<unsigned>((a % _lineBytes) / bytesPerWord);
+        // lineBytes is a power of two; mask instead of dividing — this
+        // runs on every access.
+        return static_cast<unsigned>((a & (_lineBytes - 1)) / bytesPerWord);
     }
 
     /** Home node owning an address's directory entry. */
     NodeId
     homeOf(Addr a) const
     {
-        const std::uint64_t line = a / _lineBytes;
-        if (_mapping == HomeMapping::interleaved)
+        const std::uint64_t line = a >> _lineShift;
+        if (_mapping == HomeMapping::interleaved) {
+            // Power-of-two node counts (all the figure machines) avoid
+            // the 64-bit modulo on this per-access path.
+            if (_nodesPow2)
+                return static_cast<NodeId>(line & (_numNodes - 1));
             return static_cast<NodeId>(line % _numNodes);
+        }
         return static_cast<NodeId>((a / _bytesPerNode) % _numNodes);
     }
 
@@ -93,6 +105,8 @@ class AddressMap
     unsigned _lineBytes;
     std::uint64_t _bytesPerNode;
     HomeMapping _mapping;
+    unsigned _lineShift;
+    bool _nodesPow2;
 };
 
 } // namespace limitless

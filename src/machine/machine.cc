@@ -1,6 +1,7 @@
 #include "machine/machine.hh"
 
 #include <cassert>
+#include <chrono>
 #include <iostream>
 
 #include "obs/flight_recorder.hh"
@@ -60,6 +61,13 @@ Machine::run(Tick max_cycles)
     if (_spawned == 0)
         fatal("Machine::run with no threads spawned");
 
+    const auto host_start = std::chrono::steady_clock::now();
+    auto host_elapsed = [host_start]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - host_start)
+            .count();
+    };
+
     unsigned finished = 0;
     Tick done_tick = 0;
     for (auto &node : _nodes) {
@@ -74,12 +82,17 @@ Machine::run(Tick max_cycles)
 
     auto all_done = [&]() { return finished == _spawned; };
 
-    auto progress = [this]() {
+    // The watchdog polls total ops once per event burst; resolve the
+    // counters up front instead of re-finding them by name each poll.
+    std::vector<const Counter *> op_counters;
+    op_counters.reserve(_nodes.size());
+    for (const auto &node : _nodes)
+        op_counters.push_back(static_cast<const Counter *>(
+            node->statSet("proc")->find("ops")));
+    auto progress = [&op_counters]() {
         std::uint64_t ops = 0;
-        for (const auto &node : _nodes) {
-            const auto *stat = node->statSet("proc")->find("ops");
-            ops += static_cast<const Counter *>(stat)->value();
-        }
+        for (const Counter *c : op_counters)
+            ops += c->value();
         return ops;
     };
 
@@ -110,6 +123,7 @@ Machine::run(Tick max_cycles)
             result.cycles = _eq.now();
             result.completed = false;
             result.events = events;
+            result.hostSeconds = host_elapsed();
             return result;
         }
         const std::uint64_t ops = progress();
@@ -132,6 +146,7 @@ Machine::run(Tick max_cycles)
     // coherence monitor sees a quiescent machine.
     events += _eq.run();
     result.events = events;
+    result.hostSeconds = host_elapsed();
 
     // Hooks must not dangle past this call.
     for (auto &node : _nodes)
@@ -214,7 +229,8 @@ constexpr const char *statComponents[] = {"proc", "cache",   "mem",
 } // namespace
 
 void
-Machine::dumpStatsJson(std::ostream &os, Tick cycles) const
+Machine::dumpStatsJson(std::ostream &os, Tick cycles,
+                       const RunResult *run) const
 {
     const PhaseBreakdown phases =
         FlightRecorder::instance().latency().snapshot();
@@ -232,6 +248,12 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles) const
     // The paper's model terms: T = Th + m * Ts.
     os << "  \"model\": {\"m\": " << m << ", \"ts\": " << ts
        << ", \"m_ts\": " << m * ts << "},\n";
+    if (run) {
+        os << "  \"host\": {\"seconds\": " << run->hostSeconds
+           << ", \"events\": " << run->events
+           << ", \"events_per_sec\": " << run->eventsPerSecond()
+           << "},\n";
+    }
     os << "  \"phases\": ";
     phasesJson(os, phases);
     os << ",\n";

@@ -28,6 +28,16 @@ struct RunResult
     Tick cycles = 0;          ///< tick when the last thread finished
     bool completed = false;   ///< all threads ran to completion
     std::uint64_t events = 0; ///< simulator events executed
+    double hostSeconds = 0.0; ///< wall-clock time spent inside run()
+
+    /** Host throughput: simulator events per wall-clock second. */
+    double
+    eventsPerSecond() const
+    {
+        return hostSeconds > 0.0
+                   ? static_cast<double>(events) / hostSeconds
+                   : 0.0;
+    }
 };
 
 /** A complete simulated multiprocessor. */
@@ -85,9 +95,11 @@ class Machine
      * ("limitless-stats-v1"): run metadata, the remote-miss phase
      * breakdown from the flight recorder's latency tracker, per-component
      * aggregates (counters summed, accumulators variance-merged across
-     * nodes), network stats, and per-node detail.
+     * nodes), network stats, and per-node detail. Pass the RunResult to
+     * also emit a "host" block (wall seconds, events, events/sec).
      */
-    void dumpStatsJson(std::ostream &os, Tick cycles = 0) const;
+    void dumpStatsJson(std::ostream &os, Tick cycles = 0,
+                       const RunResult *run = nullptr) const;
 
   private:
     MachineConfig _cfg;

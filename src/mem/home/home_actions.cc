@@ -166,10 +166,9 @@ writeUpdate(HomeCtx &c)
     c.hl.pending = src;
     c.hl.ackCtr = static_cast<std::uint32_t>(sharers.size());
     for (NodeId n : sharers) {
-        auto mupd = makeDataPacket(
-            mc.nodeId(), n, Opcode::MUPD, line,
-            {mem.begin(),
-             mem.begin() + mc.addressMap().wordsPerLine()});
+        auto mupd = makeDataPacket(mc.nodeId(), n, Opcode::MUPD, line,
+                                   mem.data(),
+                                   mc.addressMap().wordsPerLine());
         mc.dispatch(std::move(mupd));
     }
 }

@@ -299,9 +299,8 @@ MemoryController::sendReadData(NodeId to, Addr line, NodeId old_head)
     FlightRecorder::instance().latency().onReplySent(
         _eq.now() + _extraDelay, to, line);
     const LineWords &mem = readLine(line);
-    auto pkt = makeDataPacket(
-        _self, to, Opcode::RDATA, line,
-        {mem.begin(), mem.begin() + _amap.wordsPerLine()});
+    auto pkt = makeDataPacket(_self, to, Opcode::RDATA, line,
+                              mem.data(), _amap.wordsPerLine());
     if (_chained)
         pkt->operands.push_back(old_head);
     dispatch(std::move(pkt));
@@ -313,9 +312,8 @@ MemoryController::sendWriteData(NodeId to, Addr line)
     FlightRecorder::instance().latency().onReplySent(
         _eq.now() + _extraDelay, to, line);
     const LineWords &mem = readLine(line);
-    dispatch(makeDataPacket(
-        _self, to, Opcode::WDATA, line,
-        {mem.begin(), mem.begin() + _amap.wordsPerLine()}));
+    dispatch(makeDataPacket(_self, to, Opcode::WDATA, line,
+                            mem.data(), _amap.wordsPerLine()));
 }
 
 void

@@ -118,18 +118,35 @@ class MemoryController
     /** Current simulation time (the controller's event-queue clock). */
     Tick now() const { return _eq.now(); }
 
-    /** Per-line protocol bookkeeping (created on first touch). */
+    /**
+     * Per-line protocol bookkeeping (created on first touch). Servicing
+     * one packet consults the same line several times (state, ack
+     * counter, pending requester, words), so a one-entry MRU cache
+     * fronts the hash map. Entries are never erased and unordered_map
+     * references survive rehashing, so the cached pointer cannot
+     * dangle.
+     */
     HomeLine &
     lineFor(Addr line)
     {
-        return _lines.try_emplace(line).first->second;
+        if (line == _mruLineAddr)
+            return *_mruLine;
+        HomeLine &hl = _lines.try_emplace(line).first->second;
+        _mruLineAddr = line;
+        _mruLine = &hl;
+        return hl;
     }
 
     /** Mutable memory words of a line (zero-filled on first touch). */
     LineWords &
     lineWords(Addr line)
     {
-        return _memory.try_emplace(line).first->second;
+        if (line == _mruWordsAddr)
+            return *_mruWords;
+        LineWords &lw = _memory.try_emplace(line).first->second;
+        _mruWordsAddr = line;
+        _mruWords = &lw;
+        return lw;
     }
 
     void sendReadData(NodeId to, Addr line, NodeId old_head = invalidNode);
@@ -189,6 +206,8 @@ class MemoryController
     MemState
     lineState(Addr line) const
     {
+        if (line == _mruLineAddr)
+            return _mruLine->state;
         auto it = _lines.find(line);
         return it == _lines.end() ? MemState::readOnly : it->second.state;
     }
@@ -197,6 +216,8 @@ class MemoryController
     std::uint32_t
     ackCounter(Addr line) const
     {
+        if (line == _mruLineAddr)
+            return _mruLine->ackCtr;
         auto it = _lines.find(line);
         return it == _lines.end() ? 0 : it->second.ackCtr;
     }
@@ -208,6 +229,8 @@ class MemoryController
     NodeId
     pendingRequester(Addr line) const
     {
+        if (line == _mruLineAddr)
+            return _mruLine->pending;
         auto it = _lines.find(line);
         return it == _lines.end() ? invalidNode : it->second.pending;
     }
@@ -291,6 +314,12 @@ class MemoryController
 
     std::unordered_map<Addr, HomeLine> _lines;
     std::unordered_map<Addr, LineWords> _memory;
+    /** One-entry MRU fronts for the two maps (see lineFor). Addr(-1)
+     *  is never a line address, so it is a safe empty sentinel. */
+    Addr _mruLineAddr = Addr(-1);
+    HomeLine *_mruLine = nullptr;
+    Addr _mruWordsAddr = Addr(-1);
+    LineWords *_mruWords = nullptr;
     std::unordered_set<std::uint32_t> _observed; ///< fired (state, op)
 
     std::deque<PacketPtr> _queue;

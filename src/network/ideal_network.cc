@@ -79,7 +79,7 @@ IdealNetwork::send(PacketPtr pkt)
     FR_RECORD(netEvent(_eq.now(), "send", *pkt, pkt->src));
 
     Packet *raw = pkt.release();
-    _eq.schedule(arrive, [this, raw]() {
+    auto delivery = [this, raw]() {
         PacketPtr owned(raw);
         --_inFlight;
         FR_RECORD(netEvent(_eq.now(), "recv", *owned, owned->dest));
@@ -90,7 +90,10 @@ IdealNetwork::send(PacketPtr pkt)
             Log::debug(_eq.now(), "net", "deliver %s",
                        describePacket(*owned).c_str());
         recv(std::move(owned));
-    }, EventPriority::deliver);
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(delivery)>,
+                  "ideal-network delivery event must not heap-allocate");
+    _eq.schedule(arrive, std::move(delivery), EventPriority::deliver);
 }
 
 } // namespace limitless

@@ -1,5 +1,6 @@
 #include "network/mesh_network.hh"
 
+#include <bit>
 #include <cassert>
 
 #include "obs/flight_recorder.hh"
@@ -44,14 +45,59 @@ MeshNetwork::MeshNetwork(EventQueue &eq, MeshTopology topo,
 {
     assert(_params.flitsPerWord >= 1);
     assert(_params.inputFifoFlits >= 2);
+    _moves.reserve(32);
+    _staged.resize(_routers.size() * numPorts, 0);
+    _activeRouters.resize((_routers.size() + 63) / 64, 0);
+
+    // Tabulate X-Y routing and neighbor ids once; the planner consults
+    // both for every output port of every active router every cycle.
+    const unsigned n = _topo.numNodes();
+    _routeTable.resize(std::size_t{n} * n);
+    for (unsigned r = 0; r < n; ++r)
+        for (unsigned d = 0; d < n; ++d)
+            _routeTable[std::size_t{r} * n + d] =
+                static_cast<std::uint8_t>(routeOutput(r, d));
+    _neighborTable.resize(std::size_t{n} * numPorts, 0);
+    for (unsigned r = 0; r < n; ++r) {
+        const unsigned x = _topo.xOf(r);
+        const unsigned y = _topo.yOf(r);
+        if (y > 0)
+            _neighborTable[r * numPorts + N] = _topo.nodeAt(x, y - 1);
+        if (y + 1 < _topo.height())
+            _neighborTable[r * numPorts + S] = _topo.nodeAt(x, y + 1);
+        if (x + 1 < _topo.width())
+            _neighborTable[r * numPorts + E] = _topo.nodeAt(x + 1, y);
+        if (x > 0)
+            _neighborTable[r * numPorts + W] = _topo.nodeAt(x - 1, y);
+    }
+}
+
+void
+MeshNetwork::FlitFifo::grow()
+{
+    // Unwrap into a buffer of twice the capacity; only the unbounded
+    // Local (injection) port ever gets here.
+    std::vector<Flit> bigger(_buf.size() * 2);
+    for (std::size_t i = 0; i < _count; ++i)
+        bigger[i] = _buf[(_head + i) & _mask];
+    _buf.swap(bigger);
+    _mask = _buf.size() - 1;
+    _head = 0;
 }
 
 MeshNetwork::~MeshNetwork()
 {
-    // Free any packets still in flight at teardown.
-    for (auto &[pkt, tick] : _injectTick) {
-        (void)tick;
-        delete pkt;
+    // Retire any packets still in flight at teardown. Every undelivered
+    // packet has exactly one tail flit buffered somewhere (delivery — and
+    // hence removal from the fabric — happens when the tail ejects), so
+    // freeing on tail flits frees each in-flight packet exactly once.
+    for (Router &router : _routers) {
+        for (InputPort &ip : router.in) {
+            for (std::size_t i = 0; i < ip.fifo.size(); ++i) {
+                if (ip.fifo.at(i).tail)
+                    PacketDeleter{}(ip.fifo.at(i).pkt);
+            }
+        }
     }
 }
 
@@ -69,14 +115,15 @@ MeshNetwork::send(PacketPtr pkt)
     const unsigned flits = flitsForPacket(*pkt);
     FR_RECORD(netEvent(_eq.now(), "send", *pkt, pkt->src));
     Packet *raw = pkt.release();
-    _injectTick.emplace(raw, _eq.now());
+    raw->injectTick = _eq.now();
 
     Router &router = _routers[raw->src];
     for (unsigned i = 0; i < flits; ++i) {
         router.in[Local].fifo.push_back(
             Flit{raw, i == 0, i == flits - 1, raw->dest});
     }
-    router.flits += flits;
+    router.nonEmptyMask |= std::uint8_t{1} << Local;
+    noteFlits(raw->src, flits, 0);
     _activeFlits += flits;
     _statFlits += flits;
     scheduleTickIfNeeded();
@@ -88,10 +135,14 @@ MeshNetwork::scheduleTickIfNeeded()
     if (_tickScheduled || _activeFlits == 0)
         return;
     _tickScheduled = true;
-    _eq.schedule(_eq.now() + _params.clockPeriod, [this]() {
+    auto fire = [this]() {
         _tickScheduled = false;
         tick();
-    }, EventPriority::network);
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(fire)>,
+                  "mesh tick event must not heap-allocate");
+    _eq.schedule(_eq.now() + _params.clockPeriod, std::move(fire),
+                 EventPriority::network);
 }
 
 unsigned
@@ -140,34 +191,54 @@ MeshNetwork::inputPortAtNeighbor(unsigned out_port) const
 }
 
 void
-MeshNetwork::planRouter(unsigned r, std::vector<Move> &moves,
-                        std::vector<std::uint8_t> &staged)
+MeshNetwork::planRouter(unsigned r)
 {
     Router &router = _routers[r];
-    for (unsigned o = 0; o < numPorts; ++o) {
+    const std::uint8_t *routes = &_routeTable[std::size_t{r} * numNodes()];
+
+    // One pass over the occupied inputs: note which output each waiting
+    // head flit wants. Head flits at the front of a FIFO are by
+    // construction not part of a packet that already owns an output, so
+    // `contend` and the owner continuations below partition the inputs.
+    // This is semantically the output-major double loop the planner used
+    // to run, minus the 5x5 re-probing of the FIFOs: only occupied
+    // inputs and outputs that are owned or contended are visited.
+    std::uint8_t contend[numPorts] = {};
+    const unsigned nonEmpty = router.nonEmptyMask;
+    unsigned outputs = router.ownerMask;
+    for (unsigned bits = nonEmpty; bits; bits &= bits - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(bits));
+        const Flit &front = router.in[i].fifo.front();
+        if (front.head) {
+            const unsigned o = routes[front.dest];
+            contend[o] |= std::uint8_t{1} << i;
+            outputs |= 1u << o;
+        }
+    }
+
+    for (unsigned obits = outputs; obits; obits &= obits - 1) {
+        const unsigned o = static_cast<unsigned>(std::countr_zero(obits));
         OutputPort &op = router.out[o];
         int src = op.owner;
-        if (src == -1) {
+        if (src == -1 && contend[o]) {
             // Arbitrate a new packet onto this output, round-robin.
             for (unsigned k = 0; k < numPorts; ++k) {
                 const unsigned i = (op.rr + k) % numPorts;
-                const auto &fifo = router.in[i].fifo;
-                if (fifo.empty() || !fifo.front().head)
-                    continue;
-                if (routeOutput(r, fifo.front().dest) != o)
+                if (!(contend[o] & (std::uint8_t{1} << i)))
                     continue;
                 src = static_cast<int>(i);
                 op.rr = (i + 1) % numPorts;
                 op.owner = src;
+                router.ownerMask |= std::uint8_t{1} << o;
                 break;
             }
         }
         if (src == -1)
             continue;
+        if (!(nonEmpty & (std::uint8_t{1} << src)))
+            continue; // wormhole bubble: next flit not here yet
 
         InputPort &ip = router.in[src];
-        if (ip.fifo.empty())
-            continue; // wormhole bubble: next flit not here yet
         const Flit &flit = ip.fifo.front();
 
         Move move{};
@@ -179,18 +250,18 @@ MeshNetwork::planRouter(unsigned r, std::vector<Move> &moves,
             move.eject = true;
         } else {
             move.eject = false;
-            move.toRouter = neighborOf(r, o);
+            move.toRouter = _neighborTable[r * numPorts + o];
             move.toPort = inputPortAtNeighbor(o);
             const auto &downstream =
                 _routers[move.toRouter].in[move.toPort].fifo;
             const unsigned idx = move.toRouter * numPorts + move.toPort;
-            if (downstream.size() + staged[idx] >= _params.inputFifoFlits) {
+            if (downstream.size() + _staged[idx] >= _params.inputFifoFlits) {
                 _statBlockedCycles += 1;
                 continue; // no credit downstream
             }
-            ++staged[idx];
+            ++_staged[idx];
         }
-        moves.push_back(move);
+        _moves.push_back(move);
     }
 }
 
@@ -202,11 +273,15 @@ MeshNetwork::applyMove(const Move &move)
     assert(!ip.fifo.empty());
     Flit flit = ip.fifo.front();
     ip.fifo.pop_front();
-    --router.flits;
+    if (ip.fifo.empty())
+        router.nonEmptyMask &= ~(std::uint8_t{1} << move.fromPort);
+    noteFlits(move.fromRouter, 0, 1);
     _statFlitHops += 1;
 
-    if (move.releaseOwner)
+    if (move.releaseOwner) {
         router.out[move.outPort].owner = -1;
+        router.ownerMask &= ~(std::uint8_t{1} << move.outPort);
+    }
 
     if (move.eject) {
         --_activeFlits;
@@ -215,7 +290,8 @@ MeshNetwork::applyMove(const Move &move)
     } else {
         Router &to = _routers[move.toRouter];
         to.in[move.toPort].fifo.push_back(flit);
-        ++to.flits;
+        to.nonEmptyMask |= std::uint8_t{1} << move.toPort;
+        noteFlits(move.toRouter, 1, 0);
     }
 }
 
@@ -223,16 +299,19 @@ void
 MeshNetwork::tick()
 {
     // Plan all single-hop moves against pre-cycle state, then apply, so a
-    // flit advances at most one hop per network cycle.
-    std::vector<Move> moves;
-    moves.reserve(32);
-    std::vector<std::uint8_t> staged(_routers.size() * numPorts, 0);
-    for (unsigned r = 0; r < _routers.size(); ++r) {
-        if (_routers[r].flits == 0)
-            continue;
-        planRouter(r, moves, staged);
+    // flit advances at most one hop per network cycle. The scratch vectors
+    // are members: tick() runs every network cycle and must not allocate.
+    _moves.clear();
+    std::fill(_staged.begin(), _staged.end(), std::uint8_t{0});
+    for (std::size_t w = 0; w < _activeRouters.size(); ++w) {
+        std::uint64_t bits = _activeRouters[w];
+        while (bits) {
+            planRouter(static_cast<unsigned>(
+                w * 64 + std::countr_zero(bits)));
+            bits &= bits - 1;
+        }
     }
-    for (const Move &move : moves)
+    for (const Move &move : _moves)
         applyMove(move);
     scheduleTickIfNeeded();
 }
@@ -240,10 +319,7 @@ MeshNetwork::tick()
 void
 MeshNetwork::deliver(Packet *raw)
 {
-    auto it = _injectTick.find(raw);
-    assert(it != _injectTick.end());
-    _statLatency.sample(static_cast<double>(_eq.now() - it->second));
-    _injectTick.erase(it);
+    _statLatency.sample(static_cast<double>(_eq.now() - raw->injectTick));
     _statPackets += 1;
 
     PacketPtr owned(raw);
@@ -257,10 +333,13 @@ MeshNetwork::deliver(Packet *raw)
     // Hand off at deliver priority so controllers see the packet after all
     // of this cycle's flit movement completes.
     Packet *pending = owned.release();
-    _eq.schedule(_eq.now(), [this, pending]() {
+    auto handoff = [this, pending]() {
         PacketPtr p(pending);
         _receivers.at(p->dest)(std::move(p));
-    }, EventPriority::deliver);
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(handoff)>,
+                  "mesh delivery event must not heap-allocate");
+    _eq.schedule(_eq.now(), std::move(handoff), EventPriority::deliver);
 }
 
 } // namespace limitless

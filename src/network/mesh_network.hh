@@ -22,8 +22,7 @@
 #define LIMITLESS_NETWORK_MESH_NETWORK_HH
 
 #include <array>
-#include <deque>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "network/network.hh"
@@ -77,9 +76,54 @@ class MeshNetwork : public Network
         NodeId dest;
     };
 
+    /**
+     * Growable ring buffer of flits. The mesh probes and advances these
+     * FIFOs on every network cycle for every active router, so the
+     * common operations (empty / front / pop) must be a couple of loads
+     * — a std::deque's segmented iterators showed up hard in profiles.
+     * Mesh ports are bounded by inputFifoFlits; only the Local
+     * (injection) port ever grows.
+     */
+    class FlitFifo
+    {
+      public:
+        bool empty() const { return _count == 0; }
+        std::size_t size() const { return _count; }
+        const Flit &front() const { return _buf[_head]; }
+        /** i-th element from the front (teardown scan). */
+        const Flit &at(std::size_t i) const
+        {
+            return _buf[(_head + i) & _mask];
+        }
+
+        void
+        push_back(const Flit &f)
+        {
+            if (_count == _buf.size())
+                grow();
+            _buf[(_head + _count) & _mask] = f;
+            ++_count;
+        }
+
+        void
+        pop_front()
+        {
+            _head = (_head + 1) & _mask;
+            --_count;
+        }
+
+      private:
+        void grow();
+
+        std::vector<Flit> _buf = std::vector<Flit>(16);
+        std::size_t _mask = 15;
+        std::size_t _head = 0;
+        std::size_t _count = 0;
+    };
+
     struct InputPort
     {
-        std::deque<Flit> fifo;
+        FlitFifo fifo;
     };
 
     struct OutputPort
@@ -93,6 +137,12 @@ class MeshNetwork : public Network
         std::array<InputPort, numPorts> in;
         std::array<OutputPort, numPorts> out;
         unsigned flits = 0; ///< total flits buffered in this router
+        /** Bit per input port with flits queued; every FIFO push/pop
+         *  (send, applyMove) keeps it in sync so the planner iterates
+         *  set bits instead of probing all five FIFOs. */
+        std::uint8_t nonEmptyMask = 0;
+        /** Bit per output port currently owned by a packet. */
+        std::uint8_t ownerMask = 0;
     };
 
     /** A planned single-flit move, applied after all routers plan. */
@@ -108,8 +158,7 @@ class MeshNetwork : public Network
     };
 
     void tick();
-    void planRouter(unsigned r, std::vector<Move> &moves,
-                    std::vector<std::uint8_t> &staged);
+    void planRouter(unsigned r);
     void applyMove(const Move &move);
     unsigned routeOutput(unsigned router, NodeId dest) const;
     unsigned neighborOf(unsigned router, unsigned out_port) const;
@@ -117,14 +166,42 @@ class MeshNetwork : public Network
     void scheduleTickIfNeeded();
     void deliver(Packet *raw);
 
+    /** Track a router's flit count crossing zero in the active bitmap. */
+    void
+    noteFlits(unsigned r, unsigned delta_add, unsigned delta_sub)
+    {
+        Router &router = _routers[r];
+        router.flits += delta_add;
+        router.flits -= delta_sub;
+        if (router.flits)
+            _activeRouters[r / 64] |= std::uint64_t{1} << (r % 64);
+        else
+            _activeRouters[r / 64] &= ~(std::uint64_t{1} << (r % 64));
+    }
+
     EventQueue &_eq;
     MeshTopology _topo;
     MeshNetworkParams _params;
     std::vector<Router> _routers;
     std::vector<Receiver> _receivers;
-    std::unordered_map<Packet *, Tick> _injectTick;
     std::uint64_t _activeFlits = 0;
     bool _tickScheduled = false;
+
+    /** Per-tick planning scratch, hoisted so tick() never allocates. */
+    std::vector<Move> _moves;
+    std::vector<std::uint8_t> _staged;
+
+    /**
+     * X-Y routing and neighbor lookups precomputed per (router, dest) /
+     * (router, port): the planner consults them for every output port of
+     * every active router every cycle, and the modulo arithmetic in
+     * routeOutput() dominated the tick before they were tabulated.
+     */
+    std::vector<std::uint8_t> _routeTable;  ///< [r * numNodes + dest]
+    std::vector<std::uint32_t> _neighborTable; ///< [r * numPorts + port]
+
+    /** One bit per router with flits buffered; tick() scans set bits. */
+    std::vector<std::uint64_t> _activeRouters;
 
     StatSet _stats{"net"};
     Counter &_statPackets;

@@ -1,6 +1,7 @@
 #include "obs/flight_recorder.hh"
 
 #include <algorithm>
+#include <bit>
 #include <iostream>
 
 #include "obs/json.hh"
@@ -33,14 +34,19 @@ eventCatName(EventCat cat)
 FlightRecorder &
 FlightRecorder::instance()
 {
-    static FlightRecorder recorder;
+    // Thread-local: one machine runs per thread, so each parallel sweep
+    // worker records into (and resets) its own recorder without locks.
+    thread_local FlightRecorder recorder;
     return recorder;
 }
 
 FlightRecorder::FlightRecorder()
 {
     _ring.resize(defaultRingCapacity);
-    // Let panic() surface the causal history of whatever blew up.
+    _ringMask = _ring.size() - 1;
+    // Let panic() surface the causal history of whatever blew up. The
+    // hook slot is global and idempotent: every thread's recorder installs
+    // the same function, which dumps the panicking thread's own ring.
     setPanicHook([] {
         const FlightRecorder &fr = FlightRecorder::instance();
         fr.dumpPostmortem(std::cerr, fr.panicFocus());
@@ -86,7 +92,10 @@ FlightRecorder::setLineFilter(std::unordered_set<Addr> lines)
 void
 FlightRecorder::setRingCapacity(std::size_t events)
 {
-    _ring.assign(std::max<std::size_t>(events, 1), TraceEvent{});
+    // Rounded up to a power of two so the ring write is mask, not modulo.
+    _ring.assign(std::bit_ceil(std::max<std::size_t>(events, 1)),
+                 TraceEvent{});
+    _ringMask = _ring.size() - 1;
     _ringHead = 0;
     _ringCount = 0;
 }
@@ -95,7 +104,7 @@ void
 FlightRecorder::record(const TraceEvent &ev)
 {
     _ring[_ringHead] = ev;
-    _ringHead = (_ringHead + 1) % _ring.size();
+    _ringHead = (_ringHead + 1) & _ringMask;
     if (_ringCount < _ring.size())
         ++_ringCount;
 

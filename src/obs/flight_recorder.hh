@@ -141,6 +141,7 @@ class FlightRecorder
 
     std::vector<TraceEvent> _ring;
     std::size_t _ringHead = 0;  ///< next slot to write
+    std::size_t _ringMask = 0;  ///< capacity - 1 (capacity is a power of 2)
     std::size_t _ringCount = 0; ///< valid events in the ring
     Addr _panicFocus = 0;
 

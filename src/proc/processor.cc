@@ -91,20 +91,6 @@ Processor::stallFor(Tick cycles)
 }
 
 void
-Processor::scheduleCpu(Tick when, std::function<void()> fn)
-{
-    const Tick target = std::max(when, _stallUntil);
-    _eq.schedule(target, [this, fn = std::move(fn)]() {
-        if (_eq.now() < _stallUntil) {
-            // A trap extended the stall after we were scheduled.
-            scheduleCpu(_stallUntil, fn);
-            return;
-        }
-        fn();
-    }, EventPriority::cpu);
-}
-
-void
 Processor::issueMem(unsigned ctx_id, const MemOp &op,
                     std::coroutine_handle<> h, std::uint64_t *result)
 {

@@ -18,6 +18,7 @@
 #ifndef LIMITLESS_PROC_PROCESSOR_HH
 #define LIMITLESS_PROC_PROCESSOR_HH
 
+#include <algorithm>
 #include <coroutine>
 #include <deque>
 #include <functional>
@@ -208,7 +209,29 @@ class Processor
     void resumeCtx(unsigned ctx);
     void maybeDispatch();
     void dispatchNow();
-    void scheduleCpu(Tick when, std::function<void()> fn);
+    /**
+     * Schedule a cpu-priority step, deferring past any active stall.
+     * Templated on the callable so the capture lands directly in the
+     * event entry's inline storage — no std::function box per step.
+     */
+    template <typename F>
+    void
+    scheduleCpu(Tick when, F fn)
+    {
+        const Tick target = std::max(when, _stallUntil);
+        auto step = [this, fn = std::move(fn)]() mutable {
+            if (_eq.now() < _stallUntil) {
+                // A trap extended the stall after we were scheduled.
+                scheduleCpu(_stallUntil, std::move(fn));
+                return;
+            }
+            fn();
+        };
+        static_assert(EventQueue::Callback::fitsInline<decltype(step)>,
+                      "cpu step event must not heap-allocate");
+        _eq.schedule(target, std::move(step), EventPriority::cpu);
+    }
+
     bool _remoteCheck(Addr addr) const;
 
     EventQueue &_eq;

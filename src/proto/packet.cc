@@ -7,10 +7,28 @@ namespace limitless
 {
 
 PacketPtr
+allocPacket()
+{
+    return PacketPtr(PacketPool::local().acquire());
+}
+
+PacketPtr
+clonePacket(const Packet &pkt)
+{
+    PacketPtr copy = allocPacket();
+    copy->src = pkt.src;
+    copy->dest = pkt.dest;
+    copy->opcode = pkt.opcode;
+    copy->operands = pkt.operands;
+    copy->data = pkt.data;
+    return copy;
+}
+
+PacketPtr
 makeProtocolPacket(NodeId src, NodeId dest, Opcode op, Addr addr)
 {
     assert(isProtocolOpcode(op));
-    auto pkt = std::make_unique<Packet>();
+    PacketPtr pkt = allocPacket();
     pkt->src = src;
     pkt->dest = dest;
     pkt->opcode = op;
@@ -22,9 +40,16 @@ PacketPtr
 makeDataPacket(NodeId src, NodeId dest, Opcode op, Addr addr,
                const std::vector<std::uint64_t> &line)
 {
+    return makeDataPacket(src, dest, op, addr, line.data(), line.size());
+}
+
+PacketPtr
+makeDataPacket(NodeId src, NodeId dest, Opcode op, Addr addr,
+               const std::uint64_t *words, std::size_t n)
+{
     assert(opcodeCarriesData(op));
-    auto pkt = makeProtocolPacket(src, dest, op, addr);
-    pkt->data = line;
+    PacketPtr pkt = makeProtocolPacket(src, dest, op, addr);
+    pkt->data.assign(words, words + n);
     return pkt;
 }
 
@@ -34,7 +59,7 @@ makeInterruptPacket(NodeId src, NodeId dest, Opcode op,
                     std::vector<std::uint64_t> data)
 {
     assert(isInterruptOpcode(op));
-    auto pkt = std::make_unique<Packet>();
+    PacketPtr pkt = allocPacket();
     pkt->src = src;
     pkt->dest = dest;
     pkt->opcode = op;

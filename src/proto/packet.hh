@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "proto/opcode.hh"
+#include "proto/packet_pool.hh"
 #include "sim/types.hh"
 
 namespace limitless
@@ -32,6 +33,11 @@ struct Packet
     Opcode opcode = Opcode::RREQ;
     std::vector<std::uint64_t> operands;
     std::vector<std::uint64_t> data;
+
+    /** Network-owned bookkeeping: injection tick, for latency stats.
+     *  Not part of the wire format; carried here so the fabric needs no
+     *  per-packet side table. */
+    Tick injectTick = 0;
 
     /** Packet length in words: 1 header word + operands + data. */
     std::uint32_t
@@ -52,7 +58,21 @@ struct Packet
     }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/** Returns retired frames to the thread's PacketPool instead of the
+ *  allocator; `PacketPtr(raw)` with a raw pointer still works because
+ *  the deleter is stateless. */
+struct PacketDeleter
+{
+    void operator()(Packet *pkt) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/** A blank pool-recycled frame (builders below fill these in). */
+PacketPtr allocPacket();
+
+/** Pool-recycled copy of @p pkt (deep-copies operands and data). */
+PacketPtr clonePacket(const Packet &pkt);
 
 /** Convenience builder for protocol packets. */
 PacketPtr makeProtocolPacket(NodeId src, NodeId dest, Opcode op, Addr addr);
@@ -60,6 +80,13 @@ PacketPtr makeProtocolPacket(NodeId src, NodeId dest, Opcode op, Addr addr);
 /** Protocol packet carrying a memory line's data words. */
 PacketPtr makeDataPacket(NodeId src, NodeId dest, Opcode op, Addr addr,
                          const std::vector<std::uint64_t> &line);
+
+/** As above, from a raw word range. Hot senders use this form: it
+ *  assigns into the recycled frame's data vector, where the braced
+ *  `{begin, end}` form materializes a heap-allocated temporary per
+ *  packet. */
+PacketPtr makeDataPacket(NodeId src, NodeId dest, Opcode op, Addr addr,
+                         const std::uint64_t *words, std::size_t n);
 
 /** Interrupt-class packet with caller-supplied operands and data. */
 PacketPtr makeInterruptPacket(NodeId src, NodeId dest, Opcode op,

@@ -1,0 +1,64 @@
+#include "proto/packet_pool.hh"
+
+#include "proto/packet.hh"
+
+namespace limitless
+{
+
+PacketPool &
+PacketPool::local()
+{
+    thread_local PacketPool pool;
+    return pool;
+}
+
+Packet *
+PacketPool::acquire()
+{
+    if (_free.empty()) {
+        ++_freshAllocs;
+        return new Packet();
+    }
+    Packet *pkt = _free.back();
+    _free.pop_back();
+    ++_recycled;
+    // Blank the frame but keep the vectors' capacity — that retained
+    // capacity is most of the recycling win.
+    pkt->src = invalidNode;
+    pkt->dest = invalidNode;
+    pkt->opcode = Opcode::RREQ;
+    pkt->operands.clear();
+    pkt->data.clear();
+    pkt->injectTick = 0;
+    return pkt;
+}
+
+void
+PacketPool::release(Packet *pkt) noexcept
+{
+    if (pkt == nullptr)
+        return;
+    if (_free.size() >= maxFree) {
+        delete pkt;
+        return;
+    }
+    _free.push_back(pkt);
+}
+
+void
+PacketPool::trim() noexcept
+{
+    for (Packet *pkt : _free)
+        delete pkt;
+    _free.clear();
+}
+
+PacketPool::~PacketPool() { trim(); }
+
+void
+PacketDeleter::operator()(Packet *pkt) const noexcept
+{
+    PacketPool::local().release(pkt);
+}
+
+} // namespace limitless

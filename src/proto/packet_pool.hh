@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Packet frame recycling.
+ *
+ * Every network message used to be a fresh heap allocation (the Packet
+ * itself plus its operand/data vectors). The pool keeps retired frames
+ * on a free list and hands them back to the makeXxxPacket builders with
+ * their vector capacity intact, so the steady-state cost of a protocol
+ * message is a pointer pop and a few stores.
+ *
+ * The pool is thread-local: a Machine is confined to one thread (the
+ * ParallelRunner gives each sweep config its own thread), so "one pool
+ * per thread" is "one pool per machine" in practice and needs no locks.
+ * Lifetime rule: a Packet* released from its PacketPtr (the network
+ * layers do this to dodge callback-capture copies) must be re-owned or
+ * freed on the same thread before the machine is destroyed — see
+ * docs/PERFORMANCE.md.
+ */
+
+#ifndef LIMITLESS_PROTO_PACKET_POOL_HH
+#define LIMITLESS_PROTO_PACKET_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace limitless
+{
+
+struct Packet;
+
+/** Thread-local free list of retired packet frames. */
+class PacketPool
+{
+  public:
+    /** The calling thread's pool (one machine per thread). */
+    static PacketPool &local();
+
+    /** A blank frame: recycled when available, else freshly allocated.
+     *  Recycled frames keep their vectors' capacity. */
+    Packet *acquire();
+
+    /** Retire a frame. Beyond `maxFree` frames the excess is freed so a
+     *  burst (an invalidation storm) cannot pin memory forever. */
+    void release(Packet *pkt) noexcept;
+
+    /** @name Introspection (perf bench / tests) */
+    /// @{
+    std::uint64_t freshAllocs() const { return _freshAllocs; }
+    std::uint64_t recycled() const { return _recycled; }
+    std::size_t freeFrames() const { return _free.size(); }
+    /// @}
+
+    /** Drop the free list (tests use this to measure from a clean pool). */
+    void trim() noexcept;
+
+    ~PacketPool();
+
+  private:
+    static constexpr std::size_t maxFree = 4096;
+
+    std::vector<Packet *> _free;
+    std::uint64_t _freshAllocs = 0;
+    std::uint64_t _recycled = 0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_PROTO_PACKET_POOL_HH

@@ -5,16 +5,27 @@
  * A single EventQueue instance serializes every component of one simulated
  * machine. Events at the same tick execute in (priority, insertion-order)
  * order, which makes runs bit-reproducible for a fixed seed.
+ *
+ * Internally the queue is a single-level timing wheel over the near
+ * horizon (the next `wheelSpan` ticks, which covers network hops,
+ * controller latencies and trap costs — the overwhelming majority of
+ * schedules) with a binary-heap overflow for far-future events. Both
+ * structures order entries by the same (tick, priority, seq) key, so the
+ * execution order is bit-identical to a plain priority queue; a property
+ * test (tests/test_event_queue.cc) cross-checks this against a reference
+ * heap scheduler on randomized workloads. Callbacks are stored in an
+ * InlineFunction so scheduling an event never touches the allocator for
+ * captures up to 48 bytes.
  */
 
 #ifndef LIMITLESS_SIM_EVENT_QUEUE_HH
 #define LIMITLESS_SIM_EVENT_QUEUE_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace limitless
@@ -31,14 +42,16 @@ namespace EventPriority
 }
 
 /**
- * Priority-queue based discrete event scheduler.
+ * Timing-wheel based discrete event scheduler.
  *
  * Not thread-safe; one queue per simulated machine.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void(), 48>;
+
+    EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -73,39 +86,87 @@ class EventQueue
     /** Run until the queue is empty. @return number of events executed. */
     std::uint64_t run();
 
-    bool empty() const { return _heap.empty(); }
-    std::size_t pendingEvents() const { return _heap.size(); }
+    bool empty() const { return _size == 0; }
+    std::size_t pendingEvents() const { return _size; }
     std::uint64_t executedEvents() const { return _executed; }
 
     /** Earliest pending tick, or maxTick when empty. */
     Tick nextEventTick() const;
 
   private:
+    /** Near-horizon window: events within `wheelSpan` ticks of now()
+     *  land in the wheel; everything else waits in the overflow heap
+     *  until the window reaches it. */
+    static constexpr unsigned wheelBits = 10;
+    static constexpr Tick wheelSpan = Tick{1} << wheelBits;
+    static constexpr Tick wheelMask = wheelSpan - 1;
+
     struct Entry
     {
         Tick when;
-        int priority;
+        std::uint32_t priority;
         std::uint64_t seq;
         Callback cb;
-    };
 
-    struct Later
-    {
+        // Entries are moved, never copied: deleting the copy operations
+        // proves no container churn silently duplicates a callback.
+        Entry(Tick w, std::uint32_t p, std::uint64_t s, Callback c)
+            : when(w), priority(p), seq(s), cb(std::move(c))
+        {}
+        Entry(Entry &&) noexcept = default;
+        Entry &operator=(Entry &&) noexcept = default;
+        Entry(const Entry &) = delete;
+        Entry &operator=(const Entry &) = delete;
+
+        /** Strict-weak order: earlier (when, priority, seq) first. */
         bool
-        operator()(const Entry &a, const Entry &b) const
+        before(const Entry &o) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
+            if (when != o.when)
+                return when < o.when;
+            if (priority != o.priority)
+                return priority < o.priority;
+            return seq < o.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Min-heap comparator for the overflow vector (std::push_heap is a
+     *  max-heap, so invert). */
+    struct OverflowLater
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            return b.before(a);
+        }
+    };
+
+    void wheelInsert(Entry &&e);
+    /** Move overflow entries inside the window [_now, _now + span). */
+    void migrateOverflow();
+    /** Earliest occupied wheel tick, or maxTick when the wheel is empty. */
+    Tick wheelNextTick() const;
+
+    std::vector<std::vector<Entry>> _slots; ///< one bucket per wheel slot
+    std::uint64_t _occupied[wheelSpan / 64] = {}; ///< slot bitmap
+    std::vector<Entry> _overflow;           ///< min-heap beyond the window
+    std::size_t _size = 0;                  ///< wheel + overflow entries
     Tick _now = 0;
     std::uint64_t _seq = 0;
     std::uint64_t _executed = 0;
+
+    /**
+     * Execution state of the current tick's bucket. On entering a tick
+     * the bucket is sorted once and `_cursor` walks it, so popping the
+     * minimum is O(1) instead of a per-event scan; same-tick schedules
+     * insert in order past the cursor. `_sortedTick == maxTick` means no
+     * bucket is mid-execution.
+     */
+    Tick _sortedTick = maxTick;
+    std::size_t _cursor = 0;
+    /** Execution order (indices into the sorted bucket). Sorting and
+     *  same-tick inserts move these 4-byte indices instead of whole
+     *  entries, so a callback never pays an InlineFunction move. */
+    std::vector<std::uint32_t> _order;
 };
 
 } // namespace limitless

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Small-buffer type-erased callable for the event core.
+ *
+ * std::function heap-allocates once a capture outgrows its tiny internal
+ * buffer (16 bytes on libstdc++), which puts an allocator round trip on
+ * every scheduled event. InlineFunction stores the callable inline in a
+ * caller-chosen buffer (48 bytes by default — enough for a `this`
+ * pointer plus a handful of words, which covers every hot scheduling
+ * site in the simulator) and only falls back to the heap for oversized
+ * captures. It is move-only, so callables owning move-only resources
+ * (PacketPtr, coroutine handles) can be scheduled directly.
+ *
+ * Use `InlineFunction<void()>::fitsInline<F>` in a static_assert at a
+ * hot call site to prove its capture never allocates.
+ */
+
+#ifndef LIMITLESS_SIM_INLINE_FUNCTION_HH
+#define LIMITLESS_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace limitless
+{
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction; // undefined; only the R(Args...) partial below
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    static constexpr std::size_t inlineCapacity = Capacity;
+
+    /** True when F is stored in the inline buffer (no allocation). */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
+            _vt = &inlineVTable<Fn>;
+        } else {
+            // Oversized capture: box it; the buffer holds only Fn*.
+            ::new (static_cast<void *>(_buf))
+                Fn *(new Fn(std::forward<F>(f)));
+            _vt = &boxedVTable<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const noexcept { return _vt != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return _vt->invoke(const_cast<unsigned char *>(_buf),
+                           std::forward<Args>(args)...);
+    }
+
+    void
+    reset() noexcept
+    {
+        if (_vt) {
+            _vt->destroy(_buf);
+            _vt = nullptr;
+        }
+    }
+
+    /** True when the held callable lives in the inline buffer. */
+    bool storedInline() const noexcept { return _vt && _vt->isInline; }
+
+  private:
+    struct VTable
+    {
+        R (*invoke)(void *, Args &&...);
+        void (*relocate)(void *from, void *to) noexcept; ///< move + destroy
+        void (*destroy)(void *) noexcept;
+        bool isInline;
+    };
+
+    template <typename Fn>
+    static constexpr VTable inlineVTable = {
+        [](void *buf, Args &&...args) -> R {
+            return (*static_cast<Fn *>(buf))(std::forward<Args>(args)...);
+        },
+        [](void *from, void *to) noexcept {
+            Fn *src = static_cast<Fn *>(from);
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+        },
+        [](void *buf) noexcept { static_cast<Fn *>(buf)->~Fn(); },
+        true,
+    };
+
+    template <typename Fn>
+    static constexpr VTable boxedVTable = {
+        [](void *buf, Args &&...args) -> R {
+            return (**static_cast<Fn **>(buf))(std::forward<Args>(args)...);
+        },
+        [](void *from, void *to) noexcept {
+            ::new (to) Fn *(*static_cast<Fn **>(from));
+        },
+        [](void *buf) noexcept { delete *static_cast<Fn **>(buf); },
+        false,
+    };
+
+    void
+    moveFrom(InlineFunction &&other) noexcept
+    {
+        if (other._vt) {
+            other._vt->relocate(other._buf, _buf);
+            _vt = other._vt;
+            other._vt = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char _buf[Capacity];
+    const VTable *_vt = nullptr;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_SIM_INLINE_FUNCTION_HH

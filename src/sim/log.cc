@@ -1,5 +1,6 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -24,16 +25,16 @@ Log::debug(Tick now, const char *tag, const char *fmt, ...)
 namespace
 {
 
-PanicHook panicHook = nullptr;
+// Atomic so parallel sweep workers (each thread's flight recorder installs
+// the same hook on first use) can race here without UB.
+std::atomic<PanicHook> panicHook{nullptr};
 
 } // namespace
 
 PanicHook
 setPanicHook(PanicHook hook)
 {
-    PanicHook prev = panicHook;
-    panicHook = hook;
-    return prev;
+    return panicHook.exchange(hook);
 }
 
 [[noreturn]] void
@@ -48,9 +49,10 @@ panic(const char *fmt, ...)
     // Give the flight recorder a chance to dump its event ring, but
     // never recurse if the dump itself panics.
     static bool inPanic = false;
-    if (panicHook && !inPanic) {
+    PanicHook hook = panicHook.load();
+    if (hook && !inPanic) {
         inPanic = true;
-        panicHook();
+        hook();
     }
     std::abort();
 }

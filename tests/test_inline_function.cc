@@ -1,0 +1,117 @@
+/** @file Unit tests for the small-buffer callback type. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.hh"
+
+namespace limitless
+{
+namespace
+{
+
+using Fn = InlineFunction<int(), 48>;
+
+TEST(InlineFunction, DefaultIsEmpty)
+{
+    Fn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    Fn null_fn(nullptr);
+    EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFunction, SmallCaptureStoresInlineAndInvokes)
+{
+    int x = 41;
+    Fn fn([&x]() { return x + 1; });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    EXPECT_TRUE(fn.storedInline());
+    EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunction, CaptureAtCapacityStaysInline)
+{
+    std::array<std::uint8_t, 48> blob{};
+    blob[0] = 7;
+    auto lambda = [blob]() { return static_cast<int>(blob[0]); };
+    static_assert(sizeof(lambda) == 48);
+    static_assert(Fn::fitsInline<decltype(lambda)>);
+    Fn fn(std::move(lambda));
+    EXPECT_TRUE(fn.storedInline());
+    EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeapAndStillWorks)
+{
+    std::array<std::uint8_t, 64> blob{};
+    blob[63] = 9;
+    auto lambda = [blob]() { return static_cast<int>(blob[63]); };
+    static_assert(!Fn::fitsInline<decltype(lambda)>);
+    Fn fn(std::move(lambda));
+    EXPECT_FALSE(fn.storedInline());
+    EXPECT_EQ(fn(), 9);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipAndEmptiesSource)
+{
+    int calls = 0;
+    Fn a([&calls]() { return ++calls; });
+    Fn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(b(), 1);
+    Fn c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    EXPECT_EQ(c(), 2);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCallable)
+{
+    // The reason the event core can't use std::function: move-only
+    // payloads (owned packets, coroutine handles) must be schedulable.
+    auto owned = std::make_unique<int>(5);
+    InlineFunction<int(), 48> fn(
+        [p = std::move(owned)]() { return *p; });
+    EXPECT_EQ(fn(), 5);
+}
+
+TEST(InlineFunction, DestroysInlinePayload)
+{
+    auto counted = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = counted;
+    {
+        InlineFunction<int(), 48> fn(
+            [p = std::move(counted)]() { return *p; });
+        EXPECT_EQ(fn(), 1);
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, DestroysBoxedPayload)
+{
+    auto counted = std::make_shared<int>(2);
+    std::weak_ptr<int> watch = counted;
+    {
+        std::array<std::uint8_t, 64> pad{};
+        InlineFunction<int(), 48> fn(
+            [p = std::move(counted), pad]() {
+                return *p + static_cast<int>(pad[0]);
+            });
+        EXPECT_FALSE(fn.storedInline());
+        EXPECT_EQ(fn(), 2);
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, TakesArguments)
+{
+    InlineFunction<int(int, int), 48> add([](int a, int b) { return a + b; });
+    EXPECT_EQ(add(20, 22), 42);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,119 @@
+/** @file Unit tests for packet frame recycling. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "proto/packet.hh"
+#include "proto/packet_pool.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(PacketPool, RecyclesReleasedFrames)
+{
+    PacketPool &pool = PacketPool::local();
+    pool.trim();
+    const std::uint64_t recycled0 = pool.recycled();
+
+    Packet *first;
+    {
+        PacketPtr pkt = makeProtocolPacket(1, 2, Opcode::RREQ, 0x40);
+        first = pkt.get();
+    } // released to the pool, not freed
+
+    EXPECT_EQ(pool.freeFrames(), 1u);
+    PacketPtr again = makeProtocolPacket(3, 4, Opcode::WREQ, 0x80);
+    EXPECT_EQ(again.get(), first) << "frame should be recycled LIFO";
+    EXPECT_EQ(pool.recycled(), recycled0 + 1);
+    EXPECT_EQ(again->src, 3u);
+    EXPECT_EQ(again->dest, 4u);
+    EXPECT_EQ(again->opcode, Opcode::WREQ);
+    ASSERT_EQ(again->operands.size(), 1u);
+    EXPECT_EQ(again->addr(), 0x80u);
+    EXPECT_TRUE(again->data.empty());
+    EXPECT_EQ(again->injectTick, 0u);
+}
+
+TEST(PacketPool, RecycledFramesKeepVectorCapacity)
+{
+    PacketPool &pool = PacketPool::local();
+    pool.trim();
+
+    std::size_t cap;
+    {
+        PacketPtr pkt = makeDataPacket(0, 1, Opcode::RDATA, 0x100,
+                                       std::vector<std::uint64_t>(16, 7));
+        cap = pkt->data.capacity();
+        ASSERT_GE(cap, 16u);
+    }
+    PacketPtr next = allocPacket();
+    EXPECT_TRUE(next->data.empty());
+    EXPECT_GE(next->data.capacity(), cap)
+        << "recycling must preserve vector capacity";
+}
+
+TEST(PacketPool, RawReleaseAndRewrapRoundTrips)
+{
+    // The network layers release() the pointer into event captures and
+    // rewrap with PacketPtr(raw); the deleter is stateless so the rewrap
+    // must return the frame to the same thread-local pool.
+    PacketPool &pool = PacketPool::local();
+    pool.trim();
+
+    PacketPtr pkt = makeProtocolPacket(0, 1, Opcode::RREQ, 0x40);
+    Packet *raw = pkt.release();
+    EXPECT_EQ(pool.freeFrames(), 0u);
+    {
+        PacketPtr rewrapped(raw);
+    }
+    EXPECT_EQ(pool.freeFrames(), 1u);
+}
+
+TEST(PacketPool, ClonePacketDeepCopies)
+{
+    PacketPtr orig = makeInterruptPacket(2, 5, Opcode::IPI_MESSAGE,
+                                         {0x40, 1, 2}, {10, 11});
+    PacketPtr copy = clonePacket(*orig);
+    EXPECT_NE(copy.get(), orig.get());
+    EXPECT_EQ(copy->src, orig->src);
+    EXPECT_EQ(copy->dest, orig->dest);
+    EXPECT_EQ(copy->opcode, orig->opcode);
+    EXPECT_EQ(copy->operands, orig->operands);
+    EXPECT_EQ(copy->data, orig->data);
+    copy->operands[0] = 0xdead;
+    EXPECT_EQ(orig->operands[0], 0x40u);
+}
+
+TEST(PacketPool, PoolsAreThreadLocal)
+{
+    PacketPool &pool = PacketPool::local();
+    pool.trim();
+    { PacketPtr pkt = allocPacket(); }
+    ASSERT_EQ(pool.freeFrames(), 1u);
+
+    std::size_t other_free = 99;
+    std::uint64_t other_allocs = 99;
+    std::thread([&]() {
+        other_free = PacketPool::local().freeFrames();
+        { PacketPtr pkt = allocPacket(); }
+        other_allocs = PacketPool::local().freshAllocs();
+    }).join();
+    EXPECT_EQ(other_free, 0u) << "new thread starts with an empty pool";
+    EXPECT_EQ(other_allocs, 1u);
+    EXPECT_EQ(pool.freeFrames(), 1u) << "other thread must not touch ours";
+}
+
+TEST(PacketPool, TrimDropsFreeList)
+{
+    PacketPool &pool = PacketPool::local();
+    { PacketPtr a = allocPacket(); PacketPtr b = allocPacket(); }
+    EXPECT_GE(pool.freeFrames(), 2u);
+    pool.trim();
+    EXPECT_EQ(pool.freeFrames(), 0u);
+}
+
+} // namespace
+} // namespace limitless

@@ -1,0 +1,146 @@
+/** @file Determinism tests for the parallel sweep runner. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
+#include "workload/random_stress.hh"
+
+namespace limitless
+{
+namespace
+{
+
+TEST(ParallelRunner, ZeroJobsMeansHardwareConcurrency)
+{
+    EXPECT_GE(ParallelRunner(0).jobs(), 1u);
+    EXPECT_EQ(ParallelRunner(3).jobs(), 3u);
+}
+
+TEST(ParallelRunner, OutputFlushedInSubmissionOrderDespiteDelays)
+{
+    // Later tasks finish first (reverse-proportional sleep); the shared
+    // stream must still read as if the sweep ran serially, with no
+    // interleaved or reordered lines.
+    constexpr std::size_t n = 6;
+    ParallelRunner runner(4);
+    std::ostringstream out;
+    const ParallelRunner::Task<int> task =
+        [](std::size_t i, std::ostream &os) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds((n - 1 - i) * 5));
+            os << "task " << i << " line one\n";
+            os << "task " << i << " line two\n";
+            return static_cast<int>(i * i);
+        };
+    const std::vector<int> results = runner.map<int>(n, task, out);
+
+    std::string expect;
+    ASSERT_EQ(results.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(results[i], static_cast<int>(i * i));
+        expect += "task " + std::to_string(i) + " line one\n";
+        expect += "task " + std::to_string(i) + " line two\n";
+    }
+    EXPECT_EQ(out.str(), expect);
+}
+
+TEST(ParallelRunner, SweepMatchesSerialByteForByte)
+{
+    // The real guarantee the figure benches rely on: an N-thread sweep
+    // of independent machine experiments produces exactly the rows (and
+    // row order) of a serial run.
+    struct Cell
+    {
+        ProtocolParams proto;
+        std::uint32_t seed;
+    };
+    std::vector<Cell> cells;
+    for (const ProtocolParams &p :
+         {protocols::fullMap(), protocols::dirNB(2),
+          protocols::limitlessStall(2, 50)})
+        for (std::uint32_t seed : {7u, 23u})
+            cells.push_back({p, seed});
+
+    const ParallelRunner::Task<Tick> task =
+        [&cells](std::size_t i, std::ostream &os) {
+            MachineConfig cfg;
+            cfg.numNodes = 8;
+            cfg.protocol = cells[i].proto;
+            cfg.seed = cells[i].seed;
+            const ExperimentOutcome o = runExperiment(cfg, []() {
+                RandomStressParams rp;
+                rp.opsPerProc = 40;
+                return std::make_unique<RandomStress>(rp);
+            });
+            EXPECT_TRUE(o.completed);
+            os << o.label << " seed=" << cells[i].seed
+               << " cycles=" << o.cycles << " pkts=" << o.networkPackets
+               << "\n";
+            return o.cycles;
+        };
+
+    std::ostringstream serial_out;
+    const std::vector<Tick> serial =
+        ParallelRunner(1).map<Tick>(cells.size(), task, serial_out);
+
+    std::ostringstream par_out;
+    const std::vector<Tick> par =
+        ParallelRunner(4).map<Tick>(cells.size(), task, par_out);
+
+    EXPECT_EQ(par, serial);
+    EXPECT_EQ(par_out.str(), serial_out.str());
+    EXPECT_NE(serial_out.str().find("cycles="), std::string::npos);
+}
+
+TEST(ParallelRunner, LowestIndexExceptionWins)
+{
+    ParallelRunner runner(2);
+    std::ostringstream out;
+    const ParallelRunner::Task<int> task =
+        [](std::size_t i, std::ostream &) -> int {
+            if (i >= 1)
+                throw std::runtime_error("boom " + std::to_string(i));
+            return 0;
+        };
+    try {
+        runner.map<int>(4, task, out);
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 1");
+    }
+}
+
+TEST(ParallelRunner, ParsesJobsFlagForms)
+{
+    auto parse = [](std::vector<std::string> args) {
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>("prog"));
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        return parseJobsFlag(static_cast<int>(argv.size()), argv.data());
+    };
+    EXPECT_EQ(parse({}), 1u);
+    EXPECT_EQ(parse({"--jobs", "4"}), 4u);
+    EXPECT_EQ(parse({"-j", "2"}), 2u);
+    EXPECT_EQ(parse({"--jobs=8"}), 8u);
+    EXPECT_EQ(parse({"--trials", "3", "--jobs", "6"}), 6u);
+
+    bool consumes = false;
+    EXPECT_TRUE(isJobsFlag("--jobs", consumes));
+    EXPECT_TRUE(consumes);
+    EXPECT_TRUE(isJobsFlag("--jobs=8", consumes));
+    EXPECT_FALSE(consumes);
+    EXPECT_FALSE(isJobsFlag("--seed", consumes));
+}
+
+} // namespace
+} // namespace limitless

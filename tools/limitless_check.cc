@@ -29,6 +29,7 @@
 #include "check/minimize.hh"
 #include "check/trace_io.hh"
 #include "harness/cli.hh"
+#include "harness/parallel_runner.hh"
 #include "sim/log.hh"
 
 using namespace limitless;
@@ -60,6 +61,10 @@ usage()
         "  --max-depth <n>          schedule-depth cap (default 64)\n"
         "  --budget-ms <n>          wall-clock budget per config "
         "(0 = none)\n"
+        "  --jobs <n>               explore configs on n threads "
+        "(default 1; 0 = all cores);\n"
+        "                           output and results stay in config "
+        "order\n"
         "  --flip-guard <k:s:row>   invert a table row's guard, e.g. "
         "limitless:home:4\n"
         "                           (row may be a numeric id or a row "
@@ -109,28 +114,27 @@ struct ConfigOutcome
 };
 
 void
-printStats(const CheckConfig &cfg, const ExploreStats &s)
+printStats(std::ostream &os, const CheckConfig &cfg, const ExploreStats &s)
 {
-    std::cout << "  " << cfg.name() << ": " << s.states << " states, "
-              << s.transitions << " transitions, " << s.terminals
-              << " terminals, depth " << s.maxDepth << ", "
-              << s.elapsedMs << " ms"
-              << (s.exhaustive() ? "" : "  [TRUNCATED]") << "\n";
+    os << "  " << cfg.name() << ": " << s.states << " states, "
+       << s.transitions << " transitions, " << s.terminals
+       << " terminals, depth " << s.maxDepth << ", "
+       << s.elapsedMs << " ms"
+       << (s.exhaustive() ? "" : "  [TRUNCATED]") << "\n";
 }
 
 void
-printJson(const CheckConfig &cfg, const ExploreResult &r)
+printJson(std::ostream &os, const CheckConfig &cfg, const ExploreResult &r)
 {
     const ExploreStats &s = r.stats;
-    std::cout << "{\"config\": \"" << cfg.name() << "\", \"states\": "
-              << s.states << ", \"transitions\": " << s.transitions
-              << ", \"terminals\": " << s.terminals << ", \"max_depth\": "
-              << s.maxDepth << ", \"elapsed_ms\": " << s.elapsedMs
-              << ", \"exhaustive\": " << (s.exhaustive() ? "true" : "false")
-              << ", \"violation\": \""
-              << violationKindName(r.cex ? r.cex->kind
-                                         : ViolationKind::none)
-              << "\"}\n";
+    os << "{\"config\": \"" << cfg.name() << "\", \"states\": "
+       << s.states << ", \"transitions\": " << s.transitions
+       << ", \"terminals\": " << s.terminals << ", \"max_depth\": "
+       << s.maxDepth << ", \"elapsed_ms\": " << s.elapsedMs
+       << ", \"exhaustive\": " << (s.exhaustive() ? "true" : "false")
+       << ", \"violation\": \""
+       << violationKindName(r.cex ? r.cex->kind : ViolationKind::none)
+       << "\"}\n";
 }
 
 void
@@ -158,7 +162,7 @@ main(int argc, char **argv)
         {"ops", true},       {"max-states", true}, {"max-depth", true},
         {"budget-ms", true}, {"flip-guard", true}, {"trace-out", true},
         {"replay", true},    {"coverage", true}, {"json", false},
-        {"quiet", false},    {"help", false},
+        {"quiet", false},    {"help", false},    {"jobs", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help")) {
@@ -279,16 +283,43 @@ main(int argc, char **argv)
     CoverageScope coverage_scope;
     const bool quiet = opts.has("quiet");
     const bool json = opts.has("json");
+    const unsigned jobs = static_cast<unsigned>(opts.num("jobs", 1));
     bool violated = false;
 
-    for (const CheckConfig &cfg : configs) {
-        ExploreResult result = explore(cfg, limits);
+    // One task per config; each task's lines go to a private buffer the
+    // runner flushes in config order, so --jobs output is byte-identical
+    // to a serial sweep of the same configs.
+    auto explore_one = [&](std::size_t i,
+                           std::ostream &os) -> ExploreResult {
+        ExploreResult result = explore(configs[i], limits);
         if (json)
-            printJson(cfg, result);
+            printJson(os, configs[i], result);
         else if (!quiet)
-            printStats(cfg, result.stats);
-        if (result.ok())
+            printStats(os, configs[i], result.stats);
+        return result;
+    };
+
+    std::vector<ExploreResult> results;
+    if (jobs == 1) {
+        // Serial: stop at the first violation, like the sweep always has.
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            results.push_back(explore_one(i, std::cout));
+            if (!results.back().ok())
+                break;
+        }
+    } else {
+        ParallelRunner runner(jobs);
+        results = runner.map<ExploreResult>(configs.size(), explore_one,
+                                            std::cout);
+    }
+
+    // Report the first violation in config (submission) order — the same
+    // one a serial sweep reports — and minimize it serially.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok())
             continue;
+        const CheckConfig &cfg = configs[i];
+        ExploreResult &result = results[i];
 
         violated = true;
         const std::size_t original_len = result.cex->schedule.size();

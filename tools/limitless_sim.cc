@@ -213,6 +213,8 @@ main(int argc, char **argv)
               << "execution time:    " << run.cycles << " cycles ("
               << run.cycles / 1e6 << " Mcycles)\n"
               << "simulator events:  " << run.events << "\n"
+              << "host wall time:    " << run.hostSeconds << " s ("
+              << run.eventsPerSecond() / 1e6 << " Mevents/s)\n"
               << "remote latency:    "
               << machine.meanAccumulator("cache", "remote_latency")
               << " cycles mean\n"
@@ -246,7 +248,7 @@ main(int argc, char **argv)
         if (!out)
             fatal("cannot write stats '%s'",
                   opts.str("stats-json").c_str());
-        machine.dumpStatsJson(out, run.cycles);
+        machine.dumpStatsJson(out, run.cycles, &run);
         std::cout << "stats json:        " << opts.str("stats-json")
                   << "\n";
     }
