@@ -8,6 +8,8 @@
 #ifndef LIMITLESS_BENCH_BENCH_COMMON_HH
 #define LIMITLESS_BENCH_BENCH_COMMON_HH
 
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -75,6 +77,47 @@ wantCsv(int argc, char **argv)
     return false;
 }
 
+/** `--metrics-interval N`: telemetry sampling period for every run in
+ *  the sweep (0 = off, the default — and then nothing below changes a
+ *  bench's behaviour or output). */
+inline Tick
+parseMetricsIntervalFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (!std::strcmp(argv[i], "--metrics-interval"))
+            return static_cast<Tick>(std::strtoull(argv[i + 1], nullptr, 10));
+    return 0;
+}
+
+/** File-name-safe form of a row label ("limitless4 Ts=50" ->
+ *  "limitless4_Ts_50"). */
+inline std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return out;
+}
+
+/**
+ * Enable telemetry on one sweep config: sample every @p interval cycles
+ * and write TELEM_<bench>_<label>.csv (+ .json sidecar) from inside
+ * runExperiment. No-op when @p interval is 0, keeping the default sweep
+ * bit-identical to a telemetry-free build.
+ */
+inline void
+applyTelemetry(MachineConfig &cfg, Tick interval, const std::string &bench,
+               const std::string &label)
+{
+    if (!interval)
+        return;
+    cfg.metricsInterval = interval;
+    cfg.telemetryOut =
+        "TELEM_" + bench + "_" + sanitizeLabel(label) + ".csv";
+}
+
 /**
  * Run one experiment per thunk, optionally across threads (`--jobs N`,
  * parsed by the caller via parseJobsFlag; default 1 = serial, exactly
@@ -125,6 +168,12 @@ writeBenchJson(const std::string &name, const ResultTable &table)
             << r.readTraps << ", \"write_traps\": " << r.writeTraps
             << ", \"invs_sent\": " << r.invsSent << ", \"phases\": ";
         phasesJson(out, r.phases);
+        // Run -> report link; key only present when telemetry ran, so
+        // default sweeps stay byte-identical.
+        if (!r.telemetryPath.empty()) {
+            out << ", \"telemetry\": ";
+            jsonEscape(out, r.telemetryPath);
+        }
         out << "}";
     }
     out << "\n  ]\n}\n";

@@ -26,6 +26,7 @@ main(int argc, char **argv)
         ">= ~2.3x full-map.");
 
     const unsigned jobs = parseJobsFlag(argc, argv);
+    const Tick metrics = parseMetricsIntervalFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
@@ -34,8 +35,12 @@ main(int argc, char **argv)
     for (const auto &proto :
          {protocols::dirNB(1), protocols::dirNB(2), protocols::dirNB(4),
           protocols::fullMap()}) {
-        runs.push_back(
-            [proto, &make]() { return runExperiment(alewife64(proto), make); });
+        runs.push_back([proto, &make, metrics]() {
+            MachineConfig cfg = alewife64(proto);
+            applyTelemetry(cfg, metrics, "fig8_weather_limited",
+                           cfg.protocol.name());
+            return runExperiment(cfg, make);
+        });
     }
     runSweep(table, std::move(runs), jobs);
     table.printBars(std::cout);
@@ -50,8 +55,11 @@ main(int argc, char **argv)
                     "flagged read-only");
     std::vector<std::function<ExperimentOutcome()>> opt_runs;
     for (const auto &proto : {protocols::dirNB(4), protocols::fullMap()}) {
-        opt_runs.push_back([proto, &make_opt]() {
-            return runExperiment(alewife64(proto), make_opt);
+        opt_runs.push_back([proto, &make_opt, metrics]() {
+            MachineConfig cfg = alewife64(proto);
+            applyTelemetry(cfg, metrics, "fig8_weather_optimized",
+                           cfg.protocol.name());
+            return runExperiment(cfg, make_opt);
         });
     }
     runSweep(opt, std::move(opt_runs), jobs);

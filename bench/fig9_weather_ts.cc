@@ -33,28 +33,27 @@ main(int argc, char **argv)
         "within ~15% of full-map at every Ts, Dir4NB >> both.");
 
     const unsigned jobs = parseJobsFlag(argc, argv);
+    const Tick metrics = parseMetricsIntervalFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
+
+    auto instrumented = [metrics, &make](ProtocolParams proto) {
+        return [proto, metrics, &make]() {
+            MachineConfig cfg = alewife64(proto);
+            applyTelemetry(cfg, metrics, "fig9_weather_ts",
+                           cfg.protocol.name());
+            return runExperiment(cfg, make);
+        };
+    };
 
     ResultTable table("Figure 9: weather, LimitLESS Ts sweep");
     const std::vector<Tick> ts_points = {150, 100, 50, 25};
     std::vector<std::function<ExperimentOutcome()>> runs;
-    runs.push_back([&make]() {
-        return runExperiment(alewife64(protocols::dirNB(4)), make);
-    });
-    for (Tick ts : ts_points) {
-        runs.push_back([ts, &make]() {
-            return runExperiment(alewife64(protocols::limitlessStall(4, ts)),
-                                 make);
-        });
-    }
-    runs.push_back([&make]() {
-        return runExperiment(alewife64(protocols::limitlessEmulated(4)),
-                             make);
-    });
-    runs.push_back([&make]() {
-        return runExperiment(alewife64(protocols::fullMap()), make);
-    });
+    runs.push_back(instrumented(protocols::dirNB(4)));
+    for (Tick ts : ts_points)
+        runs.push_back(instrumented(protocols::limitlessStall(4, ts)));
+    runs.push_back(instrumented(protocols::limitlessEmulated(4)));
+    runs.push_back(instrumented(protocols::fullMap()));
     runSweep(table, std::move(runs), jobs);
 
     // Rows 1..4 are the Ts sweep, in ts_points order.

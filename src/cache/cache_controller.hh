@@ -132,6 +132,9 @@ class CacheController
 
     bool idle() const { return _txns.empty() && _waiting.empty(); }
     std::size_t outstanding() const { return _txns.size(); }
+    /** Accesses queued behind an in-flight transaction on the same line
+     *  (telemetry gauge: MSHR-style backlog at the sample instant). */
+    std::size_t waitingAccesses() const { return _waiting.size(); }
 
     /**
      * Serialize the controller's protocol-relevant state (resident

@@ -29,6 +29,17 @@ enum class DirAdd
     overflow, ///< no pointer available (limited / LimitLESS hardware)
 };
 
+/**
+ * Point-in-time pointer-storage occupancy, for telemetry gauges: how full
+ * the hardware pointer arrays are across all materialized entries.
+ */
+struct DirOccupancy
+{
+    std::uint64_t entries = 0;      ///< lines with a materialized entry
+    std::uint64_t pointersUsed = 0; ///< pointers / presence bits in use
+    std::uint64_t pointerSlots = 0; ///< hardware slots across those entries
+};
+
 /** Abstract pointer-set directory storage. */
 class DirectoryScheme
 {
@@ -57,6 +68,11 @@ class DirectoryScheme
     virtual void sharers(Addr line, std::vector<NodeId> &out) const = 0;
 
     virtual std::size_t numSharers(Addr line) const = 0;
+
+    /** Accumulate current pointer-array occupancy into @p out. Walks the
+     *  entry table, so callers sample it (telemetry windows), never poll
+     *  it on the protocol hot path. */
+    virtual void occupancy(DirOccupancy &out) const = 0;
 
     virtual const char *name() const = 0;
 

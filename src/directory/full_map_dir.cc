@@ -86,4 +86,16 @@ FullMapDir::numSharers(Addr line) const
     return n;
 }
 
+void
+FullMapDir::occupancy(DirOccupancy &out) const
+{
+    out.entries += _entries.size();
+    for (const auto &[line, bits] : _entries) {
+        (void)line;
+        for (unsigned w = 0; w < _wordsPerEntry; ++w)
+            out.pointersUsed += std::popcount(bits[w]);
+        out.pointerSlots += _numNodes;
+    }
+}
+
 } // namespace limitless

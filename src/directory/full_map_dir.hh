@@ -30,6 +30,7 @@ class FullMapDir : public DirectoryScheme
     void clear(Addr line) override;
     void sharers(Addr line, std::vector<NodeId> &out) const override;
     std::size_t numSharers(Addr line) const override;
+    void occupancy(DirOccupancy &out) const override;
 
     const char *name() const override { return "full-map"; }
 

@@ -116,6 +116,17 @@ LimitedDir::numSharers(Addr line) const
     return e ? e->used : 0;
 }
 
+void
+LimitedDir::occupancy(DirOccupancy &out) const
+{
+    out.entries += _entries.size();
+    for (const auto &[line, e] : _entries) {
+        (void)line;
+        out.pointersUsed += e.used;
+        out.pointerSlots += _pointers;
+    }
+}
+
 NodeId
 LimitedDir::pickVictim(Addr line)
 {

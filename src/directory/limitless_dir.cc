@@ -194,4 +194,15 @@ LimitlessDir::pointersFull(Addr line) const
     return e && e->used >= _pointers;
 }
 
+void
+LimitlessDir::occupancy(DirOccupancy &out) const
+{
+    out.entries += _entries.size();
+    for (const auto &[line, e] : _entries) {
+        (void)line;
+        out.pointersUsed += e.used + (e.localBit ? 1 : 0);
+        out.pointerSlots += _pointers + (_useLocalBit ? 1 : 0);
+    }
+}
+
 } // namespace limitless

@@ -46,6 +46,7 @@ class LimitlessDir : public DirectoryScheme
     void clear(Addr line) override;
     void sharers(Addr line, std::vector<NodeId> &out) const override;
     std::size_t numSharers(Addr line) const override;
+    void occupancy(DirOccupancy &out) const override;
 
     const char *name() const override { return "limitless"; }
 

@@ -27,7 +27,14 @@ runExperiment(const MachineConfig &cfg,
     wl->verify(machine);
     CoherenceMonitor(machine).checkQuiescent();
 
+    std::string telemetry_path;
+    if (machine.telemetry() && !cfg.telemetryOut.empty()) {
+        machine.writeTelemetry(cfg.telemetryOut);
+        telemetry_path = cfg.telemetryOut;
+    }
+
     ExperimentOutcome out;
+    out.telemetryPath = telemetry_path;
     out.label = label.empty() ? cfg.protocol.name() : label;
     out.cycles = run.cycles;
     out.mcycles = static_cast<double>(run.cycles) / 1e6;

@@ -36,6 +36,10 @@ struct ExperimentOutcome
     std::uint64_t invsSent = 0;
     std::uint64_t networkPackets = 0;
 
+    /** Telemetry CSV written for this run (cfg.metricsInterval > 0 and
+     *  cfg.telemetryOut set); empty when telemetry was off. */
+    std::string telemetryPath;
+
     /** Mean per-phase decomposition of the remote-miss latency (request
      *  network / home service / software trap / invalidation fan-out /
      *  reply network), from the flight recorder's latency tracker. */

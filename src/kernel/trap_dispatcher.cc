@@ -4,6 +4,7 @@
 
 #include "kernel/limitless_handler.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/telemetry.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -59,6 +60,8 @@ TrapDispatcher::processNext()
         const Tick cost =
             _protocol->handlePacket(*pkt, outgoing, restore);
         _statCycles += cost;
+        if (_serviceHist)
+            _serviceHist->sample(cost);
         _proc.stallFor(cost);
         const Addr line = pkt->addr();
         const NodeId requester = pkt->src;

@@ -27,6 +27,7 @@ namespace limitless
 {
 
 class LimitlessHandler;
+class Log2Histogram;
 
 /** Software interrupt dispatch for one node. */
 class TrapDispatcher
@@ -57,6 +58,9 @@ class TrapDispatcher
 
     StatSet &stats() { return _stats; }
 
+    /** Telemetry sink for per-trap service cycles (null = disabled). */
+    void setServiceTimeSink(Log2Histogram *h) { _serviceHist = h; }
+
   private:
     void processNext();
     void handleInterruptPacket(const Packet &pkt);
@@ -66,6 +70,7 @@ class TrapDispatcher
     Processor &_proc;
     KernelCosts _costs;
     LimitlessHandler *_protocol = nullptr;
+    Log2Histogram *_serviceHist = nullptr; ///< telemetry, may be null
     std::unordered_map<std::uint16_t, std::vector<MessageHandler>>
         _services;
     bool _active = false;

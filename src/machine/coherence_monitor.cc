@@ -56,6 +56,7 @@ addViolation(std::vector<CoherenceViolation> &out, Addr line,
 panicOn(const CoherenceViolation &v)
 {
     FlightRecorder::instance().setPanicFocus(v.line);
+    FlightRecorder::instance().setPanicReason("coherence violation");
     panic("%s", v.what.c_str());
 }
 

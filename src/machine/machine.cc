@@ -1,12 +1,15 @@
 #include "machine/machine.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "obs/flight_recorder.hh"
 #include "obs/json.hh"
 #include "obs/stats_json.hh"
+#include "obs/telemetry.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -38,6 +41,208 @@ Machine::Machine(const MachineConfig &cfg)
     // Let tick-less components (directories) timestamp trace events off
     // this machine's clock.
     FlightRecorder::instance().setClock(&_eq);
+
+    if (cfg.metricsInterval > 0)
+        setupTelemetry();
+}
+
+void
+Machine::setupTelemetry()
+{
+    _telemetry = std::make_unique<Telemetry>(_eq, _cfg.metricsInterval);
+    Telemetry &t = *_telemetry;
+    t.setMeta("protocol", _cfg.protocol.name());
+    t.setMeta("nodes", std::to_string(_cfg.numNodes));
+    t.setMeta("seed", std::to_string(_cfg.seed));
+
+    // Counters are resolved once here; each probe is then a flat sum of
+    // pre-found pointers (the watchdog's idiom), so a sample never does
+    // name lookups.
+    using CompStat = std::pair<const char *, const char *>;
+    auto sum = [this](std::vector<CompStat> stats) {
+        std::vector<const Counter *> cs;
+        for (const auto &[comp, name] : stats)
+            for (const auto &node : _nodes)
+                if (const StatSet *set = node->statSet(comp))
+                    if (const Stat *s = set->find(name))
+                        cs.push_back(static_cast<const Counter *>(s));
+        return Telemetry::Probe([cs = std::move(cs)]() {
+            double total = 0.0;
+            for (const Counter *c : cs)
+                total += static_cast<double>(c->value());
+            return total;
+        });
+    };
+
+    t.addRate("proc.ops", sum({{"proc", "ops"}}));
+
+    // Cache layer: windowed miss / invalidation rates.
+    t.addRate("cache.misses", sum({{"cache", "misses"}}));
+    t.addRatio("cache.miss_rate", sum({{"cache", "misses"}}),
+               sum({{"cache", "hits"}, {"cache", "misses"}}));
+    t.addRate("cache.invs_rx", sum({{"cache", "invs_received"}}));
+    t.addGauge("cache.waiting", [this]() {
+        double n = 0.0;
+        for (const auto &node : _nodes)
+            n += static_cast<double>(node->cache().waitingAccesses());
+        return n;
+    });
+
+    // Home/directory layer. mem.m is the windowed overflow fraction;
+    // windows weighted by mem.reqs recover the run-level m exactly.
+    t.addRate("mem.reqs", sum({{"mem", "rreq"}, {"mem", "wreq"}}));
+    t.addRate("mem.traps",
+              sum({{"mem", "read_traps"}, {"mem", "write_traps"}}));
+    t.addRatio("mem.m",
+               sum({{"mem", "read_traps"}, {"mem", "write_traps"}}),
+               sum({{"mem", "rreq"}, {"mem", "wreq"}}));
+    t.addRate("mem.trap_cycles", sum({{"mem", "trap_cycles"}}));
+    t.addGauge("dir.entries", [this]() {
+        DirOccupancy occ;
+        for (const auto &node : _nodes)
+            node->mem().directory().occupancy(occ);
+        return static_cast<double>(occ.entries);
+    });
+    t.addGauge("dir.ptr_util", [this]() {
+        DirOccupancy occ;
+        for (const auto &node : _nodes)
+            node->mem().directory().occupancy(occ);
+        return occ.pointerSlots ? static_cast<double>(occ.pointersUsed) /
+                                      static_cast<double>(occ.pointerSlots)
+                                : 0.0;
+    });
+    t.addGauge("dir.sw_entries", [this]() {
+        double n = 0.0;
+        for (const auto &node : _nodes)
+            n += static_cast<double>(
+                node->mem().softwareTable().entries());
+        return n;
+    });
+    t.addGauge("dir.sw_bytes", [this]() {
+        double n = 0.0;
+        for (const auto &node : _nodes)
+            n += static_cast<double>(
+                node->mem().softwareTable().footprintBytes());
+        return n;
+    });
+
+    // Kernel layer: trap backlog and emulation occupancy. kern.occupancy
+    // is the fraction of this window's node-cycles spent in trap code
+    // (dispatcher occupancy + inline Ts charges), averaged over nodes.
+    t.addGauge("trap.queue_depth", [this]() {
+        double n = 0.0;
+        for (const auto &node : _nodes)
+            n += static_cast<double>(node->ipi().depth());
+        return n;
+    });
+    t.addGauge("trap.queue_max", [this]() {
+        std::size_t peak = 0;
+        for (const auto &node : _nodes)
+            peak = std::max(peak, node->ipi().depth());
+        return static_cast<double>(peak);
+    });
+    t.addRate("trap.cycles", sum({{"trap", "cycles"}}));
+    t.addRatio("kern.occupancy",
+               sum({{"trap", "cycles"}, {"mem", "trap_cycles"}}),
+               [this]() {
+                   return static_cast<double>(_eq.now()) * _cfg.numNodes;
+               });
+
+    // Network layer (mesh only): utilization is flit-hops per
+    // router-cycle, correct even for the final partial window because
+    // both deltas cover the same span.
+    if (auto *mesh = dynamic_cast<MeshNetwork *>(_net.get())) {
+        mesh->enableTelemetry();
+        const StatSet &ns = mesh->stats();
+        const auto *packets =
+            static_cast<const Counter *>(ns.find("packets"));
+        const auto *hops =
+            static_cast<const Counter *>(ns.find("flit_hops"));
+        auto hopProbe = [hops]() {
+            return static_cast<double>(hops->value());
+        };
+        t.addRate("net.packets", [packets]() {
+            return static_cast<double>(packets->value());
+        });
+        t.addRate("net.flit_hops", hopProbe);
+        t.addRatio("net.util", hopProbe, [this]() {
+            return static_cast<double>(_eq.now()) * _cfg.numNodes;
+        });
+        t.addGauge("net.peak_queue", [mesh]() {
+            return static_cast<double>(mesh->takeWindowPeakDepth());
+        });
+        t.addSummary("net_hotspots", [this, mesh](std::ostream &os) {
+            const auto *telem = mesh->meshTelemetry();
+            std::vector<std::pair<std::uint64_t, unsigned>> load;
+            load.reserve(telem->flitHops.size());
+            for (unsigned r = 0; r < telem->flitHops.size(); ++r)
+                load.emplace_back(telem->flitHops[r], r);
+            std::sort(load.begin(), load.end(), [](auto &a, auto &b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+            });
+            const unsigned width = _cfg.resolvedMeshWidth();
+            const std::size_t k = std::min<std::size_t>(8, load.size());
+            os << "[";
+            for (std::size_t i = 0; i < k; ++i) {
+                os << (i ? ", " : "")
+                   << "{\"router\": " << load[i].second
+                   << ", \"x\": " << load[i].second % width
+                   << ", \"y\": " << load[i].second / width
+                   << ", \"flit_hops\": " << load[i].first << "}";
+            }
+            os << "]";
+        });
+    }
+
+    // Per-node emulation occupancy detail (cumulative trap cycles per
+    // node at write time; 64 CSV columns would drown the time-series).
+    t.addSummary("trap_cycles_per_node", [this](std::ostream &os) {
+        auto counterOf = [](const StatSet *set, const char *name) {
+            const Stat *s = set ? set->find(name) : nullptr;
+            return s ? static_cast<const Counter *>(s)->value()
+                     : std::uint64_t{0};
+        };
+        os << "[";
+        for (std::size_t i = 0; i < _nodes.size(); ++i) {
+            const std::uint64_t cycles =
+                counterOf(_nodes[i]->statSet("trap"), "cycles") +
+                counterOf(_nodes[i]->statSet("mem"), "trap_cycles");
+            os << (i ? ", " : "") << cycles;
+        }
+        os << "]";
+    });
+
+    // Producer-side histogram sinks (the only telemetry cost the hot
+    // path ever sees, and only when this function has run).
+    Log2Histogram *ws = t.addHistogram(
+        "worker_set",
+        "worker-set size at RREQ/WREQ pre-dispatch (hw + sw sharers)",
+        10);
+    Log2Histogram *svc = t.addHistogram(
+        "trap_service", "trap service time per overflow (cycles)", 16);
+    for (auto &node : _nodes) {
+        node->mem().setTelemetrySinks(ws, svc);
+        node->dispatcher().setServiceTimeSink(svc);
+    }
+}
+
+std::string
+Machine::writeTelemetry(const std::string &csvPath) const
+{
+    if (!_telemetry)
+        fatal("writeTelemetry: telemetry disabled (metricsInterval == 0)");
+    std::ofstream csv(csvPath);
+    if (!csv)
+        fatal("cannot open telemetry CSV '%s'", csvPath.c_str());
+    _telemetry->writeCsv(csv);
+
+    const std::string jsonPath = telemetryJsonPathFor(csvPath);
+    std::ofstream js(jsonPath);
+    if (!js)
+        fatal("cannot open telemetry JSON '%s'", jsonPath.c_str());
+    _telemetry->writeJson(js);
+    return jsonPath;
 }
 
 Machine::~Machine()
@@ -79,6 +284,9 @@ Machine::run(Tick max_cycles)
     }
     for (auto &node : _nodes)
         node->processor().start();
+
+    if (_telemetry)
+        _telemetry->start([this]() { return allThreadsDone(); });
 
     auto all_done = [&]() { return finished == _spawned; };
 
@@ -147,6 +355,11 @@ Machine::run(Tick max_cycles)
     events += _eq.run();
     result.events = events;
     result.hostSeconds = host_elapsed();
+
+    // Close the final (partial) telemetry window so window deltas sum
+    // exactly to the run totals, drain traffic included.
+    if (_telemetry)
+        _telemetry->finish();
 
     // Hooks must not dangle past this call.
     for (auto &node : _nodes)
@@ -239,6 +452,7 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
 
     os << "{\n";
     os << "  \"schema\": \"limitless-stats-v1\",\n";
+    os << "  \"schema_version\": 1,\n";
     os << "  \"protocol\": ";
     jsonEscape(os, _cfg.protocol.name());
     os << ",\n";

@@ -22,6 +22,8 @@
 namespace limitless
 {
 
+class Telemetry;
+
 /** Outcome of Machine::run(). */
 struct RunResult
 {
@@ -101,13 +103,26 @@ class Machine
     void dumpStatsJson(std::ostream &os, Tick cycles = 0,
                        const RunResult *run = nullptr) const;
 
+    /** Interval-sampled metrics; non-null iff cfg.metricsInterval > 0.
+     *  Sampling starts/stops inside run(). */
+    Telemetry *telemetry() { return _telemetry.get(); }
+
+    /**
+     * Write the telemetry CSV to @p csvPath and its JSON sidecar next to
+     * it (telemetryJsonPathFor). @return the sidecar path. fatal()s when
+     * telemetry is disabled or a file cannot be opened.
+     */
+    std::string writeTelemetry(const std::string &csvPath) const;
+
   private:
+    void setupTelemetry();
     MachineConfig _cfg;
     EventQueue _eq;
     AddressMap _amap;
     CoherencePolicy _policy;
     std::unique_ptr<Network> _net;
     std::vector<std::unique_ptr<Node>> _nodes;
+    std::unique_ptr<Telemetry> _telemetry;
     unsigned _spawned = 0;
 };
 

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "cache/cache_controller.hh"
 #include "kernel/kernel_costs.hh"
@@ -59,6 +60,17 @@ struct MachineConfig
     std::size_t ipiInputCapacity = 16;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Telemetry sampling interval in simulated cycles; 0 (the default)
+     * disables the subsystem entirely — no sinks are installed and the
+     * instrumented hot paths see null pointers.
+     */
+    Tick metricsInterval = 0;
+
+    /** Telemetry CSV output path (harness convention; the JSON sidecar
+     *  lands next to it). Empty = caller writes explicitly. */
+    std::string telemetryOut;
 
     /** Watchdog: abort if no thread completes an op for this long. */
     Tick watchdogCycles = 4'000'000;

@@ -9,6 +9,7 @@
 #include "directory/limited_dir.hh"
 #include "mem/home/home_policy.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/telemetry.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -95,6 +96,19 @@ MemoryController::noteWriteTrap(Tick cycles)
 {
     _statWriteTraps += 1;
     _statTrapCycles += cycles;
+}
+
+std::size_t
+MemoryController::workerSetSize(Addr line) const
+{
+    if (_chained)
+        return _chained->chainLength(line);
+    std::vector<NodeId> all;
+    _dir->sharers(line, all);
+    _swTable.sharers(line, all);
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all.size();
 }
 
 double
@@ -366,6 +380,8 @@ MemoryController::chargeTrap(Tick cycles, NodeId requester, Addr line)
 {
     _extraDelay = cycles;
     _statTrapCycles += cycles;
+    if (_trapServiceHist)
+        _trapServiceHist->sample(cycles);
     FlightRecorder::instance().latency().onTrap(requester, line, cycles);
     {
         TraceEvent ev;
@@ -417,6 +433,13 @@ MemoryController::process(PacketPtr &pkt, bool bypass_meta)
     const Opcode op = pkt->opcode;
     HomeLine &hl = lineFor(line);
     home::HomeCtx ctx{*this, pkt, hl, bypass_meta};
+
+    // Worker-set profiling taps requests at the same pre-dispatch point
+    // the LimitLESS meta-state machine does (paper §6's Trap-Always
+    // profiler); bypass_meta re-entries are the same request again.
+    if (_wsProfile && !bypass_meta &&
+        (op == Opcode::RREQ || op == Opcode::WREQ))
+        _wsProfile->sample(workerSetSize(line));
 
     if (_homePolicy->preDispatch && _homePolicy->preDispatch(ctx))
         return;

@@ -59,6 +59,8 @@ namespace home
 struct HomePolicy;
 } // namespace home
 
+class Log2Histogram;
+
 /** Controller timing knobs. */
 struct MemParams
 {
@@ -109,6 +111,28 @@ class MemoryController
 
     /** Fraction of requests that took the software path (the model's m). */
     double overflowFraction() const;
+
+    /**
+     * Telemetry sinks (null = disabled, the default; the hot path pays
+     * one pointer test per request). @p worker_set receives the line's
+     * worker-set size at each RREQ/WREQ pre-dispatch — the same hook
+     * point the LimitLESS meta-state machine uses, so Trap-Always
+     * profiling and telemetry see identical populations. @p trap_service
+     * receives the Ts cycles of each stall-approximation trap charge.
+     */
+    void
+    setTelemetrySinks(Log2Histogram *worker_set, Log2Histogram *trap_service)
+    {
+        _wsProfile = worker_set;
+        _trapServiceHist = trap_service;
+    }
+
+    /**
+     * Size of the line's current worker set: hardware pointers plus any
+     * software-extended sharers (chain length for the chained scheme).
+     * O(sharers); telemetry-only, never on the un-instrumented hot path.
+     */
+    std::size_t workerSetSize(Addr line) const;
 
     // ------------------------------------------------------------------
     // Transition-action API: the per-scheme policy units in
@@ -321,6 +345,9 @@ class MemoryController
     Addr _mruWordsAddr = Addr(-1);
     LineWords *_mruWords = nullptr;
     std::unordered_set<std::uint32_t> _observed; ///< fired (state, op)
+
+    Log2Histogram *_wsProfile = nullptr;       ///< telemetry, may be null
+    Log2Histogram *_trapServiceHist = nullptr; ///< telemetry, may be null
 
     std::deque<PacketPtr> _queue;
     bool _serviceScheduled = false;

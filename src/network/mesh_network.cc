@@ -277,6 +277,8 @@ MeshNetwork::applyMove(const Move &move)
         router.nonEmptyMask &= ~(std::uint8_t{1} << move.fromPort);
     noteFlits(move.fromRouter, 0, 1);
     _statFlitHops += 1;
+    if (_telem)
+        ++_telem->flitHops[move.fromRouter];
 
     if (move.releaseOwner) {
         router.out[move.outPort].owner = -1;
@@ -293,6 +295,15 @@ MeshNetwork::applyMove(const Move &move)
         to.nonEmptyMask |= std::uint8_t{1} << move.toPort;
         noteFlits(move.toRouter, 1, 0);
     }
+}
+
+void
+MeshNetwork::enableTelemetry()
+{
+    if (_telem)
+        return;
+    _telem = std::make_unique<MeshTelemetry>();
+    _telem->flitHops.assign(_routers.size(), 0);
 }
 
 void

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "network/network.hh"
@@ -56,6 +57,34 @@ class MeshNetwork : public Network
 
     StatSet &stats() { return _stats; }
     const StatSet *statSet() const override { return &_stats; }
+
+    /**
+     * Per-router telemetry, allocated on demand so the un-instrumented
+     * hot path pays exactly one pointer test per flit hop. flitHops is
+     * cumulative per router (the mesh hotspot top-k is derived from it);
+     * the window peak is a reset-on-read high-water mark of flits
+     * buffered in any single router.
+     */
+    struct MeshTelemetry
+    {
+        std::vector<std::uint64_t> flitHops; ///< per router, cumulative
+        unsigned windowPeakDepth = 0;
+    };
+
+    void enableTelemetry();
+    const MeshTelemetry *meshTelemetry() const { return _telem.get(); }
+
+    /** Highest per-router buffered-flit count since the last call
+     *  (telemetry gauge; resets the high-water mark). */
+    unsigned
+    takeWindowPeakDepth()
+    {
+        if (!_telem)
+            return 0;
+        const unsigned peak = _telem->windowPeakDepth;
+        _telem->windowPeakDepth = 0;
+        return peak;
+    }
 
     /** Flits a given packet occupies on the wire. */
     unsigned
@@ -173,6 +202,8 @@ class MeshNetwork : public Network
         Router &router = _routers[r];
         router.flits += delta_add;
         router.flits -= delta_sub;
+        if (_telem && delta_add && router.flits > _telem->windowPeakDepth)
+            _telem->windowPeakDepth = router.flits;
         if (router.flits)
             _activeRouters[r / 64] |= std::uint64_t{1} << (r % 64);
         else
@@ -184,6 +215,7 @@ class MeshNetwork : public Network
     MeshNetworkParams _params;
     std::vector<Router> _routers;
     std::vector<Receiver> _receivers;
+    std::unique_ptr<MeshTelemetry> _telem; ///< null unless enabled
     std::uint64_t _activeFlits = 0;
     bool _tickScheduled = false;
 

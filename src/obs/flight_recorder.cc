@@ -49,7 +49,8 @@ FlightRecorder::FlightRecorder()
     // the same function, which dumps the panicking thread's own ring.
     setPanicHook([] {
         const FlightRecorder &fr = FlightRecorder::instance();
-        fr.dumpPostmortem(std::cerr, fr.panicFocus());
+        fr.dumpPostmortem(std::cerr, fr.panicFocus(), 64,
+                          fr.panicReason() ? fr.panicReason() : "panic");
     });
 }
 
@@ -153,7 +154,8 @@ FlightRecorder::writeTraceEvent(const TraceEvent &ev)
 
 void
 FlightRecorder::dumpPostmortem(std::ostream &os, Addr line,
-                               std::size_t maxEvents) const
+                               std::size_t maxEvents,
+                               const char *reason) const
 {
     // Collect the matching tail of the ring, oldest first.
     std::vector<const TraceEvent *> match;
@@ -167,8 +169,10 @@ FlightRecorder::dumpPostmortem(std::ostream &os, Addr line,
     const std::size_t skip =
         match.size() > maxEvents ? match.size() - maxEvents : 0;
 
-    os << "==== postmortem: last " << (match.size() - skip)
-       << " protocol events";
+    os << "==== postmortem @" << now();
+    if (reason)
+        os << " (" << reason << ")";
+    os << ": last " << (match.size() - skip) << " protocol events";
     if (line)
         os << " for line 0x" << std::hex << line << std::dec;
     os << " ====\n";
@@ -204,6 +208,7 @@ FlightRecorder::resetRun()
     _latency.reset();
     _clock = nullptr;
     _panicFocus = 0;
+    _panicReason = nullptr;
 }
 
 } // namespace limitless

@@ -110,15 +110,22 @@ class FlightRecorder
     /// @{
     void setRingCapacity(std::size_t events);
     /** Dump the buffered history (filtered to @p line unless 0) in
-     *  chronological order. Invoked by panic() via the hook installed
-     *  in the constructor, and by CoherenceMonitor before it panics. */
+     *  chronological order, headed by the dump-trigger tick and
+     *  @p reason so the dump correlates with telemetry windows. Invoked
+     *  by panic() via the hook installed in the constructor, and by
+     *  CoherenceMonitor before it panics. */
     void dumpPostmortem(std::ostream &os, Addr line = 0,
-                        std::size_t maxEvents = 64) const;
+                        std::size_t maxEvents = 64,
+                        const char *reason = nullptr) const;
     /** Focus the panic-hook postmortem on one line (0 = whole ring).
      *  Invariant checkers set this while examining a line so a panic
      *  dumps only that line's causal history. */
     void setPanicFocus(Addr line) { _panicFocus = line; }
     Addr panicFocus() const { return _panicFocus; }
+    /** Label the panic-hook postmortem's trigger (static string only —
+     *  read inside the panic path; e.g. "coherence violation"). */
+    void setPanicReason(const char *reason) { _panicReason = reason; }
+    const char *panicReason() const { return _panicReason; }
     /// @}
 
     LatencyTracker &latency() { return _latency; }
@@ -144,6 +151,7 @@ class FlightRecorder
     std::size_t _ringMask = 0;  ///< capacity - 1 (capacity is a power of 2)
     std::size_t _ringCount = 0; ///< valid events in the ring
     Addr _panicFocus = 0;
+    const char *_panicReason = nullptr;
 
     LatencyTracker _latency;
 };

@@ -244,8 +244,11 @@ TEST(PostmortemRing, ViolationDumpsEventHistoryForLine)
         CacheState::readWrite;
     m.node(1).cache().array().lookup(line)->state =
         CacheState::readWrite;
+    // The dump header carries the trigger tick and reason (satellite
+    // fix: correlating a panic dump with telemetry windows needs both).
     EXPECT_DEATH(CoherenceMonitor(m).checkGlobalInvariants(),
-                 "postmortem: last .* protocol events for line");
+                 "postmortem @[0-9]+ \\(coherence violation\\): "
+                 "last .* protocol events for line");
 }
 
 // -------------------------------------------------- stats JSON export

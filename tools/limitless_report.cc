@@ -1,0 +1,675 @@
+/**
+ * @file
+ * limitless-report: turn one run's telemetry (CSV + JSON sidecar,
+ * written by --metrics-interval) and optional --stats-json into a
+ * single self-contained HTML report — inline CSS/JS, no external
+ * dependencies, openable from a CI artifact or a laptop.
+ *
+ * The report renders small-multiple time-series charts (one metric per
+ * chart, grouped by subsystem prefix), the Figure-10-style worker-set
+ * and trap-service log2 histograms, the remote-miss latency phase
+ * breakdown as a stacked bar, and the mesh hotspot table.
+ *
+ * Examples:
+ *   limitless-report --telemetry telemetry.csv
+ *   limitless-report --telemetry TELEM_fig8_weather_limited_Dir4NB.csv \
+ *                    --stats-json stats.json --out dir4nb.html
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/cli.hh"
+#include "obs/json.hh"
+#include "obs/telemetry.hh"
+#include "sim/log.hh"
+
+using namespace limitless;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "limitless-report — self-contained HTML report from telemetry\n\n"
+        "  --telemetry <file.csv>  telemetry CSV from --metrics-interval "
+        "(required;\n"
+        "                          the .json sidecar is picked up "
+        "automatically)\n"
+        "  --stats-json <file>     stats JSON from --stats-json, for the "
+        "latency\n"
+        "                          phase breakdown (optional)\n"
+        "  --out <file>            output HTML (default report.html)\n"
+        "  --title <text>          report title (default: derived from "
+        "the CSV)\n"
+        "  --help\n";
+}
+
+std::string
+readFile(const std::string &path, bool *ok = nullptr)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (ok) {
+            *ok = false;
+            return "";
+        }
+        fatal("cannot read '%s'", path.c_str());
+    }
+    if (ok)
+        *ok = true;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+baseName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Reject inputs that are not what they claim before emitting a report
+ *  that would render empty: wrong schema line, missing header, or a
+ *  CSV with zero sample windows. */
+void
+validateCsv(const std::string &csv, const std::string &path)
+{
+    std::istringstream in(csv);
+    std::string line;
+    if (!std::getline(in, line) ||
+        line != std::string("# schema: ") + Telemetry::csvSchema())
+        fatal("%s: not a telemetry CSV (expected '# schema: %s')",
+              path.c_str(), Telemetry::csvSchema());
+    if (!std::getline(in, line) || line.compare(0, 5, "tick,") != 0)
+        fatal("%s: missing 'tick,...' header row", path.c_str());
+    if (!std::getline(in, line) || line.empty())
+        fatal("%s: no sample rows (zero windows)", path.c_str());
+}
+
+// The page skeleton. Colors are the validated reference palette
+// (docs/OBSERVABILITY.md records the validation): series slots 1-8
+// light/dark, ink tokens, hairline grid. Dark mode is its own stepped
+// set, switched by OS preference or the toggle (data-theme wins).
+const char *kHead = R"html(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+  --grid: #2c2c2a; --axis: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+  --series-7: #9085e9; --series-8: #e66767;
+}
+* { box-sizing: border-box; }
+body { margin: 0; }
+.viz-root {
+  background: var(--page); color: var(--ink-1); min-height: 100vh;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; padding: 24px;
+}
+header { display: flex; align-items: baseline; gap: 16px;
+  flex-wrap: wrap; margin-bottom: 4px; }
+h1 { font-size: 20px; margin: 0; }
+h2 { font-size: 16px; margin: 28px 0 4px; }
+h3 { font-size: 13px; font-weight: 600; color: var(--ink-2);
+  margin: 16px 0 8px; }
+.meta { color: var(--ink-2); font-size: 13px; }
+#theme-toggle { margin-left: auto; font: inherit; font-size: 12px;
+  color: var(--ink-2); background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 4px 10px; cursor: pointer; }
+.grid { display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(330px, 1fr)); }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 12px 6px; }
+.card .name { font-size: 12px; color: var(--ink-2); margin: 0 0 4px; }
+.card .desc { font-size: 11px; color: var(--ink-3); margin: 0 0 4px; }
+svg { display: block; width: 100%; height: auto; }
+svg text { font-family: inherit; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+.baseline { stroke: var(--axis); stroke-width: 1; }
+.axis-label { fill: var(--ink-3); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+.val-label { fill: var(--ink-3); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+.series-line { fill: none; stroke-width: 2; stroke-linejoin: round;
+  stroke-linecap: round; }
+.crosshair { stroke: var(--axis); stroke-width: 1; }
+.hoverdot { stroke: var(--surface-1); stroke-width: 2; }
+.s1 { fill: var(--series-1); } .s2 { fill: var(--series-2); }
+.s3 { fill: var(--series-3); } .s4 { fill: var(--series-4); }
+.s5 { fill: var(--series-5); } .s6 { fill: var(--series-6); }
+.st1 { stroke: var(--series-1); }
+.legend { display: flex; flex-wrap: wrap; gap: 6px 18px;
+  margin: 10px 0 4px; font-size: 12px; color: var(--ink-2); }
+.legend .item { display: flex; align-items: center; gap: 6px; }
+.legend .swatch { width: 10px; height: 10px; border-radius: 2px;
+  display: inline-block; }
+.legend .val { color: var(--ink-1);
+  font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; font-size: 13px; margin-top: 4px; }
+th { text-align: right; font-weight: 600; color: var(--ink-3);
+  padding: 4px 14px 4px 0; border-bottom: 1px solid var(--axis); }
+td { text-align: right; padding: 4px 14px 4px 0;
+  font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--grid); }
+.tooltip { position: fixed; pointer-events: none; z-index: 10;
+  background: var(--surface-1); color: var(--ink-1);
+  border: 1px solid var(--border); border-radius: 6px;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+  padding: 5px 9px; font-size: 12px;
+  font-variant-numeric: tabular-nums; display: none; }
+.tooltip .tt-name { color: var(--ink-2); }
+footer { margin-top: 32px; color: var(--ink-3); font-size: 11px; }
+.error { color: var(--ink-1); background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px; padding: 16px; }
+</style>
+</head>
+<body>
+<div class="viz-root">
+<header>
+  <h1 id="title"></h1>
+  <div class="meta" id="meta"></div>
+  <button id="theme-toggle" type="button">dark</button>
+</header>
+<main id="report"></main>
+<footer id="foot"></footer>
+<div class="tooltip" id="tooltip"></div>
+</div>
+<script>
+'use strict';
+)html";
+
+// The renderer. Mark/interaction conventions: one metric per chart (one
+// axis, no dual scales), 2px lines, hairline grids, hover crosshair +
+// tooltip everywhere, text in ink tokens only, legend + visible values
+// for the multi-series stacked bar, table views for per-router and
+// per-node detail.
+const char *kScript = R"js(
+function parseCsv(text) {
+  const lines = text.split('\n').map(s => s.trim()).filter(s => s);
+  const data = lines.filter(s => s[0] !== '#');
+  if (!data.length) throw new Error('telemetry CSV is empty');
+  const header = data[0].split(',');
+  if (header[0] !== 'tick') throw new Error('telemetry CSV header must start with tick');
+  const rows = data.slice(1).map(s => s.split(',').map(Number));
+  return {header: header, rows: rows};
+}
+
+function fmt(v) {
+  if (!isFinite(v)) return '–';
+  const a = Math.abs(v);
+  if (a >= 1e9) return (v / 1e9).toFixed(a >= 1e10 ? 0 : 1) + 'G';
+  if (a >= 1e6) return (v / 1e6).toFixed(a >= 1e7 ? 0 : 1) + 'M';
+  if (a >= 1e3) return (v / 1e3).toFixed(a >= 1e4 ? 0 : 1) + 'k';
+  if (a === 0) return '0';
+  if (a < 0.01) return v.toExponential(1);
+  if (a < 1) return v.toFixed(3);
+  return Number.isInteger(v) ? String(v) : v.toFixed(2);
+}
+
+function el(tag, cls, text) {
+  const e = document.createElement(tag);
+  if (cls) e.className = cls;
+  if (text !== undefined) e.textContent = text;
+  return e;
+}
+
+function svgEl(tag, attrs) {
+  const e = document.createElementNS('http://www.w3.org/2000/svg', tag);
+  for (const k in attrs) e.setAttribute(k, attrs[k]);
+  return e;
+}
+
+const tooltip = document.getElementById('tooltip');
+function showTip(ev, name, value) {
+  tooltip.innerHTML = '';
+  tooltip.appendChild(el('span', 'tt-name', name + ' '));
+  tooltip.appendChild(el('strong', '', value));
+  tooltip.style.display = 'block';
+  const w = tooltip.offsetWidth, winW = window.innerWidth;
+  let x = ev.clientX + 14;
+  if (x + w > winW - 8) x = ev.clientX - w - 14;
+  tooltip.style.left = x + 'px';
+  tooltip.style.top = (ev.clientY + 12) + 'px';
+}
+function hideTip() { tooltip.style.display = 'none'; }
+
+function maxOf(vals) {
+  let m = -Infinity;
+  for (const v of vals) if (v > m) m = v;
+  return m;
+}
+function minOf(vals) {
+  let m = Infinity;
+  for (const v of vals) if (v < m) m = v;
+  return m;
+}
+
+/* One small-multiple time-series chart: a single 2px line on its own
+ * axis, 0-anchored unless values go negative, crosshair hover. */
+function lineChart(name, ticks, vals) {
+  const W = 330, H = 130, ML = 46, MR = 10, MT = 8, MB = 18;
+  const pw = W - ML - MR, ph = H - MT - MB;
+  let lo = Math.min(0, minOf(vals)), hi = maxOf(vals);
+  if (!(hi > lo)) hi = lo + 1;
+  const X = i => ML + (ticks.length < 2 ? pw / 2 : pw * i / (ticks.length - 1));
+  const Y = v => MT + ph - ph * (v - lo) / (hi - lo);
+  const svg = svgEl('svg', {viewBox: '0 0 ' + W + ' ' + H});
+  for (const f of [1, 0.5]) {
+    const v = lo + (hi - lo) * f, y = Y(v);
+    svg.appendChild(svgEl('line',
+      {x1: ML, x2: W - MR, y1: y, y2: y, 'class': 'gridline'}));
+    const t = svgEl('text',
+      {x: ML - 5, y: y + 3, 'text-anchor': 'end', 'class': 'axis-label'});
+    t.textContent = fmt(v);
+    svg.appendChild(t);
+  }
+  const y0 = Y(Math.max(lo, 0));
+  svg.appendChild(svgEl('line',
+    {x1: ML, x2: W - MR, y1: y0, y2: y0, 'class': 'baseline'}));
+  for (const [i, anchor] of [[0, 'start'], [ticks.length - 1, 'end']]) {
+    const t = svgEl('text', {x: X(i), y: H - 5, 'text-anchor': anchor,
+                             'class': 'axis-label'});
+    t.textContent = fmt(ticks[i]);
+    svg.appendChild(t);
+  }
+  let pts = '';
+  for (let i = 0; i < vals.length; i++)
+    pts += (i ? ' ' : '') + X(i).toFixed(1) + ',' + Y(vals[i]).toFixed(1);
+  svg.appendChild(svgEl('polyline',
+    {points: pts, 'class': 'series-line st1'}));
+  const cross = svgEl('line',
+    {x1: 0, x2: 0, y1: MT, y2: MT + ph, 'class': 'crosshair',
+     visibility: 'hidden'});
+  const dot = svgEl('circle',
+    {r: 4, 'class': 'hoverdot s1', visibility: 'hidden'});
+  svg.appendChild(cross);
+  svg.appendChild(dot);
+  const hot = svgEl('rect', {x: ML, y: MT, width: pw, height: ph,
+                             fill: 'transparent'});
+  hot.addEventListener('mousemove', ev => {
+    const r = svg.getBoundingClientRect();
+    const px = (ev.clientX - r.left) * W / r.width;
+    let i = Math.round((px - ML) / pw * (ticks.length - 1));
+    i = Math.max(0, Math.min(ticks.length - 1, i));
+    const x = X(i), y = Y(vals[i]);
+    cross.setAttribute('x1', x); cross.setAttribute('x2', x);
+    cross.setAttribute('visibility', 'visible');
+    dot.setAttribute('cx', x); dot.setAttribute('cy', y);
+    dot.setAttribute('visibility', 'visible');
+    showTip(ev, '@' + fmt(ticks[i]), fmt(vals[i]));
+  });
+  hot.addEventListener('mouseleave', () => {
+    cross.setAttribute('visibility', 'hidden');
+    dot.setAttribute('visibility', 'hidden');
+    hideTip();
+  });
+  svg.appendChild(hot);
+  const card = el('div', 'card');
+  card.appendChild(el('p', 'name', name));
+  card.appendChild(svg);
+  return card;
+}
+
+/* Bar with a rounded data-end anchored on a square baseline. */
+function barPath(x, w, yTop, yBase, r) {
+  r = Math.min(r, w / 2, Math.abs(yBase - yTop));
+  return 'M' + x + ',' + yBase +
+         ' L' + x + ',' + (yTop + r) +
+         ' Q' + x + ',' + yTop + ' ' + (x + r) + ',' + yTop +
+         ' L' + (x + w - r) + ',' + yTop +
+         ' Q' + (x + w) + ',' + yTop + ' ' + (x + w) + ',' + (yTop + r) +
+         ' L' + (x + w) + ',' + yBase + ' Z';
+}
+
+/* Vertical bar chart used for the log2 histograms (Figure-10 style) and
+ * the per-node breakdown. labelEvery: 1 labels each bar's value; 0
+ * labels only the max (selective labeling for dense charts). */
+function barChart(labels, counts, opts) {
+  const W = 460, H = 185, ML = 42, MR = 8, MT = 16, MB = 24;
+  const pw = W - ML - MR, ph = H - MT - MB;
+  const hi = Math.max(1, maxOf(counts));
+  const n = counts.length;
+  const gap = n > 24 ? 1 : 2;
+  const bw = Math.max(1, pw / n - gap);
+  const Y = v => MT + ph - ph * v / hi;
+  const svg = svgEl('svg', {viewBox: '0 0 ' + W + ' ' + H});
+  for (const f of [1, 0.5]) {
+    const y = Y(hi * f);
+    svg.appendChild(svgEl('line',
+      {x1: ML, x2: W - MR, y1: y, y2: y, 'class': 'gridline'}));
+    const t = svgEl('text',
+      {x: ML - 5, y: y + 3, 'text-anchor': 'end', 'class': 'axis-label'});
+    t.textContent = fmt(hi * f);
+    svg.appendChild(t);
+  }
+  svg.appendChild(svgEl('line', {x1: ML, x2: W - MR, y1: MT + ph,
+                                 y2: MT + ph, 'class': 'baseline'}));
+  const maxIdx = counts.indexOf(maxOf(counts));
+  for (let i = 0; i < n; i++) {
+    const x = ML + (pw / n) * i + gap / 2;
+    if (counts[i] > 0) {
+      const p = svgEl('path',
+        {d: barPath(x, bw, Y(counts[i]), MT + ph, 4), 'class': 's1'});
+      p.addEventListener('mousemove',
+        ev => showTip(ev, labels[i], fmt(counts[i]) +
+          (opts.pctOf ? ' (' + (100 * counts[i] / opts.pctOf).toFixed(1)
+                        + '%)' : '')));
+      p.addEventListener('mouseleave', hideTip);
+      svg.appendChild(p);
+    }
+    if (counts[i] > 0 && (opts.labelEvery ? true : i === maxIdx)) {
+      const t = svgEl('text', {x: x + bw / 2, y: Y(counts[i]) - 4,
+                               'text-anchor': 'middle',
+                               'class': 'val-label'});
+      t.textContent = fmt(counts[i]);
+      svg.appendChild(t);
+    }
+    if (opts.labelEvery || i % Math.ceil(n / 8) === 0) {
+      const t = svgEl('text', {x: x + bw / 2, y: H - 5,
+                               'text-anchor': 'middle',
+                               'class': 'axis-label'});
+      t.textContent = labels[i];
+      svg.appendChild(t);
+    }
+  }
+  return svg;
+}
+
+function histCard(name, h) {
+  let n = h.buckets.length;
+  while (n > 4 && h.buckets[n - 1] === 0) n--;
+  const card = el('div', 'card');
+  card.appendChild(el('p', 'name', name));
+  card.appendChild(el('p', 'desc',
+    h.desc + ' — ' + fmt(h.count) + ' samples'));
+  card.appendChild(barChart(h.labels.slice(0, n), h.buckets.slice(0, n),
+                            {labelEvery: 1, pctOf: h.count}));
+  return card;
+}
+
+/* Latency phase breakdown: one horizontal stacked bar (categorical
+ * slots 1-5 in palette order), 2px surface gaps between segments, and a
+ * legend that carries name + value visibly (the low-contrast light
+ * slots lean on these labels, per the palette's relief rule). */
+const PHASES = [
+  ['req_net', 'request net', 1], ['home', 'home service', 2],
+  ['trap', 'software trap', 3], ['inv', 'invalidation', 4],
+  ['reply_net', 'reply net', 5]];
+function phaseCard(phases) {
+  const W = 680, H = 34, R = 4, GAP = 2;
+  const total = phases.total > 0 ? phases.total : 1;
+  const card = el('div', 'card');
+  card.appendChild(el('p', 'name',
+    'mean remote-miss latency by phase — ' + fmt(phases.total) +
+    ' cycles over ' + fmt(phases.count) + ' misses'));
+  const svg = svgEl('svg', {viewBox: '0 0 ' + W + ' ' + H});
+  const clipId = 'phase-clip';
+  const clip = svgEl('clipPath', {id: clipId});
+  clip.appendChild(svgEl('rect', {x: 0, y: 0, width: W, height: H,
+                                  rx: R}));
+  svg.appendChild(clip);
+  const g = svgEl('g', {'clip-path': 'url(#' + clipId + ')'});
+  let x = 0;
+  for (const [key, label, slot] of PHASES) {
+    const v = phases[key] || 0;
+    const w = W * v / total;
+    if (w <= 0) continue;
+    const r = svgEl('rect', {x: x, y: 0, width: Math.max(0, w - GAP),
+                             height: H, 'class': 's' + slot});
+    r.addEventListener('mousemove', ev => showTip(ev, label,
+      fmt(v) + ' cyc (' + (100 * v / total).toFixed(1) + '%)'));
+    r.addEventListener('mouseleave', hideTip);
+    g.appendChild(r);
+    x += w;
+  }
+  svg.appendChild(g);
+  card.appendChild(svg);
+  const legend = el('div', 'legend');
+  for (const [key, label, slot] of PHASES) {
+    const item = el('span', 'item');
+    const sw = el('span', 'swatch');
+    sw.style.background = 'var(--series-' + slot + ')';
+    item.appendChild(sw);
+    item.appendChild(el('span', '', label));
+    item.appendChild(el('span', 'val', fmt(phases[key] || 0) + ' cyc ('
+      + (100 * (phases[key] || 0) / total).toFixed(1) + '%)'));
+    legend.appendChild(item);
+  }
+  card.appendChild(legend);
+  return card;
+}
+
+function hotspotCard(rows) {
+  const card = el('div', 'card');
+  card.appendChild(el('p', 'name',
+    'mesh hotspots — top routers by flit-hops forwarded'));
+  const table = el('table');
+  const hr = el('tr');
+  for (const h of ['router', 'x', 'y', 'flit-hops'])
+    hr.appendChild(el('th', '', h));
+  table.appendChild(hr);
+  for (const r of rows) {
+    const tr = el('tr');
+    for (const v of [r.router, r.x, r.y, fmt(r.flit_hops)])
+      tr.appendChild(el('td', '', String(v)));
+    table.appendChild(tr);
+  }
+  card.appendChild(table);
+  return card;
+}
+
+const GROUPS = [
+  ['proc', 'Processors'], ['cache', 'Caches'],
+  ['mem', 'Home controllers'], ['dir', 'Directory occupancy'],
+  ['trap', 'Trap kernel'], ['kern', 'Kernel'], ['net', 'Network']];
+
+function render() {
+  document.getElementById('title').textContent = TITLE;
+  document.title = TITLE;
+  const main = document.getElementById('report');
+  const csv = parseCsv(TELEMETRY_CSV);
+  const ticks = csv.rows.map(r => r[0]);
+
+  const meta = [];
+  if (TELEMETRY && TELEMETRY.meta) {
+    for (const k of ['protocol', 'nodes', 'seed'])
+      if (TELEMETRY.meta[k] !== undefined)
+        meta.push(k + ' ' + TELEMETRY.meta[k]);
+    meta.push('interval ' + fmt(TELEMETRY.interval) + ' cyc');
+  }
+  meta.push(csv.rows.length + ' windows');
+  document.getElementById('meta').textContent = meta.join(' · ');
+
+  main.appendChild(el('h2', '', 'Time series'));
+  const byGroup = {};
+  for (let c = 1; c < csv.header.length; c++) {
+    const name = csv.header[c];
+    const prefix = name.indexOf('.') > 0 ?
+      name.slice(0, name.indexOf('.')) : name;
+    (byGroup[prefix] = byGroup[prefix] || []).push(c);
+  }
+  const order = GROUPS.map(g => g[0]);
+  const prefixes = Object.keys(byGroup).sort((a, b) => {
+    const ia = order.indexOf(a), ib = order.indexOf(b);
+    return (ia < 0 ? 99 : ia) - (ib < 0 ? 99 : ib);
+  });
+  for (const p of prefixes) {
+    const title = (GROUPS.find(g => g[0] === p) || [p, p])[1];
+    main.appendChild(el('h3', '', title));
+    const grid = el('div', 'grid');
+    for (const c of byGroup[p])
+      grid.appendChild(lineChart(csv.header[c], ticks,
+                                 csv.rows.map(r => r[c])));
+    main.appendChild(grid);
+  }
+
+  if (TELEMETRY && TELEMETRY.histograms &&
+      Object.keys(TELEMETRY.histograms).length) {
+    main.appendChild(el('h2', '', 'Histograms'));
+    const grid = el('div', 'grid');
+    grid.style.gridTemplateColumns =
+      'repeat(auto-fill, minmax(470px, 1fr))';
+    for (const name in TELEMETRY.histograms)
+      grid.appendChild(histCard(name, TELEMETRY.histograms[name]));
+    main.appendChild(grid);
+  }
+
+  if (STATS && STATS.phases && STATS.phases.count > 0) {
+    main.appendChild(el('h2', '', 'Latency phases'));
+    main.appendChild(phaseCard(STATS.phases));
+  }
+
+  const summaries = (TELEMETRY && TELEMETRY.summaries) || {};
+  if (summaries.net_hotspots && summaries.net_hotspots.length) {
+    main.appendChild(el('h2', '', 'Network hotspots'));
+    main.appendChild(hotspotCard(summaries.net_hotspots));
+  }
+  if (summaries.trap_cycles_per_node &&
+      maxOf(summaries.trap_cycles_per_node) > 0) {
+    main.appendChild(el('h2', '', 'Emulation occupancy'));
+    const card = el('div', 'card');
+    card.appendChild(el('p', 'name',
+      'cumulative trap cycles per node (dispatcher + inline charges)'));
+    const v = summaries.trap_cycles_per_node;
+    card.appendChild(barChart(v.map((_, i) => String(i)), v,
+                              {labelEvery: 0}));
+    main.appendChild(card);
+  }
+
+  const foot = ['telemetry schema ' +
+    (TELEMETRY ? TELEMETRY.schema + ' v' + TELEMETRY.schema_version
+               : 'csv only')];
+  if (STATS) foot.push('stats schema ' + STATS.schema + ' v' +
+                       STATS.schema_version);
+  document.getElementById('foot').textContent =
+    foot.join(' · ') + ' · generated by limitless-report';
+}
+
+document.getElementById('theme-toggle').addEventListener('click', () => {
+  const root = document.documentElement;
+  const dark = root.dataset.theme === 'dark' ||
+    (root.dataset.theme !== 'light' &&
+     window.matchMedia('(prefers-color-scheme: dark)').matches);
+  root.dataset.theme = dark ? 'light' : 'dark';
+  document.getElementById('theme-toggle').textContent =
+    dark ? 'dark' : 'light';
+});
+
+try {
+  render();
+} catch (err) {
+  const box = el('div', 'error',
+    'report failed to render: ' + err.message);
+  document.getElementById('report').appendChild(box);
+}
+</script>
+</body>
+</html>
+)js";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::map<std::string, bool> known = {
+        {"telemetry", true}, {"stats-json", true},
+        {"out", true},       {"title", true},
+        {"help", false},
+    };
+    const CliOptions opts = CliOptions::parse(argc, argv, known);
+    if (opts.has("help") || argc == 1) {
+        usage();
+        return 0;
+    }
+    if (!opts.has("telemetry"))
+        fatal("--telemetry <file.csv> is required");
+
+    const std::string csvPath = opts.str("telemetry");
+    const std::string csv = readFile(csvPath);
+    validateCsv(csv, csvPath);
+
+    // Sidecar JSON (histograms + summaries). Optional: a report from a
+    // bare CSV still renders the time-series sections.
+    const std::string jsonPath = telemetryJsonPathFor(csvPath);
+    bool haveJson = false;
+    const std::string telemJson = readFile(jsonPath, &haveJson);
+    if (haveJson &&
+        telemJson.find(Telemetry::jsonSchema()) == std::string::npos)
+        fatal("%s: not a telemetry JSON sidecar (expected schema %s)",
+              jsonPath.c_str(), Telemetry::jsonSchema());
+
+    bool haveStats = false;
+    std::string statsJson;
+    if (opts.has("stats-json")) {
+        statsJson = readFile(opts.str("stats-json"));
+        haveStats = true;
+        if (statsJson.find("limitless-stats-v") == std::string::npos)
+            fatal("%s: not a limitless-sim stats JSON",
+                  opts.str("stats-json").c_str());
+    }
+
+    const std::string title =
+        opts.has("title") ? opts.str("title")
+                          : "LimitLESS telemetry — " +
+                                baseName(csvPath);
+    const std::string outPath = opts.str("out", "report.html");
+    std::ofstream out(outPath);
+    if (!out)
+        fatal("cannot write '%s'", outPath.c_str());
+
+    out << kHead;
+    out << "const TITLE = ";
+    jsonEscape(out, title);
+    out << ";\nconst TELEMETRY_CSV = ";
+    jsonEscape(out, csv);
+    out << ";\nconst TELEMETRY = "
+        << (haveJson ? telemJson : std::string("null"))
+        << ";\nconst STATS = " << (haveStats ? statsJson : "null")
+        << ";\n";
+    out << kScript;
+    if (!out)
+        fatal("write to '%s' failed", outPath.c_str());
+    out.close();
+
+    std::cout << "report: " << outPath << " (from " << csvPath
+              << (haveJson ? " + " + jsonPath : "")
+              << (haveStats ? " + " + opts.str("stats-json") : "")
+              << ")\n";
+    return 0;
+}

@@ -74,6 +74,11 @@ usage()
         "  --trace-lines <a,b,..> restrict the streamed trace to these "
         "line addresses\n"
         "  --stats-json <file>    write the machine's stats as JSON\n"
+        "  --metrics-interval <n> sample telemetry every n cycles "
+        "(0 = off)\n"
+        "  --metrics-out <file>   telemetry CSV path (default "
+        "telemetry.csv;\n"
+        "                         a .json sidecar is written alongside)\n"
         "  --dump-protocol-table  print every scheme's transition tables "
         "and exit\n"
         "  --log <tag>            enable debug logging (mem, cache, net, "
@@ -98,6 +103,7 @@ main(int argc, char **argv)
         {"log", true},           {"help", false},
         {"trace-out", true},     {"trace-lines", true},
         {"stats-json", true},    {"dump-protocol-table", false},
+        {"metrics-interval", true}, {"metrics-out", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -139,6 +145,9 @@ main(int argc, char **argv)
         cfg.network = NetworkKind::ideal;
     if (opts.str("memory-model", "sc") == "weak")
         cfg.proc.memoryModel = MemoryModel::weak;
+    cfg.metricsInterval =
+        static_cast<Tick>(opts.num("metrics-interval", 0));
+    cfg.telemetryOut = opts.str("metrics-out", "telemetry.csv");
 
     FlightRecorder &fr = FlightRecorder::instance();
     fr.latency().reset();
@@ -243,6 +252,11 @@ main(int argc, char **argv)
     if (opts.has("trace-out"))
         std::cout << "event trace:       " << opts.str("trace-out")
                   << "\n";
+    if (machine.telemetry()) {
+        const std::string json = machine.writeTelemetry(cfg.telemetryOut);
+        std::cout << "telemetry:         " << cfg.telemetryOut << " + "
+                  << json << "\n";
+    }
     if (opts.has("stats-json")) {
         std::ofstream out(opts.str("stats-json"));
         if (!out)
