@@ -89,6 +89,18 @@ parseMetricsIntervalFlag(int argc, char **argv)
     return 0;
 }
 
+/** `--txn-trace`: per-transaction causal tracing for every run in the
+ *  sweep (off by default — and then nothing below changes a bench's
+ *  behaviour or output). */
+inline bool
+parseTxnTraceFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--txn-trace"))
+            return true;
+    return false;
+}
+
 /** File-name-safe form of a row label ("limitless4 Ts=50" ->
  *  "limitless4_Ts_50"). */
 inline std::string
@@ -116,6 +128,21 @@ applyTelemetry(MachineConfig &cfg, Tick interval, const std::string &bench,
     cfg.metricsInterval = interval;
     cfg.telemetryOut =
         "TELEM_" + bench + "_" + sanitizeLabel(label) + ".csv";
+}
+
+/**
+ * Enable the transaction tracer on one sweep config: capture span trees
+ * and per-phase quantiles, writing TXN_<bench>_<label>.json from inside
+ * runExperiment. No-op when @p on is false, keeping the default sweep
+ * bit-identical to a tracer-free build.
+ */
+inline void
+applyTxnTrace(MachineConfig &cfg, bool on, const std::string &bench,
+              const std::string &label)
+{
+    if (!on)
+        return;
+    cfg.txnTraceOut = "TXN_" + bench + "_" + sanitizeLabel(label) + ".json";
 }
 
 /**
@@ -173,6 +200,16 @@ writeBenchJson(const std::string &name, const ResultTable &table)
         if (!r.telemetryPath.empty()) {
             out << ", \"telemetry\": ";
             jsonEscape(out, r.telemetryPath);
+        }
+        // Same rule for tracing: keys appear only when the tracer ran.
+        if (!r.txnTracePath.empty()) {
+            out << ", \"txn_trace\": ";
+            jsonEscape(out, r.txnTracePath);
+        }
+        if (r.txnQuantiles.count()) {
+            out << ", \"txn_completed\": " << r.txnCompleted
+                << ", \"phase_quantiles\": ";
+            r.txnQuantiles.writeJson(out);
         }
         out << "}";
     }

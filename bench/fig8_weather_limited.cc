@@ -27,6 +27,7 @@ main(int argc, char **argv)
 
     const unsigned jobs = parseJobsFlag(argc, argv);
     const Tick metrics = parseMetricsIntervalFlag(argc, argv);
+    const bool txn_trace = parseTxnTraceFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
@@ -35,10 +36,12 @@ main(int argc, char **argv)
     for (const auto &proto :
          {protocols::dirNB(1), protocols::dirNB(2), protocols::dirNB(4),
           protocols::fullMap()}) {
-        runs.push_back([proto, &make, metrics]() {
+        runs.push_back([proto, &make, metrics, txn_trace]() {
             MachineConfig cfg = alewife64(proto);
             applyTelemetry(cfg, metrics, "fig8_weather_limited",
                            cfg.protocol.name());
+            applyTxnTrace(cfg, txn_trace, "fig8_weather_limited",
+                          cfg.protocol.name());
             return runExperiment(cfg, make);
         });
     }
@@ -55,10 +58,12 @@ main(int argc, char **argv)
                     "flagged read-only");
     std::vector<std::function<ExperimentOutcome()>> opt_runs;
     for (const auto &proto : {protocols::dirNB(4), protocols::fullMap()}) {
-        opt_runs.push_back([proto, &make_opt, metrics]() {
+        opt_runs.push_back([proto, &make_opt, metrics, txn_trace]() {
             MachineConfig cfg = alewife64(proto);
             applyTelemetry(cfg, metrics, "fig8_weather_optimized",
                            cfg.protocol.name());
+            applyTxnTrace(cfg, txn_trace, "fig8_weather_optimized",
+                          cfg.protocol.name());
             return runExperiment(cfg, make_opt);
         });
     }

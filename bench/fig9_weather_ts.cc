@@ -34,14 +34,17 @@ main(int argc, char **argv)
 
     const unsigned jobs = parseJobsFlag(argc, argv);
     const Tick metrics = parseMetricsIntervalFlag(argc, argv);
+    const bool txn_trace = parseTxnTraceFlag(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
-    auto instrumented = [metrics, &make](ProtocolParams proto) {
-        return [proto, metrics, &make]() {
+    auto instrumented = [metrics, txn_trace, &make](ProtocolParams proto) {
+        return [proto, metrics, txn_trace, &make]() {
             MachineConfig cfg = alewife64(proto);
             applyTelemetry(cfg, metrics, "fig9_weather_ts",
                            cfg.protocol.name());
+            applyTxnTrace(cfg, txn_trace, "fig9_weather_ts",
+                          cfg.protocol.name());
             return runExperiment(cfg, make);
         };
     };

@@ -178,9 +178,11 @@ CacheController::startAccess(const MemOp &op, Completion done,
 
     // Only plain remote RREQ/WREQ misses feed the phase decomposition;
     // the uncached-read and write-update paths have no fill to time.
-    if (txn.remote)
-        FlightRecorder::instance().latency().onInject(_eq.now(), _self,
-                                                      line, write);
+    if (txn.remote) {
+        FlightRecorder &fr = FlightRecorder::instance();
+        fr.latency().onInject(_eq.now(), _self, line, write);
+        fr.txn().onInject(_eq.now(), _self, line, write);
+    }
 
     const bool upgrade = cl && write && cl->state == CacheState::readOnly;
     if (upgrade)
@@ -255,7 +257,9 @@ CacheController::startRequest(Addr line, Txn &txn)
         ev.detail = txn.retries ? "retry" : nullptr;
         FR_RECORD(ev);
     }
-    _send(makeProtocolPacket(_self, _amap.homeOf(line), op, line));
+    auto pkt = makeProtocolPacket(_self, _amap.homeOf(line), op, line);
+    FlightRecorder::instance().txn().tagRequest(*pkt, _self);
+    _send(std::move(pkt));
 }
 
 void
@@ -351,10 +355,15 @@ CacheController::noteInvReceived(const Packet &pkt)
 }
 
 void
-CacheController::sendAck(NodeId to, Addr line, NodeId chain_next)
+CacheController::sendAck(NodeId to, Addr line, NodeId chain_next,
+                         const Packet *cause)
 {
     auto ack = makeProtocolPacket(_self, to, Opcode::ACKC, line);
     ack->operands.push_back(chain_next);
+    if (cause) {
+        ack->txnId = cause->txnId;
+        ack->causeSpan = cause->causeSpan;
+    }
     _send(std::move(ack));
 }
 
@@ -364,15 +373,16 @@ CacheController::handleBusy(const Packet &pkt)
     const Addr line = pkt.addr();
     Txn *txn = nullptr;
     bool retry_repc = false;
+    Addr main_line = line; ///< the line the transaction is keyed under
     auto it = _txns.find(line);
     if (it != _txns.end() && !it->second.awaitingRepc) {
         txn = &it->second;
     } else {
         for (auto &[tline, t] : _txns) {
-            (void)tline;
             if (t.awaitingRepc && t.repcLine == line) {
                 txn = &t;
                 retry_repc = true;
+                main_line = tline;
                 break;
             }
         }
@@ -398,9 +408,13 @@ CacheController::handleBusy(const Packet &pkt)
     }
     const unsigned shift =
         std::min(txn->retries, _params.retryCapShift);
+    const std::uint64_t round = txn->retries;
     ++txn->retries;
     const Tick delay = (_params.retryBase << shift) +
                        _rng.below(_params.retryBase);
+    FlightRecorder::instance().txn().onBusyBackoff(_self, main_line,
+                                                   _eq.now(), delay,
+                                                   round);
     const Addr key = retry_repc ? txn->repcLine : line;
     const bool is_repc = retry_repc;
     // The transaction may not be erased while a retry is pending (only

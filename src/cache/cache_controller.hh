@@ -180,7 +180,10 @@ class CacheController
     void scheduleRetry(Addr line);
     void drainWaiting();
     void noteInvReceived(const Packet &pkt);
-    void sendAck(NodeId to, Addr line, NodeId chain_next);
+    /** Acknowledge an INV/MUPD; @p cause is the packet being answered
+     *  (its tracer tags ride on the ACK), or nullptr. */
+    void sendAck(NodeId to, Addr line, NodeId chain_next,
+                 const Packet *cause);
 
     /** @name Transition-table guards and actions (cache_protocol.cc). */
     /// @{

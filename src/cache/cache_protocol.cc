@@ -146,7 +146,7 @@ CacheController::invSpurious(CacheCtx &c)
     CacheController &cc = c.cc;
     cc.noteInvReceived(*c.pkt);
     cc._statSpuriousInvs += 1;
-    cc.sendAck(invHome(*c.pkt), c.pkt->addr(), invalidNode);
+    cc.sendAck(invHome(*c.pkt), c.pkt->addr(), invalidNode, c.pkt.get());
 }
 
 void
@@ -158,7 +158,7 @@ CacheController::invCleanAck(CacheCtx &c)
     cc.noteInvReceived(*c.pkt);
     const NodeId next = c.cl->chainNext;
     c.cl->chainNext = invalidNode;
-    cc.sendAck(invHome(*c.pkt), c.pkt->addr(), next);
+    cc.sendAck(invHome(*c.pkt), c.pkt->addr(), next, c.pkt.get());
 }
 
 void
@@ -171,6 +171,10 @@ CacheController::invWriteback(CacheCtx &c)
     auto upd = makeDataPacket(cc._self, invHome(*c.pkt), Opcode::UPDATE,
                               line, c.cl->words.data(),
                               cc._amap.wordsPerLine());
+    // The writeback answers the INV: carry its transaction tags so the
+    // ack leg nests under the per-sharer invalidation span.
+    upd->txnId = c.pkt->txnId;
+    upd->causeSpan = c.pkt->causeSpan;
     cc._send(std::move(upd));
 }
 
@@ -181,7 +185,7 @@ CacheController::mupdRefresh(CacheCtx &c)
     CacheController &cc = c.cc;
     for (unsigned w = 0; w < cc._amap.wordsPerLine(); ++w)
         c.cl->words[w] = c.pkt->data[w];
-    cc.sendAck(c.pkt->src, c.pkt->addr(), invalidNode);
+    cc.sendAck(c.pkt->src, c.pkt->addr(), invalidNode, c.pkt.get());
 }
 
 void
@@ -189,7 +193,7 @@ CacheController::mupdSpurious(CacheCtx &c)
 {
     CacheController &cc = c.cc;
     cc._statSpuriousInvs += 1;
-    cc.sendAck(c.pkt->src, c.pkt->addr(), invalidNode);
+    cc.sendAck(c.pkt->src, c.pkt->addr(), invalidNode, c.pkt.get());
 }
 
 // --------------------------------------------------------------------

@@ -50,6 +50,13 @@ runExperiment(const MachineConfig &cfg,
         if (const Stat *s = net->find("packets"))
             out.networkPackets = static_cast<const Counter *>(s)->value();
     out.phases = FlightRecorder::instance().latency().snapshot();
+    const TxnTracer &txn = FlightRecorder::instance().txn();
+    if (txn.enabled()) {
+        if (!cfg.txnTraceOut.empty())
+            out.txnTracePath = machine.writeTxnTrace();
+        out.txnQuantiles = txn.quantiles();
+        out.txnCompleted = txn.completedCount();
+    }
     return out;
 }
 

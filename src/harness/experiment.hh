@@ -15,6 +15,7 @@
 
 #include "machine/machine.hh"
 #include "obs/latency_tracker.hh"
+#include "obs/txn_tracer.hh"
 #include "workload/workload.hh"
 
 namespace limitless
@@ -44,6 +45,19 @@ struct ExperimentOutcome
      *  network / home service / software trap / invalidation fan-out /
      *  reply network), from the flight recorder's latency tracker. */
     PhaseBreakdown phases;
+
+    /** Transaction-trace JSON written for this run (cfg.txnTraceOut
+     *  set); empty when the tracer was off. */
+    std::string txnTracePath;
+
+    /** Per-phase latency reservoirs (p50/p95/p99) from the transaction
+     *  tracer; count() == 0 when the tracer was off. Copied out of the
+     *  worker thread's recorder, so a sweep can merge() outcomes from a
+     *  ParallelRunner into machine-wide quantiles. */
+    PhaseReservoirs txnQuantiles;
+
+    /** Remote transactions the tracer completed (tracer on only). */
+    std::uint64_t txnCompleted = 0;
 };
 
 using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;

@@ -55,6 +55,8 @@ TrapDispatcher::processNext()
                   "handler installed",
                   describePacket(*pkt).c_str());
         _statProtocolTraps += 1;
+        const std::uint64_t txn_id = pkt->txnId;
+        const std::uint32_t enq_span = pkt->legSpan;
         std::vector<PacketPtr> outgoing;
         MetaState restore = MetaState::normal;
         const Tick cost =
@@ -68,6 +70,9 @@ TrapDispatcher::processNext()
         const NodeId home = pkt->dest;
         FlightRecorder::instance().latency().onTrap(requester, line,
                                                     cost);
+        if (txn_id)
+            FlightRecorder::instance().txn().onTrapEmulate(
+                txn_id, enq_span, home, _eq.now(), cost);
         {
             TraceEvent ev;
             ev.ts = _eq.now();
@@ -84,7 +89,7 @@ TrapDispatcher::processNext()
         }
         // Effects become visible when the handler returns.
         _eq.schedule(_eq.now() + cost,
-                     [this, line, restore, requester, home,
+                     [this, line, restore, requester, home, txn_id,
                       out = std::make_shared<std::vector<PacketPtr>>(
                           std::move(outgoing))]() mutable {
             for (auto &p : *out) {
@@ -98,6 +103,13 @@ TrapDispatcher::processNext()
                 else if (p->opcode == Opcode::INV)
                     FlightRecorder::instance().latency().onInvStart(
                         _eq.now(), requester, line);
+                if (txn_id) {
+                    if (p->txnId == 0)
+                        p->txnId = txn_id;
+                    if (p->opcode == Opcode::INV)
+                        FlightRecorder::instance().txn().onInvSend(
+                            *p, home, _eq.now());
+                }
                 _ipi.send(std::move(p));
             }
             _protocol->finishLine(line, restore);

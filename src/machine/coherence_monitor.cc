@@ -224,6 +224,21 @@ CoherenceMonitor::checkQuiescent() const
     const auto violations = collectQuiescentViolations();
     if (!violations.empty())
         panicOn(violations.front());
+
+    // (f) no remote miss still open in the latency tracker: a nonzero
+    // count means a completion path dropped its stamp (the tracker would
+    // previously swallow these silently). Guarded on the clock so the
+    // check only fires for the machine that owns the recorder state —
+    // the model checker drives collectQuiescentViolations() directly and
+    // deliberately skips this (its worlds share one recorder).
+    FlightRecorder &fr = FlightRecorder::instance();
+    if (fr.clock() == &_m.eventQueue() && fr.latency().inFlight() != 0) {
+        FlightRecorder::instance().setPanicReason(
+            "unfinished remote transactions");
+        panic("coherence: %llu remote transaction(s) still in flight at "
+              "quiescence — a completion path dropped its latency stamp",
+              (unsigned long long)fr.latency().inFlight());
+    }
 }
 
 } // namespace limitless

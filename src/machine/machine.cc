@@ -40,7 +40,16 @@ Machine::Machine(const MachineConfig &cfg)
 
     // Let tick-less components (directories) timestamp trace events off
     // this machine's clock.
-    FlightRecorder::instance().setClock(&_eq);
+    FlightRecorder &fr = FlightRecorder::instance();
+    fr.setClock(&_eq);
+
+    // The tracer follows this machine's config either way: enabling
+    // starts a fresh capture, disabling guarantees back-to-back runs in
+    // one process (sweeps, tests) never inherit a stale tracer.
+    if (!cfg.txnTraceOut.empty())
+        fr.txn().enable(cfg.txnTopK);
+    else
+        fr.txn().disable();
 
     if (cfg.metricsInterval > 0)
         setupTelemetry();
@@ -243,6 +252,16 @@ Machine::writeTelemetry(const std::string &csvPath) const
         fatal("cannot open telemetry JSON '%s'", jsonPath.c_str());
     _telemetry->writeJson(js);
     return jsonPath;
+}
+
+std::string
+Machine::writeTxnTrace() const
+{
+    if (_cfg.txnTraceOut.empty())
+        fatal("writeTxnTrace: tracer disabled (txnTraceOut empty)");
+    if (!FlightRecorder::instance().txn().writeJsonFile(_cfg.txnTraceOut))
+        fatal("cannot open txn trace '%s'", _cfg.txnTraceOut.c_str());
+    return _cfg.txnTraceOut;
 }
 
 Machine::~Machine()
@@ -471,6 +490,20 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
     os << "  \"phases\": ";
     phasesJson(os, phases);
     os << ",\n";
+    // Remote misses injected but never completed. A quiescent run ends
+    // at zero; nonzero means dropped completions (satellite of the
+    // latency tracker's silent-drop fix — exported so sweeps can assert).
+    os << "  \"unfinished_remote\": "
+       << FlightRecorder::instance().latency().inFlight() << ",\n";
+    const TxnTracer &txn = FlightRecorder::instance().txn();
+    if (txn.enabled()) {
+        os << "  \"txn\": {\"completed\": " << txn.completedCount()
+           << ", \"abandoned\": " << txn.abandonedCount()
+           << ", \"open\": " << txn.openCount() << "},\n";
+        os << "  \"phase_quantiles\": ";
+        txn.quantiles().writeJson(os);
+        os << ",\n";
+    }
 
     // Machine-wide aggregates: counters summed, accumulators merged with
     // the parallel-variance formula, bucketed stats reduced to their

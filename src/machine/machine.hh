@@ -114,6 +114,14 @@ class Machine
      */
     std::string writeTelemetry(const std::string &csvPath) const;
 
+    /**
+     * Write the transaction-trace JSON ("limitless-txn-v1": per-phase
+     * quantiles plus the top-K slowest transactions with full span trees
+     * and critical paths) to cfg.txnTraceOut. @return that path.
+     * fatal()s when the tracer was not enabled for this machine.
+     */
+    std::string writeTxnTrace() const;
+
   private:
     void setupTelemetry();
     MachineConfig _cfg;

@@ -72,6 +72,18 @@ struct MachineConfig
      *  lands next to it). Empty = caller writes explicitly. */
     std::string telemetryOut;
 
+    /**
+     * Transaction-trace JSON output path (schema limitless-txn-v1).
+     * Non-empty enables the per-transaction causal tracer for the run
+     * (span trees, critical paths, per-phase quantiles); empty — the
+     * default — guarantees the tracer is off and the simulation output
+     * is bit-identical to an uninstrumented build.
+     */
+    std::string txnTraceOut;
+
+    /** Slowest transactions retained in full in the trace export. */
+    std::size_t txnTopK = 16;
+
     /** Watchdog: abort if no thread completes an op for this long. */
     Tick watchdogCycles = 4'000'000;
 

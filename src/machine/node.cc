@@ -1,5 +1,6 @@
 #include "machine/node.hh"
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -49,6 +50,10 @@ void
 Node::sendFrom(PacketPtr pkt)
 {
     assert(pkt);
+    // Tagged packets open a network-leg span here and close it at
+    // deliver(); untagged traffic pays one predicted branch.
+    if (pkt->txnId)
+        FlightRecorder::instance().txn().onNetSend(*pkt, _eq.now());
     if (pkt->dest != _id) {
         _net.send(std::move(pkt));
         return;
@@ -65,6 +70,8 @@ void
 Node::deliver(PacketPtr pkt)
 {
     assert(pkt && pkt->dest == _id);
+    if (pkt->txnId)
+        FlightRecorder::instance().txn().onNetDeliver(*pkt, _eq.now());
     if (pkt->isInterrupt()) {
         _ipi->pushInput(std::move(pkt));
         return;

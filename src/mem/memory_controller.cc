@@ -258,11 +258,19 @@ MemoryController::service()
     const NodeId src = pkt->src;
     const Opcode op = pkt->opcode;
     const MemState pre = lineState(line);
+    // Tracer tags, captured now: process() may move the packet away
+    // (deferral, trap divert) before the service window is known.
+    const std::uint64_t txn_id = pkt->txnId;
+    const std::uint32_t txn_leg = pkt->legSpan;
+    const std::uint32_t txn_cause = pkt->causeSpan;
     // Re-stamped on deferred replay / BUSY retry, so earlier service
     // rounds land in the req_net phase.
     if (op == Opcode::RREQ || op == Opcode::WREQ)
         FlightRecorder::instance().latency().onHomeArrival(_eq.now(), src,
                                                            line);
+    if (txn_id && (op == Opcode::ACKC || op == Opcode::UPDATE))
+        FlightRecorder::instance().txn().onInvAck(txn_id, txn_cause,
+                                                  _eq.now());
     {
         TraceEvent ev;
         ev.ts = _eq.now();
@@ -290,6 +298,9 @@ MemoryController::service()
         FR_RECORD(ev);
     }
     _busyUntil = _eq.now() + _params.serviceCycles + _extraDelay;
+    if (txn_id && (op == Opcode::RREQ || op == Opcode::WREQ))
+        FlightRecorder::instance().txn().onHomeService(
+            txn_id, txn_leg, _self, op, _eq.now(), _busyUntil);
     scheduleService();
 }
 
@@ -352,6 +363,11 @@ MemoryController::sendInv(NodeId to, Addr line)
     }
     auto pkt = makeProtocolPacket(_self, to, Opcode::INV, line);
     pkt->operands.push_back(_self);
+    if (_curTxn) {
+        pkt->txnId = _curTxn;
+        FlightRecorder::instance().txn().onInvSend(
+            *pkt, _self, _eq.now() + _extraDelay);
+    }
     dispatch(std::move(pkt));
 }
 
@@ -365,6 +381,10 @@ MemoryController::sendBusy(NodeId to, Addr line)
 void
 MemoryController::dispatch(PacketPtr pkt)
 {
+    // Home-originated packets (replies, BUSY nacks) inherit the serviced
+    // request's transaction id; invalidations were tagged in sendInv.
+    if (pkt->txnId == 0 && _curTxn != 0)
+        pkt->txnId = _curTxn;
     if (_extraDelay == 0) {
         _send(std::move(pkt));
         return;
@@ -383,6 +403,9 @@ MemoryController::chargeTrap(Tick cycles, NodeId requester, Addr line)
     if (_trapServiceHist)
         _trapServiceHist->sample(cycles);
     FlightRecorder::instance().latency().onTrap(requester, line, cycles);
+    if (_curTxn)
+        FlightRecorder::instance().txn().onTrapCharge(_curTxn, _self,
+                                                      _eq.now(), cycles);
     {
         TraceEvent ev;
         ev.ts = _eq.now();
@@ -426,11 +449,21 @@ MemoryController::replayDeferred(HomeLine &hl)
 // --------------------------------------------------------------------
 
 void
+MemoryController::divertToHandler(PacketPtr pkt)
+{
+    if (pkt->txnId)
+        FlightRecorder::instance().txn().onTrapEnqueue(*pkt, _self,
+                                                       _eq.now());
+    _divert(std::move(pkt));
+}
+
+void
 MemoryController::process(PacketPtr &pkt, bool bypass_meta)
 {
     const Addr line = pkt->addr();
     const NodeId src = pkt->src;
     const Opcode op = pkt->opcode;
+    _curTxn = pkt->txnId;
     HomeLine &hl = lineFor(line);
     home::HomeCtx ctx{*this, pkt, hl, bypass_meta};
 

@@ -190,7 +190,7 @@ class MemoryController
     void chargeTrap(Tick cycles, NodeId requester, Addr line);
 
     /** Hand a packet to the software trap handler (full emulation). */
-    void divertToHandler(PacketPtr pkt) { _divert(std::move(pkt)); }
+    void divertToHandler(PacketPtr pkt);
 
     /** @name Statistics hooks for transition actions. */
     /// @{
@@ -353,6 +353,11 @@ class MemoryController
     bool _serviceScheduled = false;
     Tick _busyUntil = 0;
     Tick _extraDelay = 0; ///< Ts charge for the in-flight service
+    /** Transaction id of the packet being processed (0 when untagged):
+     *  home-originated packets and trap/invalidation spans inherit it,
+     *  so replies launched by transition actions stay attributed to the
+     *  request that caused them. */
+    std::uint64_t _curTxn = 0;
 
     StatSet _stats{"mem"};
     Counter &_statRequests;

@@ -52,6 +52,12 @@ FlightRecorder::FlightRecorder()
         fr.dumpPostmortem(std::cerr, fr.panicFocus(), 64,
                           fr.panicReason() ? fr.panicReason() : "panic");
     });
+    // Completed remote misses flow into the transaction tracer with the
+    // exact folded phase attribution the mean breakdown accumulates,
+    // keeping quantiles and means consistent by construction. The sink
+    // is a no-op while the tracer is disabled.
+    _latency.setSampleSink(
+        [this](const PhaseSample &s) { _txn.onPhaseSample(s); });
 }
 
 Tick
@@ -88,6 +94,18 @@ void
 FlightRecorder::setLineFilter(std::unordered_set<Addr> lines)
 {
     _lineFilter = std::move(lines);
+}
+
+std::ostream *
+FlightRecorder::traceRawEvent(Addr line)
+{
+    if (!_traceOpen ||
+        (!_lineFilter.empty() && !_lineFilter.count(line)))
+        return nullptr;
+    if (!_traceFirst)
+        _trace << ",\n";
+    _traceFirst = false;
+    return &_trace;
 }
 
 void
@@ -206,6 +224,7 @@ FlightRecorder::resetRun()
     _ringCount = 0;
     _lineFilter.clear();
     _latency.reset();
+    _txn.reset();
     _clock = nullptr;
     _panicFocus = 0;
     _panicReason = nullptr;

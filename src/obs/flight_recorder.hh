@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/latency_tracker.hh"
+#include "obs/txn_tracer.hh"
 #include "proto/opcode.hh"
 #include "sim/types.hh"
 
@@ -101,6 +102,12 @@ class FlightRecorder
     /** Restrict the *streamed* trace to these lines (the postmortem
      *  ring keeps recording everything). Empty set = no filter. */
     void setLineFilter(std::unordered_set<Addr> lines);
+    /** Raw trace-sink access for composite events (the transaction
+     *  tracer's span slices and flow arrows). Returns nullptr unless a
+     *  trace is open and @p line passes the stream filter; when
+     *  non-null, the caller must write exactly one JSON object to the
+     *  returned stream (the comma protocol is handled here). */
+    std::ostream *traceRawEvent(Addr line);
     /// @}
 
     /** Record one event into the ring and, if open, the trace file. */
@@ -130,6 +137,12 @@ class FlightRecorder
 
     LatencyTracker &latency() { return _latency; }
 
+    /** The per-transaction causal tracer (obs/txn_tracer.hh), hosted
+     *  here — like the latency tracker — so instrumentation points
+     *  reach it without plumbing. The constructor installs it as the
+     *  latency tracker's completion sink. */
+    TxnTracer &txn() { return _txn; }
+
     /** Forget per-run state (ring contents, latency tracker, clock).
      *  Harnesses call this between experiments. */
     void resetRun();
@@ -154,6 +167,7 @@ class FlightRecorder
     const char *_panicReason = nullptr;
 
     LatencyTracker _latency;
+    TxnTracer _txn;
 };
 
 } // namespace limitless

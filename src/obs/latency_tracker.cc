@@ -124,6 +124,22 @@ LatencyTracker::onComplete(Tick now, NodeId requester, Addr line)
     _sumInv += inv;
     _sumReplyNet += replyNet;
     _sumTotal += total;
+
+    if (_sink) {
+        PhaseSample sample;
+        sample.requester = requester;
+        sample.line = line;
+        sample.write = open.write;
+        sample.inject = open.inject;
+        sample.end = now;
+        sample.reqNet = reqNet;
+        sample.home = home;
+        sample.trap = trap;
+        sample.inv = inv;
+        sample.replyNet = replyNet;
+        sample.total = total;
+        _sink(sample);
+    }
 }
 
 PhaseBreakdown

@@ -24,6 +24,7 @@
 #define LIMITLESS_OBS_LATENCY_TRACKER_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "sim/types.hh"
@@ -43,6 +44,26 @@ struct PhaseBreakdown
     double total = 0.0;    ///< end-to-end (== sum of the five phases)
 
     double sum() const { return reqNet + home + trap + inv + replyNet; }
+};
+
+/** One completed transaction's phase decomposition, as attributed by
+ *  LatencyTracker::onComplete. The five phases sum exactly to total
+ *  (after the deficit fold), so any consumer — quantile reservoirs, the
+ *  transaction tracer's critical paths — is consistent with the means
+ *  in PhaseBreakdown by construction. */
+struct PhaseSample
+{
+    NodeId requester = invalidNode;
+    Addr line = 0;
+    bool write = false;
+    Tick inject = 0; ///< injection tick (sample covers [inject, end])
+    Tick end = 0;    ///< completion tick
+    double reqNet = 0.0;
+    double home = 0.0;
+    double trap = 0.0;
+    double inv = 0.0;
+    double replyNet = 0.0;
+    double total = 0.0;
 };
 
 /** Stamps in-flight remote misses and accumulates per-phase sums. */
@@ -76,6 +97,20 @@ class LatencyTracker
 
     PhaseBreakdown snapshot() const;
 
+    /** Per-sample observer, invoked at the end of every onComplete with
+     *  the folded phase attribution. Survives reset(); pass nullptr to
+     *  detach. Used by the transaction tracer to finalize span trees and
+     *  feed quantile reservoirs with the exact same numbers the mean
+     *  breakdown accumulates. */
+    void setSampleSink(std::function<void(const PhaseSample &)> sink)
+    {
+        _sink = std::move(sink);
+    }
+
+    /** Transactions injected but never completed. A quiescent machine
+     *  must report zero here: a non-zero count at end of run means a
+     *  remote miss was silently dropped (the pre-fix behaviour was to
+     *  discard these stamps without a trace). */
     std::uint64_t inFlight() const { return _open.size(); }
     std::uint64_t completed() const { return _completed; }
 
@@ -100,6 +135,7 @@ class LatencyTracker
     Open *find(NodeId requester, Addr line);
 
     std::unordered_map<std::uint64_t, Open> _open;
+    std::function<void(const PhaseSample &)> _sink;
 
     std::uint64_t _completed = 0;
     double _sumReqNet = 0.0;

@@ -21,6 +21,9 @@ clonePacket(const Packet &pkt)
     copy->opcode = pkt.opcode;
     copy->operands = pkt.operands;
     copy->data = pkt.data;
+    copy->txnId = pkt.txnId;
+    copy->causeSpan = pkt.causeSpan;
+    copy->legSpan = pkt.legSpan;
     return copy;
 }
 

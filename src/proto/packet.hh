@@ -39,6 +39,16 @@ struct Packet
      *  per-packet side table. */
     Tick injectTick = 0;
 
+    /** Transaction-tracer tags (obs/txn_tracer.hh). Not part of the
+     *  wire format; all zero unless the tracer is enabled. txnId names
+     *  the remote transaction this packet serves; causeSpan is the span
+     *  the packet acts for (e.g. the per-sharer invalidation span an
+     *  INV/ACKC pair belongs to); legSpan is the open network-leg or
+     *  trap-queue span the packet is currently inside. */
+    std::uint64_t txnId = 0;
+    std::uint32_t causeSpan = 0;
+    std::uint32_t legSpan = 0;
+
     /** Packet length in words: 1 header word + operands + data. */
     std::uint32_t
     lengthWords() const

@@ -30,6 +30,9 @@ PacketPool::acquire()
     pkt->operands.clear();
     pkt->data.clear();
     pkt->injectTick = 0;
+    pkt->txnId = 0;
+    pkt->causeSpan = 0;
+    pkt->legSpan = 0;
     return pkt;
 }
 

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bounded sampling reservoir for streaming quantiles.
+ *
+ * Keeps up to `capacity` samples; once full, incoming samples replace
+ * stored ones with probability capacity/seen (Vitter's Algorithm R), so
+ * the reservoir is always a uniform sample of the stream. The default
+ * capacity (1 << 17) exceeds the remote-miss count of every ≤64-node
+ * figure run in this repo, so quantiles are *exact* there; larger
+ * streams degrade gracefully to sampled quantiles.
+ *
+ * The replacement RNG is a private SplitMix64 seeded from a constant,
+ * not the machine RNG: quantile sampling must never perturb simulated
+ * behaviour, and a fixed seed keeps exports reproducible run-to-run.
+ */
+
+#ifndef LIMITLESS_STATS_RESERVOIR_HH
+#define LIMITLESS_STATS_RESERVOIR_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace limitless
+{
+
+class QuantileReservoir
+{
+  public:
+    static constexpr std::size_t defaultCapacity = std::size_t(1) << 17;
+
+    explicit QuantileReservoir(std::size_t capacity = defaultCapacity)
+        : _capacity(capacity ? capacity : 1)
+    {
+    }
+
+    void
+    add(double value)
+    {
+        ++_seen;
+        if (_samples.size() < _capacity) {
+            _samples.push_back(value);
+            return;
+        }
+        const std::uint64_t slot = nextRandom() % _seen;
+        if (slot < _capacity)
+            _samples[static_cast<std::size_t>(slot)] = value;
+    }
+
+    /** Fold another reservoir in (ParallelRunner result merge). When the
+     *  combined streams fit, the merge stays exact; otherwise the donor's
+     *  samples re-enter through Algorithm R weighted by its stream size. */
+    void
+    merge(const QuantileReservoir &other)
+    {
+        if (other._seen == 0)
+            return;
+        if (_samples.size() + other._samples.size() <= _capacity &&
+            _seen == _samples.size() &&
+            other._seen == other._samples.size()) {
+            _samples.insert(_samples.end(), other._samples.begin(),
+                            other._samples.end());
+            _seen += other._seen;
+            return;
+        }
+        // Sampled path: replay the donor's kept samples, each standing
+        // for seen/kept stream elements.
+        const double weight = static_cast<double>(other._seen) /
+                              static_cast<double>(other._samples.size());
+        for (double v : other._samples) {
+            const auto reps =
+                static_cast<std::uint64_t>(weight < 1.0 ? 1.0 : weight);
+            for (std::uint64_t i = 0; i < reps; ++i)
+                add(v);
+        }
+    }
+
+    /** Quantile in [0, 1] over the kept samples (exact when the stream
+     *  fit in the reservoir). Returns 0 for an empty reservoir. */
+    double
+    quantile(double q) const
+    {
+        if (_samples.empty())
+            return 0.0;
+        std::vector<double> sorted(_samples);
+        std::size_t rank = static_cast<std::size_t>(
+            q * static_cast<double>(sorted.size() - 1) + 0.5);
+        if (rank >= sorted.size())
+            rank = sorted.size() - 1;
+        std::nth_element(sorted.begin(), sorted.begin() + rank,
+                         sorted.end());
+        return sorted[rank];
+    }
+
+    double
+    mean() const
+    {
+        if (_samples.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (double v : _samples)
+            sum += v;
+        return sum / static_cast<double>(_samples.size());
+    }
+
+    std::uint64_t count() const { return _seen; }
+    std::size_t kept() const { return _samples.size(); }
+    bool exact() const { return _seen == _samples.size(); }
+
+    void
+    reset()
+    {
+        _samples.clear();
+        _seen = 0;
+        _rng = seed0;
+    }
+
+  private:
+    static constexpr std::uint64_t seed0 = 0x9e3779b97f4a7c15ull;
+
+    std::uint64_t
+    nextRandom()
+    {
+        // SplitMix64: tiny, fast, and good enough for reservoir slots.
+        std::uint64_t z = (_rng += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::size_t _capacity;
+    std::vector<double> _samples;
+    std::uint64_t _seen = 0;
+    std::uint64_t _rng = seed0;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_STATS_RESERVOIR_HH

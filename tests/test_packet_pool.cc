@@ -37,6 +37,43 @@ TEST(PacketPool, RecyclesReleasedFrames)
     EXPECT_EQ(again->injectTick, 0u);
 }
 
+TEST(PacketPool, RecyclingClearsTracerTags)
+{
+    // Regression: a recycled frame must not leak its previous life's
+    // transaction-tracer tags — a stale txnId would attribute an
+    // unrelated packet's hops to a finished transaction.
+    PacketPool &pool = PacketPool::local();
+    pool.trim();
+
+    Packet *first;
+    {
+        PacketPtr pkt = makeProtocolPacket(1, 2, Opcode::RREQ, 0x40);
+        pkt->txnId = 0xdeadbeefcafe;
+        pkt->causeSpan = 7;
+        pkt->legSpan = 9;
+        pkt->injectTick = 1234;
+        first = pkt.get();
+    }
+    PacketPtr again = makeProtocolPacket(3, 4, Opcode::WREQ, 0x80);
+    ASSERT_EQ(again.get(), first) << "frame should be recycled LIFO";
+    EXPECT_EQ(again->txnId, 0u);
+    EXPECT_EQ(again->causeSpan, 0u);
+    EXPECT_EQ(again->legSpan, 0u);
+    EXPECT_EQ(again->injectTick, 0u);
+}
+
+TEST(PacketPool, CloneCopiesTracerTags)
+{
+    PacketPtr orig = makeProtocolPacket(0, 1, Opcode::WREQ, 0x40);
+    orig->txnId = 42;
+    orig->causeSpan = 3;
+    orig->legSpan = 5;
+    PacketPtr copy = clonePacket(*orig);
+    EXPECT_EQ(copy->txnId, 42u);
+    EXPECT_EQ(copy->causeSpan, 3u);
+    EXPECT_EQ(copy->legSpan, 5u);
+}
+
 TEST(PacketPool, RecycledFramesKeepVectorCapacity)
 {
     PacketPool &pool = PacketPool::local();

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a limitless-txn-v1 transaction-trace export.
+
+Structural invariants the simulator promises (docs/OBSERVABILITY.md §8):
+
+  * schema/version match limitless-txn-v1 / 1;
+  * no transaction is left unfinished at the end of a quiesced run;
+  * per transaction: span ids are 1-based and dense, the root is span 1
+    with kind "txn" covering [start, end], every parent precedes its
+    children, every span is closed with end >= start, and children nest
+    inside their parent's window;
+  * the critical path tiles [start, end] exactly — contiguous segments,
+    no gaps or overlap, each attributed to a real span;
+  * the folded phase attribution sums to the end-to-end latency;
+  * quantiles are monotone (p50 <= p95 <= p99) with a sane sample count.
+
+Usage: check_txn_trace.py TRACE.json [--allow-unfinished]
+Exit status 0 when every invariant holds, 1 otherwise.
+"""
+
+import json
+import sys
+
+PHASE_KEYS = ("req_net", "home", "trap", "inv", "reply_net", "total")
+
+
+def fail(msg):
+    print(f"check_txn_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_spans(txn):
+    tid = txn["id"]
+    spans = txn["spans"]
+    if not spans:
+        fail(f"txn {tid}: no spans")
+    for i, s in enumerate(spans):
+        if s["id"] != i + 1:
+            fail(f"txn {tid}: span ids not dense at index {i}")
+        if s["end"] < s["start"]:
+            fail(f"txn {tid} span {s['id']} ({s['kind']}): never closed")
+    root = spans[0]
+    if root["kind"] != "txn" or root["parent"] != 0:
+        fail(f"txn {tid}: span 1 is not the root")
+    if root["start"] != txn["start"] or root["end"] != txn["end"]:
+        fail(f"txn {tid}: root span does not cover [start, end]")
+    for s in spans[1:]:
+        if not 1 <= s["parent"] < s["id"]:
+            fail(f"txn {tid} span {s['id']}: parent does not precede it")
+        p = spans[s["parent"] - 1]
+        if s["start"] < p["start"] or s["end"] > p["end"]:
+            fail(f"txn {tid} span {s['id']} ({s['kind']}): "
+                 f"escapes parent {p['id']} ({p['kind']})")
+
+
+def check_critical(txn):
+    tid = txn["id"]
+    crit = txn["critical"]
+    if not crit:
+        fail(f"txn {tid}: empty critical path")
+    if crit[0]["start"] != txn["start"] or crit[-1]["end"] != txn["end"]:
+        fail(f"txn {tid}: critical path does not cover [start, end]")
+    nspans = len(txn["spans"])
+    prev_end = txn["start"]
+    for seg in crit:
+        if seg["start"] != prev_end:
+            fail(f"txn {tid}: critical path gap/overlap at {seg['start']}")
+        if seg["end"] <= seg["start"]:
+            fail(f"txn {tid}: empty critical segment at {seg['start']}")
+        if not 1 <= seg["span"] <= nspans:
+            fail(f"txn {tid}: critical segment cites unknown span "
+                 f"{seg['span']}")
+        prev_end = seg["end"]
+
+
+def check_phases(txn):
+    tid = txn["id"]
+    ph = txn["phases"]
+    folded = sum(ph[k] for k in PHASE_KEYS if k != "total")
+    if abs(folded - ph["total"]) > 1e-6:
+        fail(f"txn {tid}: phases sum {folded} != total {ph['total']}")
+    if abs(ph["total"] - (txn["end"] - txn["start"])) > 1e-6:
+        fail(f"txn {tid}: total {ph['total']} != end - start")
+
+
+def check_quantiles(doc):
+    q = doc["phase_quantiles"]
+    for key in PHASE_KEYS:
+        r = q[key]
+        if not r["p50"] <= r["p95"] <= r["p99"]:
+            fail(f"quantiles for {key} are not monotone")
+        if r["count"] != doc["completed"]:
+            fail(f"quantile count for {key} != completed")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    allow_unfinished = "--allow-unfinished" in argv
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(args[0], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "limitless-txn-v1" or doc.get("version") != 1:
+        fail(f"unexpected schema {doc.get('schema')!r} "
+             f"v{doc.get('version')!r}")
+    if doc["unfinished"] and not allow_unfinished:
+        fail(f"{doc['unfinished']} unfinished transaction(s) — a "
+             "completion path dropped its latency stamp")
+    if doc["completed"]:
+        check_quantiles(doc)
+    if len(doc["top"]) > doc["top_k"]:
+        fail(f"{len(doc['top'])} retained records exceed top_k "
+             f"{doc['top_k']}")
+    totals = [t["end"] - t["start"] for t in doc["top"]]
+    if totals != sorted(totals, reverse=True):
+        fail("top records are not sorted slowest-first")
+    for txn in doc["top"]:
+        check_spans(txn)
+        check_critical(txn)
+        check_phases(txn)
+
+    print(f"check_txn_trace: OK: {doc['completed']} completed, "
+          f"{len(doc['top'])} retained, all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

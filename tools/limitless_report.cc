@@ -36,12 +36,18 @@ usage()
     std::cout <<
         "limitless-report — self-contained HTML report from telemetry\n\n"
         "  --telemetry <file.csv>  telemetry CSV from --metrics-interval "
-        "(required;\n"
-        "                          the .json sidecar is picked up "
-        "automatically)\n"
+        "(the .json\n"
+        "                          sidecar is picked up automatically)\n"
         "  --stats-json <file>     stats JSON from --stats-json, for the "
         "latency\n"
         "                          phase breakdown (optional)\n"
+        "  --txn <file.json>       transaction trace from --txn-trace-out "
+        "(optional;\n"
+        "                          adds the tail-latency table and the "
+        "per-transaction\n"
+        "                          waterfalls)\n"
+        "                          at least one of --telemetry/--txn is "
+        "required\n"
         "  --out <file>            output HTML (default report.html)\n"
         "  --title <text>          report title (default: derived from "
         "the CSV)\n"
@@ -493,6 +499,111 @@ function hotspotCard(rows) {
   return card;
 }
 
+/* Transaction-tracer views (--txn): the per-phase tail-latency table
+ * and one waterfall card per retained slowest transaction — a row per
+ * span (children indented under their parent), the extracted critical
+ * path as the bottom strip. Span kinds reuse the phase palette slots. */
+const KIND_SLOT = {
+  req_net: 1, busy_net: 1, busy_backoff: 6,
+  queue_home: 2, home_service: 2,
+  trap_charge: 3, trap_queue: 3, trap_emulate: 3,
+  inv_sharer: 4, inv_net: 4, ack_net: 4,
+  reply_net: 5, txn: 7, net: 7};
+
+function tailCard(q) {
+  const card = el('div', 'card');
+  card.appendChild(el('p', 'name',
+    'remote-miss latency quantiles by phase (cycles)'));
+  const table = el('table');
+  const hr = el('tr');
+  const corner = el('th', '', 'phase');
+  corner.style.textAlign = 'left';
+  hr.appendChild(corner);
+  for (const h of ['p50', 'p95', 'p99', 'mean', 'samples'])
+    hr.appendChild(el('th', '', h));
+  table.appendChild(hr);
+  const rows = PHASES.map(p => [p[0], p[1]]);
+  rows.push(['total', 'total']);
+  for (const [key, label] of rows) {
+    const r = q[key];
+    if (!r) continue;
+    const tr = el('tr');
+    const name = el('td', '', label);
+    name.style.textAlign = 'left';
+    tr.appendChild(name);
+    for (const v of [r.p50, r.p95, r.p99, r.mean])
+      tr.appendChild(el('td', '', fmt(v)));
+    tr.appendChild(el('td', '',
+      fmt(r.count) + (r.exact ? '' : ' (sampled)')));
+    table.appendChild(tr);
+  }
+  card.appendChild(table);
+  return card;
+}
+
+function spanDepth(spans, s) {
+  let d = 0;
+  while (s.parent) { s = spans[s.parent - 1]; d++; }
+  return d;
+}
+
+function waterfallCard(t) {
+  const rows = t.spans.filter(s => s.kind !== 'txn');
+  const W = 680, ML = 185, MR = 8, RH = 15, GAP = 3;
+  const H = (rows.length + 1) * (RH + GAP) + 24;
+  const t0 = t.start, dur = Math.max(1, t.end - t.start);
+  const X = ts => ML + (W - ML - MR) * (ts - t0) / dur;
+  const card = el('div', 'card');
+  card.appendChild(el('p', 'name',
+    'txn #' + t.id + ' — node ' + t.requester +
+    (t.write ? ' write ' : ' read ') + t.line + ' — ' +
+    fmt(t.phases.total) + ' cycles'));
+  const svg = svgEl('svg', {viewBox: '0 0 ' + W + ' ' + H});
+  for (const f of [0, 0.5, 1]) {
+    const x = ML + (W - ML - MR) * f;
+    svg.appendChild(svgEl('line',
+      {x1: x, x2: x, y1: 0, y2: H - 18, 'class': 'gridline'}));
+    const tx = svgEl('text',
+      {x: x, y: H - 6, 'class': 'axis-label',
+       'text-anchor': f === 0 ? 'start' : f === 1 ? 'end' : 'middle'});
+    tx.textContent = '+' + fmt(dur * f);
+    svg.appendChild(tx);
+  }
+  rows.forEach((s, i) => {
+    const y = i * (RH + GAP);
+    const label = svgEl('text',
+      {x: ML - 8 - 12 * spanDepth(t.spans, s), y: y + RH - 4,
+       'text-anchor': 'end', 'class': 'axis-label'});
+    label.textContent = s.kind + ' @' + s.node;
+    svg.appendChild(label);
+    const x0 = X(s.start), x1 = Math.max(X(s.end), x0 + 2);
+    const r = svgEl('rect', {x: x0, y: y, width: x1 - x0, height: RH,
+      rx: 3, 'class': 's' + (KIND_SLOT[s.kind] || 7)});
+    const tip = s.kind + (s.detail ? ' (' + s.detail + ')' : '') +
+      (s.peer !== undefined ? ' → node ' + s.peer : '');
+    r.addEventListener('mousemove', ev => showTip(ev, tip,
+      fmt(s.end - s.start) + ' cyc @ +' + fmt(s.start - t0)));
+    r.addEventListener('mouseleave', hideTip);
+    svg.appendChild(r);
+  });
+  const cy = rows.length * (RH + GAP) + 2;
+  const clabel = svgEl('text', {x: ML - 8, y: cy + RH - 4,
+    'text-anchor': 'end', 'class': 'axis-label'});
+  clabel.textContent = 'critical path';
+  svg.appendChild(clabel);
+  for (const seg of t.critical) {
+    const x0 = X(seg.start), x1 = Math.max(X(seg.end), x0 + 1);
+    const r = svgEl('rect', {x: x0, y: cy, width: x1 - x0, height: RH,
+      'class': 's' + (KIND_SLOT[seg.kind] || 7)});
+    r.addEventListener('mousemove', ev => showTip(ev, seg.kind,
+      fmt(seg.end - seg.start) + ' cyc @ +' + fmt(seg.start - t0)));
+    r.addEventListener('mouseleave', hideTip);
+    svg.appendChild(r);
+  }
+  card.appendChild(svg);
+  return card;
+}
+
 const GROUPS = [
   ['proc', 'Processors'], ['cache', 'Caches'],
   ['mem', 'Home controllers'], ['dir', 'Directory occupancy'],
@@ -502,8 +613,7 @@ function render() {
   document.getElementById('title').textContent = TITLE;
   document.title = TITLE;
   const main = document.getElementById('report');
-  const csv = parseCsv(TELEMETRY_CSV);
-  const ticks = csv.rows.map(r => r[0]);
+  const csv = TELEMETRY_CSV === null ? null : parseCsv(TELEMETRY_CSV);
 
   const meta = [];
   if (TELEMETRY && TELEMETRY.meta) {
@@ -512,30 +622,34 @@ function render() {
         meta.push(k + ' ' + TELEMETRY.meta[k]);
     meta.push('interval ' + fmt(TELEMETRY.interval) + ' cyc');
   }
-  meta.push(csv.rows.length + ' windows');
+  if (csv) meta.push(csv.rows.length + ' windows');
+  if (TXN) meta.push(fmt(TXN.completed) + ' transactions traced');
   document.getElementById('meta').textContent = meta.join(' · ');
 
-  main.appendChild(el('h2', '', 'Time series'));
-  const byGroup = {};
-  for (let c = 1; c < csv.header.length; c++) {
-    const name = csv.header[c];
-    const prefix = name.indexOf('.') > 0 ?
-      name.slice(0, name.indexOf('.')) : name;
-    (byGroup[prefix] = byGroup[prefix] || []).push(c);
-  }
-  const order = GROUPS.map(g => g[0]);
-  const prefixes = Object.keys(byGroup).sort((a, b) => {
-    const ia = order.indexOf(a), ib = order.indexOf(b);
-    return (ia < 0 ? 99 : ia) - (ib < 0 ? 99 : ib);
-  });
-  for (const p of prefixes) {
-    const title = (GROUPS.find(g => g[0] === p) || [p, p])[1];
-    main.appendChild(el('h3', '', title));
-    const grid = el('div', 'grid');
-    for (const c of byGroup[p])
-      grid.appendChild(lineChart(csv.header[c], ticks,
-                                 csv.rows.map(r => r[c])));
-    main.appendChild(grid);
+  if (csv) {
+    const ticks = csv.rows.map(r => r[0]);
+    main.appendChild(el('h2', '', 'Time series'));
+    const byGroup = {};
+    for (let c = 1; c < csv.header.length; c++) {
+      const name = csv.header[c];
+      const prefix = name.indexOf('.') > 0 ?
+        name.slice(0, name.indexOf('.')) : name;
+      (byGroup[prefix] = byGroup[prefix] || []).push(c);
+    }
+    const order = GROUPS.map(g => g[0]);
+    const prefixes = Object.keys(byGroup).sort((a, b) => {
+      const ia = order.indexOf(a), ib = order.indexOf(b);
+      return (ia < 0 ? 99 : ia) - (ib < 0 ? 99 : ib);
+    });
+    for (const p of prefixes) {
+      const title = (GROUPS.find(g => g[0] === p) || [p, p])[1];
+      main.appendChild(el('h3', '', title));
+      const grid = el('div', 'grid');
+      for (const c of byGroup[p])
+        grid.appendChild(lineChart(csv.header[c], ticks,
+                                   csv.rows.map(r => r[c])));
+      main.appendChild(grid);
+    }
   }
 
   if (TELEMETRY && TELEMETRY.histograms &&
@@ -552,6 +666,20 @@ function render() {
   if (STATS && STATS.phases && STATS.phases.count > 0) {
     main.appendChild(el('h2', '', 'Latency phases'));
     main.appendChild(phaseCard(STATS.phases));
+  }
+
+  if (TXN && TXN.phase_quantiles) {
+    main.appendChild(el('h2', '', 'Tail latency'));
+    main.appendChild(tailCard(TXN.phase_quantiles));
+  }
+  if (TXN && TXN.top && TXN.top.length) {
+    main.appendChild(el('h2', '',
+      'Slowest transactions (top ' + TXN.top.length + ')'));
+    const grid = el('div', 'grid');
+    grid.style.gridTemplateColumns =
+      'repeat(auto-fill, minmax(690px, 1fr))';
+    for (const t of TXN.top) grid.appendChild(waterfallCard(t));
+    main.appendChild(grid);
   }
 
   const summaries = (TELEMETRY && TELEMETRY.summaries) || {};
@@ -571,11 +699,13 @@ function render() {
     main.appendChild(card);
   }
 
-  const foot = ['telemetry schema ' +
+  const foot = [];
+  if (csv) foot.push('telemetry schema ' +
     (TELEMETRY ? TELEMETRY.schema + ' v' + TELEMETRY.schema_version
-               : 'csv only')];
+               : 'csv only'));
   if (STATS) foot.push('stats schema ' + STATS.schema + ' v' +
                        STATS.schema_version);
+  if (TXN) foot.push('txn schema ' + TXN.schema + ' v' + TXN.version);
   document.getElementById('foot').textContent =
     foot.join(' · ') + ' · generated by limitless-report';
 }
@@ -610,29 +740,46 @@ main(int argc, char **argv)
     const std::map<std::string, bool> known = {
         {"telemetry", true}, {"stats-json", true},
         {"out", true},       {"title", true},
-        {"help", false},
+        {"txn", true},       {"help", false},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
         usage();
         return 0;
     }
-    if (!opts.has("telemetry"))
-        fatal("--telemetry <file.csv> is required");
+    if (!opts.has("telemetry") && !opts.has("txn"))
+        fatal("--telemetry <file.csv> or --txn <file.json> is required");
 
-    const std::string csvPath = opts.str("telemetry");
-    const std::string csv = readFile(csvPath);
-    validateCsv(csv, csvPath);
+    const bool haveCsv = opts.has("telemetry");
+    const std::string csvPath = opts.str("telemetry", "");
+    std::string csv;
+    if (haveCsv) {
+        csv = readFile(csvPath);
+        validateCsv(csv, csvPath);
+    }
 
     // Sidecar JSON (histograms + summaries). Optional: a report from a
     // bare CSV still renders the time-series sections.
-    const std::string jsonPath = telemetryJsonPathFor(csvPath);
+    const std::string jsonPath =
+        haveCsv ? telemetryJsonPathFor(csvPath) : "";
     bool haveJson = false;
-    const std::string telemJson = readFile(jsonPath, &haveJson);
+    const std::string telemJson =
+        haveCsv ? readFile(jsonPath, &haveJson) : "";
     if (haveJson &&
         telemJson.find(Telemetry::jsonSchema()) == std::string::npos)
         fatal("%s: not a telemetry JSON sidecar (expected schema %s)",
               jsonPath.c_str(), Telemetry::jsonSchema());
+
+    bool haveTxn = false;
+    std::string txnJson;
+    if (opts.has("txn")) {
+        txnJson = readFile(opts.str("txn"));
+        haveTxn = true;
+        if (txnJson.find("limitless-txn-v") == std::string::npos)
+            fatal("%s: not a transaction trace (expected schema "
+                  "limitless-txn-v1)",
+                  opts.str("txn").c_str());
+    }
 
     bool haveStats = false;
     std::string statsJson;
@@ -645,9 +792,10 @@ main(int argc, char **argv)
     }
 
     const std::string title =
-        opts.has("title") ? opts.str("title")
-                          : "LimitLESS telemetry — " +
-                                baseName(csvPath);
+        opts.has("title")
+            ? opts.str("title")
+            : "LimitLESS telemetry — " +
+                  baseName(haveCsv ? csvPath : opts.str("txn"));
     const std::string outPath = opts.str("out", "report.html");
     std::ofstream out(outPath);
     if (!out)
@@ -657,19 +805,24 @@ main(int argc, char **argv)
     out << "const TITLE = ";
     jsonEscape(out, title);
     out << ";\nconst TELEMETRY_CSV = ";
-    jsonEscape(out, csv);
+    if (haveCsv)
+        jsonEscape(out, csv);
+    else
+        out << "null";
     out << ";\nconst TELEMETRY = "
         << (haveJson ? telemJson : std::string("null"))
         << ";\nconst STATS = " << (haveStats ? statsJson : "null")
-        << ";\n";
+        << ";\nconst TXN = " << (haveTxn ? txnJson : "null") << ";\n";
     out << kScript;
     if (!out)
         fatal("write to '%s' failed", outPath.c_str());
     out.close();
 
-    std::cout << "report: " << outPath << " (from " << csvPath
+    std::cout << "report: " << outPath << " (from "
+              << (haveCsv ? csvPath : opts.str("txn"))
               << (haveJson ? " + " + jsonPath : "")
               << (haveStats ? " + " + opts.str("stats-json") : "")
+              << (haveTxn && haveCsv ? " + " + opts.str("txn") : "")
               << ")\n";
     return 0;
 }

@@ -16,6 +16,7 @@
  *                 --memory-model weak --dump-stats
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <unordered_set>
@@ -74,6 +75,12 @@ usage()
         "  --trace-lines <a,b,..> restrict the streamed trace to these "
         "line addresses\n"
         "  --stats-json <file>    write the machine's stats as JSON\n"
+        "  --txn-trace-out <file> per-transaction causal traces: span "
+        "trees, critical\n"
+        "                         paths, per-phase p50/p95/p99 "
+        "(limitless-txn-v1 JSON)\n"
+        "  --txn-top <k>          slowest transactions kept in full "
+        "(default 16)\n"
         "  --metrics-interval <n> sample telemetry every n cycles "
         "(0 = off)\n"
         "  --metrics-out <file>   telemetry CSV path (default "
@@ -104,6 +111,7 @@ main(int argc, char **argv)
         {"trace-out", true},     {"trace-lines", true},
         {"stats-json", true},    {"dump-protocol-table", false},
         {"metrics-interval", true}, {"metrics-out", true},
+        {"txn-trace-out", true}, {"txn-top", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -148,6 +156,8 @@ main(int argc, char **argv)
     cfg.metricsInterval =
         static_cast<Tick>(opts.num("metrics-interval", 0));
     cfg.telemetryOut = opts.str("metrics-out", "telemetry.csv");
+    cfg.txnTraceOut = opts.str("txn-trace-out", "");
+    cfg.txnTopK = static_cast<std::size_t>(opts.num("txn-top", 16));
 
     FlightRecorder &fr = FlightRecorder::instance();
     fr.latency().reset();
@@ -252,6 +262,20 @@ main(int argc, char **argv)
     if (opts.has("trace-out"))
         std::cout << "event trace:       " << opts.str("trace-out")
                   << "\n";
+    if (!cfg.txnTraceOut.empty()) {
+        const TxnTracer &txn = fr.txn();
+        std::cout << "txn traces:        " << machine.writeTxnTrace()
+                  << " (" << txn.completedCount() << " transactions, top "
+                  << std::min<std::uint64_t>(txn.topK(),
+                                             txn.completedCount())
+                  << " kept, " << txn.openCount() << " unfinished)\n";
+        const QuantileReservoir &t = txn.quantiles().total;
+        if (t.count())
+            std::cout << "txn total latency: p50 " << t.quantile(0.50)
+                      << "  p95 " << t.quantile(0.95) << "  p99 "
+                      << t.quantile(0.99) << " cycles"
+                      << (t.exact() ? " (exact)" : " (sampled)") << "\n";
+    }
     if (machine.telemetry()) {
         const std::string json = machine.writeTelemetry(cfg.telemetryOut);
         std::cout << "telemetry:         " << cfg.telemetryOut << " + "
