@@ -22,6 +22,7 @@
 #include "harness/result_table.hh"
 #include "obs/json.hh"
 #include "obs/stats_json.hh"
+#include "sim/log.hh"
 #include "workload/multigrid.hh"
 #include "workload/weather.hh"
 
@@ -99,6 +100,118 @@ parseTxnTraceFlag(int argc, char **argv)
         if (!std::strcmp(argv[i], "--txn-trace"))
             return true;
     return false;
+}
+
+/** `--nodes N`: override the bench's machine size (0 = keep the
+ *  default, and nothing below changes a bench's output). */
+inline unsigned
+parseNodesFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (!std::strcmp(argv[i], "--nodes"))
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    return 0;
+}
+
+/**
+ * `--topology <mesh|torus|express[:k]>`: run the sweep on a different
+ * interconnect. @return true when the flag was given (params filled);
+ * false leaves the bench on its default mesh, output unchanged.
+ */
+inline bool
+parseTopologyFlag(int argc, char **argv, TopologyParams &topo)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--topology")) {
+            if (!parseTopologyKind(argv[i + 1], topo))
+                fatal("--topology: unknown topology '%s'", argv[i + 1]);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Comma-separated topology list ("mesh,torus,express:4") for sweep
+ *  benches that fan out across interconnects; empty when absent. */
+inline std::vector<TopologyParams>
+parseTopologyListFlag(int argc, char **argv)
+{
+    std::vector<TopologyParams> topos;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--topology"))
+            continue;
+        const std::string list = argv[i + 1];
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            std::size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            TopologyParams topo;
+            const std::string tok = list.substr(pos, comma - pos);
+            if (!parseTopologyKind(tok, topo))
+                fatal("--topology: unknown topology '%s'", tok.c_str());
+            topos.push_back(topo);
+            pos = comma + 1;
+        }
+        break;
+    }
+    return topos;
+}
+
+/**
+ * Machine-shape overrides shared by the figure benches: `--nodes N`
+ * re-sizes the machine and `--topology <name>` swaps the interconnect.
+ * With neither flag, apply() is a no-op and a bench's default output is
+ * bit-identical to a build without these flags.
+ */
+struct ShapeOverride
+{
+    unsigned nodes = 0;
+    TopologyParams topology;
+    bool hasTopology = false;
+
+    static ShapeOverride
+    parse(int argc, char **argv)
+    {
+        ShapeOverride s;
+        s.nodes = parseNodesFlag(argc, argv);
+        s.hasTopology = parseTopologyFlag(argc, argv, s.topology);
+        return s;
+    }
+
+    void
+    apply(MachineConfig &cfg) const
+    {
+        if (nodes)
+            cfg.numNodes = nodes;
+        if (hasTopology)
+            cfg.topology = topology;
+    }
+};
+
+/** Comma-separated machine sizes ("16,64,256"); empty when absent. */
+inline std::vector<unsigned>
+parseNodesListFlag(int argc, char **argv)
+{
+    std::vector<unsigned> sizes;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--nodes"))
+            continue;
+        const std::string list = argv[i + 1];
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            std::size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            sizes.push_back(static_cast<unsigned>(
+                std::strtoul(list.substr(pos, comma - pos).c_str(),
+                             nullptr, 10)));
+            pos = comma + 1;
+        }
+        break;
+    }
+    return sizes;
 }
 
 /** File-name-safe form of a row label ("limitless4 Ts=50" ->

@@ -26,22 +26,28 @@ main(int argc, char **argv)
         "LimitLESS points but still better than Dir4NB.");
 
     const unsigned jobs = parseJobsFlag(argc, argv);
+    const ShapeOverride shape = ShapeOverride::parse(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
+    auto shaped = [shape](ProtocolParams proto) {
+        MachineConfig cfg = alewife64(proto);
+        shape.apply(cfg);
+        return cfg;
+    };
 
     ResultTable table("Figure 10: weather, LimitLESS pointer sweep");
     std::vector<std::function<ExperimentOutcome()>> runs;
-    runs.push_back([&make]() {
-        return runExperiment(alewife64(protocols::dirNB(4)), make);
+    runs.push_back([&make, &shaped]() {
+        return runExperiment(shaped(protocols::dirNB(4)), make);
     });
     for (unsigned p : {1u, 2u, 4u}) {
-        runs.push_back([p, &make]() {
-            return runExperiment(alewife64(protocols::limitlessStall(p, 50)),
+        runs.push_back([p, &make, &shaped]() {
+            return runExperiment(shaped(protocols::limitlessStall(p, 50)),
                                  make);
         });
     }
-    runs.push_back([&make]() {
-        return runExperiment(alewife64(protocols::fullMap()), make);
+    runs.push_back([&make, &shaped]() {
+        return runExperiment(shaped(protocols::fullMap()), make);
     });
     runSweep(table, std::move(runs), jobs);
 

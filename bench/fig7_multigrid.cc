@@ -22,6 +22,7 @@ main(int argc, char **argv)
         "Mcycles each);\nexpected shape: four nearly equal bars.");
 
     const unsigned jobs = parseJobsFlag(argc, argv);
+    const ShapeOverride shape = ShapeOverride::parse(argc, argv);
     const MultigridParams mp = multigridFigureParams();
     auto make = [&]() { return std::make_unique<Multigrid>(mp); };
 
@@ -30,8 +31,11 @@ main(int argc, char **argv)
     for (const auto &proto :
          {protocols::dirNB(4), protocols::limitlessStall(4, 100),
           protocols::limitlessStall(4, 50), protocols::fullMap()}) {
-        runs.push_back(
-            [proto, &make]() { return runExperiment(alewife64(proto), make); });
+        runs.push_back([proto, &make, shape]() {
+            MachineConfig cfg = alewife64(proto);
+            shape.apply(cfg);
+            return runExperiment(cfg, make);
+        });
     }
     runSweep(table, std::move(runs), jobs);
 

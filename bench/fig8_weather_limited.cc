@@ -28,6 +28,7 @@ main(int argc, char **argv)
     const unsigned jobs = parseJobsFlag(argc, argv);
     const Tick metrics = parseMetricsIntervalFlag(argc, argv);
     const bool txn_trace = parseTxnTraceFlag(argc, argv);
+    const ShapeOverride shape = ShapeOverride::parse(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
@@ -36,8 +37,9 @@ main(int argc, char **argv)
     for (const auto &proto :
          {protocols::dirNB(1), protocols::dirNB(2), protocols::dirNB(4),
           protocols::fullMap()}) {
-        runs.push_back([proto, &make, metrics, txn_trace]() {
+        runs.push_back([proto, &make, metrics, txn_trace, shape]() {
             MachineConfig cfg = alewife64(proto);
+            shape.apply(cfg);
             applyTelemetry(cfg, metrics, "fig8_weather_limited",
                            cfg.protocol.name());
             applyTxnTrace(cfg, txn_trace, "fig8_weather_limited",
@@ -58,8 +60,10 @@ main(int argc, char **argv)
                     "flagged read-only");
     std::vector<std::function<ExperimentOutcome()>> opt_runs;
     for (const auto &proto : {protocols::dirNB(4), protocols::fullMap()}) {
-        opt_runs.push_back([proto, &make_opt, metrics, txn_trace]() {
+        opt_runs.push_back([proto, &make_opt, metrics, txn_trace,
+                            shape]() {
             MachineConfig cfg = alewife64(proto);
+            shape.apply(cfg);
             applyTelemetry(cfg, metrics, "fig8_weather_optimized",
                            cfg.protocol.name());
             applyTxnTrace(cfg, txn_trace, "fig8_weather_optimized",

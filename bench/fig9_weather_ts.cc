@@ -35,12 +35,15 @@ main(int argc, char **argv)
     const unsigned jobs = parseJobsFlag(argc, argv);
     const Tick metrics = parseMetricsIntervalFlag(argc, argv);
     const bool txn_trace = parseTxnTraceFlag(argc, argv);
+    const ShapeOverride shape = ShapeOverride::parse(argc, argv);
     const WeatherParams wp = weatherFigureParams();
     auto make = [&]() { return std::make_unique<Weather>(wp); };
 
-    auto instrumented = [metrics, txn_trace, &make](ProtocolParams proto) {
-        return [proto, metrics, txn_trace, &make]() {
+    auto instrumented = [metrics, txn_trace, shape,
+                         &make](ProtocolParams proto) {
+        return [proto, metrics, txn_trace, shape, &make]() {
             MachineConfig cfg = alewife64(proto);
+            shape.apply(cfg);
             applyTelemetry(cfg, metrics, "fig9_weather_ts",
                            cfg.protocol.name());
             applyTxnTrace(cfg, txn_trace, "fig9_weather_ts",

@@ -113,7 +113,7 @@ BM_MeshUniformTraffic(benchmark::State &state)
     // Cost of moving one packet across a loaded 8x8 mesh (includes all
     // router ticks it causes).
     EventQueue eq;
-    MeshNetwork net(eq, MeshTopology(8, 8));
+    MeshNetwork net(eq, std::make_shared<MeshTopology>(8, 8));
     unsigned delivered = 0;
     for (NodeId n = 0; n < 64; ++n)
         net.setReceiver(n, [&delivered](PacketPtr) { ++delivered; });

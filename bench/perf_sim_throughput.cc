@@ -33,10 +33,18 @@ struct Row
 };
 
 Row
-measure(const char *label, const ProtocolParams &proto)
+measure(const std::string &label, const ProtocolParams &proto,
+        unsigned nodes = 0, TopologyParams topo = {},
+        unsigned iterations = 0)
 {
-    const WeatherParams wp = weatherFigureParams();
-    const MachineConfig cfg = alewife64(proto);
+    WeatherParams wp = weatherFigureParams();
+    if (iterations)
+        wp.iterations = iterations;
+    MachineConfig cfg = alewife64(proto);
+    if (nodes) {
+        cfg.numNodes = nodes;
+        cfg.topology = topo;
+    }
 
     const std::uint64_t alloc0 = PacketPool::local().freshAllocs();
     const std::uint64_t recyc0 = PacketPool::local().recycled();
@@ -46,7 +54,8 @@ measure(const char *label, const ProtocolParams &proto)
     wl.install(machine);
     const RunResult run = machine.run();
     if (!run.completed)
-        fatal("perf_sim_throughput: '%s' did not complete", label);
+        fatal("perf_sim_throughput: '%s' did not complete",
+              label.c_str());
     wl.verify(machine);
 
     Row row;
@@ -90,6 +99,38 @@ main()
     for (const Scheme &s : schemes) {
         Row row = measure(s.label, s.proto);
         std::cout << "  " << std::left << std::setw(16) << row.label
+                  << std::right << std::setw(12) << row.cycles
+                  << std::setw(12) << row.events << std::setw(10)
+                  << std::fixed << std::setprecision(2) << row.hostSeconds
+                  << std::setw(10) << row.eventsPerSec / 1e6
+                  << std::setw(12) << row.packetAllocs << std::setw(12)
+                  << row.packetRecycles << "\n";
+        rows.push_back(std::move(row));
+    }
+
+    // Scale rows: the same workload shrunk to a few iterations so the
+    // 256- and 1024-node machines stay a CI-sized measurement. These
+    // track host throughput as router count grows (and, at 1024, on the
+    // torus with its doubled virtual-channel port count).
+    struct ScalePoint
+    {
+        const char *label;
+        unsigned nodes;
+        TopologyKind kind;
+    };
+    const ScalePoint scale_points[] = {
+        {"limitless4-256", 256, TopologyKind::mesh},
+        {"limitless4-256-torus", 256, TopologyKind::torus},
+        {"limitless4-1024", 1024, TopologyKind::mesh},
+        {"limitless4-1024-torus", 1024, TopologyKind::torus},
+    };
+    std::cout << "\n  scale rows (weather, 6 iterations):\n";
+    for (const ScalePoint &p : scale_points) {
+        TopologyParams topo;
+        topo.kind = p.kind;
+        Row row = measure(p.label, protocols::limitlessStall(4, 50),
+                          p.nodes, topo, /*iterations=*/6);
+        std::cout << "  " << std::left << std::setw(22) << row.label
                   << std::right << std::setw(12) << row.cycles
                   << std::setw(12) << row.events << std::setw(10)
                   << std::fixed << std::setprecision(2) << row.hostSeconds

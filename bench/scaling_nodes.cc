@@ -33,9 +33,17 @@ main(int argc, char **argv)
     wp.iterations = 40;
     wp.columnLines = 32;
 
-    // All nine (size, scheme) cells are independent machines: fan them
-    // out, then print the per-size rows from the ordered results.
-    const std::vector<unsigned> sizes = {16u, 32u, 64u};
+    // All (topology, size, scheme) cells are independent machines: fan
+    // them out through one ParallelRunner, then print the per-size rows
+    // from the ordered results. `--nodes 16,64,256 --topology
+    // mesh,torus` sweeps a mixed-topology grid through the same
+    // ExperimentOutcome merge path the default sweep uses.
+    std::vector<unsigned> sizes = parseNodesListFlag(argc, argv);
+    if (sizes.empty())
+        sizes = {16u, 32u, 64u};
+    std::vector<TopologyParams> topos = parseTopologyListFlag(argc, argv);
+    if (topos.empty())
+        topos.emplace_back();
     const ProtocolParams protos[3] = {
         protocols::dirNB(4),
         protocols::limitlessStall(4, 50),
@@ -45,13 +53,14 @@ main(int argc, char **argv)
     const ParallelRunner::Task<ExperimentOutcome> cell =
         [&](std::size_t idx, std::ostream &) {
             MachineConfig cfg = alewife64(protos[idx % 3]);
-            cfg.numNodes = sizes[idx / 3];
+            cfg.numNodes = sizes[(idx / 3) % sizes.size()];
+            cfg.topology = topos[idx / (3 * sizes.size())];
             return runExperiment(cfg, [&] {
                 return std::make_unique<Weather>(wp);
             });
         };
-    const std::vector<ExperimentOutcome> outs =
-        runner.map<ExperimentOutcome>(sizes.size() * 3, cell, std::cout);
+    const std::vector<ExperimentOutcome> outs = runner.map<ExperimentOutcome>(
+        topos.size() * sizes.size() * 3, cell, std::cout);
 
     std::cout << "\n  " << std::setw(6) << "nodes" << std::setw(14)
               << "Dir4NB" << std::setw(14) << "LimitLESS4"
@@ -59,23 +68,31 @@ main(int argc, char **argv)
               << "Dir4/full" << std::setw(12) << "LL4/full" << "\n";
 
     double dir_ratio_small = 0, dir_ratio_big = 0, ll_worst = 0;
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        const unsigned nodes = sizes[s];
-        Tick cycles[3] = {};
-        for (int i = 0; i < 3; ++i)
-            cycles[i] = outs[s * 3 + i].cycles;
-        const double dir_ratio = double(cycles[0]) / cycles[2];
-        const double ll_ratio = double(cycles[1]) / cycles[2];
-        std::cout << "  " << std::setw(6) << nodes << std::setw(14)
-                  << cycles[0] << std::setw(14) << cycles[1]
-                  << std::setw(13) << cycles[2] << std::setw(11)
-                  << std::fixed << std::setprecision(2) << dir_ratio
-                  << "x" << std::setw(11) << ll_ratio << "x\n";
-        if (nodes == 16)
-            dir_ratio_small = dir_ratio;
-        if (nodes == 64)
-            dir_ratio_big = dir_ratio;
-        ll_worst = std::max(ll_worst, ll_ratio);
+    for (std::size_t t = 0; t < topos.size(); ++t) {
+        if (topos.size() > 1)
+            std::cout << "  [" << topologyKindName(topos[t].kind)
+                      << "]\n";
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            const unsigned nodes = sizes[s];
+            Tick cycles[3] = {};
+            for (int i = 0; i < 3; ++i)
+                cycles[i] = outs[(t * sizes.size() + s) * 3 + i].cycles;
+            const double dir_ratio = double(cycles[0]) / cycles[2];
+            const double ll_ratio = double(cycles[1]) / cycles[2];
+            std::cout << "  " << std::setw(6) << nodes << std::setw(14)
+                      << cycles[0] << std::setw(14) << cycles[1]
+                      << std::setw(13) << cycles[2] << std::setw(11)
+                      << std::fixed << std::setprecision(2) << dir_ratio
+                      << "x" << std::setw(11) << ll_ratio << "x\n";
+            // The shape check tracks the first (default) topology; the
+            // hot-spot argument is calibrated on the paper's mesh.
+            if (t == 0 && nodes == sizes.front())
+                dir_ratio_small = dir_ratio;
+            if (t == 0 && nodes == sizes.back())
+                dir_ratio_big = dir_ratio;
+            if (t == 0)
+                ll_worst = std::max(ll_worst, ll_ratio);
+        }
     }
 
     if (dir_ratio_big > dir_ratio_small * 1.3 && ll_worst < 1.15) {

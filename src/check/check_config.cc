@@ -50,6 +50,10 @@ CheckConfig::name() const
     os << "/" << script << " " << nodes << "n " << lines << "l";
     if (deferDepth != 4)
         os << " d" << deferDepth;
+    if (topology.kind != TopologyKind::mesh)
+        os << " " << topologyKindName(topology.kind);
+    if (topology.clusterSize > 1)
+        os << " c" << topology.clusterSize;
     return os.str();
 }
 
@@ -58,7 +62,10 @@ CheckConfig::machineConfig() const
 {
     MachineConfig cfg;
     cfg.numNodes = nodes;
-    cfg.meshWidth = nodes; // 1 x N line; irrelevant under makeNetwork
+    cfg.topology = topology;
+    if (!cfg.topology.width)
+        cfg.topology.width = nodes; // 1 x N line; link structure is
+                                    // irrelevant under makeNetwork
     cfg.protocol = protocol;
     cfg.mem.deferDepth = deferDepth;
     // One cache set per node: any two distinct lines conflict, so the

@@ -33,6 +33,16 @@ struct CheckConfig
     unsigned lines = 1;
 
     /**
+     * Machine shape. The fabric itself is the checker's
+     * ControlledNetwork (every delivery interleaving is explored, so
+     * link structure is irrelevant), but the topology's clusterSize
+     * changes the home mapping: 2x2-cluster torus configs exercise the
+     * cluster-interleaved addressing seam under full interleaving
+     * exploration. Default: 1 x N mesh, flat addressing.
+     */
+    TopologyParams topology;
+
+    /**
      * Operation script: "smoke" (each node stores then loads line 0),
      * "conflict" (stores + loads over two lines that collide in the
      * one-set cache, forcing REPM/REPC races; needs lines >= 2),

@@ -113,6 +113,16 @@ writeTrace(std::ostream &os, const CheckTrace &trace)
        << "ops_per_node " << cfg.opsPerNode << "\n"
        << "defer_depth " << cfg.deferDepth << "\n"
        << "seed " << cfg.seed << "\n";
+    // Topology keys are written only when non-default, so flat-machine
+    // traces keep the exact byte format older tools produced.
+    if (cfg.topology.kind != TopologyKind::mesh)
+        os << "topology " << topologyKindName(cfg.topology.kind) << "\n";
+    if (cfg.topology.width)
+        os << "topo_width " << cfg.topology.width << "\n";
+    if (cfg.topology.height)
+        os << "topo_height " << cfg.topology.height << "\n";
+    if (cfg.topology.clusterSize > 1)
+        os << "cluster " << cfg.topology.clusterSize << "\n";
     for (const GuardFlip &f : trace.flips)
         os << "flip " << checkKindName(f.kind) << " "
            << tableSideName(f.side) << " " << f.row << "\n";
@@ -214,6 +224,15 @@ parseTrace(std::istream &is, CheckTrace &out, std::string *error)
                 cfg.deferDepth = std::stoul(value);
             else if (key == "seed")
                 cfg.seed = std::stoull(value);
+            else if (key == "topology") {
+                if (!parseTopologyKind(value, cfg.topology))
+                    return bad("unknown topology");
+            } else if (key == "topo_width")
+                cfg.topology.width = std::stoul(value);
+            else if (key == "topo_height")
+                cfg.topology.height = std::stoul(value);
+            else if (key == "cluster")
+                cfg.topology.clusterSize = std::stoul(value);
             else if (key == "violation")
                 out.violation = violationKindFromName(value);
             else

@@ -35,12 +35,22 @@ class AddressMap
      * @param line_bytes   coherence unit (16 in Alewife)
      * @param bytes_per_node memory per node, for ranged mapping
      * @param mapping      interleaved or ranged
+     * @param cluster_size nodes per chip/cluster (must divide
+     *                     num_nodes). With clusters, interleaving
+     *                     rotates consecutive lines across chips first
+     *                     and across a chip's nodes second, so one
+     *                     chip's nodes own every numClusters()-th line
+     *                     — the contiguous-ownership seam a two-level
+     *                     (per-chip) directory delegates through.
+     *                     1 (default) reproduces flat interleaving.
      */
     AddressMap(unsigned num_nodes, unsigned line_bytes,
                std::uint64_t bytes_per_node = 4ull << 20,
-               HomeMapping mapping = HomeMapping::interleaved)
+               HomeMapping mapping = HomeMapping::interleaved,
+               unsigned cluster_size = 1)
         : _numNodes(num_nodes), _lineBytes(line_bytes),
           _bytesPerNode(bytes_per_node), _mapping(mapping),
+          _clusterSize(cluster_size),
           _lineShift(static_cast<unsigned>(
               std::countr_zero(static_cast<unsigned>(line_bytes)))),
           _nodesPow2((num_nodes & (num_nodes - 1)) == 0)
@@ -49,12 +59,16 @@ class AddressMap
         assert(line_bytes >= bytesPerWord &&
                (line_bytes & (line_bytes - 1)) == 0);
         assert(line_bytes / bytesPerWord <= maxWordsPerLine);
+        assert(cluster_size >= 1 && num_nodes % cluster_size == 0 &&
+               "cluster size must divide the node count");
     }
 
     /** Most words per line any configuration may use (storage bound). */
     static constexpr unsigned maxWordsPerLine = 8;
 
     unsigned numNodes() const { return _numNodes; }
+    unsigned clusterSize() const { return _clusterSize; }
+    unsigned numClusters() const { return _numNodes / _clusterSize; }
     unsigned lineBytes() const { return _lineBytes; }
     unsigned lineShift() const { return _lineShift; }
     unsigned wordsPerLine() const { return _lineBytes / bytesPerWord; }
@@ -72,12 +86,27 @@ class AddressMap
         return static_cast<unsigned>((a & (_lineBytes - 1)) / bytesPerWord);
     }
 
+    /** Cluster (chip) a node belongs to. */
+    unsigned clusterOf(NodeId node) const { return node / _clusterSize; }
+
     /** Home node owning an address's directory entry. */
     NodeId
     homeOf(Addr a) const
     {
         const std::uint64_t line = a >> _lineShift;
         if (_mapping == HomeMapping::interleaved) {
+            if (_clusterSize > 1) {
+                // Rotate across chips first, then across the chip's
+                // nodes: chip c's nodes own lines congruent to c mod
+                // numClusters(), the delegation unit of the two-level
+                // directory seam.
+                const unsigned clusters = _numNodes / _clusterSize;
+                const unsigned chip =
+                    static_cast<unsigned>(line % clusters);
+                const unsigned within = static_cast<unsigned>(
+                    (line / clusters) % _clusterSize);
+                return static_cast<NodeId>(chip * _clusterSize + within);
+            }
             // Power-of-two node counts (all the figure machines) avoid
             // the 64-bit modulo on this per-access path.
             if (_nodesPow2)
@@ -95,8 +124,16 @@ class AddressMap
     addrOnNode(NodeId node, std::uint64_t slot) const
     {
         assert(node < _numNodes);
-        if (_mapping == HomeMapping::interleaved)
+        if (_mapping == HomeMapping::interleaved) {
+            if (_clusterSize > 1) {
+                const unsigned clusters = _numNodes / _clusterSize;
+                const std::uint64_t chip = node / _clusterSize;
+                const std::uint64_t within = node % _clusterSize;
+                return ((slot * _clusterSize + within) * clusters + chip) *
+                       _lineBytes;
+            }
             return (slot * _numNodes + node) * _lineBytes;
+        }
         return node * _bytesPerNode + slot * _lineBytes;
     }
 
@@ -105,6 +142,7 @@ class AddressMap
     unsigned _lineBytes;
     std::uint64_t _bytesPerNode;
     HomeMapping _mapping;
+    unsigned _clusterSize;
     unsigned _lineShift;
     bool _nodesPow2;
 };

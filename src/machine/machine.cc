@@ -6,6 +6,10 @@
 #include <fstream>
 #include <iostream>
 
+#include "directory/chained_dir.hh"
+#include "directory/full_map_dir.hh"
+#include "directory/limited_dir.hh"
+#include "directory/limitless_dir.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/json.hh"
 #include "obs/stats_json.hh"
@@ -16,20 +20,19 @@ namespace limitless
 {
 
 Machine::Machine(const MachineConfig &cfg)
-    : _cfg(cfg),
-      _amap(cfg.numNodes, cfg.lineBytes, cfg.bytesPerNode, cfg.mapping)
+    : _cfg(cfg), _topo(cfg.makeTopology()),
+      _amap(cfg.numNodes, cfg.lineBytes, cfg.bytesPerNode, cfg.mapping,
+            cfg.topology.clusterSize)
 {
-    const MeshTopology topo(cfg.resolvedMeshWidth(),
-                            cfg.resolvedMeshHeight());
-    assert(topo.numNodes() == cfg.numNodes &&
-           "mesh dimensions must cover every node");
+    assert(_topo->numNodes() == cfg.numNodes &&
+           "grid dimensions must cover every node");
 
     if (cfg.makeNetwork)
         _net = cfg.makeNetwork(_eq);
     else if (cfg.network == NetworkKind::mesh)
-        _net = std::make_unique<MeshNetwork>(_eq, topo, cfg.meshParams);
+        _net = std::make_unique<MeshNetwork>(_eq, _topo, cfg.meshParams);
     else
-        _net = std::make_unique<IdealNetwork>(_eq, topo, cfg.idealParams);
+        _net = std::make_unique<IdealNetwork>(_eq, _topo, cfg.idealParams);
     assert(_net->numNodes() >= cfg.numNodes &&
            "network must cover every node");
 
@@ -190,14 +193,13 @@ Machine::setupTelemetry()
                 return a.first != b.first ? a.first > b.first
                                           : a.second < b.second;
             });
-            const unsigned width = _cfg.resolvedMeshWidth();
             const std::size_t k = std::min<std::size_t>(8, load.size());
             os << "[";
             for (std::size_t i = 0; i < k; ++i) {
                 os << (i ? ", " : "")
                    << "{\"router\": " << load[i].second
-                   << ", \"x\": " << load[i].second % width
-                   << ", \"y\": " << load[i].second / width
+                   << ", \"x\": " << _topo->xOf(load[i].second)
+                   << ", \"y\": " << _topo->yOf(load[i].second)
                    << ", \"flit_hops\": " << load[i].first << "}";
             }
             os << "]";
@@ -481,6 +483,48 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
     // The paper's model terms: T = Th + m * Ts.
     os << "  \"model\": {\"m\": " << m << ", \"ts\": " << ts
        << ", \"m_ts\": " << m * ts << "},\n";
+    os << "  \"topology\": {\"kind\": ";
+    jsonEscape(os, _topo->name());
+    os << ", \"width\": " << _topo->width()
+       << ", \"height\": " << _topo->height()
+       << ", \"cluster_size\": " << _cfg.topology.clusterSize
+       << ", \"average_hops\": " << _topo->averageHops() << "},\n";
+    // Directory-storage comparison (the paper's Section 1 motivation):
+    // bits per entry for each scheme at the canonical scales plus this
+    // machine's own node count. Full-map is a multi-word presence
+    // vector (exactly num_nodes bits); the others grow as O(log N).
+    {
+        os << "  \"directory_storage\": {\"node_counts\": ";
+        std::vector<unsigned> counts{64, 256, 1024};
+        if (std::find(counts.begin(), counts.end(), _cfg.numNodes) ==
+            counts.end())
+            counts.insert(counts.begin(), _cfg.numNodes);
+        os << "[";
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            os << (i ? ", " : "") << counts[i];
+        os << "], \"schemes\": [";
+        bool first_scheme = true;
+        auto row = [&](const char *label, auto &&bits) {
+            os << (first_scheme ? "" : ", ");
+            first_scheme = false;
+            os << "{\"scheme\": ";
+            jsonEscape(os, label);
+            os << ", \"bits_per_entry\": [";
+            for (std::size_t i = 0; i < counts.size(); ++i)
+                os << (i ? ", " : "") << bits(counts[i]);
+            os << "]}";
+        };
+        row("full-map",
+            [](unsigned n) { return FullMapDir(n).bitsPerEntry(n); });
+        row("dir4nb",
+            [](unsigned n) { return LimitedDir(4).bitsPerEntry(n); });
+        row("limitless4", [](unsigned n) {
+            return LimitlessDir(0, 4, true).bitsPerEntry(n);
+        });
+        row("chained",
+            [](unsigned n) { return ChainedDir().bitsPerEntry(n); });
+        os << "]},\n";
+    }
     if (run) {
         os << "  \"host\": {\"seconds\": " << run->hostSeconds
            << ", \"events\": " << run->events

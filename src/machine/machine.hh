@@ -55,6 +55,7 @@ class Machine
     const MachineConfig &config() const { return _cfg; }
     EventQueue &eventQueue() { return _eq; }
     const AddressMap &addressMap() const { return _amap; }
+    const Topology &topology() const { return *_topo; }
     unsigned numNodes() const { return _cfg.numNodes; }
     Node &node(unsigned i) { return *_nodes.at(i); }
     const Node &node(unsigned i) const { return *_nodes.at(i); }
@@ -126,6 +127,7 @@ class Machine
     void setupTelemetry();
     MachineConfig _cfg;
     EventQueue _eq;
+    std::shared_ptr<const Topology> _topo;
     AddressMap _amap;
     CoherencePolicy _policy;
     std::unique_ptr<Network> _net;

@@ -30,8 +30,15 @@ enum class NetworkKind { mesh, ideal };
 struct MachineConfig
 {
     unsigned numNodes = 64;
-    /** Mesh width; 0 picks the most square factorization. */
-    unsigned meshWidth = 0;
+
+    /**
+     * Interconnect shape: kind (mesh / torus / express mesh), grid
+     * dimensions (width 0 picks the most square factorization), express
+     * stride, and the cluster size partitioning nodes into chips for
+     * the hierarchical addressing seam. The defaults reproduce the
+     * paper's 8x8 mesh exactly.
+     */
+    TopologyParams topology;
 
     unsigned lineBytes = 16; ///< Alewife coherence unit
     HomeMapping mapping = HomeMapping::interleaved;
@@ -44,7 +51,7 @@ struct MachineConfig
     KernelCosts kernel;
 
     NetworkKind network = NetworkKind::mesh;
-    MeshNetworkParams meshParams;
+    WormholeParams meshParams;
     IdealNetworkParams idealParams;
 
     /**
@@ -87,12 +94,12 @@ struct MachineConfig
     /** Watchdog: abort if no thread completes an op for this long. */
     Tick watchdogCycles = 4'000'000;
 
-    /** Resolved mesh width. */
+    /** Resolved grid width (workload neighbor math, summaries). */
     unsigned
     resolvedMeshWidth() const
     {
-        if (meshWidth)
-            return meshWidth;
+        if (topology.width)
+            return topology.width;
         unsigned w = 1;
         for (unsigned d = 1; d * d <= numNodes; ++d)
             if (numNodes % d == 0)
@@ -104,6 +111,13 @@ struct MachineConfig
     resolvedMeshHeight() const
     {
         return numNodes / resolvedMeshWidth();
+    }
+
+    /** Build the configured interconnect topology. */
+    std::shared_ptr<const Topology>
+    makeTopology() const
+    {
+        return limitless::makeTopology(topology, numNodes);
     }
 };
 

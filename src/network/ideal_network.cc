@@ -30,19 +30,11 @@ netEvent(Tick ts, const char *name, const Packet &pkt, NodeId node)
 
 } // namespace
 
-double
-MeshTopology::averageHops() const
-{
-    // Mean |i - j| over a line of n nodes is (n^2 - 1) / (3n); the mesh
-    // dimensions are independent under uniform traffic.
-    auto line_mean = [](double n) { return (n * n - 1.0) / (3.0 * n); };
-    return line_mean(_width) + line_mean(_height);
-}
-
-IdealNetwork::IdealNetwork(EventQueue &eq, MeshTopology topo,
+IdealNetwork::IdealNetwork(EventQueue &eq,
+                           std::shared_ptr<const Topology> topo,
                            IdealNetworkParams params)
-    : _eq(eq), _topo(topo), _params(params),
-      _receivers(_topo.numNodes()),
+    : _eq(eq), _topo(std::move(topo)), _params(params),
+      _receivers(_topo->numNodes()),
       _statPackets(_stats.counter("packets", "packets delivered")),
       _statWords(_stats.counter("words", "packet words delivered")),
       _statLatency(_stats.accumulator("latency", "packet latency (cycles)"))
@@ -61,7 +53,7 @@ IdealNetwork::send(PacketPtr pkt)
     assert(pkt);
     assert(pkt->src < numNodes() && pkt->dest < numNodes());
     const Tick lat = _params.baseLatency +
-                     _params.perHopLatency * _topo.hops(pkt->src, pkt->dest) +
+                     _params.perHopLatency * _topo->hops(pkt->src, pkt->dest) +
                      _params.perWordLatency * pkt->lengthWords();
     const std::uint64_t key =
         (static_cast<std::uint64_t>(pkt->src) << 32) | pkt->dest;

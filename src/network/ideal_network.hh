@@ -13,6 +13,7 @@
 #ifndef LIMITLESS_NETWORK_IDEAL_NETWORK_HH
 #define LIMITLESS_NETWORK_IDEAL_NETWORK_HH
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -39,20 +40,22 @@ struct IdealNetworkParams
 class IdealNetwork : public Network
 {
   public:
-    IdealNetwork(EventQueue &eq, MeshTopology topo,
+    IdealNetwork(EventQueue &eq, std::shared_ptr<const Topology> topo,
                  IdealNetworkParams params = {});
 
     void send(PacketPtr pkt) override;
     void setReceiver(NodeId node, Receiver recv) override;
-    unsigned numNodes() const override { return _topo.numNodes(); }
+    unsigned numNodes() const override { return _topo->numNodes(); }
     bool busy() const override { return _inFlight != 0; }
+
+    const Topology &topology() const { return *_topo; }
 
     StatSet &stats() { return _stats; }
     const StatSet *statSet() const override { return &_stats; }
 
   private:
     EventQueue &_eq;
-    MeshTopology _topo;
+    std::shared_ptr<const Topology> _topo;
     IdealNetworkParams _params;
     std::vector<Receiver> _receivers;
     /** Last delivery tick per (src, dest), for FIFO ordering. */

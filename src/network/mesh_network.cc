@@ -31,10 +31,11 @@ netEvent(Tick ts, const char *name, const Packet &pkt, NodeId node)
 
 } // namespace
 
-MeshNetwork::MeshNetwork(EventQueue &eq, MeshTopology topo,
-                         MeshNetworkParams params)
-    : _eq(eq), _topo(topo), _params(params),
-      _routers(_topo.numNodes()), _receivers(_topo.numNodes()),
+MeshNetwork::MeshNetwork(EventQueue &eq, std::shared_ptr<const Topology> topo,
+                         WormholeParams params)
+    : _eq(eq), _topo(std::move(topo)), _params(params),
+      _numNodes(_topo->numNodes()), _vcs(_topo->numVcs()),
+      _routers(_numNodes), _receivers(_numNodes),
       _statPackets(_stats.counter("packets", "packets delivered")),
       _statFlits(_stats.counter("flits", "flits injected")),
       _statFlitHops(_stats.counter("flit_hops", "flit-hops traversed")),
@@ -45,44 +46,66 @@ MeshNetwork::MeshNetwork(EventQueue &eq, MeshTopology topo,
 {
     assert(_params.flitsPerWord >= 1);
     assert(_params.inputFifoFlits >= 2);
+    assert(_vcs >= 1 && _vcs <= 2 && "fabric supports 1 or 2 VCs");
     _moves.reserve(32);
-    _staged.resize(_routers.size() * numPorts, 0);
-    _activeRouters.resize((_routers.size() + 63) / 64, 0);
 
-    // Tabulate X-Y routing and neighbor ids once; the planner consults
-    // both for every output port of every active router every cycle.
-    const unsigned n = _topo.numNodes();
-    _routeTable.resize(std::size_t{n} * n);
-    for (unsigned r = 0; r < n; ++r)
-        for (unsigned d = 0; d < n; ++d)
-            _routeTable[std::size_t{r} * n + d] =
-                static_cast<std::uint8_t>(routeOutput(r, d));
-    _neighborTable.resize(std::size_t{n} * numPorts, 0);
+    const unsigned n = _numNodes;
+    const Topology &topof = *_topo;
+
+    // Port layout: channel c's VC v at index c * vcs + v, Local last.
+    _portBase.resize(n + 1);
+    _portBase[0] = 0;
     for (unsigned r = 0; r < n; ++r) {
-        const unsigned x = _topo.xOf(r);
-        const unsigned y = _topo.yOf(r);
-        if (y > 0)
-            _neighborTable[r * numPorts + N] = _topo.nodeAt(x, y - 1);
-        if (y + 1 < _topo.height())
-            _neighborTable[r * numPorts + S] = _topo.nodeAt(x, y + 1);
-        if (x + 1 < _topo.width())
-            _neighborTable[r * numPorts + E] = _topo.nodeAt(x + 1, y);
-        if (x > 0)
-            _neighborTable[r * numPorts + W] = _topo.nodeAt(x - 1, y);
+        const unsigned deg =
+            static_cast<unsigned>(topof.neighbors(r).size());
+        const unsigned ports = deg * _vcs + 1;
+        assert(ports <= maxPorts && "router exceeds port-mask width");
+        _portBase[r + 1] = _portBase[r] + ports;
     }
-}
+    const std::uint32_t total = _portBase[n];
+    _inPorts.resize(total);
+    _outPorts.resize(total);
+    _staged.resize(total, 0);
+    _activeRouters.resize((n + 63) / 64, 0);
 
-void
-MeshNetwork::FlitFifo::grow()
-{
-    // Unwrap into a buffer of twice the capacity; only the unbounded
-    // Local (injection) port ever gets here.
-    std::vector<Flit> bigger(_buf.size() * 2);
-    for (std::size_t i = 0; i < _count; ++i)
-        bigger[i] = _buf[(_head + i) & _mask];
-    _buf.swap(bigger);
-    _mask = _buf.size() - 1;
-    _head = 0;
+    // Neighbor ports are credit-bounded; Local (last) grows on demand.
+    for (unsigned r = 0; r < n; ++r)
+        for (std::uint32_t p = _portBase[r]; p + 1 < _portBase[r + 1]; ++p)
+            _inPorts[p].setBound(_params.inputFifoFlits);
+
+    // Tabulate routing, dimension classes and link endpoints once; the
+    // planner consults them for every waiting head flit of every active
+    // router every cycle.
+    _chanDimMask.assign(n, 0);
+    _destRouter.resize(total, 0);
+    _destPort.resize(total, 0);
+    for (unsigned r = 0; r < n; ++r) {
+        const auto &nbrs = topof.neighbors(r);
+        for (unsigned c = 0; c < nbrs.size(); ++c) {
+            if (topof.channelDim(r, c))
+                _chanDimMask[r] |= std::uint16_t{1} << c;
+            const unsigned rev = topof.reverseChannel(r, c);
+            for (unsigned v = 0; v < _vcs; ++v) {
+                const std::uint32_t port = _portBase[r] + c * _vcs + v;
+                _destRouter[port] = nbrs[c];
+                _destPort[port] =
+                    static_cast<std::uint8_t>(rev * _vcs + v);
+            }
+        }
+    }
+    _routeTable.resize(std::size_t{n} * n);
+    for (unsigned r = 0; r < n; ++r) {
+        for (unsigned d = 0; d < n; ++d) {
+            std::uint8_t entry = localSelf;
+            if (d != r) {
+                const unsigned ch = topof.nextChannel(r, d);
+                const unsigned base_vc =
+                    _vcs == 2 && topof.channelWrap(r, ch) ? 1 : 0;
+                entry = static_cast<std::uint8_t>(ch * _vcs + base_vc);
+            }
+            _routeTable[std::size_t{r} * n + d] = entry;
+        }
+    }
 }
 
 MeshNetwork::~MeshNetwork()
@@ -91,12 +114,10 @@ MeshNetwork::~MeshNetwork()
     // packet has exactly one tail flit buffered somewhere (delivery — and
     // hence removal from the fabric — happens when the tail ejects), so
     // freeing on tail flits frees each in-flight packet exactly once.
-    for (Router &router : _routers) {
-        for (InputPort &ip : router.in) {
-            for (std::size_t i = 0; i < ip.fifo.size(); ++i) {
-                if (ip.fifo.at(i).tail)
-                    PacketDeleter{}(ip.fifo.at(i).pkt);
-            }
+    for (FlitFifo &fifo : _inPorts) {
+        for (std::size_t i = 0; i < fifo.size(); ++i) {
+            if (fifo.at(i).tail)
+                PacketDeleter{}(fifo.at(i).pkt);
         }
     }
 }
@@ -117,12 +138,11 @@ MeshNetwork::send(PacketPtr pkt)
     Packet *raw = pkt.release();
     raw->injectTick = _eq.now();
 
-    Router &router = _routers[raw->src];
-    for (unsigned i = 0; i < flits; ++i) {
-        router.in[Local].fifo.push_back(
-            Flit{raw, i == 0, i == flits - 1, raw->dest});
-    }
-    router.nonEmptyMask |= std::uint8_t{1} << Local;
+    const unsigned local = numPortsOf(raw->src) - 1;
+    FlitFifo &fifo = _inPorts[_portBase[raw->src] + local];
+    for (unsigned i = 0; i < flits; ++i)
+        fifo.push_back(Flit{raw, i == 0, i == flits - 1, raw->dest});
+    _routers[raw->src].nonEmptyMask |= std::uint16_t{1} << local;
     noteFlits(raw->src, flits, 0);
     _activeFlits += flits;
     _statFlits += flits;
@@ -145,117 +165,91 @@ MeshNetwork::scheduleTickIfNeeded()
                  EventPriority::network);
 }
 
-unsigned
-MeshNetwork::routeOutput(unsigned router, NodeId dest) const
-{
-    // Dimension-ordered X-Y routing: correct X first, then Y.
-    const unsigned x = _topo.xOf(router);
-    const unsigned y = _topo.yOf(router);
-    const unsigned dx = _topo.xOf(dest);
-    const unsigned dy = _topo.yOf(dest);
-    if (dx > x)
-        return E;
-    if (dx < x)
-        return W;
-    if (dy > y)
-        return S;
-    if (dy < y)
-        return N;
-    return Local;
-}
-
-unsigned
-MeshNetwork::neighborOf(unsigned router, unsigned out_port) const
-{
-    const unsigned x = _topo.xOf(router);
-    const unsigned y = _topo.yOf(router);
-    switch (out_port) {
-      case N: return _topo.nodeAt(x, y - 1);
-      case S: return _topo.nodeAt(x, y + 1);
-      case E: return _topo.nodeAt(x + 1, y);
-      case W: return _topo.nodeAt(x - 1, y);
-      default: panic("neighborOf: bad port %u", out_port);
-    }
-}
-
-unsigned
-MeshNetwork::inputPortAtNeighbor(unsigned out_port) const
-{
-    switch (out_port) {
-      case N: return S;
-      case S: return N;
-      case E: return W;
-      case W: return E;
-      default: panic("inputPortAtNeighbor: bad port %u", out_port);
-    }
-}
-
 void
 MeshNetwork::planRouter(unsigned r)
 {
     Router &router = _routers[r];
-    const std::uint8_t *routes = &_routeTable[std::size_t{r} * numNodes()];
+    const std::uint32_t base = _portBase[r];
+    const unsigned num_ports = _portBase[r + 1] - base;
+    const unsigned local = num_ports - 1;
+    const std::uint8_t *routes =
+        &_routeTable[std::size_t{r} * _numNodes];
 
     // One pass over the occupied inputs: note which output each waiting
     // head flit wants. Head flits at the front of a FIFO are by
     // construction not part of a packet that already owns an output, so
     // `contend` and the owner continuations below partition the inputs.
-    // This is semantically the output-major double loop the planner used
-    // to run, minus the 5x5 re-probing of the FIFOs: only occupied
-    // inputs and outputs that are owned or contended are visited.
-    std::uint8_t contend[numPorts] = {};
+    std::uint16_t contend[maxPorts] = {};
     const unsigned nonEmpty = router.nonEmptyMask;
     unsigned outputs = router.ownerMask;
     for (unsigned bits = nonEmpty; bits; bits &= bits - 1) {
         const unsigned i = static_cast<unsigned>(std::countr_zero(bits));
-        const Flit &front = router.in[i].fifo.front();
-        if (front.head) {
-            const unsigned o = routes[front.dest];
-            contend[o] |= std::uint8_t{1} << i;
-            outputs |= 1u << o;
+        const Flit &front = _inPorts[base + i].front();
+        if (!front.head)
+            continue;
+        const std::uint8_t rp = routes[front.dest];
+        unsigned o;
+        if (rp == localSelf) {
+            o = local;
+        } else if (_vcs == 1) {
+            o = rp;
+        } else {
+            // Dateline rule: a packet already on VC1 stays on VC1 while
+            // it continues in the same dimension class; crossing
+            // dimensions (or injecting) resets to the link's base VC.
+            unsigned carry = 0;
+            if (i != local && (i & 1)) {
+                const std::uint16_t dims = _chanDimMask[r];
+                carry = ((dims >> (i >> 1)) & 1) ==
+                        ((dims >> (rp >> 1)) & 1);
+            }
+            o = rp | carry;
         }
+        contend[o] |= std::uint16_t{1} << i;
+        outputs |= 1u << o;
     }
 
     for (unsigned obits = outputs; obits; obits &= obits - 1) {
         const unsigned o = static_cast<unsigned>(std::countr_zero(obits));
-        OutputPort &op = router.out[o];
+        OutputPort &op = _outPorts[base + o];
         int src = op.owner;
         if (src == -1 && contend[o]) {
             // Arbitrate a new packet onto this output, round-robin.
-            for (unsigned k = 0; k < numPorts; ++k) {
-                const unsigned i = (op.rr + k) % numPorts;
-                if (!(contend[o] & (std::uint8_t{1} << i)))
+            for (unsigned k = 0; k < num_ports; ++k) {
+                unsigned i = op.rr + k;
+                if (i >= num_ports)
+                    i -= num_ports;
+                if (!(contend[o] & (std::uint16_t{1} << i)))
                     continue;
                 src = static_cast<int>(i);
-                op.rr = (i + 1) % numPorts;
+                op.rr = i + 1 == num_ports ? 0 : i + 1;
                 op.owner = src;
-                router.ownerMask |= std::uint8_t{1} << o;
+                router.ownerMask |= std::uint16_t{1} << o;
                 break;
             }
         }
         if (src == -1)
             continue;
-        if (!(nonEmpty & (std::uint8_t{1} << src)))
+        if (!(nonEmpty & (std::uint16_t{1} << src)))
             continue; // wormhole bubble: next flit not here yet
 
-        InputPort &ip = router.in[src];
-        const Flit &flit = ip.fifo.front();
+        const Flit &flit = _inPorts[base + src].front();
 
         Move move{};
         move.fromRouter = r;
         move.fromPort = static_cast<unsigned>(src);
         move.outPort = o;
         move.releaseOwner = flit.tail;
-        if (o == Local) {
+        if (o == local) {
             move.eject = true;
         } else {
             move.eject = false;
-            move.toRouter = _neighborTable[r * numPorts + o];
-            move.toPort = inputPortAtNeighbor(o);
-            const auto &downstream =
-                _routers[move.toRouter].in[move.toPort].fifo;
-            const unsigned idx = move.toRouter * numPorts + move.toPort;
-            if (downstream.size() + _staged[idx] >= _params.inputFifoFlits) {
+            move.toRouter = _destRouter[base + o];
+            move.toPort = _destPort[base + o];
+            const std::uint32_t idx =
+                _portBase[move.toRouter] + move.toPort;
+            if (_inPorts[idx].size() + _staged[idx] >=
+                _params.inputFifoFlits) {
                 _statBlockedCycles += 1;
                 continue; // no credit downstream
             }
@@ -269,20 +263,22 @@ void
 MeshNetwork::applyMove(const Move &move)
 {
     Router &router = _routers[move.fromRouter];
-    InputPort &ip = router.in[move.fromPort];
-    assert(!ip.fifo.empty());
-    Flit flit = ip.fifo.front();
-    ip.fifo.pop_front();
-    if (ip.fifo.empty())
-        router.nonEmptyMask &= ~(std::uint8_t{1} << move.fromPort);
+    FlitFifo &in = _inPorts[_portBase[move.fromRouter] + move.fromPort];
+    assert(!in.empty());
+    Flit flit = in.front();
+    in.pop_front();
+    if (in.empty())
+        router.nonEmptyMask &= ~(std::uint16_t{1} << move.fromPort);
     noteFlits(move.fromRouter, 0, 1);
     _statFlitHops += 1;
     if (_telem)
         ++_telem->flitHops[move.fromRouter];
 
     if (move.releaseOwner) {
-        router.out[move.outPort].owner = -1;
-        router.ownerMask &= ~(std::uint8_t{1} << move.outPort);
+        OutputPort &op =
+            _outPorts[_portBase[move.fromRouter] + move.outPort];
+        op.owner = -1;
+        router.ownerMask &= ~(std::uint16_t{1} << move.outPort);
     }
 
     if (move.eject) {
@@ -290,9 +286,9 @@ MeshNetwork::applyMove(const Move &move)
         if (flit.tail)
             deliver(flit.pkt);
     } else {
-        Router &to = _routers[move.toRouter];
-        to.in[move.toPort].fifo.push_back(flit);
-        to.nonEmptyMask |= std::uint8_t{1} << move.toPort;
+        _inPorts[_portBase[move.toRouter] + move.toPort].push_back(flit);
+        _routers[move.toRouter].nonEmptyMask |=
+            std::uint16_t{1} << move.toPort;
         noteFlits(move.toRouter, 1, 0);
     }
 }

@@ -1,31 +1,36 @@
 /**
  * @file
- * Flit-level 2-D mesh with wormhole routing (paper Section 2: "the nodes
+ * Flit-level wormhole-routed fabric (paper Section 2: "the nodes
  * communicate via messages through a direct network with a mesh topology
  * using wormhole routing").
  *
  * Model:
- *  - dimension-ordered X-Y routing (deadlock-free, preserves p2p FIFO);
- *  - one virtual channel; an output port is held by a packet from its head
- *    flit until its tail flit passes (wormhole, no interleaving);
- *  - credit-based flow control against finite input FIFOs;
+ *  - routing, channel structure and VC discipline come from the
+ *    Topology (mesh: dimension-ordered X-Y; torus: dimension-ordered
+ *    with dateline VCs; express mesh: jumps-then-walks);
+ *  - an output port is held by a packet from its head flit until its
+ *    tail flit passes (wormhole, no interleaving);
+ *  - credit-based flow control against finite input FIFOs, per virtual
+ *    channel;
  *  - one flit per output port per network cycle; ejection consumes one
  *    flit per cycle, so heavily contended home nodes back up the fabric —
  *    this is the hot-spot behaviour Figure 8 of the paper depends on.
  *
- * Packets are decomposed into 1 routing flit + flitsPerWord flits per
- * packet word. The whole fabric is a single clocked object that sleeps
- * when no flits are in flight.
+ * Router ports are per-neighbor (plus one Local injection/ejection
+ * port, always last), not a fixed five: a torus corner has four links x
+ * two VCs, a mesh corner just two. Packets are decomposed into
+ * 1 routing flit + flitsPerWord flits per packet word. The whole fabric
+ * is a single clocked object that sleeps when no flits are in flight.
  */
 
 #ifndef LIMITLESS_NETWORK_MESH_NETWORK_HH
 #define LIMITLESS_NETWORK_MESH_NETWORK_HH
 
-#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "network/flit_fifo.hh"
 #include "network/network.hh"
 #include "network/topology.hh"
 #include "sim/event_queue.hh"
@@ -34,29 +39,37 @@
 namespace limitless
 {
 
-/** Mesh configuration. */
-struct MeshNetworkParams
+/** Wormhole fabric configuration (buffering and timing; the shape is
+ *  the Topology's business). */
+struct WormholeParams
 {
     unsigned flitsPerWord = 1;  ///< flits per packet word (calibrated so Th~40)
-    unsigned inputFifoFlits = 8; ///< per-port buffering
+    unsigned inputFifoFlits = 8; ///< per-port, per-VC buffering
     Tick clockPeriod = 1;       ///< network cycle in processor cycles
 };
 
-/** Wormhole-routed mesh network. */
+/** Wormhole-routed network over an arbitrary grid Topology. */
 class MeshNetwork : public Network
 {
   public:
-    MeshNetwork(EventQueue &eq, MeshTopology topo,
-                MeshNetworkParams params = {});
+    MeshNetwork(EventQueue &eq, std::shared_ptr<const Topology> topo,
+                WormholeParams params = {});
     ~MeshNetwork() override;
 
     void send(PacketPtr pkt) override;
     void setReceiver(NodeId node, Receiver recv) override;
-    unsigned numNodes() const override { return _topo.numNodes(); }
+    unsigned numNodes() const override { return _numNodes; }
     bool busy() const override { return _activeFlits != 0; }
+
+    const Topology &topology() const { return *_topo; }
 
     StatSet &stats() { return _stats; }
     const StatSet *statSet() const override { return &_stats; }
+
+    /** Most ports any router may have (8 express links x 2 VCs +
+     *  Local would be 17, but no shipped topology combines them; the
+     *  masks below are 16 bits wide). */
+    static constexpr unsigned maxPorts = 16;
 
     /**
      * Per-router telemetry, allocated on demand so the un-instrumented
@@ -93,68 +106,19 @@ class MeshNetwork : public Network
         return 1 + pkt.lengthWords() * _params.flitsPerWord;
     }
 
+    /** Peak capacity (in flits) any single input FIFO has reached;
+     *  exercised by the hotspot overflow regression test. */
+    std::size_t
+    maxFifoCapacity() const
+    {
+        std::size_t cap = 0;
+        for (const FlitFifo &fifo : _inPorts)
+            if (fifo.capacity() > cap)
+                cap = fifo.capacity();
+        return cap;
+    }
+
   private:
-    /** Port indices; Local is both injection input and ejection output. */
-    enum Port { N = 0, E = 1, S = 2, W = 3, Local = 4, numPorts = 5 };
-
-    struct Flit
-    {
-        Packet *pkt;  ///< owning MeshNetwork frees in-flight on teardown
-        bool head;
-        bool tail;
-        NodeId dest;
-    };
-
-    /**
-     * Growable ring buffer of flits. The mesh probes and advances these
-     * FIFOs on every network cycle for every active router, so the
-     * common operations (empty / front / pop) must be a couple of loads
-     * — a std::deque's segmented iterators showed up hard in profiles.
-     * Mesh ports are bounded by inputFifoFlits; only the Local
-     * (injection) port ever grows.
-     */
-    class FlitFifo
-    {
-      public:
-        bool empty() const { return _count == 0; }
-        std::size_t size() const { return _count; }
-        const Flit &front() const { return _buf[_head]; }
-        /** i-th element from the front (teardown scan). */
-        const Flit &at(std::size_t i) const
-        {
-            return _buf[(_head + i) & _mask];
-        }
-
-        void
-        push_back(const Flit &f)
-        {
-            if (_count == _buf.size())
-                grow();
-            _buf[(_head + _count) & _mask] = f;
-            ++_count;
-        }
-
-        void
-        pop_front()
-        {
-            _head = (_head + 1) & _mask;
-            --_count;
-        }
-
-      private:
-        void grow();
-
-        std::vector<Flit> _buf = std::vector<Flit>(16);
-        std::size_t _mask = 15;
-        std::size_t _head = 0;
-        std::size_t _count = 0;
-    };
-
-    struct InputPort
-    {
-        FlitFifo fifo;
-    };
-
     struct OutputPort
     {
         int owner = -1; ///< input index holding this port, -1 if free
@@ -163,15 +127,13 @@ class MeshNetwork : public Network
 
     struct Router
     {
-        std::array<InputPort, numPorts> in;
-        std::array<OutputPort, numPorts> out;
         unsigned flits = 0; ///< total flits buffered in this router
         /** Bit per input port with flits queued; every FIFO push/pop
          *  (send, applyMove) keeps it in sync so the planner iterates
-         *  set bits instead of probing all five FIFOs. */
-        std::uint8_t nonEmptyMask = 0;
+         *  set bits instead of probing every FIFO. */
+        std::uint16_t nonEmptyMask = 0;
         /** Bit per output port currently owned by a packet. */
-        std::uint8_t ownerMask = 0;
+        std::uint16_t ownerMask = 0;
     };
 
     /** A planned single-flit move, applied after all routers plan. */
@@ -189,11 +151,13 @@ class MeshNetwork : public Network
     void tick();
     void planRouter(unsigned r);
     void applyMove(const Move &move);
-    unsigned routeOutput(unsigned router, NodeId dest) const;
-    unsigned neighborOf(unsigned router, unsigned out_port) const;
-    unsigned inputPortAtNeighbor(unsigned out_port) const;
     void scheduleTickIfNeeded();
     void deliver(Packet *raw);
+
+    unsigned numPortsOf(unsigned r) const
+    {
+        return _portBase[r + 1] - _portBase[r];
+    }
 
     /** Track a router's flit count crossing zero in the active bitmap. */
     void
@@ -211,8 +175,10 @@ class MeshNetwork : public Network
     }
 
     EventQueue &_eq;
-    MeshTopology _topo;
-    MeshNetworkParams _params;
+    std::shared_ptr<const Topology> _topo;
+    WormholeParams _params;
+    unsigned _numNodes;
+    unsigned _vcs; ///< virtual channels per link (1 or 2)
     std::vector<Router> _routers;
     std::vector<Receiver> _receivers;
     std::unique_ptr<MeshTelemetry> _telem; ///< null unless enabled
@@ -224,13 +190,32 @@ class MeshNetwork : public Network
     std::vector<std::uint8_t> _staged;
 
     /**
-     * X-Y routing and neighbor lookups precomputed per (router, dest) /
-     * (router, port): the planner consults them for every output port of
-     * every active router every cycle, and the modulo arithmetic in
-     * routeOutput() dominated the tick before they were tabulated.
+     * Flat per-port state: router r owns indices [_portBase[r],
+     * _portBase[r+1]). Port layout per router: channel c's VC v at
+     * index c * vcs + v, the Local injection/ejection port last —
+     * which preserves the N, E, S, W, Local arbitration order of the
+     * original fixed-five-port mesh router.
      */
+    std::vector<std::uint32_t> _portBase; ///< size numNodes + 1
+    std::vector<FlitFifo> _inPorts;
+    std::vector<OutputPort> _outPorts;
+
+    /**
+     * Routing and link lookups precomputed per (router, dest) / port:
+     * the planner consults them for every waiting head flit of every
+     * active router every cycle, and virtual calls or modulo
+     * arithmetic there dominated the tick before they were tabulated.
+     *
+     * _routeTable holds channel * vcs + datelineBaseVc, or localSelf
+     * for dest == router; with two VCs the dateline carry bit is OR'd
+     * in from the input port's VC when input and output channels share
+     * a dimension class (_chanDimMask).
+     */
+    static constexpr std::uint8_t localSelf = 0xFF;
     std::vector<std::uint8_t> _routeTable;  ///< [r * numNodes + dest]
-    std::vector<std::uint32_t> _neighborTable; ///< [r * numPorts + port]
+    std::vector<std::uint16_t> _chanDimMask; ///< bit per channel: dim
+    std::vector<std::uint32_t> _destRouter; ///< per port: link target
+    std::vector<std::uint8_t> _destPort;    ///< per port: input there
 
     /** One bit per router with flits buffered; tick() scans set bits. */
     std::vector<std::uint64_t> _activeRouters;

@@ -1,0 +1,372 @@
+#include "network/topology.hh"
+
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+namespace
+{
+
+/** Direction encoding shared by the grid topologies: N, E, S, W. */
+enum Dir { dirN = 0, dirE = 1, dirS = 2, dirW = 3 };
+
+/** X dimension for E/W, Y for N/S. */
+inline unsigned
+dimOfDir(unsigned dir)
+{
+    return dir == dirE || dir == dirW ? 0 : 1;
+}
+
+} // namespace
+
+const char *
+topologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::mesh: return "mesh";
+      case TopologyKind::torus: return "torus";
+      case TopologyKind::expressMesh: return "express";
+    }
+    return "?";
+}
+
+unsigned
+Topology::reverseChannel(NodeId n, unsigned channel) const
+{
+    // Generic case: the link n -> m is the unique channel at m whose
+    // endpoint is n. Topologies with duplicate links override.
+    const NodeId m = _neighbors[n][channel];
+    const auto &back = _neighbors[m];
+    for (unsigned c = 0; c < back.size(); ++c)
+        if (back[c] == n)
+            return c;
+    panic("topology: no reverse channel for %u -> %u", n, m);
+}
+
+double
+Topology::averageHops() const
+{
+    // Brute force over ordered pairs; topologies with closed forms
+    // override. Only used for reporting, never on a hot path.
+    const unsigned n = numNodes();
+    std::uint64_t total = 0;
+    for (NodeId a = 0; a < n; ++a)
+        for (NodeId b = 0; b < n; ++b)
+            total += hops(a, b);
+    return static_cast<double>(total) / (static_cast<double>(n) * n);
+}
+
+// ---------------------------------------------------------------- mesh
+
+MeshTopology::MeshTopology(unsigned width, unsigned height)
+    : Topology(width, height)
+{
+    const unsigned n = numNodes();
+    _neighbors.resize(n);
+    _dirChannel.assign(n, {-1, -1, -1, -1});
+    for (NodeId node = 0; node < n; ++node) {
+        const unsigned x = xOf(node);
+        const unsigned y = yOf(node);
+        auto add = [&](unsigned dir, NodeId to) {
+            _dirChannel[node][dir] =
+                static_cast<std::int8_t>(_neighbors[node].size());
+            _neighbors[node].push_back(to);
+        };
+        // N, E, S, W: the arbitration order of the original router.
+        if (y > 0)
+            add(dirN, nodeAt(x, y - 1));
+        if (x + 1 < width)
+            add(dirE, nodeAt(x + 1, y));
+        if (y + 1 < height)
+            add(dirS, nodeAt(x, y + 1));
+        if (x > 0)
+            add(dirW, nodeAt(x - 1, y));
+    }
+}
+
+unsigned
+MeshTopology::nextChannel(NodeId at, NodeId dest) const
+{
+    // Dimension-ordered X-Y routing: correct X first, then Y.
+    const unsigned x = xOf(at), y = yOf(at);
+    const unsigned dx = xOf(dest), dy = yOf(dest);
+    unsigned dir;
+    if (dx > x)
+        dir = dirE;
+    else if (dx < x)
+        dir = dirW;
+    else if (dy > y)
+        dir = dirS;
+    else if (dy < y)
+        dir = dirN;
+    else
+        panic("mesh nextChannel: at == dest (%u)", at);
+    return static_cast<unsigned>(_dirChannel[at][dir]);
+}
+
+unsigned
+MeshTopology::channelDim(NodeId n, unsigned channel) const
+{
+    for (unsigned dir = 0; dir < 4; ++dir)
+        if (_dirChannel[n][dir] == static_cast<std::int8_t>(channel))
+            return dimOfDir(dir);
+    panic("mesh channelDim: bad channel %u at node %u", channel, n);
+}
+
+double
+MeshTopology::averageHops() const
+{
+    // Mean |i - j| over a line of n nodes is (n^2 - 1) / (3n); the mesh
+    // dimensions are independent under uniform traffic.
+    auto line_mean = [](double n) { return (n * n - 1.0) / (3.0 * n); };
+    return line_mean(_width) + line_mean(_height);
+}
+
+// --------------------------------------------------------------- torus
+
+TorusTopology::TorusTopology(unsigned width, unsigned height)
+    : Topology(width, height)
+{
+    const unsigned n = numNodes();
+    _neighbors.resize(n);
+    _dirChannel.assign(n, {-1, -1, -1, -1});
+    for (NodeId node = 0; node < n; ++node) {
+        const unsigned x = xOf(node);
+        const unsigned y = yOf(node);
+        auto add = [&](unsigned dir, NodeId to) {
+            _dirChannel[node][dir] =
+                static_cast<std::int8_t>(_neighbors[node].size());
+            _neighbors[node].push_back(to);
+        };
+        // Same N, E, S, W order as the mesh; a dimension of extent 1
+        // contributes no links.
+        if (height > 1)
+            add(dirN, nodeAt(x, (y + height - 1) % height));
+        if (width > 1)
+            add(dirE, nodeAt((x + 1) % width, y));
+        if (height > 1)
+            add(dirS, nodeAt(x, (y + 1) % height));
+        if (width > 1)
+            add(dirW, nodeAt((x + width - 1) % width, y));
+    }
+}
+
+unsigned
+TorusTopology::hops(NodeId a, NodeId b) const
+{
+    auto ring = [](unsigned from, unsigned to, unsigned extent) {
+        const unsigned d = from > to ? from - to : to - from;
+        return d < extent - d ? d : extent - d;
+    };
+    return ring(xOf(a), xOf(b), _width) + ring(yOf(a), yOf(b), _height);
+}
+
+unsigned
+TorusTopology::nextChannel(NodeId at, NodeId dest) const
+{
+    // Dimension order X then Y; shorter way around the ring, ties
+    // toward the + direction (E / S).
+    const unsigned x = xOf(at), y = yOf(at);
+    const unsigned dx = xOf(dest), dy = yOf(dest);
+    unsigned dir;
+    if (x != dx) {
+        const unsigned plus = (dx + _width - x) % _width;
+        dir = plus <= _width - plus ? dirE : dirW;
+    } else if (y != dy) {
+        const unsigned plus = (dy + _height - y) % _height;
+        dir = plus <= _height - plus ? dirS : dirN;
+    } else {
+        panic("torus nextChannel: at == dest (%u)", at);
+    }
+    return static_cast<unsigned>(_dirChannel[at][dir]);
+}
+
+unsigned
+TorusTopology::reverseChannel(NodeId n, unsigned channel) const
+{
+    // On a width-2 ring the E and W links reach the same node, so pair
+    // directions explicitly: the flit leaving on E arrives on the far
+    // end's W input, and so on.
+    for (unsigned dir = 0; dir < 4; ++dir) {
+        if (_dirChannel[n][dir] != static_cast<std::int8_t>(channel))
+            continue;
+        const unsigned back = (dir + 2) % 4; // N<->S, E<->W
+        const NodeId m = _neighbors[n][channel];
+        return static_cast<unsigned>(_dirChannel[m][back]);
+    }
+    panic("torus reverseChannel: bad channel %u at node %u", channel, n);
+}
+
+unsigned
+TorusTopology::channelDim(NodeId n, unsigned channel) const
+{
+    for (unsigned dir = 0; dir < 4; ++dir)
+        if (_dirChannel[n][dir] == static_cast<std::int8_t>(channel))
+            return dimOfDir(dir);
+    panic("torus channelDim: bad channel %u at node %u", channel, n);
+}
+
+bool
+TorusTopology::channelWrap(NodeId n, unsigned channel) const
+{
+    // The dateline sits between column W-1 and column 0 (row H-1 and
+    // row 0 for the Y rings): exactly one wrap link per direction per
+    // ring, so VC1 carries a packet at most once past it.
+    const unsigned x = xOf(n), y = yOf(n);
+    for (unsigned dir = 0; dir < 4; ++dir) {
+        if (_dirChannel[n][dir] != static_cast<std::int8_t>(channel))
+            continue;
+        switch (dir) {
+          case dirE: return x == _width - 1;
+          case dirW: return x == 0;
+          case dirS: return y == _height - 1;
+          case dirN: return y == 0;
+        }
+    }
+    panic("torus channelWrap: bad channel %u at node %u", channel, n);
+}
+
+double
+TorusTopology::averageHops() const
+{
+    // Mean ring distance over ordered pairs, per dimension.
+    auto ring_mean = [](unsigned n) {
+        std::uint64_t total = 0;
+        for (unsigned d = 1; d < n; ++d)
+            total += d < n - d ? d : n - d;
+        return static_cast<double>(total) / n;
+    };
+    return ring_mean(_width) + ring_mean(_height);
+}
+
+// -------------------------------------------------------- express mesh
+
+ExpressMeshTopology::ExpressMeshTopology(unsigned width, unsigned height,
+                                         unsigned stride)
+    : Topology(width, height), _stride(stride)
+{
+    assert(stride >= 2 && "express stride must be >= 2");
+    const unsigned n = numNodes();
+    _neighbors.resize(n);
+    _dirChannel.assign(n, {-1, -1, -1, -1, -1, -1, -1, -1});
+    for (NodeId node = 0; node < n; ++node) {
+        const unsigned x = xOf(node);
+        const unsigned y = yOf(node);
+        auto add = [&](unsigned slot, NodeId to) {
+            _dirChannel[node][slot] =
+                static_cast<std::int8_t>(_neighbors[node].size());
+            _neighbors[node].push_back(to);
+        };
+        // Walk links first (mesh order), then the express skips.
+        if (y > 0)
+            add(dirN, nodeAt(x, y - 1));
+        if (x + 1 < width)
+            add(dirE, nodeAt(x + 1, y));
+        if (y + 1 < height)
+            add(dirS, nodeAt(x, y + 1));
+        if (x > 0)
+            add(dirW, nodeAt(x - 1, y));
+        if (y >= stride)
+            add(4 + dirN, nodeAt(x, y - stride));
+        if (x + stride < width)
+            add(4 + dirE, nodeAt(x + stride, y));
+        if (y + stride < height)
+            add(4 + dirS, nodeAt(x, y + stride));
+        if (x >= stride)
+            add(4 + dirW, nodeAt(x - stride, y));
+    }
+}
+
+unsigned
+ExpressMeshTopology::hops(NodeId a, NodeId b) const
+{
+    return lineHops(xOf(a), xOf(b)) + lineHops(yOf(a), yOf(b));
+}
+
+unsigned
+ExpressMeshTopology::nextChannel(NodeId at, NodeId dest) const
+{
+    // Jumps-then-walks, X before Y. A jump toward the destination is
+    // always in bounds when the remaining distance is >= stride.
+    const unsigned x = xOf(at), y = yOf(at);
+    const unsigned dx = xOf(dest), dy = yOf(dest);
+    unsigned dir;
+    unsigned d;
+    if (x != dx) {
+        dir = dx > x ? dirE : dirW;
+        d = dx > x ? dx - x : x - dx;
+    } else if (y != dy) {
+        dir = dy > y ? dirS : dirN;
+        d = dy > y ? dy - y : y - dy;
+    } else {
+        panic("express nextChannel: at == dest (%u)", at);
+    }
+    const unsigned slot = d >= _stride ? 4 + dir : dir;
+    return static_cast<unsigned>(_dirChannel[at][slot]);
+}
+
+unsigned
+ExpressMeshTopology::channelDim(NodeId n, unsigned channel) const
+{
+    for (unsigned slot = 0; slot < 8; ++slot)
+        if (_dirChannel[n][slot] == static_cast<std::int8_t>(channel))
+            return dimOfDir(slot % 4);
+    panic("express channelDim: bad channel %u at node %u", channel, n);
+}
+
+// ------------------------------------------------------------- factory
+
+std::shared_ptr<const Topology>
+makeTopology(const TopologyParams &params, unsigned num_nodes)
+{
+    unsigned w = params.width;
+    if (!w) {
+        unsigned best = 1;
+        for (unsigned d = 1; d * d <= num_nodes; ++d)
+            if (num_nodes % d == 0)
+                best = d;
+        w = num_nodes / best; // wider than tall for non-squares
+    }
+    const unsigned h = params.height ? params.height : num_nodes / w;
+    if (w * h != num_nodes)
+        fatal("topology: %ux%u grid cannot cover %u nodes", w, h,
+              num_nodes);
+    switch (params.kind) {
+      case TopologyKind::mesh:
+        return std::make_shared<MeshTopology>(w, h);
+      case TopologyKind::torus:
+        return std::make_shared<TorusTopology>(w, h);
+      case TopologyKind::expressMesh:
+        return std::make_shared<ExpressMeshTopology>(
+            w, h, params.expressStride);
+    }
+    fatal("topology: bad kind");
+}
+
+bool
+parseTopologyKind(const std::string &text, TopologyParams &params)
+{
+    std::string kind = text;
+    std::string arg;
+    const std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        kind = text.substr(0, colon);
+        arg = text.substr(colon + 1);
+    }
+    if (kind == "mesh") {
+        params.kind = TopologyKind::mesh;
+    } else if (kind == "torus") {
+        params.kind = TopologyKind::torus;
+    } else if (kind == "express" || kind == "express-mesh") {
+        params.kind = TopologyKind::expressMesh;
+        if (!arg.empty())
+            params.expressStride =
+                static_cast<unsigned>(std::stoul(arg));
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace limitless

@@ -1,28 +1,97 @@
 /**
  * @file
- * 2-D mesh topology arithmetic shared by network models.
+ * Interconnect topology abstraction.
+ *
+ * The paper's machine is a 64-node 8x8 wormhole mesh, but the scaling
+ * story (256-1024 nodes, eventually multi-chip two-level coherence)
+ * needs the interconnect behind an interface: distances, routing and
+ * channel structure all become per-topology while the flit-level fabric
+ * (MeshNetwork) stays a single generic wormhole engine.
+ *
+ * Three concrete topologies:
+ *  - MeshTopology: generalized N x M mesh, dimension-ordered X-Y
+ *    routing. Exactly the paper's machine shape.
+ *  - TorusTopology: wrap-around mesh; per-dimension distance is
+ *    min(d, W - d). Dimension-ordered routing plus a dateline virtual
+ *    channel (numVcs() == 2) for deadlock freedom on the wrap rings.
+ *  - ExpressMeshTopology: mesh where every node also has +/-k "express"
+ *    skip links per dimension. Routing is jumps-then-walks per
+ *    dimension (monotone toward the destination), so route length is
+ *    floor(d/k) + d%k per dimension and the channel-dependency graph
+ *    stays acyclic with a single VC.
+ *
+ * A topology owns the *shape* (neighbors, channels, distances, VC
+ * discipline); the fabric owns the *dynamics* (buffers, credits,
+ * arbitration, wormhole ownership).
  */
 
 #ifndef LIMITLESS_NETWORK_TOPOLOGY_HH
 #define LIMITLESS_NETWORK_TOPOLOGY_HH
 
+#include <array>
 #include <cassert>
-#include <cstdlib>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
 namespace limitless
 {
 
-/** Coordinates and distances on a width x height mesh. */
-class MeshTopology
+enum class TopologyKind { mesh, torus, expressMesh };
+
+const char *topologyKindName(TopologyKind kind);
+
+/** Shape of the machine's interconnect, as configured. */
+struct TopologyParams
+{
+    TopologyKind kind = TopologyKind::mesh;
+    /** Grid width; 0 picks the most square factorization of numNodes. */
+    unsigned width = 0;
+    unsigned height = 0; ///< derived from width and numNodes when 0
+    /** Express-link stride k: every node gains +/-k links per
+     *  dimension (expressMesh only). */
+    unsigned expressStride = 4;
+    /**
+     * Nodes per chip/cluster. Contiguous node-id ranges of this size
+     * form one "chip"; the address map interleaves lines cluster-aware
+     * so each cluster's nodes are home to consecutive line groups. This
+     * is the addressing seam the future two-level (Rainbow-style)
+     * directory delegates through. 1 = flat machine, the paper's
+     * configuration.
+     */
+    unsigned clusterSize = 1;
+};
+
+/**
+ * Abstract interconnect topology over a width x height node grid.
+ *
+ * All three implementations are grid-shaped (node id = y * width + x),
+ * so coordinates live in the base; what varies is the edge set, the
+ * distance metric, the routing function and the VC discipline.
+ *
+ * Channel model: neighbors(n) lists the outgoing links of node n in a
+ * fixed order; a "channel" is an index into that list. The fabric
+ * instantiates numVcs() virtual channels (input buffers + output
+ * ownership) per link and consults vcOut()/channelDim()/channelWrap()
+ * to implement the topology's deadlock-avoidance discipline without
+ * knowing which topology it runs.
+ */
+class Topology
 {
   public:
-    MeshTopology(unsigned width, unsigned height)
+    Topology(unsigned width, unsigned height)
         : _width(width), _height(height)
     {
         assert(width >= 1 && height >= 1);
     }
+
+    virtual ~Topology() = default;
+
+    virtual TopologyKind kind() const = 0;
+    const char *name() const { return topologyKindName(kind()); }
 
     unsigned width() const { return _width; }
     unsigned height() const { return _height; }
@@ -38,22 +107,185 @@ class MeshTopology
         return y * _width + x;
     }
 
-    /** Manhattan hop distance. */
-    unsigned
-    hops(NodeId a, NodeId b) const
+    /** Hop distance along this topology's routes. Symmetric, zero iff
+     *  a == b, and nextHop() decreases it by exactly one per hop. */
+    virtual unsigned hops(NodeId a, NodeId b) const = 0;
+
+    /** Outgoing links of @p n, in channel order. */
+    const std::vector<NodeId> &
+    neighbors(NodeId n) const
     {
-        int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
-        int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
-        return static_cast<unsigned>(std::abs(dx) + std::abs(dy));
+        return _neighbors[n];
     }
 
-    /** Average hop distance over all ordered pairs (analytic). */
-    double averageHops() const;
+    /** Channel (index into neighbors(at)) a packet for @p dest takes
+     *  out of @p at. Requires at != dest. */
+    virtual unsigned nextChannel(NodeId at, NodeId dest) const = 0;
 
-  private:
+    /** Next node on the route from @p at to @p dest (at != dest). */
+    NodeId
+    nextHop(NodeId at, NodeId dest) const
+    {
+        return _neighbors[at][nextChannel(at, dest)];
+    }
+
+    /** Channel at the link's far end that points back along the same
+     *  physical link (for duplicate-neighbor cases, e.g. a width-2
+     *  torus ring, index search alone is ambiguous). */
+    virtual unsigned reverseChannel(NodeId n, unsigned channel) const;
+
+    /** Virtual channels per link the fabric must provision. */
+    virtual unsigned numVcs() const { return 1; }
+
+    /**
+     * Dimension class of a channel (0 = X, 1 = Y). Two channels in the
+     * same class carry a packet's VC forward under the dateline rule;
+     * crossing classes resets it.
+     */
+    virtual unsigned
+    channelDim(NodeId n, unsigned channel) const
+    {
+        (void)n;
+        (void)channel;
+        return 0;
+    }
+
+    /** True when the channel is a wrap (dateline) link: packets
+     *  traversing it switch to the high VC for the rest of the ring. */
+    virtual bool
+    channelWrap(NodeId n, unsigned channel) const
+    {
+        (void)n;
+        (void)channel;
+        return false;
+    }
+
+    /** Average hop distance over all ordered pairs. */
+    virtual double averageHops() const;
+
+  protected:
+    /** Derived constructors fill the adjacency lists. */
+    std::vector<std::vector<NodeId>> _neighbors;
+
     unsigned _width;
     unsigned _height;
 };
+
+/** The paper's machine: N x M mesh, dimension-ordered X-Y routing.
+ *  Channel order is N, E, S, W (present links only), Local implied
+ *  last by the fabric — the arbitration order of the original
+ *  fixed-five-port router. */
+class MeshTopology : public Topology
+{
+  public:
+    MeshTopology(unsigned width, unsigned height);
+
+    TopologyKind kind() const override { return TopologyKind::mesh; }
+
+    unsigned
+    hops(NodeId a, NodeId b) const override
+    {
+        const int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
+        const int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
+        return static_cast<unsigned>((dx < 0 ? -dx : dx) +
+                                     (dy < 0 ? -dy : dy));
+    }
+
+    unsigned nextChannel(NodeId at, NodeId dest) const override;
+    unsigned channelDim(NodeId n, unsigned channel) const override;
+
+    /** Analytic: mean |i-j| on a line of n nodes is (n^2-1)/(3n). */
+    double averageHops() const override;
+
+  private:
+    /** Per node: channel index of the N/E/S/W link, -1 if absent. */
+    std::vector<std::array<std::int8_t, 4>> _dirChannel;
+};
+
+/** Wrap-around mesh. Dimension-ordered routing (X ring first, then Y
+ *  ring, shorter way around, ties resolved toward +), with the classic
+ *  dateline discipline: two VCs per link, packets start a ring on VC0
+ *  and switch to VC1 at the wrap link, which breaks the ring's channel
+ *  dependency cycle. */
+class TorusTopology : public Topology
+{
+  public:
+    TorusTopology(unsigned width, unsigned height);
+
+    TopologyKind kind() const override { return TopologyKind::torus; }
+
+    unsigned hops(NodeId a, NodeId b) const override;
+    unsigned nextChannel(NodeId at, NodeId dest) const override;
+    unsigned reverseChannel(NodeId n, unsigned channel) const override;
+    unsigned numVcs() const override { return 2; }
+    unsigned channelDim(NodeId n, unsigned channel) const override;
+    bool channelWrap(NodeId n, unsigned channel) const override;
+    double averageHops() const override;
+
+  private:
+    /** Per node: channel index of the N/E/S/W link, -1 when the
+     *  dimension is degenerate (width or height 1). */
+    std::vector<std::array<std::int8_t, 4>> _dirChannel;
+};
+
+/**
+ * Mesh with express links: every node has +/-stride skip channels per
+ * dimension (in bounds). Routing is monotone jumps-then-walks: while
+ * the remaining per-dimension distance is >= stride, take the express
+ * link toward the destination (always in bounds); then walk. Route
+ * length per dimension is floor(d/k) + d%k — never longer than the
+ * mesh's d, and each hop decreases it by exactly one.
+ *
+ * hops() reports that route length. It is deliberately *not* a metric:
+ * overshooting past the destination on an express link and walking
+ * back can be shorter, but such routes reverse direction mid-dimension
+ * and reintroduce the channel-dependency cycles that the monotone
+ * discipline (and hence single-VC deadlock freedom) rules out. See
+ * docs/TOPOLOGY.md.
+ */
+class ExpressMeshTopology : public Topology
+{
+  public:
+    ExpressMeshTopology(unsigned width, unsigned height, unsigned stride);
+
+    TopologyKind kind() const override
+    {
+        return TopologyKind::expressMesh;
+    }
+
+    unsigned stride() const { return _stride; }
+
+    unsigned hops(NodeId a, NodeId b) const override;
+    unsigned nextChannel(NodeId at, NodeId dest) const override;
+    unsigned channelDim(NodeId n, unsigned channel) const override;
+
+  private:
+    /** Per-dimension route length: jumps + remainder walks. */
+    unsigned
+    lineHops(unsigned from, unsigned to) const
+    {
+        const unsigned d = from > to ? from - to : to - from;
+        return d / _stride + d % _stride;
+    }
+
+    /** Per node: channel index of walk N/E/S/W then jump N/E/S/W
+     *  (same direction encoding), -1 if absent. */
+    std::vector<std::array<std::int8_t, 8>> _dirChannel;
+
+    unsigned _stride;
+};
+
+/**
+ * Resolve @p params against @p num_nodes and build the topology.
+ * width 0 picks the most square factorization (wider than tall);
+ * panics if width x height cannot cover num_nodes exactly.
+ */
+std::shared_ptr<const Topology> makeTopology(const TopologyParams &params,
+                                             unsigned num_nodes);
+
+/** Parse "mesh" / "torus" / "express" (+ optional ":stride") into
+ *  params; returns false on an unrecognized name. */
+bool parseTopologyKind(const std::string &text, TopologyParams &params);
 
 } // namespace limitless
 

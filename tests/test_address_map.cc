@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "machine/address_map.hh"
 
 namespace limitless
@@ -72,6 +75,64 @@ TEST(AddressMap, DistinctSlotsGiveDistinctLines)
     for (NodeId n = 0; n < 8; ++n)
         for (std::uint64_t s = 0; s < 64; ++s)
             EXPECT_TRUE(seen.insert(amap.addrOnNode(n, s)).second);
+}
+
+TEST(AddressMap, ClusterInterleavingRoundTrips)
+{
+    // 16 nodes in 4-node chips: homeOf must still be inverted exactly
+    // by addrOnNode for every (node, slot).
+    AddressMap amap(16, 16, 1 << 22, HomeMapping::interleaved,
+                    /*cluster_size=*/4);
+    EXPECT_EQ(amap.clusterSize(), 4u);
+    EXPECT_EQ(amap.numClusters(), 4u);
+    for (NodeId n = 0; n < 16; ++n) {
+        EXPECT_EQ(amap.clusterOf(n), n / 4);
+        for (std::uint64_t slot : {0ull, 1ull, 17ull, 4000ull}) {
+            const Addr a = amap.addrOnNode(n, slot);
+            EXPECT_EQ(amap.homeOf(a), n);
+            EXPECT_EQ(amap.lineAddr(a), a);
+        }
+    }
+}
+
+TEST(AddressMap, ClusterInterleavingSpreadsAcrossChipsFirst)
+{
+    // Consecutive lines visit one node per chip before touching a
+    // second node of any chip: the line index's low digit is the chip.
+    AddressMap amap(8, 16, 1 << 20, HomeMapping::interleaved,
+                    /*cluster_size=*/2);
+    EXPECT_EQ(amap.homeOf(0x00), 0u); // chip 0, node 0
+    EXPECT_EQ(amap.homeOf(0x10), 2u); // chip 1, node 2
+    EXPECT_EQ(amap.homeOf(0x20), 4u); // chip 2, node 4
+    EXPECT_EQ(amap.homeOf(0x30), 6u); // chip 3, node 6
+    EXPECT_EQ(amap.homeOf(0x40), 1u); // chip 0 again, second node
+    EXPECT_EQ(amap.homeOf(0x50), 3u);
+    EXPECT_EQ(amap.homeOf(0x60), 5u);
+    EXPECT_EQ(amap.homeOf(0x70), 7u);
+    EXPECT_EQ(amap.homeOf(0x80), 0u); // full period numNodes lines
+}
+
+TEST(AddressMap, ClusterSizeOneMatchesFlatMapping)
+{
+    AddressMap flat(8, 16);
+    AddressMap c1(8, 16, 1 << 20, HomeMapping::interleaved,
+                  /*cluster_size=*/1);
+    for (Addr a = 0; a < 0x400; a += 16)
+        EXPECT_EQ(c1.homeOf(a), flat.homeOf(a));
+    for (NodeId n = 0; n < 8; ++n)
+        for (std::uint64_t s = 0; s < 16; ++s)
+            EXPECT_EQ(c1.addrOnNode(n, s), flat.addrOnNode(n, s));
+}
+
+TEST(AddressMap, ClusterHomesAreBalanced)
+{
+    AddressMap amap(16, 16, 1 << 20, HomeMapping::interleaved,
+                    /*cluster_size=*/4);
+    std::vector<unsigned> count(16, 0);
+    for (Addr a = 0; a < 16 * 16 * 8; a += 16)
+        ++count[amap.homeOf(a)];
+    for (NodeId n = 0; n < 16; ++n)
+        EXPECT_EQ(count[n], 8u) << "node " << n;
 }
 
 } // namespace

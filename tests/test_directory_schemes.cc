@@ -69,6 +69,46 @@ TEST(FullMapDir, MemoryOverheadGrowsLinearlyInN)
     FullMapDir dir(64);
     EXPECT_EQ(dir.bitsPerEntry(64), 64u);
     EXPECT_EQ(dir.bitsPerEntry(1024), 1024u);
+    // Sizes that are not multiples of the 64-bit word still charge one
+    // presence bit per node.
+    FullMapDir odd(100);
+    EXPECT_EQ(odd.bitsPerEntry(100), 100u);
+    EXPECT_EQ(odd.bitsPerEntry(256), 256u);
+}
+
+TEST(FullMapDir, TracksSharersPastWordBoundariesAt1024Nodes)
+{
+    // The bit vector spans 16 words at 1024 nodes; sharers on both
+    // sides of every word boundary must survive add/remove/sharers.
+    FullMapDir dir(1024);
+    const std::vector<NodeId> picks = {0,  63,  64,  65,  127, 128,
+                                       511, 512, 767, 1023};
+    for (NodeId n : picks)
+        EXPECT_EQ(dir.tryAdd(0x40, n), DirAdd::added);
+    EXPECT_EQ(dir.numSharers(0x40), picks.size());
+    EXPECT_EQ(sortedSharers(dir, 0x40), picks);
+    for (NodeId n : picks)
+        EXPECT_TRUE(dir.contains(0x40, n));
+    EXPECT_FALSE(dir.contains(0x40, 62));
+    EXPECT_FALSE(dir.contains(0x40, 1022));
+    dir.remove(0x40, 64);
+    dir.remove(0x40, 1023);
+    EXPECT_EQ(dir.numSharers(0x40), picks.size() - 2);
+    EXPECT_FALSE(dir.contains(0x40, 64));
+    EXPECT_TRUE(dir.contains(0x40, 65));
+}
+
+TEST(FullMapDir, OccupancyCountsAllWordsAt1024Nodes)
+{
+    FullMapDir dir(1024);
+    for (NodeId n = 0; n < 1024; n += 3)
+        dir.tryAdd(0x40, n);
+    dir.tryAdd(0x80, 1000);
+    DirOccupancy occ;
+    dir.occupancy(occ);
+    EXPECT_EQ(occ.entries, 2u);
+    EXPECT_EQ(occ.pointersUsed, (1024u + 2u) / 3u + 1u);
+    EXPECT_EQ(occ.pointerSlots, 2u * 1024u);
 }
 
 // ---------------------------------------------------------------- Limited

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "network/ideal_network.hh"
@@ -14,7 +15,7 @@ namespace
 struct Fixture
 {
     EventQueue eq;
-    IdealNetwork net{eq, MeshTopology(4, 4)};
+    IdealNetwork net{eq, std::make_shared<MeshTopology>(4, 4)};
     std::vector<PacketPtr> received;
 
     Fixture()

@@ -101,6 +101,54 @@ TEST(ParallelRunner, SweepMatchesSerialByteForByte)
     EXPECT_NE(serial_out.str().find("cycles="), std::string::npos);
 }
 
+TEST(ParallelRunner, MixedTopologyFanOutMergesDeterministically)
+{
+    // A sweep whose cells differ in interconnect (mesh, torus, express
+    // mesh) and cluster mapping: the ExperimentOutcome rows a parallel
+    // fan-out merges back must match a serial sweep cell for cell, and
+    // each topology must produce a self-consistent completed run.
+    std::vector<TopologyParams> topos(4);
+    topos[0].kind = TopologyKind::mesh;
+    topos[1].kind = TopologyKind::torus;
+    topos[2].kind = TopologyKind::expressMesh;
+    topos[2].expressStride = 2;
+    topos[3].kind = TopologyKind::torus;
+    topos[3].clusterSize = 2;
+
+    const ParallelRunner::Task<Tick> task =
+        [&topos](std::size_t i, std::ostream &os) {
+            MachineConfig cfg;
+            cfg.numNodes = 16;
+            cfg.topology = topos[i % topos.size()];
+            cfg.protocol = protocols::limitlessStall(2, 50);
+            cfg.seed = 11 + i / topos.size();
+            const ExperimentOutcome o = runExperiment(cfg, []() {
+                RandomStressParams rp;
+                rp.opsPerProc = 30;
+                return std::make_unique<RandomStress>(rp);
+            });
+            EXPECT_TRUE(o.completed);
+            EXPECT_GT(o.cycles, 0u);
+            os << topologyKindName(cfg.topology.kind) << " c"
+               << cfg.topology.clusterSize << " cycles=" << o.cycles
+               << " pkts=" << o.networkPackets << "\n";
+            return o.cycles;
+        };
+
+    std::ostringstream serial_out;
+    const std::vector<Tick> serial =
+        ParallelRunner(1).map<Tick>(2 * topos.size(), task, serial_out);
+
+    std::ostringstream par_out;
+    const std::vector<Tick> par =
+        ParallelRunner(4).map<Tick>(2 * topos.size(), task, par_out);
+
+    EXPECT_EQ(par, serial);
+    EXPECT_EQ(par_out.str(), serial_out.str());
+    EXPECT_NE(par_out.str().find("torus"), std::string::npos);
+    EXPECT_NE(par_out.str().find("express"), std::string::npos);
+}
+
 TEST(ParallelRunner, LowestIndexExceptionWins)
 {
     ParallelRunner runner(2);

@@ -1,6 +1,22 @@
-/** @file Unit tests for mesh topology arithmetic. */
+/**
+ * @file
+ * Unit and property tests for the topology hierarchy: coordinate
+ * arithmetic, the distance/routing contract every implementation must
+ * satisfy (symmetry, hop-decreasing nextHop, reverse channels), the
+ * torus wrap distance, the express-mesh route-length bound, and a
+ * golden routing dump for one 4x4 torus.
+ *
+ * Regenerate the golden after an intentional routing change with
+ *   LIMITLESS_UPDATE_GOLDEN=1 ./test_topology
+ */
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "network/topology.hh"
 
@@ -8,6 +24,20 @@ namespace limitless
 {
 namespace
 {
+
+/** The shapes the property tests sweep: non-square on purpose. */
+std::vector<std::shared_ptr<const Topology>>
+propertyTopologies()
+{
+    std::vector<std::shared_ptr<const Topology>> topos;
+    topos.push_back(std::make_shared<MeshTopology>(5, 4));
+    topos.push_back(std::make_shared<MeshTopology>(8, 1));
+    topos.push_back(std::make_shared<TorusTopology>(5, 4));
+    topos.push_back(std::make_shared<TorusTopology>(2, 2));
+    topos.push_back(std::make_shared<ExpressMeshTopology>(8, 8, 4));
+    topos.push_back(std::make_shared<ExpressMeshTopology>(9, 2, 3));
+    return topos;
+}
 
 TEST(Topology, CoordinatesRoundTrip)
 {
@@ -24,10 +54,6 @@ TEST(Topology, ManhattanDistance)
     EXPECT_EQ(topo.hops(0, 7), 7u);
     EXPECT_EQ(topo.hops(0, 63), 14u);
     EXPECT_EQ(topo.hops(topo.nodeAt(2, 3), topo.nodeAt(5, 1)), 5u);
-    // Symmetry.
-    for (NodeId a : {0u, 9u, 27u, 63u})
-        for (NodeId b : {5u, 14u, 40u})
-            EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
 }
 
 TEST(Topology, NonSquareMesh)
@@ -39,21 +65,261 @@ TEST(Topology, NonSquareMesh)
     EXPECT_EQ(topo.hops(0, 11), 5u);
 }
 
-TEST(Topology, AverageHopsMatchesBruteForce)
-{
-    MeshTopology topo(4, 4);
-    double total = 0;
-    for (NodeId a = 0; a < 16; ++a)
-        for (NodeId b = 0; b < 16; ++b)
-            total += topo.hops(a, b);
-    EXPECT_NEAR(topo.averageHops(), total / (16.0 * 16.0), 1e-9);
-}
-
 TEST(Topology, SingleNodeMesh)
 {
     MeshTopology topo(1, 1);
     EXPECT_EQ(topo.numNodes(), 1u);
     EXPECT_EQ(topo.hops(0, 0), 0u);
+}
+
+TEST(Topology, HopSymmetryAndIdentity)
+{
+    for (const auto &topo : propertyTopologies()) {
+        const unsigned n = topo->numNodes();
+        for (NodeId a = 0; a < n; ++a) {
+            EXPECT_EQ(topo->hops(a, a), 0u) << topo->name();
+            for (NodeId b = a + 1; b < n; ++b) {
+                EXPECT_EQ(topo->hops(a, b), topo->hops(b, a))
+                    << topo->name() << " " << a << "," << b;
+                EXPECT_GT(topo->hops(a, b), 0u) << topo->name();
+            }
+        }
+    }
+}
+
+TEST(Topology, TriangleInequalityOnMetricTopologies)
+{
+    // Mesh and torus distances are metrics. The express mesh is
+    // deliberately excluded: its hops() is the monotone
+    // jumps-then-walks route length, which forgoes overshoot
+    // shortcuts, so d(a,c) can exceed d(a,b) + d(b,c) (see
+    // docs/TOPOLOGY.md).
+    for (const auto &topo : propertyTopologies()) {
+        if (topo->kind() == TopologyKind::expressMesh)
+            continue;
+        const unsigned n = topo->numNodes();
+        for (NodeId a = 0; a < n; ++a)
+            for (NodeId b = 0; b < n; ++b)
+                for (NodeId c = 0; c < n; ++c)
+                    EXPECT_LE(topo->hops(a, c),
+                              topo->hops(a, b) + topo->hops(b, c))
+                        << topo->name() << " " << a << "," << b << ","
+                        << c;
+    }
+}
+
+TEST(Topology, TorusWrapDistanceIsMinOfTheTwoWays)
+{
+    TorusTopology topo(8, 4);
+    for (unsigned x1 = 0; x1 < 8; ++x1) {
+        for (unsigned x2 = 0; x2 < 8; ++x2) {
+            const unsigned d = x1 > x2 ? x1 - x2 : x2 - x1;
+            EXPECT_EQ(topo.hops(topo.nodeAt(x1, 0), topo.nodeAt(x2, 0)),
+                      std::min(d, 8 - d));
+        }
+    }
+    for (unsigned y1 = 0; y1 < 4; ++y1) {
+        for (unsigned y2 = 0; y2 < 4; ++y2) {
+            const unsigned d = y1 > y2 ? y1 - y2 : y2 - y1;
+            EXPECT_EQ(topo.hops(topo.nodeAt(0, y1), topo.nodeAt(0, y2)),
+                      std::min(d, 4 - d));
+        }
+    }
+    // Corner to corner wraps both dimensions.
+    EXPECT_EQ(topo.hops(topo.nodeAt(0, 0), topo.nodeAt(7, 3)), 2u);
+}
+
+TEST(Topology, ExpressHopsNeverExceedMeshHops)
+{
+    MeshTopology mesh(8, 8);
+    for (unsigned stride : {2u, 3u, 4u}) {
+        ExpressMeshTopology express(8, 8, stride);
+        for (NodeId a = 0; a < 64; ++a)
+            for (NodeId b = 0; b < 64; ++b)
+                EXPECT_LE(express.hops(a, b), mesh.hops(a, b))
+                    << "stride " << stride;
+    }
+    // And they do help: corner to corner with stride 4 is 2 jumps per
+    // dimension plus 3 walks.
+    ExpressMeshTopology express(8, 8, 4);
+    EXPECT_EQ(express.hops(0, 63), (7 / 4 + 7 % 4) * 2u);
+}
+
+TEST(Topology, NextHopDecreasesHopsByExactlyOne)
+{
+    for (const auto &topo : propertyTopologies()) {
+        const unsigned n = topo->numNodes();
+        for (NodeId a = 0; a < n; ++a) {
+            for (NodeId b = 0; b < n; ++b) {
+                if (a == b)
+                    continue;
+                NodeId at = a;
+                unsigned remaining = topo->hops(a, b);
+                while (at != b) {
+                    const NodeId next = topo->nextHop(at, b);
+                    ASSERT_EQ(topo->hops(next, b), remaining - 1)
+                        << topo->name() << " " << a << "->" << b
+                        << " at " << at;
+                    at = next;
+                    --remaining;
+                }
+                EXPECT_EQ(remaining, 0u);
+            }
+        }
+    }
+}
+
+TEST(Topology, NextChannelPointsAtTheNextHop)
+{
+    for (const auto &topo : propertyTopologies()) {
+        const unsigned n = topo->numNodes();
+        for (NodeId a = 0; a < n; ++a) {
+            for (NodeId b = 0; b < n; ++b) {
+                if (a == b)
+                    continue;
+                const unsigned ch = topo->nextChannel(a, b);
+                ASSERT_LT(ch, topo->neighbors(a).size());
+                EXPECT_EQ(topo->neighbors(a)[ch], topo->nextHop(a, b));
+            }
+        }
+    }
+}
+
+TEST(Topology, ReverseChannelRoundTrips)
+{
+    // neighbors(m)[reverseChannel(n, c)] == n for every link, including
+    // the width-2 torus where E and W reach the same neighbor and a
+    // naive search is ambiguous.
+    for (const auto &topo : propertyTopologies()) {
+        const unsigned n = topo->numNodes();
+        for (NodeId a = 0; a < n; ++a) {
+            for (unsigned c = 0; c < topo->neighbors(a).size(); ++c) {
+                const NodeId m = topo->neighbors(a)[c];
+                const unsigned rc = topo->reverseChannel(a, c);
+                ASSERT_LT(rc, topo->neighbors(m).size()) << topo->name();
+                EXPECT_EQ(topo->neighbors(m)[rc], a)
+                    << topo->name() << " " << a << " ch " << c;
+            }
+        }
+    }
+}
+
+TEST(Topology, TorusReverseOfReverseIsIdentity)
+{
+    // On the width-2 ring both channels at a node reach the same
+    // neighbor; pairing must still be an involution per physical link.
+    TorusTopology topo(2, 2);
+    for (NodeId a = 0; a < 4; ++a) {
+        for (unsigned c = 0; c < topo.neighbors(a).size(); ++c) {
+            const NodeId m = topo.neighbors(a)[c];
+            const unsigned rc = topo.reverseChannel(a, c);
+            EXPECT_EQ(topo.reverseChannel(m, rc), c)
+                << a << " ch " << c;
+        }
+    }
+}
+
+TEST(Topology, AverageHopsMatchesBruteForce)
+{
+    for (const auto &topo : propertyTopologies()) {
+        const unsigned n = topo->numNodes();
+        double total = 0;
+        for (NodeId a = 0; a < n; ++a)
+            for (NodeId b = 0; b < n; ++b)
+                total += topo->hops(a, b);
+        EXPECT_NEAR(topo->averageHops(),
+                    total / (double(n) * double(n)), 1e-9)
+            << topo->name() << " " << topo->width() << "x"
+            << topo->height();
+    }
+}
+
+TEST(Topology, MakeTopologyFactorizesSquarely)
+{
+    TopologyParams p;
+    EXPECT_EQ(makeTopology(p, 64)->width(), 8u);
+    EXPECT_EQ(makeTopology(p, 64)->height(), 8u);
+    EXPECT_EQ(makeTopology(p, 1024)->width(), 32u);
+    // Non-square counts come out wider than tall.
+    EXPECT_EQ(makeTopology(p, 12)->width(), 4u);
+    EXPECT_EQ(makeTopology(p, 12)->height(), 3u);
+    EXPECT_EQ(makeTopology(p, 2)->width(), 2u);
+    EXPECT_EQ(makeTopology(p, 2)->height(), 1u);
+    // Explicit width wins.
+    p.width = 16;
+    EXPECT_EQ(makeTopology(p, 64)->height(), 4u);
+}
+
+TEST(Topology, MakeTopologyBuildsTheRequestedKind)
+{
+    TopologyParams p;
+    p.kind = TopologyKind::torus;
+    EXPECT_EQ(makeTopology(p, 16)->kind(), TopologyKind::torus);
+    p.kind = TopologyKind::expressMesh;
+    p.expressStride = 2;
+    const auto topo = makeTopology(p, 64);
+    EXPECT_EQ(topo->kind(), TopologyKind::expressMesh);
+    EXPECT_EQ(static_cast<const ExpressMeshTopology &>(*topo).stride(),
+              2u);
+}
+
+TEST(Topology, ParseTopologyKind)
+{
+    TopologyParams p;
+    EXPECT_TRUE(parseTopologyKind("mesh", p));
+    EXPECT_EQ(p.kind, TopologyKind::mesh);
+    EXPECT_TRUE(parseTopologyKind("torus", p));
+    EXPECT_EQ(p.kind, TopologyKind::torus);
+    EXPECT_TRUE(parseTopologyKind("express", p));
+    EXPECT_EQ(p.kind, TopologyKind::expressMesh);
+    EXPECT_TRUE(parseTopologyKind("express:2", p));
+    EXPECT_EQ(p.expressStride, 2u);
+    EXPECT_FALSE(parseTopologyKind("hypercube", p));
+}
+
+/** Full route enumeration for one 4x4 torus, one line per pair. */
+std::string
+torusRoutingDump()
+{
+    TorusTopology topo(4, 4);
+    std::ostringstream os;
+    os << "torus 4x4 routing v1\n";
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            os << s << ">" << d << ":";
+            NodeId at = s;
+            while (at != d) {
+                const unsigned ch = topo.nextChannel(at, d);
+                os << " " << topo.neighbors(at)[ch]
+                   << (topo.channelWrap(at, ch) ? "w" : "");
+                at = topo.neighbors(at)[ch];
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+TEST(Topology, GoldenTorusRouting)
+{
+    const std::string path =
+        std::string(LIMITLESS_GOLDEN_DIR) + "/topology_torus4x4.txt";
+    const std::string dump = torusRoutingDump();
+    if (std::getenv("LIMITLESS_UPDATE_GOLDEN")) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os.good()) << path;
+        os << dump;
+        return;
+    }
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << "missing golden " << path
+                           << " (set LIMITLESS_UPDATE_GOLDEN=1 to write)";
+    std::ostringstream golden;
+    golden << is.rdbuf();
+    EXPECT_EQ(dump, golden.str())
+        << "torus routing changed; regenerate the golden if intended";
 }
 
 } // namespace

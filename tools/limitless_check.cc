@@ -55,6 +55,10 @@ usage()
         "script)\n"
         "  --script <name>          smoke | conflict | update (default "
         "smoke)\n"
+        "  --topology <name>        mesh | torus | express[:stride] "
+        "(default mesh)\n"
+        "  --cluster <n>            nodes per chip for the home mapping "
+        "(default 1)\n"
         "  --ops <n>                ops per node (0 = script's natural "
         "length)\n"
         "  --max-states <n>         state cap (default 200000)\n"
@@ -163,6 +167,7 @@ main(int argc, char **argv)
         {"budget-ms", true}, {"flip-guard", true}, {"trace-out", true},
         {"replay", true},    {"coverage", true}, {"json", false},
         {"quiet", false},    {"help", false},    {"jobs", true},
+        {"topology", true},  {"cluster", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help")) {
@@ -212,6 +217,17 @@ main(int argc, char **argv)
         cfg.lines = static_cast<unsigned>(
             opts.num("lines", cfg.script == "conflict" ? 2 : 1));
         cfg.opsPerNode = static_cast<unsigned>(opts.num("ops", 0));
+        if (opts.has("topology") &&
+            !parseTopologyKind(opts.str("topology"), cfg.topology))
+            fatal("--topology: unknown topology '%s'",
+                  opts.str("topology").c_str());
+        if (opts.has("cluster")) {
+            cfg.topology.clusterSize =
+                static_cast<unsigned>(opts.num("cluster", 1));
+            if (!cfg.topology.clusterSize ||
+                cfg.nodes % cfg.topology.clusterSize)
+                fatal("--cluster must divide --nodes");
+        }
         configs.push_back(cfg);
     } else {
         // Keep the software-extension stall short so the LimitLESS
@@ -276,6 +292,26 @@ main(int argc, char **argv)
             cfg.protocol.trapOnWrite = false;
             cfg.script = "smoke";
             cfg.nodes = 3;
+            configs.push_back(cfg);
+        }
+        // Cluster-interleaved torus configs: a 2x2 torus of two 2-node
+        // chips. The checker's ControlledNetwork explores all delivery
+        // interleavings regardless of link structure, so what these add
+        // is the cluster-interleaved home mapping (homeOf splits the
+        // line index into chip and within-chip digits) under full
+        // interleaving exploration.
+        for (ProtocolKind kind :
+             {ProtocolKind::fullMap, ProtocolKind::limitless}) {
+            CheckConfig cfg;
+            cfg.protocol = kind == ProtocolKind::limitless
+                               ? protocols::limitlessStall(1, 8)
+                               : protocols::fullMap();
+            cfg.script = "smoke";
+            cfg.nodes = 4;
+            cfg.topology.kind = TopologyKind::torus;
+            cfg.topology.width = 2;
+            cfg.topology.height = 2;
+            cfg.topology.clusterSize = 2;
             configs.push_back(cfg);
         }
     }

@@ -59,6 +59,10 @@ usage()
         "optimization (D1)\n"
         "  --no-local-bit         disable the Local Bit (D3)\n"
         "  --network <mesh|ideal> fabric model (default mesh)\n"
+        "  --topology <name>      mesh | torus | express[:stride] "
+        "(default mesh)\n"
+        "  --cluster <n>          nodes per chip: cluster-interleaved "
+        "home mapping\n"
         "  --memory-model <sc|weak>\n"
         "  --seed <n>             RNG seed (default 1)\n"
         "  --capture-trace <file> record the run as a post-mortem trace\n"
@@ -112,6 +116,7 @@ main(int argc, char **argv)
         {"stats-json", true},    {"dump-protocol-table", false},
         {"metrics-interval", true}, {"metrics-out", true},
         {"txn-trace-out", true}, {"txn-top", true},
+        {"topology", true},      {"cluster", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -151,6 +156,17 @@ main(int argc, char **argv)
         cfg.protocol.localBit = false;
     if (opts.str("network", "mesh") == "ideal")
         cfg.network = NetworkKind::ideal;
+    if (opts.has("topology") &&
+        !parseTopologyKind(opts.str("topology"), cfg.topology))
+        fatal("--topology: unknown topology '%s'",
+              opts.str("topology").c_str());
+    if (opts.has("cluster")) {
+        cfg.topology.clusterSize =
+            static_cast<unsigned>(opts.num("cluster", 1));
+        if (!cfg.topology.clusterSize ||
+            cfg.numNodes % cfg.topology.clusterSize)
+            fatal("--cluster must divide --nodes");
+    }
     if (opts.str("memory-model", "sc") == "weak")
         cfg.proc.memoryModel = MemoryModel::weak;
     cfg.metricsInterval =
@@ -226,8 +242,9 @@ main(int argc, char **argv)
     std::cout << "workload:          " << workload->name() << "\n"
               << "protocol:          " << cfg.protocol.name() << "\n"
               << "nodes:             " << cfg.numNodes << " ("
-              << cfg.resolvedMeshWidth() << "x"
-              << cfg.resolvedMeshHeight() << " mesh)\n"
+              << machine.topology().width() << "x"
+              << machine.topology().height() << " "
+              << topologyKindName(machine.topology().kind()) << ")\n"
               << "seed:              " << cfg.seed << "\n"
               << "execution time:    " << run.cycles << " cycles ("
               << run.cycles / 1e6 << " Mcycles)\n"
