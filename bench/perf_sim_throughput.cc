@@ -35,7 +35,7 @@ struct Row
 Row
 measure(const std::string &label, const ProtocolParams &proto,
         unsigned nodes = 0, TopologyParams topo = {},
-        unsigned iterations = 0)
+        unsigned iterations = 0, bool hier = false)
 {
     WeatherParams wp = weatherFigureParams();
     if (iterations)
@@ -45,6 +45,7 @@ measure(const std::string &label, const ProtocolParams &proto,
         cfg.numNodes = nodes;
         cfg.topology = topo;
     }
+    cfg.hier = hier;
 
     const std::uint64_t alloc0 = PacketPool::local().freshAllocs();
     const std::uint64_t recyc0 = PacketPool::local().recycled();
@@ -117,19 +118,27 @@ main()
         const char *label;
         unsigned nodes;
         TopologyKind kind;
+        bool hier;
     };
+    // The -hier rows run the same machines two-level (64-node chips):
+    // they track the host-side cost of the extra chip-home dispatch
+    // layer alongside the flat rows.
     const ScalePoint scale_points[] = {
-        {"limitless4-256", 256, TopologyKind::mesh},
-        {"limitless4-256-torus", 256, TopologyKind::torus},
-        {"limitless4-1024", 1024, TopologyKind::mesh},
-        {"limitless4-1024-torus", 1024, TopologyKind::torus},
+        {"limitless4-256", 256, TopologyKind::mesh, false},
+        {"limitless4-256-torus", 256, TopologyKind::torus, false},
+        {"limitless4-1024", 1024, TopologyKind::mesh, false},
+        {"limitless4-1024-torus", 1024, TopologyKind::torus, false},
+        {"limitless4-256-torus-hier", 256, TopologyKind::torus, true},
+        {"limitless4-1024-torus-hier", 1024, TopologyKind::torus, true},
     };
     std::cout << "\n  scale rows (weather, 6 iterations):\n";
     for (const ScalePoint &p : scale_points) {
         TopologyParams topo;
         topo.kind = p.kind;
+        if (p.hier)
+            topo.clusterSize = 64;
         Row row = measure(p.label, protocols::limitlessStall(4, 50),
-                          p.nodes, topo, /*iterations=*/6);
+                          p.nodes, topo, /*iterations=*/6, p.hier);
         std::cout << "  " << std::left << std::setw(22) << row.label
                   << std::right << std::setw(12) << row.cycles
                   << std::setw(12) << row.events << std::setw(10)

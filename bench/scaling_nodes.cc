@@ -95,6 +95,77 @@ main(int argc, char **argv)
         }
     }
 
+    // Flat vs two-level at scale: the same workload (shrunk to a
+    // CI-sized iteration count) at 256 and 1024 nodes on the torus,
+    // flat and --hier with 64-node chips. The per-chip directories
+    // absorb local sharing, so the limited scheme's hot-spot latency
+    // collapses while LimitLESS stays near its (already good) flat
+    // number. All rows land in BENCH_scaling_nodes.json together with
+    // the figure sweep above.
+    ResultTable table("scaling_nodes");
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        ExperimentOutcome labeled = outs[i];
+        labeled.label += "-" + std::to_string(sizes[(i / 3) % sizes.size()]);
+        if (topos.size() > 1)
+            labeled.label += std::string("-") +
+                topologyKindName(topos[i / (3 * sizes.size())].kind);
+        table.add(labeled);
+    }
+
+    WeatherParams hier_wp;
+    hier_wp.iterations = 6;
+    hier_wp.columnLines = 32;
+    struct HierPoint
+    {
+        const char *label;
+        ProtocolParams proto;
+        unsigned nodes;
+        bool hier;
+    };
+    const HierPoint hier_points[] = {
+        {"dir4nb-256-flat", protocols::dirNB(4), 256, false},
+        {"dir4nb-256-hier", protocols::dirNB(4), 256, true},
+        {"limitless4-256-flat", protocols::limitlessStall(4, 50), 256,
+         false},
+        {"limitless4-256-hier", protocols::limitlessStall(4, 50), 256,
+         true},
+        {"dir4nb-1024-flat", protocols::dirNB(4), 1024, false},
+        {"dir4nb-1024-hier", protocols::dirNB(4), 1024, true},
+        {"limitless4-1024-flat", protocols::limitlessStall(4, 50), 1024,
+         false},
+        {"limitless4-1024-hier", protocols::limitlessStall(4, 50), 1024,
+         true},
+    };
+    const ParallelRunner::Task<ExperimentOutcome> hier_cell =
+        [&](std::size_t idx, std::ostream &) {
+            const HierPoint &p = hier_points[idx];
+            MachineConfig cfg = alewife64(p.proto);
+            cfg.numNodes = p.nodes;
+            cfg.topology.kind = TopologyKind::torus;
+            cfg.topology.clusterSize = 64;
+            cfg.hier = p.hier;
+            return runExperiment(cfg, [&] {
+                return std::make_unique<Weather>(hier_wp);
+            }, p.label);
+        };
+    const std::vector<ExperimentOutcome> hier_outs =
+        runner.map<ExperimentOutcome>(std::size(hier_points), hier_cell,
+                                      std::cout);
+    std::cout << "\n  flat vs two-level (weather, 6 iterations, torus, "
+                 "64-node chips):\n  " << std::left << std::setw(24)
+              << "config" << std::right << std::setw(12) << "cycles"
+              << std::setw(14) << "remote lat" << std::setw(10) << "m"
+              << "\n";
+    for (const ExperimentOutcome &o : hier_outs) {
+        std::cout << "  " << std::left << std::setw(24) << o.label
+                  << std::right << std::setw(12) << o.cycles
+                  << std::setw(14) << std::fixed << std::setprecision(1)
+                  << o.remoteLatency << std::setw(10)
+                  << std::setprecision(4) << o.overflowFraction << "\n";
+        table.add(o);
+    }
+    writeBenchJson("scaling_nodes", table);
+
     if (dir_ratio_big > dir_ratio_small * 1.3 && ll_worst < 1.15) {
         std::cout << "\nShape check PASSED: the limited directory's "
                      "penalty grows with machine size\nwhile LimitLESS "

@@ -194,8 +194,8 @@ CacheController::startAccess(const MemOp &op, Completion done,
             if (victim.state == CacheState::readWrite) {
                 _statRepm += 1;
                 auto pkt = makeDataPacket(
-                    _self, _amap.homeOf(victim.tag), Opcode::REPM,
-                    victim.tag, victim.words.data(),
+                    _self, _amap.requestTargetFor(victim.tag, _self),
+                    Opcode::REPM, victim.tag, victim.words.data(),
                     _amap.wordsPerLine());
                 victim.state = CacheState::invalid;
                 _send(std::move(pkt));
@@ -207,8 +207,8 @@ CacheController::startAccess(const MemOp &op, Completion done,
                 txn.awaitingRepc = true;
                 txn.repcLine = victim.tag;
                 auto pkt = makeProtocolPacket(
-                    _self, _amap.homeOf(victim.tag), Opcode::REPC,
-                    victim.tag);
+                    _self, _amap.requestTargetFor(victim.tag, _self),
+                    Opcode::REPC, victim.tag);
                 auto [it, ok] = _txns.emplace(line, std::move(txn));
                 assert(ok);
                 (void)it;
@@ -253,11 +253,12 @@ CacheController::startRequest(Addr line, Txn &txn)
         ev.op = op;
         ev.hasOp = true;
         ev.src = _self;
-        ev.dest = _amap.homeOf(line);
+        ev.dest = _amap.requestTargetFor(line, _self);
         ev.detail = txn.retries ? "retry" : nullptr;
         FR_RECORD(ev);
     }
-    auto pkt = makeProtocolPacket(_self, _amap.homeOf(line), op, line);
+    auto pkt = makeProtocolPacket(
+        _self, _amap.requestTargetFor(line, _self), op, line);
     FlightRecorder::instance().txn().tagRequest(*pkt, _self);
     _send(std::move(pkt));
 }
@@ -425,8 +426,9 @@ CacheController::handleBusy(const Packet &pkt)
             for (auto &[tline, t] : _txns) {
                 (void)tline;
                 if (t.awaitingRepc && t.repcLine == key) {
-                    _send(makeProtocolPacket(_self, _amap.homeOf(key),
-                                             Opcode::REPC, key));
+                    _send(makeProtocolPacket(
+                        _self, _amap.requestTargetFor(key, _self),
+                        Opcode::REPC, key));
                     return;
                 }
             }

@@ -54,6 +54,8 @@ CheckConfig::name() const
         os << " " << topologyKindName(topology.kind);
     if (topology.clusterSize > 1)
         os << " c" << topology.clusterSize;
+    if (hier)
+        os << " hier";
     return os.str();
 }
 
@@ -67,6 +69,7 @@ CheckConfig::machineConfig() const
         cfg.topology.width = nodes; // 1 x N line; link structure is
                                     // irrelevant under makeNetwork
     cfg.protocol = protocol;
+    cfg.hier = hier;
     cfg.mem.deferDepth = deferDepth;
     // One cache set per node: any two distinct lines conflict, so the
     // scripts can force evictions and replacement races.

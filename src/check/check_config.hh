@@ -43,6 +43,14 @@ struct CheckConfig
     TopologyParams topology;
 
     /**
+     * Two-level directory mode: per-chip homes under the inter-chip
+     * directory (MachineConfig::hier). Needs topology.clusterSize >= 2;
+     * the two-chip exhaustive configs explore every interleaving of the
+     * chip-home FSM against the unmodified global tables.
+     */
+    bool hier = false;
+
+    /**
      * Operation script: "smoke" (each node stores then loads line 0),
      * "conflict" (stores + loads over two lines that collide in the
      * one-set cache, forcing REPM/REPC races; needs lines >= 2),

@@ -49,7 +49,8 @@ kindFromNameNoAbort(const std::string &name, ProtocolKind &out)
 bool
 tableSideFromName(const std::string &name, TableSide &out)
 {
-    for (TableSide side : {TableSide::home, TableSide::cache}) {
+    for (TableSide side :
+         {TableSide::home, TableSide::cache, TableSide::chip}) {
         if (name == tableSideName(side)) {
             out = side;
             return true;
@@ -123,6 +124,8 @@ writeTrace(std::ostream &os, const CheckTrace &trace)
         os << "topo_height " << cfg.topology.height << "\n";
     if (cfg.topology.clusterSize > 1)
         os << "cluster " << cfg.topology.clusterSize << "\n";
+    if (cfg.hier)
+        os << "hier 1\n";
     for (const GuardFlip &f : trace.flips)
         os << "flip " << checkKindName(f.kind) << " "
            << tableSideName(f.side) << " " << f.row << "\n";
@@ -233,6 +236,8 @@ parseTrace(std::istream &is, CheckTrace &out, std::string *error)
                 cfg.topology.height = std::stoul(value);
             else if (key == "cluster")
                 cfg.topology.clusterSize = std::stoul(value);
+            else if (key == "hier")
+                cfg.hier = value != "0";
             else if (key == "violation")
                 out.violation = violationKindFromName(value);
             else

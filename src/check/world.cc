@@ -257,6 +257,8 @@ CheckWorld::fingerprint() const
         const Node &node = _m->node(i);
         node.cache().checkpoint(os);
         node.mem().checkpoint(os);
+        if (const ChipHomeController *chip = node.chipHome())
+            chip->checkpoint(os);
         os << "i" << node.ipi().depth();
     }
     _net->checkpoint(os);

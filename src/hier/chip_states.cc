@@ -1,0 +1,40 @@
+#include "hier/chip_states.hh"
+
+namespace limitless
+{
+
+const char *
+chipStateName(ChipState s)
+{
+    switch (s) {
+      case ChipState::hInvalid:
+        return "hInvalid";
+      case ChipState::hCopy:
+        return "hCopy";
+      case ChipState::hOwned:
+        return "hOwned";
+      case ChipState::hFillRead:
+        return "hFillRead";
+      case ChipState::hFillWrite:
+        return "hFillWrite";
+      case ChipState::hFillWriteInv:
+        return "hFillWriteInv";
+      case ChipState::hWriteInv:
+        return "hWriteInv";
+      case ChipState::hRecall:
+        return "hRecall";
+      case ChipState::hParentInv:
+        return "hParentInv";
+      case ChipState::hChipET:
+        return "hChipET";
+    }
+    return "hUnknown";
+}
+
+const char *
+chipSideStateName(std::uint8_t s)
+{
+    return chipStateName(static_cast<ChipState>(s));
+}
+
+} // namespace limitless

@@ -89,6 +89,50 @@ class AddressMap
     /** Cluster (chip) a node belongs to. */
     unsigned clusterOf(NodeId node) const { return node / _clusterSize; }
 
+    /** Two-level mode: route chip-crossing misses via per-chip homes. */
+    bool hier() const { return _hier; }
+    void
+    setHier(bool on)
+    {
+        assert((!on || _clusterSize > 1) &&
+               "hierarchical mode needs clusterSize > 1");
+        _hier = on;
+    }
+
+    /**
+     * Node hosting @p chip's per-chip directory entry for address @p a.
+     * Mirrors the within-chip digit of homeOf(), so the slice of lines
+     * a node chip-homes on a remote chip matches the slice it
+     * global-homes on its own chip; on the home chip the two coincide
+     * (the global home doubles as that chip's chip home).
+     */
+    NodeId
+    chipHomeOf(Addr a, unsigned chip) const
+    {
+        assert(_clusterSize > 1);
+        const std::uint64_t line = a >> _lineShift;
+        const unsigned clusters = _numNodes / _clusterSize;
+        const unsigned within =
+            static_cast<unsigned>((line / clusters) % _clusterSize);
+        return static_cast<NodeId>(chip * _clusterSize + within);
+    }
+
+    /**
+     * Where node @p self sends a cacheable request (RREQ/WREQ/REPM/REPC)
+     * for address @p a: the global home when flat or when @p self shares
+     * the home's chip; otherwise @p self's own chip home, which fills
+     * from (and is invalidated by) the global home on the chip's behalf.
+     * Uncached operations (RUNC/WUPD) always go to the global home.
+     */
+    NodeId
+    requestTargetFor(Addr a, NodeId self) const
+    {
+        const NodeId home = homeOf(a);
+        if (!_hier || clusterOf(self) == clusterOf(home))
+            return home;
+        return chipHomeOf(a, clusterOf(self));
+    }
+
     /** Home node owning an address's directory entry. */
     NodeId
     homeOf(Addr a) const
@@ -145,6 +189,7 @@ class AddressMap
     unsigned _clusterSize;
     unsigned _lineShift;
     bool _nodesPow2;
+    bool _hier = false;
 };
 
 } // namespace limitless

@@ -1,5 +1,6 @@
 #include "machine/coherence_monitor.hh"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
@@ -121,6 +122,21 @@ CoherenceMonitor::collectUndeclaredTransitions() const
                                  i, tableSideName(TableSide::home),
                                  ht->stateName(state), opcodeName(op));
             });
+        const ChipHomeController *chip = _m.node(i).chipHome();
+        if (!chip)
+            continue;
+        const TableInfo *cht =
+            reg.find(chip->protocol().kind, TableSide::chip);
+        assert(cht && "chip table unregistered despite being dispatched");
+        chip->forEachObservedTransition(
+            [&](std::uint8_t state, Opcode op) {
+                if (!cht->declares(state, op))
+                    addViolation(out, 0,
+                                 "monitor: chip home %u fired undeclared "
+                                 "%s-side transition (%s, %s)",
+                                 i, tableSideName(TableSide::chip),
+                                 cht->stateName(state), opcodeName(op));
+            });
     }
     return out;
 }
@@ -139,6 +155,31 @@ CoherenceMonitor::collectQuiescentViolations() const
     std::vector<CoherenceViolation> out;
     const auto copies = collectCopies(_m);
     const AddressMap &amap = _m.addressMap();
+    const bool hier = amap.hier();
+
+    // In two-level mode the global directory tracks one chip-home node
+    // per remote sharing chip; the node the global level must account
+    // for is that chip home, not the cache itself. Home-chip caches are
+    // tracked individually (they request from the global home directly).
+    auto globalTrackee = [&](Addr line, NodeId cache) {
+        if (hier &&
+            amap.clusterOf(cache) != amap.clusterOf(amap.homeOf(line)))
+            return amap.chipHomeOf(line, amap.clusterOf(cache));
+        return cache;
+    };
+    // The chip home mediating @p cache's accesses to @p line, or null
+    // when the access is direct (flat mode, or the cache sits on the
+    // home's own chip). Note the chip home may be the cache's own node:
+    // its cache still requests through (and is tracked by) its co-located
+    // chip home, so "trackee == cache" does not imply a direct access.
+    auto chipHomeFor =
+        [&](Addr line, NodeId cache) -> const ChipHomeController * {
+        if (!hier ||
+            amap.clusterOf(cache) == amap.clusterOf(amap.homeOf(line)))
+            return nullptr;
+        return _m.node(amap.chipHomeOf(line, amap.clusterOf(cache)))
+            .chipHome();
+    };
 
     // (c) every memory FSM stable.
     for (unsigned i = 0; i < _m.numNodes(); ++i) {
@@ -152,28 +193,99 @@ CoherenceMonitor::collectQuiescentViolations() const
         });
     }
 
+    // (c') every chip-home FSM stable, and chip-level state consistent
+    // with the global level: a clean chip copy byte-agrees with memory
+    // (the sticky hCopy with an empty local directory is legal), while a
+    // dirty chip copy requires the global home to see this chip as the
+    // exclusive owner.
+    for (unsigned i = 0; i < _m.numNodes(); ++i) {
+        const ChipHomeController *chip = _m.node(i).chipHome();
+        if (!chip)
+            continue;
+        chip->forEachLine([&](Addr line, ChipState st) {
+            if (st != ChipState::hInvalid && st != ChipState::hCopy &&
+                st != ChipState::hOwned) {
+                addViolation(out, line,
+                             "coherence: chip home %u line %#llx stuck "
+                             "in %s at quiescence",
+                             i, (unsigned long long)line,
+                             chipStateName(st));
+                return;
+            }
+            if (st == ChipState::hInvalid)
+                return;
+            MemoryController &home = _m.node(amap.homeOf(line)).mem();
+            if (chip->lineDirty(line)) {
+                if (home.lineState(line) != MemState::readWrite)
+                    addViolation(out, line,
+                                 "coherence: chip home %u holds %#llx "
+                                 "dirty but global home state is %s",
+                                 i, (unsigned long long)line,
+                                 memStateName(home.lineState(line)));
+                const bool tracked =
+                    home.chainedDir()
+                        ? home.chainedDir()->head(line) == i
+                        : home.directory().contains(line, i);
+                if (!tracked)
+                    addViolation(out, line,
+                                 "coherence: dirty chip home %u of %#llx "
+                                 "is not the global directory's owner",
+                                 i, (unsigned long long)line);
+            } else if (st == ChipState::hCopy) {
+                const LineWords &mem = home.readLine(line);
+                const LineWords *cd = chip->lineData(line);
+                assert(cd);
+                for (unsigned w = 0; w < amap.wordsPerLine(); ++w) {
+                    if ((*cd)[w] != mem[w])
+                        addViolation(
+                            out, line,
+                            "coherence: chip home %u clean copy of %#llx "
+                            "word %u is %llu, memory has %llu",
+                            i, (unsigned long long)line, w,
+                            (unsigned long long)(*cd)[w],
+                            (unsigned long long)mem[w]);
+                }
+            }
+        });
+    }
+
     for (const auto &[line, lc] : copies) {
         MemoryController &home = _m.node(amap.homeOf(line)).mem();
         DirectoryScheme &dir = home.directory();
         const SoftwareDirTable &sw = home.softwareTable();
         const bool chained = home.chainedDir() != nullptr;
 
-        // (d) directory tracks every actual copy.
-        if (!chained) {
-            for (NodeId reader : lc.readers) {
-                if (!dir.contains(line, reader) &&
-                    !sw.contains(line, reader)) {
-                    addViolation(
-                        out, line,
-                        "coherence: node %u holds %#llx Read-Only but is "
-                        "in neither the directory nor the software vector",
-                        reader, (unsigned long long)line);
-                }
+        // (d) directory tracks every actual copy — through the chip
+        // level in two-level mode: the global directory tracks the
+        // reader's chip home, which in turn tracks the reader.
+        for (NodeId reader : lc.readers) {
+            const NodeId trackee = globalTrackee(line, reader);
+            if (!chained && !dir.contains(line, trackee) &&
+                !sw.contains(line, trackee)) {
+                addViolation(
+                    out, line,
+                    "coherence: node %u holds %#llx Read-Only but %s is "
+                    "in neither the directory nor the software vector",
+                    reader, (unsigned long long)line,
+                    trackee == reader ? "it" : "its chip home");
             }
+            const ChipHomeController *chip = chipHomeFor(line, reader);
+            if (!chip)
+                continue;
+            std::vector<NodeId> local;
+            chip->chipSharers(line, local);
+            if (std::find(local.begin(), local.end(), reader) ==
+                local.end())
+                addViolation(out, line,
+                             "coherence: node %u holds %#llx Read-Only "
+                             "but chip home %u does not track it",
+                             reader, (unsigned long long)line,
+                             chip->nodeId());
         }
 
         if (!lc.writers.empty()) {
             const NodeId owner = lc.writers[0];
+            const NodeId trackee = globalTrackee(line, owner);
             if (home.lineState(line) != MemState::readWrite)
                 addViolation(out, line,
                              "coherence: node %u holds %#llx Read-Write "
@@ -181,34 +293,72 @@ CoherenceMonitor::collectQuiescentViolations() const
                              owner, (unsigned long long)line,
                              memStateName(home.lineState(line)));
             const bool tracked =
-                chained ? home.chainedDir()->head(line) == owner
-                        : dir.contains(line, owner);
+                chained ? home.chainedDir()->head(line) == trackee
+                        : dir.contains(line, trackee);
             if (!tracked)
                 addViolation(out, line,
                              "coherence: Read-Write owner %u of %#llx is "
                              "not in the directory",
                              owner, (unsigned long long)line);
+            if (const ChipHomeController *chip =
+                    chipHomeFor(line, owner)) {
+                std::vector<NodeId> local;
+                chip->chipSharers(line, local);
+                if (std::find(local.begin(), local.end(), owner) ==
+                    local.end())
+                    addViolation(
+                        out, line,
+                        "coherence: Read-Write owner %u of %#llx is not "
+                        "tracked by its chip home %u",
+                        owner, (unsigned long long)line, chip->nodeId());
+            }
         } else {
-            if (home.lineState(line) == MemState::readWrite)
+            // A global Read-Write state with no cache writer is legal
+            // in two-level mode when some chip home holds the line
+            // dirty (the local owner replaced its copy into the chip
+            // buffer); the chip-level sweep above validates that case.
+            bool dirtyChip = false;
+            if (hier && home.lineState(line) == MemState::readWrite) {
+                for (unsigned c = 0; c < amap.numClusters(); ++c) {
+                    if (c == amap.clusterOf(amap.homeOf(line)))
+                        continue;
+                    const ChipHomeController *chip =
+                        _m.node(amap.chipHomeOf(line, c)).chipHome();
+                    if (chip && chip->lineDirty(line) &&
+                        chip->lineState(line) != ChipState::hInvalid)
+                        dirtyChip = true;
+                }
+            }
+            if (home.lineState(line) == MemState::readWrite && !dirtyChip)
                 addViolation(out, line,
                              "coherence: home says %#llx is Read-Write "
                              "but no cache holds it",
                              (unsigned long long)line);
-            // (e) read-only copies agree with memory.
+            // (e) read-only copies agree with the authoritative data:
+            // global memory, or the reader's chip copy when that chip
+            // holds the line dirty (memory is stale until writeback).
             const LineWords &mem = home.readLine(line);
             for (NodeId reader : lc.readers) {
                 const CacheLine *cl =
                     _m.node(reader).cache().array().lookup(line);
                 assert(cl);
+                const LineWords *ref = &mem;
+                const char *refName = "memory";
+                const ChipHomeController *chip = chipHomeFor(line, reader);
+                if (chip && chip->lineDirty(line)) {
+                    ref = chip->lineData(line);
+                    refName = "chip home";
+                    assert(ref);
+                }
                 for (unsigned w = 0; w < amap.wordsPerLine(); ++w) {
-                    if (cl->words[w] != mem[w])
+                    if (cl->words[w] != (*ref)[w])
                         addViolation(
                             out, line,
                             "coherence: node %u copy of %#llx word %u is "
-                            "%llu, memory has %llu",
+                            "%llu, %s has %llu",
                             reader, (unsigned long long)line, w,
-                            (unsigned long long)cl->words[w],
-                            (unsigned long long)mem[w]);
+                            (unsigned long long)cl->words[w], refName,
+                            (unsigned long long)(*ref)[w]);
                 }
             }
         }

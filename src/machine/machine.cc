@@ -27,6 +27,16 @@ Machine::Machine(const MachineConfig &cfg)
     assert(_topo->numNodes() == cfg.numNodes &&
            "grid dimensions must cover every node");
 
+    // Two-level mode needs a real chip (cluster of >= 2 nodes) and a
+    // scheme with sharing to delegate; otherwise it degenerates to the
+    // flat machine (no chip homes, flat request routing) — a property
+    // the tests pin down to byte-identical stats. The CLI front ends
+    // reject --hier with a 1-node cluster up front so users get a clear
+    // error rather than a silent flat run.
+    if (cfg.hier && cfg.topology.clusterSize >= 2 &&
+        cfg.protocol.kind != ProtocolKind::privateOnly)
+        _amap.setHier(true);
+
     if (cfg.makeNetwork)
         _net = cfg.makeNetwork(_eq);
     else if (cfg.network == NetworkKind::mesh)
@@ -138,6 +148,46 @@ Machine::setupTelemetry()
         return n;
     });
 
+    // Chip-home layer (two-level mode only): per-level m(t), pointer
+    // occupancy and backlog, so the two levels' software-spill rates
+    // can be read side by side with the global mem.* series.
+    if (_cfg.hier && _nodes[0]->chipHome()) {
+        t.addRate("chip.reqs", sum({{"chip", "rreq"}, {"chip", "wreq"}}));
+        t.addRate("chip.traps", sum({{"chip", "read_traps"},
+                                     {"chip", "write_traps"}}));
+        t.addRatio("chip.m",
+                   sum({{"chip", "read_traps"}, {"chip", "write_traps"}}),
+                   sum({{"chip", "rreq"}, {"chip", "wreq"}}));
+        t.addRate("chip.trap_cycles", sum({{"chip", "trap_cycles"}}));
+        t.addRate("chip.parent_reqs", sum({{"chip", "parent_reqs"}}));
+        t.addRate("chip.local_grants", sum({{"chip", "local_grants"}}));
+        t.addGauge("chip.ptr_util", [this]() {
+            DirOccupancy occ;
+            for (const auto &node : _nodes)
+                if (const ChipHomeController *ch = node->chipHome())
+                    ch->directory().occupancy(occ);
+            return occ.pointerSlots
+                       ? static_cast<double>(occ.pointersUsed) /
+                             static_cast<double>(occ.pointerSlots)
+                       : 0.0;
+        });
+        t.addGauge("chip.sw_entries", [this]() {
+            double n = 0.0;
+            for (const auto &node : _nodes)
+                if (const ChipHomeController *ch = node->chipHome())
+                    n += static_cast<double>(
+                        ch->softwareTable().entries());
+            return n;
+        });
+        t.addGauge("chip.queue_depth", [this]() {
+            double n = 0.0;
+            for (const auto &node : _nodes)
+                if (const ChipHomeController *ch = node->chipHome())
+                    n += static_cast<double>(ch->queueDepth());
+            return n;
+        });
+    }
+
     // Kernel layer: trap backlog and emulation occupancy. kern.occupancy
     // is the fraction of this window's node-cycles spent in trap code
     // (dispatcher occupancy + inline Ts charges), averaged over nodes.
@@ -234,6 +284,8 @@ Machine::setupTelemetry()
         "trap_service", "trap service time per overflow (cycles)", 16);
     for (auto &node : _nodes) {
         node->mem().setTelemetrySinks(ws, svc);
+        if (ChipHomeController *ch = node->chipHome())
+            ch->setTelemetrySinks(ws, svc);
         node->dispatcher().setServiceTimeSink(svc);
     }
 }
@@ -445,7 +497,8 @@ void
 Machine::dumpStats(std::ostream &os) const
 {
     for (const auto &node : _nodes) {
-        for (const char *comp : {"proc", "cache", "mem", "ipi", "handler"}) {
+        for (const char *comp :
+             {"proc", "cache", "mem", "chip", "ipi", "handler"}) {
             const StatSet *set = node->statSet(comp);
             if (set)
                 set->dump(os);
@@ -457,8 +510,9 @@ namespace
 {
 
 /** Components aggregated and detailed by dumpStatsJson. */
-constexpr const char *statComponents[] = {"proc", "cache",   "mem",
-                                          "ipi",  "handler", "trap"};
+constexpr const char *statComponents[] = {"proc", "cache", "mem",
+                                          "chip", "ipi",   "handler",
+                                          "trap"};
 
 } // namespace
 
@@ -488,7 +542,10 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
     os << ", \"width\": " << _topo->width()
        << ", \"height\": " << _topo->height()
        << ", \"cluster_size\": " << _cfg.topology.clusterSize
-       << ", \"average_hops\": " << _topo->averageHops() << "},\n";
+       << ", \"average_hops\": " << _topo->averageHops();
+    if (_amap.hier())
+        os << ", \"hier\": true";
+    os << "},\n";
     // Directory-storage comparison (the paper's Section 1 motivation):
     // bits per entry for each scheme at the canonical scales plus this
     // machine's own node count. Full-map is a multi-word presence
@@ -523,7 +580,54 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
         });
         row("chained",
             [](unsigned n) { return ChainedDir().bitsPerEntry(n); });
-        os << "]},\n";
+        os << "]";
+        // Two-level variants (hier runs only, so the flat document is
+        // byte-stable): the chip directory sizes over the chip's own
+        // node count, while the inter-chip directory shrinks to one
+        // entry bit-budget per *chip* — the product is the total
+        // per-line directory state of the composed scheme.
+        if (_amap.hier()) {
+            const std::vector<unsigned> chips{4, 8, 16};
+            os << ", \"hier\": {\"chip_sizes\": [";
+            for (std::size_t i = 0; i < chips.size(); ++i)
+                os << (i ? ", " : "") << chips[i];
+            os << "], \"schemes\": [";
+            bool first_hier = true;
+            auto hierRow = [&](const char *label, auto &&bits) {
+                os << (first_hier ? "" : ", ");
+                first_hier = false;
+                os << "{\"scheme\": ";
+                jsonEscape(os, label);
+                os << ", \"per_chip_bits\": [";
+                for (std::size_t i = 0; i < chips.size(); ++i)
+                    os << (i ? ", " : "") << bits(chips[i]);
+                os << "], \"inter_chip_bits\": [";
+                for (std::size_t ci = 0; ci < chips.size(); ++ci) {
+                    os << (ci ? ", " : "") << "[";
+                    for (std::size_t i = 0; i < counts.size(); ++i) {
+                        const unsigned nchips =
+                            (counts[i] + chips[ci] - 1) / chips[ci];
+                        os << (i ? ", " : "") << bits(nchips);
+                    }
+                    os << "]";
+                }
+                os << "]}";
+            };
+            hierRow("full-map", [](unsigned n) {
+                return FullMapDir(n).bitsPerEntry(n);
+            });
+            hierRow("dir4nb", [](unsigned n) {
+                return LimitedDir(4).bitsPerEntry(n);
+            });
+            hierRow("limitless4", [](unsigned n) {
+                return LimitlessDir(0, 4, true).bitsPerEntry(n);
+            });
+            hierRow("chained", [](unsigned n) {
+                return ChainedDir().bitsPerEntry(n);
+            });
+            os << "]}";
+        }
+        os << "},\n";
     }
     if (run) {
         os << "  \"host\": {\"seconds\": " << run->hostSeconds
@@ -532,7 +636,7 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
            << "},\n";
     }
     os << "  \"phases\": ";
-    phasesJson(os, phases);
+    phasesJson(os, phases, _amap.hier());
     os << ",\n";
     // Remote misses injected but never completed. A quiescent run ends
     // at zero; nonzero means dropped completions (satellite of the

@@ -40,6 +40,14 @@ struct MachineConfig
      */
     TopologyParams topology;
 
+    /**
+     * Two-level composable coherence (--hier): per-chip home directories
+     * under the inter-chip directory at the global home. Requires
+     * topology.clusterSize > 1; with clusterSize 1 the mode is rejected
+     * up front (and the flat path stays byte-identical when off).
+     */
+    bool hier = false;
+
     unsigned lineBytes = 16; ///< Alewife coherence unit
     HomeMapping mapping = HomeMapping::interleaved;
     std::uint64_t bytesPerNode = 4ull << 20;

@@ -22,6 +22,16 @@ Node::Node(EventQueue &eq, NodeId id, const AddressMap &amap,
                                         cfg.seed);
     _ipi = std::make_unique<IpiInterface>(eq, id, cfg.ipiInputCapacity);
 
+    if (cfg.hier && amap.clusterSize() > 1 &&
+        cfg.protocol.kind != ProtocolKind::privateOnly) {
+        _chip = std::make_unique<ChipHomeController>(eq, id, amap,
+                                                     cfg.protocol,
+                                                     cfg.mem);
+        _chip->setSend(
+            [this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
+        _chip->setTrapStall([this](Tick t) { _proc->stallFor(t); });
+    }
+
     _cache->setSend([this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
     _mem->setSend([this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
     _ipi->setSendPath([this](PacketPtr pkt) { sendFrom(std::move(pkt)); });
@@ -76,19 +86,35 @@ Node::deliver(PacketPtr pkt)
         _ipi->pushInput(std::move(pkt));
         return;
     }
+    // Two-level mode: this node may be the chip home for remote lines
+    // whose within-chip interleave digit matches it. A line homed on
+    // this node's own chip always belongs to the global home / cache
+    // (requestTargetFor never picks a same-chip chip home).
+    const bool chipHomed =
+        _chip && _amap.clusterOf(_amap.homeOf(pkt->addr())) !=
+                     _amap.clusterOf(_id);
     switch (pkt->opcode) {
-      // Cache-to-memory class (paper Table 3): to the home controller.
+      // Cache-to-memory class (paper Table 3): to the home controller
+      // (or, two-level mode, this chip's home for the line). WUPD/RUNC
+      // always target the global home directly.
       case Opcode::RREQ:
       case Opcode::WREQ:
       case Opcode::REPM:
       case Opcode::UPDATE:
       case Opcode::ACKC:
       case Opcode::REPC:
+        if (chipHomed) {
+            _chip->enqueue(std::move(pkt));
+            return;
+        }
+        [[fallthrough]];
       case Opcode::WUPD:
       case Opcode::RUNC:
         _mem->enqueue(std::move(pkt));
         return;
-      // Memory-to-cache class: to the cache controller.
+      // Memory-to-cache class: to the cache controller — unless the
+      // chip home is mid-transaction on the line (parent replies) or
+      // the packet is the parent's INV of the chip copy.
       case Opcode::RDATA:
       case Opcode::WDATA:
       case Opcode::INV:
@@ -96,6 +122,13 @@ Node::deliver(PacketPtr pkt)
       case Opcode::REPC_ACK:
       case Opcode::MUPD:
       case Opcode::WACK:
+        if (chipHomed && pkt->src != _id &&
+            _amap.chipHomeOf(pkt->addr(), _amap.clusterOf(_id)) ==
+                _id &&
+            _chip->wantsResponse(pkt->addr(), pkt->opcode)) {
+            _chip->enqueue(std::move(pkt));
+            return;
+        }
         _cache->handlePacket(std::move(pkt));
         return;
       default:
@@ -113,6 +146,8 @@ Node::statSet(const std::string &component) const
         return &const_cast<CacheController &>(*_cache).stats();
     if (component == "mem")
         return &const_cast<MemoryController &>(*_mem).stats();
+    if (component == "chip" && _chip)
+        return &const_cast<ChipHomeController &>(*_chip).stats();
     if (component == "ipi")
         return &_ipi->stats();
     if (component == "handler" && _handler)

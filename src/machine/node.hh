@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "cache/cache_controller.hh"
+#include "hier/chip_home.hh"
 #include "ipi/ipi_interface.hh"
 #include "kernel/limitless_handler.hh"
 #include "kernel/trap_dispatcher.hh"
@@ -37,6 +38,9 @@ class Node
     IpiInterface &ipi() { return *_ipi; }
     /** Non-null only for LimitLESS full-emulation machines. */
     LimitlessHandler *handler() { return _handler.get(); }
+    /** Non-null only in two-level (--hier) machines. */
+    ChipHomeController *chipHome() { return _chip.get(); }
+    const ChipHomeController *chipHome() const { return _chip.get(); }
 
     /** Software interrupt dispatch: protocol traps + active messages. */
     TrapDispatcher &dispatcher() { return *_dispatcher; }
@@ -65,6 +69,7 @@ class Node
 
     std::unique_ptr<CacheController> _cache;
     std::unique_ptr<MemoryController> _mem;
+    std::unique_ptr<ChipHomeController> _chip;
     std::unique_ptr<Processor> _proc;
     std::unique_ptr<IpiInterface> _ipi;
     std::unique_ptr<TrapDispatcher> _dispatcher;

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Two-level (--hier) chip-home policy units: each directory scheme's
+ * chip-side protocol is a guarded-action transition table over ChipCtx,
+ * registered with the process-wide registry as TableSide::chip. The
+ * global home side is deliberately untouched — a chip home presents
+ * itself to the parent as an ordinary cache, so every scheme's existing
+ * home table (including the LimitLESS meta-state machine and software
+ * spill) composes with the chip level unchanged.
+ *
+ * The private-only scheme has no chip table: without read sharing there
+ * is nothing to delegate, so --hier routes every request straight to
+ * the global home and the mode degenerates to flat by construction.
+ */
+
+#ifndef LIMITLESS_MEM_HOME_HIER_HOME_HH
+#define LIMITLESS_MEM_HOME_HIER_HOME_HH
+
+#include "hier/chip_home.hh"
+#include "proto/packet.hh"
+#include "proto/protocol_table.hh"
+
+namespace limitless
+{
+namespace home
+{
+
+/** Dispatch context for one chip-home packet (mirrors HomeCtx). */
+struct ChipCtx
+{
+    ChipHomeController &ch;
+    PacketPtr &pkt;
+    ChipLine &cl;
+
+    Addr line() const { return pkt->addr(); }
+    NodeId src() const { return pkt->src; }
+
+    /** Engine hook: apply a transition's static next state. */
+    void
+    setState(std::uint8_t s)
+    {
+        cl.state = static_cast<ChipState>(s);
+    }
+};
+
+using ChipTable = TransitionTable<ChipCtx>;
+
+/** One scheme's chip side. */
+struct HierPolicy
+{
+    const ChipTable *table;
+};
+
+const HierPolicy &fullMapChipPolicy();
+const HierPolicy &limitedChipPolicy();
+const HierPolicy &limitlessChipPolicy();
+const HierPolicy &chainedChipPolicy();
+
+/** The chip policy singleton for @p kind (private-only has none and
+ *  panics — the machine never instantiates a chip home for it). */
+const HierPolicy &hierChipPolicyFor(ProtocolKind kind);
+
+} // namespace home
+
+/**
+ * Build every scheme's chip-side table so the registry is complete.
+ * Kept separate from registerAllProtocolTables(): the flat table dump
+ * (and its golden file) must not change when the hier code is linked
+ * in, so --dump-protocol-table builds only the flat tables and
+ * --dump-hier-table builds only these.
+ */
+void registerAllHierTables();
+
+} // namespace limitless
+
+#endif // LIMITLESS_MEM_HOME_HIER_HOME_HH

@@ -7,6 +7,7 @@ void
 LatencyTracker::reset()
 {
     _open.clear();
+    _aliases.clear();
     _completed = 0;
     _sumReqNet = 0.0;
     _sumHome = 0.0;
@@ -14,12 +15,38 @@ LatencyTracker::reset()
     _sumInv = 0.0;
     _sumReplyNet = 0.0;
     _sumTotal = 0.0;
+    _sumChipHome = 0.0;
+    _sumGlobalHome = 0.0;
+    _sumInterChipInv = 0.0;
 }
 
 LatencyTracker::Open *
 LatencyTracker::find(NodeId requester, Addr line)
 {
     auto it = _open.find(key(requester, line));
+    return it == _open.end() ? nullptr : &it->second;
+}
+
+LatencyTracker::Open *
+LatencyTracker::resolve(NodeId node, Addr line, bool &parent_side)
+{
+    parent_side = false;
+    const std::uint64_t k = key(node, line);
+    // A live alias means the global home is currently working on this
+    // (chip node, line) on some requester's behalf: its stamps are
+    // parent-side even when the chip-home node has a record of its own
+    // (the requester-is-the-chip-home case).
+    if (!_aliases.empty()) {
+        auto a = _aliases.find(k);
+        if (a != _aliases.end()) {
+            auto it = _open.find(a->second);
+            if (it != _open.end()) {
+                parent_side = true;
+                return &it->second;
+            }
+        }
+    }
+    auto it = _open.find(k);
     return it == _open.end() ? nullptr : &it->second;
 }
 
@@ -37,37 +64,92 @@ LatencyTracker::onInject(Tick now, NodeId requester, Addr line, bool write)
 void
 LatencyTracker::onHomeArrival(Tick now, NodeId requester, Addr line)
 {
-    if (Open *open = find(requester, line))
-        open->homeArrival = now;
+    bool parent = false;
+    if (Open *open = resolve(requester, line, parent)) {
+        if (parent)
+            open->pArrival = now;
+        else
+            open->homeArrival = now;
+    }
 }
 
 void
 LatencyTracker::onTrap(NodeId requester, Addr line, Tick cycles)
 {
-    if (Open *open = find(requester, line))
-        open->trapCycles += cycles;
+    bool parent = false;
+    if (Open *open = resolve(requester, line, parent)) {
+        if (parent)
+            open->pTrapCycles += cycles;
+        else
+            open->trapCycles += cycles;
+    }
 }
 
 void
 LatencyTracker::onInvStart(Tick now, NodeId requester, Addr line)
 {
-    if (Open *open = find(requester, line))
-        if (!open->invStart)
+    bool parent = false;
+    if (Open *open = resolve(requester, line, parent)) {
+        if (parent) {
+            if (!open->pInvStart)
+                open->pInvStart = now;
+        } else if (!open->invStart) {
             open->invStart = now;
+        }
+    }
 }
 
 void
 LatencyTracker::onInvEnd(Tick now, NodeId requester, Addr line)
 {
-    if (Open *open = find(requester, line))
-        open->invEnd = now;
+    bool parent = false;
+    if (Open *open = resolve(requester, line, parent)) {
+        if (parent)
+            open->pInvEnd = now;
+        else
+            open->invEnd = now;
+    }
 }
 
 void
 LatencyTracker::onReplySent(Tick now, NodeId requester, Addr line)
 {
+    bool parent = false;
+    if (Open *open = resolve(requester, line, parent)) {
+        if (parent)
+            open->pReply = now;
+        else
+            open->replySent = now;
+    }
+}
+
+void
+LatencyTracker::onChipArrival(Tick now, NodeId requester, Addr line)
+{
     if (Open *open = find(requester, line))
-        open->replySent = now;
+        open->chipArrival = now;
+}
+
+void
+LatencyTracker::onParentForward(Tick now, NodeId requester, Addr line,
+                                NodeId chip_node)
+{
+    if (Open *open = find(requester, line)) {
+        open->parentForward = now;
+        _aliases[key(chip_node, line)] = key(requester, line);
+    }
+}
+
+void
+LatencyTracker::onParentConsumed(Tick now, NodeId chip_node, Addr line)
+{
+    auto a = _aliases.find(key(chip_node, line));
+    if (a == _aliases.end())
+        return;
+    auto it = _open.find(a->second);
+    if (it != _open.end() && it->second.pReply && now > it->second.pReply)
+        it->second.pReplyNet += now - it->second.pReply;
+    _aliases.erase(a);
 }
 
 void
@@ -80,41 +162,88 @@ LatencyTracker::onComplete(Tick now, NodeId requester, Addr line)
     _open.erase(it);
 
     const double total = static_cast<double>(now - open.inject);
+    const bool hier = open.chipArrival || open.parentForward;
 
     // Raw phase windows from the stamps. Any stamp the transaction never
     // hit (e.g. no invalidations) contributes zero.
     double reqNet = 0.0;
-    if (open.homeArrival > open.inject)
+    if (hier) {
+        // Both request legs: requester -> chip home, and (when the miss
+        // crossed the chip boundary) chip home -> global home.
+        if (open.chipArrival > open.inject)
+            reqNet = static_cast<double>(open.chipArrival - open.inject);
+        if (open.parentForward && open.pArrival > open.parentForward)
+            reqNet +=
+                static_cast<double>(open.pArrival - open.parentForward);
+    } else if (open.homeArrival > open.inject) {
         reqNet = static_cast<double>(open.homeArrival - open.inject);
+    }
 
     double inv = 0.0;
     if (open.invEnd > open.invStart && open.invStart)
         inv = static_cast<double>(open.invEnd - open.invStart);
 
-    double trap = static_cast<double>(open.trapCycles);
+    double interChipInv = 0.0;
+    if (open.pInvEnd > open.pInvStart && open.pInvStart)
+        interChipInv = static_cast<double>(open.pInvEnd - open.pInvStart);
+
+    double trap =
+        static_cast<double>(open.trapCycles + open.pTrapCycles);
 
     double replyNet = 0.0;
     if (open.replySent && now > open.replySent)
         replyNet = static_cast<double>(now - open.replySent);
+    replyNet += static_cast<double>(open.pReplyNet);
 
-    // Home time is the residual, so the five phases sum to the total by
+    // The global home's occupancy is the window between its stamps with
+    // its inter-chip fan-out and trap charges carved out; the chip home
+    // takes the residual so the phases still sum to the total by
+    // construction.
+    double globalHome = 0.0;
+    if (hier && open.pReply && open.pArrival &&
+        open.pReply > open.pArrival) {
+        globalHome = static_cast<double>(open.pReply - open.pArrival) -
+                     interChipInv - static_cast<double>(open.pTrapCycles);
+        if (globalHome < 0.0)
+            globalHome = 0.0;
+    }
+
+    // Home time is the residual, so the phases sum to the total by
     // construction. Windows can overlap (a trap charge delays the reply
     // launch; an invalidation fan-out may span the trap), which would
     // drive the residual negative — fold any deficit back through the
     // softer windows in order so every phase stays non-negative.
-    double home = total - reqNet - trap - inv - replyNet;
-    if (home < 0.0) {
-        double deficit = -home;
-        home = 0.0;
-        const auto bleed = [&deficit](double &phase) {
+    double chipHome = 0.0;
+    double home = 0.0;
+    const auto bleedAll = [](double deficit, double *phases[],
+                             std::size_t n) {
+        for (std::size_t i = 0; i < n && deficit > 0.0; ++i) {
+            double &phase = *phases[i];
             const double take = phase < deficit ? phase : deficit;
             phase -= take;
             deficit -= take;
-        };
-        bleed(inv);
-        bleed(trap);
-        bleed(replyNet);
-        bleed(reqNet);
+        }
+    };
+    if (hier) {
+        chipHome = total - reqNet - globalHome - interChipInv - trap -
+                   inv - replyNet;
+        if (chipHome < 0.0) {
+            double *order[] = {&inv, &interChipInv, &trap, &globalHome,
+                               &replyNet, &reqNet};
+            bleedAll(-chipHome, order, 6);
+            chipHome = 0.0;
+        }
+        // Legacy five-phase view: home folds both levels, inv folds the
+        // inter-chip fan-out, keeping the sum invariant intact.
+        home = chipHome + globalHome;
+        inv += interChipInv;
+    } else {
+        home = total - reqNet - trap - inv - replyNet;
+        if (home < 0.0) {
+            double *order[] = {&inv, &trap, &replyNet, &reqNet};
+            bleedAll(-home, order, 4);
+            home = 0.0;
+        }
     }
 
     _completed += 1;
@@ -124,6 +253,9 @@ LatencyTracker::onComplete(Tick now, NodeId requester, Addr line)
     _sumInv += inv;
     _sumReplyNet += replyNet;
     _sumTotal += total;
+    _sumChipHome += chipHome;
+    _sumGlobalHome += globalHome;
+    _sumInterChipInv += interChipInv;
 
     if (_sink) {
         PhaseSample sample;
@@ -156,6 +288,9 @@ LatencyTracker::snapshot() const
     phases.inv = _sumInv / n;
     phases.replyNet = _sumReplyNet / n;
     phases.total = _sumTotal / n;
+    phases.chipHome = _sumChipHome / n;
+    phases.globalHome = _sumGlobalHome / n;
+    phases.interChipInv = _sumInterChipInv / n;
     return phases;
 }
 

@@ -43,6 +43,14 @@ struct PhaseBreakdown
     double replyNet = 0.0; ///< reply network
     double total = 0.0;    ///< end-to-end (== sum of the five phases)
 
+    /** Two-level (--hier) sub-components: `home` folds chipHome +
+     *  globalHome and `inv` folds interChipInv, so the five-phase sum
+     *  invariant is unchanged; these break the hierarchical shares out.
+     *  All zero in flat mode. */
+    double chipHome = 0.0;     ///< per-chip home controller residual
+    double globalHome = 0.0;   ///< inter-chip (global) home occupancy
+    double interChipInv = 0.0; ///< one-INV-per-chip fan-out window
+
     double sum() const { return reqNet + home + trap + inv + replyNet; }
 };
 
@@ -79,6 +87,28 @@ class LatencyTracker
     /** Home controller started servicing the request (re-stamped on
      *  BUSY-retry / deferral replay; earlier rounds land in req_net). */
     void onHomeArrival(Tick now, NodeId requester, Addr line);
+
+    /** @name Two-level (--hier) hooks, called by the chip home only.
+     *
+     * The global home knows hierarchical requests by the chip home's
+     * node id, not the original requester's, so onParentForward
+     * registers an alias (chip node, line) -> (requester, line); while
+     * it is live, the global home's ordinary stamps above resolve
+     * through it into the parent-side fields of the requester's record.
+     * The chip home drops the alias (onParentConsumed) before granting
+     * locally, so its own reply stamp lands in the flat field even when
+     * the requester happens to be the chip-home node itself. Flat runs
+     * never register an alias and the hooks cost nothing. */
+    /// @{
+    /** Chip home started servicing a local request. */
+    void onChipArrival(Tick now, NodeId requester, Addr line);
+    /** Chip home forwarded the miss to the global home on behalf of
+     *  @p requester (re-stamped on BUSY-retry toward the parent). */
+    void onParentForward(Tick now, NodeId requester, Addr line,
+                         NodeId chip_node);
+    /** Chip home consumed the global home's reply; closes the alias. */
+    void onParentConsumed(Tick now, NodeId chip_node, Addr line);
+    /// @}
 
     /** Software-trap cycles charged while servicing this request. */
     void onTrap(NodeId requester, Addr line, Tick cycles);
@@ -124,6 +154,17 @@ class LatencyTracker
         Tick replySent = 0;
         Tick trapCycles = 0;
         bool write = false;
+        /** Two-level stamps (all zero for flat transactions). The
+         *  p-prefixed fields are the global home's stamps, routed here
+         *  through the alias registered by onParentForward. */
+        Tick chipArrival = 0;
+        Tick parentForward = 0;
+        Tick pArrival = 0;
+        Tick pInvStart = 0;
+        Tick pInvEnd = 0;
+        Tick pReply = 0;
+        Tick pTrapCycles = 0;
+        Tick pReplyNet = 0; ///< accumulated parent->chip reply legs
     };
 
     static std::uint64_t
@@ -133,8 +174,14 @@ class LatencyTracker
     }
 
     Open *find(NodeId requester, Addr line);
+    /** The record a parent-side stamp belongs to: the live alias for
+     *  (node, line) if one exists, else the direct record. Sets
+     *  @p parent_side when the alias resolved. */
+    Open *resolve(NodeId node, Addr line, bool &parent_side);
 
     std::unordered_map<std::uint64_t, Open> _open;
+    /** (chip node, line) key -> open-record key (see onParentForward). */
+    std::unordered_map<std::uint64_t, std::uint64_t> _aliases;
     std::function<void(const PhaseSample &)> _sink;
 
     std::uint64_t _completed = 0;
@@ -144,6 +191,9 @@ class LatencyTracker
     double _sumInv = 0.0;
     double _sumReplyNet = 0.0;
     double _sumTotal = 0.0;
+    double _sumChipHome = 0.0;
+    double _sumGlobalHome = 0.0;
+    double _sumInterChipInv = 0.0;
 };
 
 } // namespace limitless

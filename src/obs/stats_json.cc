@@ -6,7 +6,7 @@ namespace limitless
 {
 
 void
-phasesJson(std::ostream &os, const PhaseBreakdown &phases)
+phasesJson(std::ostream &os, const PhaseBreakdown &phases, bool hier)
 {
     // Full round-trip precision: consumers check that the phases sum to
     // the total, which 6-significant-digit default formatting breaks.
@@ -16,7 +16,13 @@ phasesJson(std::ostream &os, const PhaseBreakdown &phases)
        << ",\"req_net\":" << phases.reqNet << ",\"home\":" << phases.home
        << ",\"trap\":" << phases.trap << ",\"inv\":" << phases.inv
        << ",\"reply_net\":" << phases.replyNet
-       << ",\"total\":" << phases.total << "}";
+       << ",\"total\":" << phases.total;
+    if (hier) {
+        os << ",\"chip_home\":" << phases.chipHome
+           << ",\"global_home\":" << phases.globalHome
+           << ",\"inter_chip_inv\":" << phases.interChipInv;
+    }
+    os << "}";
     os.precision(prec);
 }
 

@@ -20,8 +20,15 @@ namespace limitless
  * {"count":N,"req_net":..,"home":..,"trap":..,"inv":..,
  *  "reply_net":..,"total":..}
  * The five phase means sum to "total" by construction.
+ *
+ * With @p hier set (two-level machines only — the flat document is
+ * byte-stable), three keys are appended splitting the legacy view:
+ * "chip_home" + "global_home" sum to "home", and "inter_chip_inv" is
+ * the portion of "inv" spent in the global home's one-INV-per-chip
+ * fan-out (schema limitless-stats-v1; see docs/OBSERVABILITY.md).
  */
-void phasesJson(std::ostream &os, const PhaseBreakdown &phases);
+void phasesJson(std::ostream &os, const PhaseBreakdown &phases,
+                bool hier = false);
 
 } // namespace limitless
 

@@ -14,6 +14,7 @@ tableSideName(TableSide side)
     switch (side) {
       case TableSide::home: return "home";
       case TableSide::cache: return "cache";
+      case TableSide::chip: return "chip";
     }
     return "?";
 }

@@ -29,6 +29,7 @@ enum class TableSide : std::uint8_t
 {
     home,  ///< memory-side (directory) controller
     cache, ///< cache-side controller
+    chip,  ///< per-chip home controller (two-level mode, src/hier/)
 };
 
 const char *tableSideName(TableSide side);

@@ -1,5 +1,6 @@
 #include "workload/random_stress.hh"
 
+#include "hier/chip_home.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -72,6 +73,17 @@ RandomStress::verify(Machine &m) const
                 v = cl->words[amap.wordOf(a)];
                 dirty = true;
             }
+        }
+        // Two-level machines: a chip home may hold the line dirty (it is
+        // the exclusive owner at the global level) with only clean local
+        // readers — the freshest value then lives in the chip's copy, not
+        // in memory.
+        for (unsigned p = 0; p < procs && !dirty; ++p) {
+            const ChipHomeController *chip = m.node(p).chipHome();
+            if (!chip || !chip->lineDirty(line))
+                continue;
+            v = (*chip->lineData(line))[amap.wordOf(a)];
+            dirty = true;
         }
         if (!dirty)
             v = m.node(amap.homeOf(a)).mem().readLine(line)[amap.wordOf(a)];

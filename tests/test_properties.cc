@@ -13,6 +13,7 @@
 
 #include "harness/experiment.hh"
 #include "machine/coherence_monitor.hh"
+#include "obs/flight_recorder.hh"
 #include "workload/random_stress.hh"
 
 namespace limitless
@@ -26,6 +27,8 @@ struct PropertyCase
     unsigned nodes;
     std::uint64_t seed;
     NetworkKind net;
+    unsigned cluster = 1; ///< nodes per chip (cluster-interleaved homes)
+    bool hier = false;    ///< two-level directory mode
 };
 
 std::string
@@ -35,6 +38,10 @@ caseName(const testing::TestParamInfo<PropertyCase> &info)
     os << info.param.proto.name() << "_" << info.param.nodes << "n_s"
        << info.param.seed
        << (info.param.net == NetworkKind::mesh ? "_mesh" : "_ideal");
+    if (info.param.cluster > 1)
+        os << "_c" << info.param.cluster;
+    if (info.param.hier)
+        os << "_hier";
     std::string s = os.str();
     for (char &c : s)
         if (!isalnum(static_cast<unsigned char>(c)))
@@ -54,6 +61,8 @@ TEST_P(ProtocolProperty, RandomStressMaintainsCoherence)
     cfg.protocol = pc.proto;
     cfg.network = pc.net;
     cfg.seed = pc.seed;
+    cfg.topology.clusterSize = pc.cluster;
+    cfg.hier = pc.hier;
     // Small cache so replacements (REPM/REPC, spurious INVs) happen.
     cfg.cache.cacheBytes = 16 * 16;
 
@@ -112,6 +121,17 @@ makeCases()
                                  NetworkKind::ideal});
     cases.push_back(PropertyCase{protocols::fullMap(), 2, 5,
                                  NetworkKind::mesh});
+    // Two-level (hier) machines: four 4-node chips, replacements and
+    // recalls hammering the chip-home FSM under every scheme. The
+    // limitless configs overflow at both levels (1-2 pointers).
+    for (const auto &proto :
+         {protocols::fullMap(), protocols::dirNB(2),
+          protocols::limitlessStall(1, 25), protocols::limitlessEmulated(2),
+          protocols::chained()})
+        cases.push_back(PropertyCase{proto, 16, 17, NetworkKind::mesh,
+                                     4, true});
+    cases.push_back(PropertyCase{protocols::limitlessStall(2, 50), 16, 23,
+                                 NetworkKind::ideal, 8, true});
     return cases;
 }
 
@@ -153,6 +173,59 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return s;
     });
+
+// ------------------------------------- Hier degenerate-shape equivalence
+
+/** Run RandomStress on @p cfg and return the full stats-JSON document
+ *  (host block omitted — it would carry wall-clock noise). */
+std::string
+statsJsonFor(MachineConfig cfg, std::uint64_t seed)
+{
+    FlightRecorder::instance().latency().reset();
+    Machine m(cfg);
+    RandomStressParams rp;
+    rp.opsPerProc = 90;
+    rp.seed = seed;
+    RandomStress wl(rp);
+    wl.install(m);
+    const RunResult r = m.run();
+    EXPECT_TRUE(r.completed);
+    wl.verify(m);
+    CoherenceMonitor(m).checkQuiescent();
+    std::ostringstream os;
+    m.dumpStatsJson(os, r.cycles, nullptr);
+    return os.str();
+}
+
+TEST(HierDegenerate, ClusterOfOneIsByteIdenticalToFlat)
+{
+    // hier with a 1-node cluster has no chips to delegate to: the
+    // machine must degenerate to the flat directory — same routing,
+    // same timing, byte-identical stats (including the absence of every
+    // hier-gated JSON field). The CLI rejects this shape up front; the
+    // config-level contract is what keeps flat runs bit-stable.
+    MachineConfig flat;
+    flat.numNodes = 16;
+    flat.protocol = protocols::limitlessStall(2, 50);
+    flat.seed = 31;
+    MachineConfig degenerate = flat;
+    degenerate.hier = true;
+    EXPECT_EQ(statsJsonFor(flat, 99), statsJsonFor(degenerate, 99));
+}
+
+TEST(HierDegenerate, PrivateOnlyIgnoresHier)
+{
+    // Private-only has no read sharing to delegate: --hier with real
+    // chips still degenerates to the flat machine.
+    MachineConfig flat;
+    flat.numNodes = 16;
+    flat.protocol.kind = ProtocolKind::privateOnly;
+    flat.topology.clusterSize = 4;
+    flat.seed = 31;
+    MachineConfig hier = flat;
+    hier.hier = true;
+    EXPECT_EQ(statsJsonFor(flat, 99), statsJsonFor(hier, 99));
+}
 
 // ----------------------------------- Cross-protocol result equivalence
 

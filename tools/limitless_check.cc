@@ -59,6 +59,8 @@ usage()
         "(default mesh)\n"
         "  --cluster <n>            nodes per chip for the home mapping "
         "(default 1)\n"
+        "  --hier                   two-level directories (needs "
+        "--cluster >= 2)\n"
         "  --ops <n>                ops per node (0 = script's natural "
         "length)\n"
         "  --max-states <n>         state cap (default 200000)\n"
@@ -167,7 +169,7 @@ main(int argc, char **argv)
         {"budget-ms", true}, {"flip-guard", true}, {"trace-out", true},
         {"replay", true},    {"coverage", true}, {"json", false},
         {"quiet", false},    {"help", false},    {"jobs", true},
-        {"topology", true},  {"cluster", true},
+        {"topology", true},  {"cluster", true},  {"hier", false},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help")) {
@@ -226,7 +228,15 @@ main(int argc, char **argv)
                 static_cast<unsigned>(opts.num("cluster", 1));
             if (!cfg.topology.clusterSize ||
                 cfg.nodes % cfg.topology.clusterSize)
-                fatal("--cluster must divide --nodes");
+                fatal("--cluster %u must divide --nodes %u evenly",
+                      cfg.topology.clusterSize, cfg.nodes);
+        }
+        if (opts.has("hier")) {
+            if (cfg.topology.clusterSize < 2)
+                fatal("--hier needs chips of at least 2 nodes: pass "
+                      "--cluster <n> with n >= 2 (got cluster size %u)",
+                      cfg.topology.clusterSize);
+            cfg.hier = true;
         }
         configs.push_back(cfg);
     } else {
@@ -313,6 +323,35 @@ main(int argc, char **argv)
             cfg.topology.height = 2;
             cfg.topology.clusterSize = 2;
             configs.push_back(cfg);
+        }
+        // Two-chip two-level configs: the same 2x2 torus of two 2-node
+        // chips with --hier, exploring every interleaving of the
+        // chip-home FSM against the unmodified global tables — both
+        // levels run LimitLESS software spill in the limitless1 config
+        // (1 pointer at each level). The rmw config adds the chip-level
+        // write-gather / local-recall rows on top of the read path.
+        {
+            auto hierConfig = [](ProtocolParams p) {
+                CheckConfig cfg;
+                cfg.protocol = p;
+                cfg.script = "smoke";
+                cfg.nodes = 4;
+                cfg.topology.kind = TopologyKind::torus;
+                cfg.topology.width = 2;
+                cfg.topology.height = 2;
+                cfg.topology.clusterSize = 2;
+                cfg.hier = true;
+                return cfg;
+            };
+            configs.push_back(hierConfig(protocols::fullMap()));
+            configs.push_back(hierConfig(protocols::dirNB(1)));
+            configs.push_back(
+                hierConfig(protocols::limitlessStall(1, 8)));
+            configs.push_back(hierConfig(protocols::chained()));
+            CheckConfig rmw =
+                hierConfig(protocols::limitlessStall(1, 8));
+            rmw.script = "rmw";
+            configs.push_back(rmw);
         }
     }
 

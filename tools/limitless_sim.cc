@@ -24,6 +24,7 @@
 #include "check/trace_io.hh"
 #include "harness/cli.hh"
 #include "machine/coherence_monitor.hh"
+#include "mem/home/hier_home.hh"
 #include "obs/flight_recorder.hh"
 #include "proto/protocol_table.hh"
 #include "sim/log.hh"
@@ -63,6 +64,10 @@ usage()
         "(default mesh)\n"
         "  --cluster <n>          nodes per chip: cluster-interleaved "
         "home mapping\n"
+        "  --hier                 two-level directories: per-chip homes "
+        "under the\n"
+        "                         inter-chip directory (requires "
+        "--cluster >= 2)\n"
         "  --memory-model <sc|weak>\n"
         "  --seed <n>             RNG seed (default 1)\n"
         "  --capture-trace <file> record the run as a post-mortem trace\n"
@@ -92,6 +97,9 @@ usage()
         "                         a .json sidecar is written alongside)\n"
         "  --dump-protocol-table  print every scheme's transition tables "
         "and exit\n"
+        "  --dump-hier-table      print the chip-side (two-level) "
+        "transition tables\n"
+        "                         and exit\n"
         "  --log <tag>            enable debug logging (mem, cache, net, "
         "handler, all)\n"
         "  --help\n";
@@ -117,6 +125,7 @@ main(int argc, char **argv)
         {"metrics-interval", true}, {"metrics-out", true},
         {"txn-trace-out", true}, {"txn-top", true},
         {"topology", true},      {"cluster", true},
+        {"hier", false},         {"dump-hier-table", false},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -125,6 +134,13 @@ main(int argc, char **argv)
     }
     if (opts.has("dump-protocol-table")) {
         registerAllProtocolTables();
+        ProtocolTableRegistry::instance().dump(std::cout);
+        return 0;
+    }
+    if (opts.has("dump-hier-table")) {
+        // Chip-side tables only: the flat dump's golden file stays
+        // untouched by the two-level mode.
+        registerAllHierTables();
         ProtocolTableRegistry::instance().dump(std::cout);
         return 0;
     }
@@ -165,7 +181,15 @@ main(int argc, char **argv)
             static_cast<unsigned>(opts.num("cluster", 1));
         if (!cfg.topology.clusterSize ||
             cfg.numNodes % cfg.topology.clusterSize)
-            fatal("--cluster must divide --nodes");
+            fatal("--cluster %u must divide --nodes %u evenly",
+                  cfg.topology.clusterSize, cfg.numNodes);
+    }
+    if (opts.has("hier")) {
+        if (cfg.topology.clusterSize < 2)
+            fatal("--hier needs chips of at least 2 nodes: pass "
+                  "--cluster <n> with n >= 2 (got cluster size %u)",
+                  cfg.topology.clusterSize);
+        cfg.hier = true;
     }
     if (opts.str("memory-model", "sc") == "weak")
         cfg.proc.memoryModel = MemoryModel::weak;
@@ -265,6 +289,24 @@ main(int argc, char **argv)
               << machine.sumCounter("mem", "read_traps") << " read, "
               << machine.sumCounter("mem", "write_traps")
               << " write (m = " << machine.overflowFraction() << ")\n";
+    if (machine.addressMap().hier()) {
+        const std::uint64_t creq = machine.sumCounter("chip", "rreq") +
+                                   machine.sumCounter("chip", "wreq");
+        const std::uint64_t ctraps =
+            machine.sumCounter("chip", "read_traps") +
+            machine.sumCounter("chip", "write_traps");
+        std::cout << "chip level:        " << creq << " requests, "
+                  << machine.sumCounter("chip", "local_grants")
+                  << " local grants, "
+                  << machine.sumCounter("chip", "parent_reqs")
+                  << " to global home\n"
+                  << "chip traps:        "
+                  << machine.sumCounter("chip", "read_traps") << " read, "
+                  << machine.sumCounter("chip", "write_traps")
+                  << " write (chip m = "
+                  << (creq ? static_cast<double>(ctraps) / creq : 0.0)
+                  << ")\n";
+    }
 
     const PhaseBreakdown phases = fr.latency().snapshot();
     if (phases.completed) {
@@ -274,6 +316,12 @@ main(int argc, char **argv)
                   << " + reply_net " << phases.replyNet << " = "
                   << phases.total << " cycles over " << phases.completed
                   << " misses\n";
+        if (machine.addressMap().hier())
+            std::cout << "  two-level split: chip_home "
+                      << phases.chipHome << " + global_home "
+                      << phases.globalHome << " (of home), "
+                      << "inter_chip_inv " << phases.interChipInv
+                      << " (of inv)\n";
     }
 
     if (opts.has("trace-out"))
