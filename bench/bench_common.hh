@@ -324,6 +324,10 @@ writeBenchJson(const std::string &name, const ResultTable &table)
                 << ", \"phase_quantiles\": ";
             r.txnQuantiles.writeJson(out);
         }
+        // Parallel-kernel rows only (cfg.simThreads > 1): serial rows
+        // omit the key so existing BENCH files stay byte-identical.
+        if (r.simThreads)
+            out << ", \"sim_threads\": " << r.simThreads;
         out << "}";
     }
     out << "\n  ]\n}\n";

@@ -30,12 +30,14 @@ struct Row
     double eventsPerSec = 0.0;
     std::uint64_t packetAllocs = 0;   ///< fresh Packet heap allocations
     std::uint64_t packetRecycles = 0; ///< frames served from the pool
+    unsigned simThreads = 0; ///< parallel-kernel rows only (0 = omitted)
 };
 
 Row
 measure(const std::string &label, const ProtocolParams &proto,
         unsigned nodes = 0, TopologyParams topo = {},
-        unsigned iterations = 0, bool hier = false)
+        unsigned iterations = 0, bool hier = false,
+        unsigned sim_threads = 1)
 {
     WeatherParams wp = weatherFigureParams();
     if (iterations)
@@ -46,6 +48,7 @@ measure(const std::string &label, const ProtocolParams &proto,
         cfg.topology = topo;
     }
     cfg.hier = hier;
+    cfg.simThreads = sim_threads;
 
     const std::uint64_t alloc0 = PacketPool::local().freshAllocs();
     const std::uint64_t recyc0 = PacketPool::local().recycled();
@@ -149,6 +152,48 @@ main()
         rows.push_back(std::move(row));
     }
 
+    // Parallel-kernel sweep: the same limitless4 weather measurement
+    // under the conservative window-parallel kernel. Simulated cycles
+    // are bit-identical across the thread column by construction (the
+    // property suite asserts it); only events/sec may move. On a
+    // single-core host the barrier lockstep makes threads > 1 slower,
+    // which is expected — the rows exist so multi-core CI tracks the
+    // scaling curve.
+    struct ParallelPoint
+    {
+        unsigned nodes;
+        TopologyKind kind;
+    };
+    const ParallelPoint parallel_points[] = {
+        {64, TopologyKind::mesh},    {64, TopologyKind::torus},
+        {256, TopologyKind::mesh},   {256, TopologyKind::torus},
+        {1024, TopologyKind::mesh},  {1024, TopologyKind::torus},
+    };
+    std::cout << "\n  parallel-kernel rows (weather, 3 iterations, "
+                 "limitless4):\n";
+    for (const ParallelPoint &p : parallel_points) {
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            TopologyParams topo;
+            topo.kind = p.kind;
+            std::ostringstream label;
+            label << "limitless4-" << p.nodes
+                  << (p.kind == TopologyKind::torus ? "-torus" : "")
+                  << "-t" << threads;
+            Row row = measure(label.str(),
+                              protocols::limitlessStall(4, 50), p.nodes,
+                              topo, /*iterations=*/3, /*hier=*/false,
+                              threads);
+            row.simThreads = threads;
+            std::cout << "  " << std::left << std::setw(26) << row.label
+                      << std::right << std::setw(12) << row.cycles
+                      << std::setw(12) << row.events << std::setw(10)
+                      << std::fixed << std::setprecision(2)
+                      << row.hostSeconds << std::setw(10)
+                      << row.eventsPerSec / 1e6 << "\n";
+            rows.push_back(std::move(row));
+        }
+    }
+
     const std::string path = "BENCH_sim_throughput.json";
     std::ofstream out(path);
     if (!out) {
@@ -166,7 +211,12 @@ main()
             << r.events << ", \"host_seconds\": " << r.hostSeconds
             << ", \"events_per_sec\": " << r.eventsPerSec
             << ", \"packet_allocs\": " << r.packetAllocs
-            << ", \"packet_recycles\": " << r.packetRecycles << "}";
+            << ", \"packet_recycles\": " << r.packetRecycles;
+        // Additive schema: only the parallel-kernel sweep rows carry the
+        // thread count, so every pre-existing row stays byte-identical.
+        if (r.simThreads)
+            out << ", \"sim_threads\": " << r.simThreads;
+        out << "}";
     }
     out << "\n  ]\n}\n";
     std::cout << "\njson: " << path << "\n";

@@ -164,6 +164,59 @@ main(int argc, char **argv)
                   << std::setprecision(4) << o.overflowFraction << "\n";
         table.add(o);
     }
+
+    // Parallel-kernel rows: the 64- and 256-node torus cells again under
+    // the conservative window-parallel kernel at 1, 2 and 4 partitions.
+    // Simulated cycles must be bit-identical down the thread column
+    // (asserted here, not just in the test suite); only host wall time
+    // may move. On a single-core host threads > 1 are slower by design —
+    // the rows exist so multi-core CI tracks the scaling curve.
+    struct ParallelPoint
+    {
+        unsigned nodes;
+        unsigned threads;
+    };
+    const ParallelPoint parallel_points[] = {
+        {64, 1},  {64, 2},  {64, 4},
+        {256, 1}, {256, 2}, {256, 4},
+    };
+    const ParallelRunner::Task<ExperimentOutcome> parallel_cell =
+        [&](std::size_t idx, std::ostream &) {
+            const ParallelPoint &p = parallel_points[idx];
+            MachineConfig cfg = alewife64(protocols::limitlessStall(4, 50));
+            cfg.numNodes = p.nodes;
+            cfg.topology.kind = TopologyKind::torus;
+            cfg.simThreads = p.threads;
+            std::ostringstream label;
+            label << "limitless4-" << p.nodes << "-torus-t" << p.threads;
+            return runExperiment(cfg, [&] {
+                return std::make_unique<Weather>(hier_wp);
+            }, label.str());
+        };
+    // Serial fan-out: the cells themselves are (potentially) threaded.
+    const std::vector<ExperimentOutcome> parallel_outs =
+        ParallelRunner(1).map<ExperimentOutcome>(
+            std::size(parallel_points), parallel_cell, std::cout);
+    std::cout << "\n  parallel kernel (weather, 6 iterations, torus):\n  "
+              << std::left << std::setw(24) << "config" << std::right
+              << std::setw(12) << "cycles" << "\n";
+    for (std::size_t i = 0; i < parallel_outs.size(); ++i) {
+        const ExperimentOutcome &o = parallel_outs[i];
+        std::cout << "  " << std::left << std::setw(24) << o.label
+                  << std::right << std::setw(12) << o.cycles << "\n";
+        // The kernel's contract: thread count never changes simulated
+        // behavior. Compare each row to its size's t1 baseline.
+        const Tick base = parallel_outs[(i / 3) * 3].cycles;
+        if (o.cycles != base)
+            fatal("parallel kernel diverged: %s ran %llu cycles, "
+                  "t1 baseline %llu",
+                  o.label.c_str(),
+                  static_cast<unsigned long long>(o.cycles),
+                  static_cast<unsigned long long>(base));
+        ExperimentOutcome labeled = o;
+        labeled.simThreads = parallel_points[i].threads;
+        table.add(labeled);
+    }
     writeBenchJson("scaling_nodes", table);
 
     if (dir_ratio_big > dir_ratio_small * 1.3 && ll_worst < 1.15) {

@@ -50,6 +50,8 @@ runExperiment(const MachineConfig &cfg,
         if (const Stat *s = net->find("packets"))
             out.networkPackets = static_cast<const Counter *>(s)->value();
     out.phases = FlightRecorder::instance().latency().snapshot();
+    if (cfg.simThreads > 1)
+        out.simThreads = cfg.simThreads;
     const TxnTracer &txn = FlightRecorder::instance().txn();
     if (txn.enabled()) {
         if (!cfg.txnTraceOut.empty())

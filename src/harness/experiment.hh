@@ -58,6 +58,11 @@ struct ExperimentOutcome
 
     /** Remote transactions the tracer completed (tracer on only). */
     std::uint64_t txnCompleted = 0;
+
+    /** Parallel-kernel thread count the run asked for (cfg.simThreads
+     *  when > 1); 0 for serial runs so the JSON key is omitted and
+     *  pre-existing bench rows stay byte-identical. */
+    unsigned simThreads = 0;
 };
 
 using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;

@@ -10,6 +10,8 @@
 #include <string>
 #include <thread>
 
+#include <iostream>
+
 #include "proto/protocol_table.hh"
 #include "sim/log.hh"
 
@@ -18,10 +20,17 @@ namespace limitless
 
 ParallelRunner::ParallelRunner(unsigned jobs) : _jobs(jobs)
 {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
     if (_jobs == 0) {
-        _jobs = std::thread::hardware_concurrency();
-        if (_jobs == 0)
-            _jobs = 1;
+        _jobs = hw;
+    } else if (_jobs > hw) {
+        // Oversubscribing simulation threads only adds context-switch
+        // overhead; clamp and say so once rather than silently thrash.
+        std::cerr << "parallel-runner: clamping --jobs " << _jobs
+                  << " to " << hw << " hardware threads\n";
+        _jobs = hw;
     }
 }
 

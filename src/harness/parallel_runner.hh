@@ -35,7 +35,9 @@ namespace limitless
 class ParallelRunner
 {
   public:
-    /** @param jobs worker count; 0 means "one per hardware thread". */
+    /** @param jobs worker count; 0 means "one per hardware thread".
+     *  Values above the hardware thread count clamp to it (with a
+     *  one-line warning on stderr) — oversubscription only thrashes. */
     explicit ParallelRunner(unsigned jobs);
 
     unsigned jobs() const { return _jobs; }

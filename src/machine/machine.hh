@@ -54,6 +54,10 @@ class Machine
 
     const MachineConfig &config() const { return _cfg; }
     EventQueue &eventQueue() { return _eq; }
+
+    /** Spatial partition count the machine was built with (1 = serial
+     *  kernel). cfg.simThreads clamped to the partitionable units. */
+    unsigned numPartitions() const { return _numParts; }
     const AddressMap &addressMap() const { return _amap; }
     const Topology &topology() const { return *_topo; }
     unsigned numNodes() const { return _cfg.numNodes; }
@@ -125,14 +129,29 @@ class Machine
 
   private:
     void setupTelemetry();
+    /** Window-parallel run loop (cfg.simThreads > 1). Simulated behavior
+     *  is bit-identical to the serial run(); see sim/parallel_kernel.hh. */
+    RunResult runParallel(Tick max_cycles);
     MachineConfig _cfg;
     EventQueue _eq;
     std::shared_ptr<const Topology> _topo;
     AddressMap _amap;
     CoherencePolicy _policy;
     std::unique_ptr<Network> _net;
+    /** Parallel-kernel partitioning (numParts == 1 leaves these empty
+     *  except _partQueues[0] == &_eq). Queues must outlive the nodes
+     *  scheduling on them, so they are declared first. */
+    unsigned _numParts = 1;
+    std::vector<unsigned> _partOf;                      ///< node -> partition
+    std::vector<std::unique_ptr<EventQueue>> _workerQueues;
+    std::vector<EventQueue *> _partQueues;              ///< [0] == &_eq
     std::vector<std::unique_ptr<Node>> _nodes;
     std::unique_ptr<Telemetry> _telemetry;
+    /** The shared producer-side histogram sinks registered by
+     *  setupTelemetry (null when telemetry is off); runParallel swaps in
+     *  per-partition shadows and merges them back here. */
+    class Log2Histogram *_wsSink = nullptr;
+    class Log2Histogram *_svcSink = nullptr;
     unsigned _spawned = 0;
 };
 

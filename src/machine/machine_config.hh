@@ -102,6 +102,18 @@ struct MachineConfig
     /** Watchdog: abort if no thread completes an op for this long. */
     Tick watchdogCycles = 4'000'000;
 
+    /**
+     * Intra-run parallelism: shard the machine's nodes into this many
+     * spatial partitions, each driven by its own event queue, and run
+     * the partitions on worker threads under the conservative windowed
+     * kernel (src/sim/parallel_kernel.hh). 1 (the default) is the
+     * serial kernel, byte-identical to every prior release; any other
+     * value produces the same simulated behaviour — stats, telemetry,
+     * figure outputs — bit-identically, just faster. Clamped to
+     * numNodes (and to the cluster count under --hier).
+     */
+    unsigned simThreads = 1;
+
     /** Resolved grid width (workload neighbor math, summaries). */
     unsigned
     resolvedMeshWidth() const

@@ -134,6 +134,34 @@ MeshNetwork::send(PacketPtr pkt)
     assert(pkt);
     assert(pkt->src < numNodes() && pkt->dest < numNodes());
     const unsigned flits = flitsForPacket(*pkt);
+    if (_shard) {
+        // Shard mode: the caller is the thread owning src's partition
+        // (node work only runs there), so every touched structure —
+        // src's router, the partition shard, the partition clock — is
+        // single-writer. No tick event is scheduled; the epilogue's
+        // activeDelta fold makes the kernel run the fabric next tick.
+        const unsigned p = _partOf[pkt->src];
+        EventQueue &eq = *_shardQueues[p];
+        FR_RECORD(netEvent(eq.now(), "send", *pkt, pkt->src));
+        Packet *raw = pkt.release();
+        raw->injectTick = eq.now();
+
+        const unsigned local = numPortsOf(raw->src) - 1;
+        FlitFifo &fifo = _inPorts[_portBase[raw->src] + local];
+        for (unsigned i = 0; i < flits; ++i)
+            fifo.push_back(Flit{raw, i == 0, i == flits - 1, raw->dest});
+        Router &router = _routers[raw->src];
+        router.nonEmptyMask |= std::uint16_t{1} << local;
+        router.flits += flits;
+        Shard &sh = _shards[p];
+        if (_telem && router.flits > sh.peak)
+            sh.peak = router.flits;
+        if (router.flits == flits)
+            noteFlitsShard(raw->src, true);
+        sh.activeDelta += flits;
+        sh.flits += flits;
+        return;
+    }
     FR_RECORD(netEvent(_eq.now(), "send", *pkt, pkt->src));
     Packet *raw = pkt.release();
     raw->injectTick = _eq.now();
@@ -166,7 +194,8 @@ MeshNetwork::scheduleTickIfNeeded()
 }
 
 void
-MeshNetwork::planRouter(unsigned r)
+MeshNetwork::planRouter(unsigned r, std::vector<Move> &moves,
+                        std::uint64_t &blocked)
 {
     Router &router = _routers[r];
     const std::uint32_t base = _portBase[r];
@@ -250,12 +279,12 @@ MeshNetwork::planRouter(unsigned r)
                 _portBase[move.toRouter] + move.toPort;
             if (_inPorts[idx].size() + _staged[idx] >=
                 _params.inputFifoFlits) {
-                _statBlockedCycles += 1;
+                blocked += 1;
                 continue; // no credit downstream
             }
             ++_staged[idx];
         }
-        _moves.push_back(move);
+        moves.push_back(move);
     }
 }
 
@@ -310,14 +339,17 @@ MeshNetwork::tick()
     // are members: tick() runs every network cycle and must not allocate.
     _moves.clear();
     std::fill(_staged.begin(), _staged.end(), std::uint8_t{0});
+    std::uint64_t blocked = 0;
     for (std::size_t w = 0; w < _activeRouters.size(); ++w) {
         std::uint64_t bits = _activeRouters[w];
         while (bits) {
             planRouter(static_cast<unsigned>(
-                w * 64 + std::countr_zero(bits)));
+                           w * 64 + std::countr_zero(bits)),
+                       _moves, blocked);
             bits &= bits - 1;
         }
     }
+    _statBlockedCycles += blocked;
     for (const Move &move : _moves)
         applyMove(move);
     scheduleTickIfNeeded();
@@ -347,6 +379,219 @@ MeshNetwork::deliver(Packet *raw)
     static_assert(EventQueue::Callback::fitsInline<decltype(handoff)>,
                   "mesh delivery event must not heap-allocate");
     _eq.schedule(_eq.now(), std::move(handoff), EventPriority::deliver);
+}
+
+// ---------------------------------------------------------------------
+// Shard mode: the fabric as the parallel kernel's cross-partition
+// coupling. Every method below is unreachable unless setShard() ran.
+// ---------------------------------------------------------------------
+
+void
+MeshNetwork::setShard(std::vector<unsigned> part_of,
+                      std::vector<EventQueue *> queues)
+{
+    assert(!_shard && "setShard called twice");
+    assert(part_of.size() == _numNodes);
+    assert(!queues.empty());
+    assert(_activeFlits == 0 && "setShard with flits already in flight");
+    _shard = true;
+    _partOf = std::move(part_of);
+    _shardQueues = std::move(queues);
+    _numParts = static_cast<unsigned>(_shardQueues.size());
+
+    // Partitions must be contiguous ascending router ranges — that is
+    // what makes draining channels in source-partition order equal to
+    // the serial kernel's ascending-fromRouter push order.
+    _partLo.assign(_numParts + 1, 0);
+    _partLo[_numParts] = _numNodes;
+    assert(_partOf[0] == 0 && "partition 0 must start at router 0");
+    for (unsigned r = 1; r < _numNodes; ++r) {
+        assert(_partOf[r] >= _partOf[r - 1] &&
+               _partOf[r] <= _partOf[r - 1] + 1 &&
+               "partitions must be contiguous ascending");
+        if (_partOf[r] != _partOf[r - 1])
+            _partLo[_partOf[r]] = r;
+    }
+    assert(_partOf[_numNodes - 1] == _numParts - 1 &&
+           "every partition must own at least one router");
+
+    _shards = std::vector<Shard>(_numParts);
+    for (Shard &sh : _shards)
+        sh.moves.reserve(32);
+    _chan.assign(std::size_t{_numParts} * _numParts, {});
+    _tickPops.assign(_numNodes, 0);
+}
+
+void
+MeshNetwork::planShard(unsigned p)
+{
+    Shard &sh = _shards[p];
+    sh.moves.clear();
+    const unsigned lo = _partLo[p];
+    const unsigned hi = _partLo[p + 1];
+    // Scan the partition's slice of the active bitmap. The bitmap is
+    // stable during the plan phase (only apply/drain/send flip bits),
+    // so plain reads are safe even on boundary words.
+    for (unsigned w = lo / 64; w <= (hi - 1) / 64; ++w) {
+        std::uint64_t bits = _activeRouters[w];
+        if (w == lo / 64)
+            bits &= ~std::uint64_t{0} << (lo % 64);
+        if (w == (hi - 1) / 64 && hi % 64)
+            bits &= ~(~std::uint64_t{0} << (hi % 64));
+        while (bits) {
+            planRouter(static_cast<unsigned>(
+                           w * 64 + std::countr_zero(bits)),
+                       sh.moves, sh.blocked);
+            bits &= bits - 1;
+        }
+    }
+}
+
+void
+MeshNetwork::applyShard(unsigned p)
+{
+    Shard &sh = _shards[p];
+    for (const Move &move : sh.moves)
+        applyMoveShard(move, p);
+}
+
+void
+MeshNetwork::applyMoveShard(const Move &move, unsigned p)
+{
+    Shard &sh = _shards[p];
+    Router &router = _routers[move.fromRouter];
+    FlitFifo &in = _inPorts[_portBase[move.fromRouter] + move.fromPort];
+    assert(!in.empty());
+    Flit flit = in.front();
+    in.pop_front();
+    if (in.empty())
+        router.nonEmptyMask &= ~(std::uint16_t{1} << move.fromPort);
+    --router.flits;
+    if (!router.flits)
+        noteFlitsShard(move.fromRouter, false);
+    sh.flitHops += 1;
+    if (_telem) {
+        ++_telem->flitHops[move.fromRouter];
+        if (!_tickPops[move.fromRouter]++)
+            sh.poppedRouters.push_back(move.fromRouter);
+    }
+
+    if (move.releaseOwner) {
+        OutputPort &op =
+            _outPorts[_portBase[move.fromRouter] + move.outPort];
+        op.owner = -1;
+        router.ownerMask &= ~(std::uint16_t{1} << move.outPort);
+    }
+
+    if (move.eject) {
+        sh.activeDelta -= 1;
+        if (flit.tail)
+            deliverShard(flit.pkt, p);
+    } else {
+        // Stage the push — even for a same-partition destination, so
+        // the drain phase lands all pushes in the serial order. The
+        // plan-phase credit reservation is consumed here; the slot is
+        // clean for the next window's plan.
+        const std::uint32_t idx = _portBase[move.toRouter] + move.toPort;
+        _staged[idx] = 0;
+        _chan[std::size_t{p} * _numParts + _partOf[move.toRouter]]
+            .push_back(StagedPush{flit, move.toRouter, move.fromRouter,
+                                  static_cast<std::uint8_t>(move.toPort)});
+    }
+}
+
+void
+MeshNetwork::drainShard(unsigned p)
+{
+    Shard &sh = _shards[p];
+    for (unsigned q = 0; q < _numParts; ++q) {
+        std::vector<StagedPush> &ch =
+            _chan[std::size_t{q} * _numParts + p];
+        for (const StagedPush &sp : ch) {
+            const unsigned t = sp.toRouter;
+            _inPorts[_portBase[t] + sp.toPort].push_back(sp.flit);
+            Router &router = _routers[t];
+            router.nonEmptyMask |= std::uint16_t{1} << sp.toPort;
+            ++router.flits;
+            if (router.flits == 1)
+                noteFlitsShard(t, true);
+            if (_telem) {
+                // Exact serial intermediate depth: in the serial apply
+                // order, pushes from routers below t land before t's
+                // own pops (counted in _tickPops by the apply phase),
+                // pushes from above land after.
+                const unsigned depth =
+                    router.flits +
+                    (sp.fromRouter < t ? _tickPops[t] : 0);
+                if (depth > sh.peak)
+                    sh.peak = depth;
+            }
+        }
+        ch.clear();
+    }
+    if (_telem) {
+        for (unsigned r : sh.poppedRouters)
+            _tickPops[r] = 0;
+        sh.poppedRouters.clear();
+    }
+}
+
+void
+MeshNetwork::deliverShard(Packet *raw, unsigned p)
+{
+    Shard &sh = _shards[p];
+    EventQueue &eq = *_shardQueues[p];
+    sh.latency.push_back(static_cast<double>(eq.now() - raw->injectTick));
+    sh.packets += 1;
+
+    PacketPtr owned(raw);
+    FR_RECORD(netEvent(eq.now(), "recv", *owned, owned->dest));
+    Receiver &recv = _receivers.at(owned->dest);
+    if (!recv)
+        panic("mesh network: no receiver at node %u", owned->dest);
+    // Ejection happens at the destination router, which this partition
+    // owns, so the handoff lands on the partition's own queue — in
+    // apply order, which is the serial schedule order restricted to
+    // this partition's routers.
+    Packet *pending = owned.release();
+    auto handoff = [this, pending]() {
+        PacketPtr pp(pending);
+        _receivers.at(pp->dest)(std::move(pp));
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(handoff)>,
+                  "mesh delivery event must not heap-allocate");
+    eq.schedule(eq.now(), std::move(handoff), EventPriority::deliver);
+}
+
+void
+MeshNetwork::coupledEpilogue(Tick window, bool ranCoupled)
+{
+    (void)ranCoupled;
+    // Fold the partition shards, partition-major — which is ascending
+    // router order, i.e. exactly the order the serial kernel would have
+    // produced these updates within the window. Integer counters are
+    // order-free; the latency accumulator (Welford) is not, hence the
+    // ordered replay.
+    for (Shard &sh : _shards) {
+        _statPackets += sh.packets;
+        _statFlits += sh.flits;
+        _statFlitHops += sh.flitHops;
+        _statBlockedCycles += sh.blocked;
+        sh.packets = sh.flits = sh.flitHops = sh.blocked = 0;
+        _activeFlits = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(_activeFlits) + sh.activeDelta);
+        sh.activeDelta = 0;
+        for (const double v : sh.latency)
+            _statLatency.sample(v);
+        sh.latency.clear();
+        if (_telem && sh.peak > _telem->windowPeakDepth)
+            _telem->windowPeakDepth = sh.peak;
+        sh.peak = 0;
+    }
+    // Exactly the serial scheduleTickIfNeeded: while flits are in
+    // flight the fabric clocks every cycle, and a send into an idle
+    // fabric wakes it one clock later.
+    _netNext = _activeFlits ? window + _params.clockPeriod : maxTick;
 }
 
 } // namespace limitless

@@ -26,6 +26,7 @@
 #ifndef LIMITLESS_NETWORK_MESH_NETWORK_HH
 #define LIMITLESS_NETWORK_MESH_NETWORK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "network/network.hh"
 #include "network/topology.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_kernel.hh"
 #include "stats/stats.hh"
 
 namespace limitless
@@ -48,8 +50,22 @@ struct WormholeParams
     Tick clockPeriod = 1;       ///< network cycle in processor cycles
 };
 
-/** Wormhole-routed network over an arbitrary grid Topology. */
-class MeshNetwork : public Network
+/**
+ * Wormhole-routed network over an arbitrary grid Topology.
+ *
+ * The fabric is the one simulation object spanning node partitions, so
+ * it doubles as the parallel kernel's ParallelCoupling: in shard mode
+ * (setShard) the serial per-cycle tick() is replaced by the three
+ * barrier-separated phases planShard / applyShard / drainShard, with
+ * all cross-partition flit movement staged through per-(src,dst)
+ * partition channels and every statistic accumulated into
+ * per-partition shards that the window epilogue folds back — in an
+ * order chosen so the folded values are bit-identical to the serial
+ * kernel's (docs/PERFORMANCE.md lays out the argument). The serial
+ * path is never touched by shard-mode code: with setShard never
+ * called, behaviour is byte-identical to previous releases.
+ */
+class MeshNetwork : public Network, public ParallelCoupling
 {
   public:
     MeshNetwork(EventQueue &eq, std::shared_ptr<const Topology> topo,
@@ -118,6 +134,24 @@ class MeshNetwork : public Network
         return cap;
     }
 
+    /**
+     * Enter shard mode for the parallel kernel: @p part_of maps each
+     * router to its partition (contiguous, ascending), @p queues is the
+     * per-partition event queue array. From here on the kernel drives
+     * the fabric through the ParallelCoupling phases and no tick events
+     * are ever scheduled; send() and delivery switch to per-partition
+     * accounting. Call before any packet is injected.
+     */
+    void setShard(std::vector<unsigned> part_of,
+                  std::vector<EventQueue *> queues);
+
+    // ParallelCoupling (parallel kernel's view of the fabric).
+    Tick nextCoupledTick() const override { return _netNext; }
+    void planShard(unsigned p) override;
+    void applyShard(unsigned p) override;
+    void drainShard(unsigned p) override;
+    void coupledEpilogue(Tick window, bool ranCoupled) override;
+
   private:
     struct OutputPort
     {
@@ -148,11 +182,65 @@ class MeshNetwork : public Network
         unsigned outPort; ///< output being traversed at fromRouter
     };
 
+    /** One staged cross-partition (or same-partition, for ordering)
+     *  flit movement; fromRouter drives the exact peak-depth
+     *  reconstruction and is ascending within a channel. */
+    struct StagedPush
+    {
+        Flit flit;
+        std::uint32_t toRouter;
+        std::uint32_t fromRouter;
+        std::uint8_t toPort;
+    };
+
+    /**
+     * Per-partition accounting, folded into the real counters by the
+     * window epilogue (coordinator thread, workers parked) in an order
+     * that reproduces the serial kernel's values exactly: integer
+     * counters are commutative, latency samples replay in partition
+     * (= ascending-router = serial move) order into the
+     * order-sensitive Welford accumulator, and the window peak merges
+     * by max. Cache-line aligned so two partitions' hot counters never
+     * false-share.
+     */
+    struct alignas(64) Shard
+    {
+        std::vector<Move> moves;      ///< plan scratch
+        std::vector<double> latency;  ///< deliver samples, in order
+        std::vector<unsigned> poppedRouters; ///< _tickPops to clear
+        std::uint64_t packets = 0;
+        std::uint64_t flits = 0;
+        std::uint64_t flitHops = 0;
+        std::uint64_t blocked = 0;
+        std::int64_t activeDelta = 0; ///< +injected -ejected flits
+        unsigned peak = 0;            ///< windowPeakDepth candidate
+    };
+
     void tick();
-    void planRouter(unsigned r);
+    void planRouter(unsigned r, std::vector<Move> &moves,
+                    std::uint64_t &blocked);
     void applyMove(const Move &move);
+    void applyMoveShard(const Move &move, unsigned p);
     void scheduleTickIfNeeded();
     void deliver(Packet *raw);
+    void deliverShard(Packet *raw, unsigned p);
+
+    /**
+     * Active-router bitmap updates in shard mode: a 64-router word can
+     * straddle a partition boundary, so the bit flips must be atomic
+     * (relaxed is enough — the phase barriers order everything else).
+     */
+    void
+    noteFlitsShard(unsigned r, bool nowActive)
+    {
+        std::atomic_ref<std::uint64_t> word(_activeRouters[r / 64]);
+        if (nowActive)
+            word.fetch_or(std::uint64_t{1} << (r % 64),
+                          std::memory_order_relaxed);
+        else
+            word.fetch_and(~(std::uint64_t{1} << (r % 64)),
+                           std::memory_order_relaxed);
+    }
 
     unsigned numPortsOf(unsigned r) const
     {
@@ -219,6 +307,31 @@ class MeshNetwork : public Network
 
     /** One bit per router with flits buffered; tick() scans set bits. */
     std::vector<std::uint64_t> _activeRouters;
+
+    // ---- shard mode (parallel kernel) ----
+    bool _shard = false;
+    unsigned _numParts = 0;
+    std::vector<unsigned> _partOf;         ///< router -> partition
+    std::vector<unsigned> _partLo;         ///< partition -> first router
+    std::vector<EventQueue *> _shardQueues; ///< partition clocks/queues
+    std::vector<Shard> _shards;
+    /**
+     * SPSC channels, index src * P + dst: written only by partition
+     * src's applyShard, drained and cleared only by partition dst's
+     * drainShard, with a barrier between. Draining src = 0..P-1 in
+     * order restores the serial kernel's ascending-fromRouter push
+     * order (partitions are contiguous router ranges).
+     */
+    std::vector<std::vector<StagedPush>> _chan;
+    /** Flits popped from each router this window (telemetry only):
+     *  reconstructs the serial kernel's intermediate buffer depths for
+     *  the exact windowPeakDepth. Owned by the router's partition;
+     *  reset via Shard::poppedRouters at the end of drainShard. */
+    std::vector<std::uint16_t> _tickPops;
+    /** Next fabric cycle under the kernel (maxTick = no flits in
+     *  flight); recomputed by every window epilogue exactly as the
+     *  serial scheduleTickIfNeeded would. */
+    Tick _netNext = maxTick;
 
     StatSet _stats{"net"};
     Counter &_statPackets;

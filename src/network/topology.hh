@@ -163,6 +163,18 @@ class Topology
     /** Average hop distance over all ordered pairs. */
     virtual double averageHops() const;
 
+    /**
+     * Conservative parallel-simulation lookahead: a lower bound, in
+     * network clock cycles, on the time between a packet entering the
+     * fabric at one node and any observable effect at a *different*
+     * node. Every topology's wormhole router takes at least one cycle
+     * to move a flit across one hop, so the bound is 1 for all current
+     * fabrics; a topology with zero-latency links would have to say so
+     * here (and would defeat window parallelism). The parallel kernel
+     * sizes its synchronization window with this bound.
+     */
+    virtual Tick minHopLookahead() const { return 1; }
+
   protected:
     /** Derived constructors fill the adjacency lists. */
     std::vector<std::vector<NodeId>> _neighbors;
@@ -197,6 +209,9 @@ class MeshTopology : public Topology
     /** Analytic: mean |i-j| on a line of n nodes is (n^2-1)/(3n). */
     double averageHops() const override;
 
+    /** Nearest neighbour is one link = one router cycle away. */
+    Tick minHopLookahead() const override { return 1; }
+
   private:
     /** Per node: channel index of the N/E/S/W link, -1 if absent. */
     std::vector<std::array<std::int8_t, 4>> _dirChannel;
@@ -221,6 +236,9 @@ class TorusTopology : public Topology
     unsigned channelDim(NodeId n, unsigned channel) const override;
     bool channelWrap(NodeId n, unsigned channel) const override;
     double averageHops() const override;
+
+    /** Wrap links cost the same single cycle as interior links. */
+    Tick minHopLookahead() const override { return 1; }
 
   private:
     /** Per node: channel index of the N/E/S/W link, -1 when the
@@ -258,6 +276,10 @@ class ExpressMeshTopology : public Topology
     unsigned hops(NodeId a, NodeId b) const override;
     unsigned nextChannel(NodeId at, NodeId dest) const override;
     unsigned channelDim(NodeId n, unsigned channel) const override;
+
+    /** An express jump spans stride nodes but still takes one router
+     *  cycle, so the cross-node bound stays 1 (not stride). */
+    Tick minHopLookahead() const override { return 1; }
 
   private:
     /** Per-dimension route length: jumps + remainder walks. */

@@ -1,7 +1,15 @@
 #include "obs/latency_tracker.hh"
 
+#include "sim/event_queue.hh"
+
 namespace limitless
 {
+
+namespace
+{
+/// Shorthand for building a deferred stamp inside the hook bodies.
+using Kind = LatencyTracker::DeferredStamp::Kind;
+} // namespace
 
 void
 LatencyTracker::reset()
@@ -53,6 +61,11 @@ LatencyTracker::resolve(NodeId node, Addr line, bool &parent_side)
 void
 LatencyTracker::onInject(Tick now, NodeId requester, Addr line, bool write)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back(
+            {now, 0, requester, invalidNode, line, Kind::inject, write});
+        return;
+    }
     Open open;
     open.inject = now;
     open.write = write;
@@ -64,6 +77,11 @@ LatencyTracker::onInject(Tick now, NodeId requester, Addr line, bool write)
 void
 LatencyTracker::onHomeArrival(Tick now, NodeId requester, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, requester, invalidNode, line,
+                              Kind::homeArrival, false});
+        return;
+    }
     bool parent = false;
     if (Open *open = resolve(requester, line, parent)) {
         if (parent)
@@ -76,6 +94,14 @@ LatencyTracker::onHomeArrival(Tick now, NodeId requester, Addr line)
 void
 LatencyTracker::onTrap(NodeId requester, Addr line, Tick cycles)
 {
+    if (_deferBuf) {
+        // The one hook without a caller-supplied tick: stamp it with the
+        // deferring partition's clock so the sort interleaves it exactly
+        // where the serial run would have applied it.
+        _deferBuf->push_back({_deferClock->now(), cycles, requester,
+                              invalidNode, line, Kind::trap, false});
+        return;
+    }
     bool parent = false;
     if (Open *open = resolve(requester, line, parent)) {
         if (parent)
@@ -88,6 +114,11 @@ LatencyTracker::onTrap(NodeId requester, Addr line, Tick cycles)
 void
 LatencyTracker::onInvStart(Tick now, NodeId requester, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, requester, invalidNode, line,
+                              Kind::invStart, false});
+        return;
+    }
     bool parent = false;
     if (Open *open = resolve(requester, line, parent)) {
         if (parent) {
@@ -102,6 +133,11 @@ LatencyTracker::onInvStart(Tick now, NodeId requester, Addr line)
 void
 LatencyTracker::onInvEnd(Tick now, NodeId requester, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back(
+            {now, 0, requester, invalidNode, line, Kind::invEnd, false});
+        return;
+    }
     bool parent = false;
     if (Open *open = resolve(requester, line, parent)) {
         if (parent)
@@ -114,6 +150,11 @@ LatencyTracker::onInvEnd(Tick now, NodeId requester, Addr line)
 void
 LatencyTracker::onReplySent(Tick now, NodeId requester, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, requester, invalidNode, line,
+                              Kind::replySent, false});
+        return;
+    }
     bool parent = false;
     if (Open *open = resolve(requester, line, parent)) {
         if (parent)
@@ -126,6 +167,11 @@ LatencyTracker::onReplySent(Tick now, NodeId requester, Addr line)
 void
 LatencyTracker::onChipArrival(Tick now, NodeId requester, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, requester, invalidNode, line,
+                              Kind::chipArrival, false});
+        return;
+    }
     if (Open *open = find(requester, line))
         open->chipArrival = now;
 }
@@ -134,6 +180,11 @@ void
 LatencyTracker::onParentForward(Tick now, NodeId requester, Addr line,
                                 NodeId chip_node)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, requester, chip_node, line,
+                              Kind::parentForward, false});
+        return;
+    }
     if (Open *open = find(requester, line)) {
         open->parentForward = now;
         _aliases[key(chip_node, line)] = key(requester, line);
@@ -143,6 +194,11 @@ LatencyTracker::onParentForward(Tick now, NodeId requester, Addr line,
 void
 LatencyTracker::onParentConsumed(Tick now, NodeId chip_node, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, chip_node, invalidNode, line,
+                              Kind::parentConsumed, false});
+        return;
+    }
     auto a = _aliases.find(key(chip_node, line));
     if (a == _aliases.end())
         return;
@@ -155,6 +211,11 @@ LatencyTracker::onParentConsumed(Tick now, NodeId chip_node, Addr line)
 void
 LatencyTracker::onComplete(Tick now, NodeId requester, Addr line)
 {
+    if (_deferBuf) {
+        _deferBuf->push_back({now, 0, requester, invalidNode, line,
+                              Kind::complete, false});
+        return;
+    }
     auto it = _open.find(key(requester, line));
     if (it == _open.end())
         return;
@@ -271,6 +332,43 @@ LatencyTracker::onComplete(Tick now, NodeId requester, Addr line)
         sample.replyNet = replyNet;
         sample.total = total;
         _sink(sample);
+    }
+}
+
+void
+LatencyTracker::replay(const DeferredStamp &s)
+{
+    switch (s.kind) {
+    case Kind::inject:
+        onInject(s.now, s.node, s.line, s.write);
+        break;
+    case Kind::homeArrival:
+        onHomeArrival(s.now, s.node, s.line);
+        break;
+    case Kind::chipArrival:
+        onChipArrival(s.now, s.node, s.line);
+        break;
+    case Kind::parentForward:
+        onParentForward(s.now, s.node, s.line, s.chipNode);
+        break;
+    case Kind::parentConsumed:
+        onParentConsumed(s.now, s.node, s.line);
+        break;
+    case Kind::trap:
+        onTrap(s.node, s.line, s.cycles);
+        break;
+    case Kind::invStart:
+        onInvStart(s.now, s.node, s.line);
+        break;
+    case Kind::invEnd:
+        onInvEnd(s.now, s.node, s.line);
+        break;
+    case Kind::replySent:
+        onReplySent(s.now, s.node, s.line);
+        break;
+    case Kind::complete:
+        onComplete(s.now, s.node, s.line);
+        break;
     }
 }
 

@@ -26,11 +26,14 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
 namespace limitless
 {
+
+class EventQueue;
 
 /** Mean per-phase latency over the completed remote transactions. */
 struct PhaseBreakdown
@@ -127,6 +130,56 @@ class LatencyTracker
 
     PhaseBreakdown snapshot() const;
 
+    /** One recorded hook invocation from a deferring tracker (parallel
+     *  runs). Workers append stamps instead of mutating tracker state;
+     *  after the kernel drains, the stamps are concatenated
+     *  partition-major, stable-sorted by tick, and replay()ed into the
+     *  main tracker. The result is bit-identical to the serial run:
+     *  per-record stamps are keyed by (requester, line) and any two
+     *  stamps of the same record are at least one network hop (>= 2
+     *  ticks) apart when they originate on different partitions, so the
+     *  (tick, partition, append-order) sort reproduces the serial
+     *  interleaving exactly for every record; the cross-record sums are
+     *  integer-valued doubles and accumulate in the same sorted order. */
+    struct DeferredStamp
+    {
+        enum class Kind : std::uint8_t
+        {
+            inject,
+            homeArrival,
+            chipArrival,
+            parentForward,
+            parentConsumed,
+            trap,
+            invStart,
+            invEnd,
+            replySent,
+            complete,
+        };
+        Tick now = 0;              ///< stamp tick (clock at call time)
+        Tick cycles = 0;           ///< trap only: cycles charged
+        NodeId node = invalidNode; ///< requester (or chip node)
+        NodeId chipNode = invalidNode; ///< parentForward only
+        Addr line = 0;
+        Kind kind = Kind::inject;
+        bool write = false; ///< inject only
+    };
+
+    /** Switch the tracker into record-only mode: every hook appends a
+     *  stamp to @p buf and returns without touching tracker state.
+     *  @p clock supplies the tick for onTrap, the one hook without a
+     *  `now` parameter; pass the calling partition's queue. Pass
+     *  (nullptr, nullptr) to return to direct mode. */
+    void deferTo(std::vector<DeferredStamp> *buf, const EventQueue *clock)
+    {
+        _deferBuf = buf;
+        _deferClock = clock;
+    }
+
+    /** Apply one recorded stamp as if the hook had been called live.
+     *  Only meaningful in direct mode (deferTo(nullptr, nullptr)). */
+    void replay(const DeferredStamp &s);
+
     /** Per-sample observer, invoked at the end of every onComplete with
      *  the folded phase attribution. Survives reset(); pass nullptr to
      *  detach. Used by the transaction tracer to finalize span trees and
@@ -183,6 +236,8 @@ class LatencyTracker
     /** (chip node, line) key -> open-record key (see onParentForward). */
     std::unordered_map<std::uint64_t, std::uint64_t> _aliases;
     std::function<void(const PhaseSample &)> _sink;
+    std::vector<DeferredStamp> *_deferBuf = nullptr;
+    const EventQueue *_deferClock = nullptr;
 
     std::uint64_t _completed = 0;
     double _sumReqNet = 0.0;

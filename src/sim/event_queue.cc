@@ -103,37 +103,54 @@ EventQueue::nextEventTick() const
     return wheel < over ? wheel : over;
 }
 
+void
+EventQueue::enterTick()
+{
+    // Enter the next occupied tick: advance _now, migrate overflow
+    // entries the window now covers, and sort the tick's bucket once
+    // so the cursor walk pops minima in O(1).
+    const Tick t = nextEventTick();
+    assert(t != maxTick && t >= _now);
+    _now = t;
+    migrateOverflow();
+
+    std::vector<Entry> &entered = _slots[t & wheelMask];
+    assert(!entered.empty());
+    // Sort indices, not entries: moving 4-byte indices is far
+    // cheaper than shuffling Entry objects (each move invokes the
+    // InlineFunction manager), and the entries stay put so indices
+    // stay valid across the bucket's push_backs.
+    _order.resize(entered.size());
+    for (std::uint32_t i = 0; i < _order.size(); ++i)
+        _order[i] = i;
+    std::sort(_order.begin(), _order.end(),
+              [&entered](std::uint32_t a, std::uint32_t b) {
+                  return entered[a].before(entered[b]);
+              });
+    _sortedTick = t;
+    _cursor = 0;
+}
+
+void
+EventQueue::finishBucket()
+{
+    std::vector<Entry> &slot = _slots[_now & wheelMask];
+    slot.clear();
+    _order.clear();
+    _cursor = 0;
+    _sortedTick = maxTick;
+    const std::size_t s = _now & wheelMask;
+    _occupied[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+}
+
 bool
 EventQueue::runOne()
 {
     if (_size == 0)
         return false;
 
-    if (_sortedTick != _now) {
-        // Enter the next occupied tick: advance _now, migrate overflow
-        // entries the window now covers, and sort the tick's bucket once
-        // so the cursor walk below pops minima in O(1).
-        const Tick t = nextEventTick();
-        assert(t != maxTick && t >= _now);
-        _now = t;
-        migrateOverflow();
-
-        std::vector<Entry> &entered = _slots[t & wheelMask];
-        assert(!entered.empty());
-        // Sort indices, not entries: moving 4-byte indices is far
-        // cheaper than shuffling Entry objects (each move invokes the
-        // InlineFunction manager), and the entries stay put so indices
-        // stay valid across the bucket's push_backs.
-        _order.resize(entered.size());
-        for (std::uint32_t i = 0; i < _order.size(); ++i)
-            _order[i] = i;
-        std::sort(_order.begin(), _order.end(),
-                  [&entered](std::uint32_t a, std::uint32_t b) {
-                      return entered[a].before(entered[b]);
-                  });
-        _sortedTick = t;
-        _cursor = 0;
-    }
+    if (_sortedTick != _now)
+        enterTick();
 
     std::vector<Entry> &slot = _slots[_now & wheelMask];
     assert(_cursor < _order.size());
@@ -145,15 +162,89 @@ EventQueue::runOne()
 
     // Entries behind the cursor are spent; once the callback has had its
     // chance to add same-tick work, a fully-walked bucket resets.
-    if (_cursor >= _order.size()) {
-        slot.clear();
-        _order.clear();
-        _cursor = 0;
-        _sortedTick = maxTick;
-        const std::size_t s = _now & wheelMask;
-        _occupied[s / 64] &= ~(std::uint64_t{1} << (s % 64));
-    }
+    if (_cursor >= _order.size())
+        finishBucket();
     return true;
+}
+
+std::uint64_t
+EventQueue::runBurst(std::uint64_t max)
+{
+    std::uint64_t n = 0;
+    while (n < max && _size != 0) {
+        if (_sortedTick != _now)
+            enterTick();
+        // Dispatch the whole bucket through one tight loop. The slot and
+        // order vectors must be re-indexed every iteration: a callback's
+        // same-tick schedule() push_back can reallocate either one.
+        while (n < max && _cursor < _order.size()) {
+            Callback cb =
+                std::move(_slots[_now & wheelMask][_order[_cursor]].cb);
+            ++_cursor;
+            --_size;
+            ++_executed;
+            ++n;
+            cb();
+        }
+        if (_cursor >= _order.size())
+            finishBucket();
+    }
+    return n;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    assert(t >= _now && "cannot advance into the past");
+    assert(_sortedTick == maxTick && "advanceTo with a bucket mid-walk");
+    assert(nextEventTick() >= t && "advanceTo would skip pending events");
+    // Every wheel entry was inserted with when - now < span at a now no
+    // later than t, and none is earlier than t, so all occupied slots
+    // stay inside the new [t, t + span) window: no rehash needed.
+    _now = t;
+}
+
+std::uint64_t
+EventQueue::runTickBelow(Tick t, int prioLimit)
+{
+    const auto limit = static_cast<std::uint32_t>(prioLimit);
+    std::uint64_t n = 0;
+    while (_size != 0 && nextEventTick() == t) {
+        if (_sortedTick != t)
+            enterTick();
+        std::vector<Entry> &slot = _slots[t & wheelMask];
+        if (slot[_order[_cursor]].priority >= limit)
+            break; // bucket stays mid-walk for runTickRemainder()
+        Callback cb = std::move(slot[_order[_cursor]].cb);
+        ++_cursor;
+        --_size;
+        ++_executed;
+        ++n;
+        cb();
+        if (_cursor >= _order.size())
+            finishBucket();
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runTickRemainder(Tick t)
+{
+    std::uint64_t n = 0;
+    while (_size != 0 && nextEventTick() == t) {
+        if (_sortedTick != t)
+            enterTick();
+        std::vector<Entry> &slot = _slots[t & wheelMask];
+        Callback cb = std::move(slot[_order[_cursor]].cb);
+        ++_cursor;
+        --_size;
+        ++_executed;
+        ++n;
+        cb();
+        if (_cursor >= _order.size())
+            finishBucket();
+    }
+    return n;
 }
 
 std::uint64_t

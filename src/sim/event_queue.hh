@@ -86,6 +86,46 @@ class EventQueue
     /** Run until the queue is empty. @return number of events executed. */
     std::uint64_t run();
 
+    /**
+     * Execute up to @p max earliest events through one batched loop.
+     * Identical (tick, priority, seq) execution order to @p max calls of
+     * runOne(), but the tick-entry work (advance, overflow migration,
+     * bucket sort) is hoisted out of the per-event path: a whole wheel
+     * slot's entries dispatch through one tight indirect-call loop.
+     *
+     * @return number of events executed (< max only when drained)
+     */
+    std::uint64_t runBurst(std::uint64_t max);
+
+    /**
+     * Advance now() to @p t without executing anything. Requires that no
+     * event is pending before @p t and no tick bucket is mid-execution.
+     * Used by the parallel kernel to align partition queues on a window
+     * boundary chosen globally (the queue's own nextEventTick() may be
+     * later than the window start).
+     */
+    void advanceTo(Tick t);
+
+    /**
+     * Execute events at exactly tick @p t whose priority is below
+     * @p prioLimit, stopping (bucket mid-walk) at the first event at or
+     * above the limit. Events a callback schedules for the same tick are
+     * honoured, exactly as in runOne(). No-op when the earliest pending
+     * event is not at @p t.
+     *
+     * Parallel kernel: each partition runs its tick-@p t events below
+     * EventPriority::stats concurrently, then the coordinator finishes
+     * every queue's remainder serially (samplers and monitors observe
+     * cross-partition state).
+     *
+     * @return number of events executed
+     */
+    std::uint64_t runTickBelow(Tick t, int prioLimit);
+
+    /** Execute every remaining event at exactly tick @p t (including any
+     *  the callbacks add at @p t). @return number executed. */
+    std::uint64_t runTickRemainder(Tick t);
+
     bool empty() const { return _size == 0; }
     std::size_t pendingEvents() const { return _size; }
     std::uint64_t executedEvents() const { return _executed; }
@@ -143,6 +183,10 @@ class EventQueue
     void wheelInsert(Entry &&e);
     /** Move overflow entries inside the window [_now, _now + span). */
     void migrateOverflow();
+    /** Advance to the earliest occupied tick and sort its bucket. */
+    void enterTick();
+    /** Reset a fully-walked bucket (slot, order, occupancy bit). */
+    void finishBucket();
     /** Earliest occupied wheel tick, or maxTick when the wheel is empty. */
     Tick wheelNextTick() const;
 

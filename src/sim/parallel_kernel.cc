@@ -1,0 +1,111 @@
+#include "sim/parallel_kernel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+
+namespace limitless
+{
+
+ParallelKernel::ParallelKernel(std::vector<EventQueue *> queues,
+                               ParallelCoupling *coupling, Tick lookahead)
+    : _queues(std::move(queues)), _coupling(coupling)
+{
+    if (_queues.empty())
+        panic("parallel kernel needs at least one partition");
+    if (lookahead < 1)
+        panic("parallel kernel needs a lookahead of at least one tick "
+              "(topology reported %llu): with zero cross-partition "
+              "latency, same-window execution would be unsound",
+              static_cast<unsigned long long>(lookahead));
+}
+
+void
+ParallelKernel::run(const Hooks &hooks)
+{
+    const unsigned P = static_cast<unsigned>(_queues.size());
+
+    // Written only by the coordinator between barriers; each barrier
+    // arrival publishes the write to every worker (and the workers'
+    // queue mutations back to the coordinator).
+    struct Window
+    {
+        Tick t = 0;
+        bool net = false;
+        bool stop = false;
+    };
+    Window window;
+
+    std::barrier bar(static_cast<std::ptrdiff_t>(P));
+
+    // Pick the next window: the globally earliest pending tick over
+    // every partition queue and the coupling. All queues align on it so
+    // same-tick schedules land in the mid-execution ordered-insert path
+    // exactly as they would serially.
+    auto publish = [&]() {
+        const Tick net_t =
+            _coupling ? _coupling->nextCoupledTick() : maxTick;
+        Tick t = net_t;
+        for (EventQueue *q : _queues)
+            t = std::min(t, q->nextEventTick());
+        if (t == maxTick) {
+            window.stop = true; // drained everywhere: the run is over
+            return;
+        }
+        for (EventQueue *q : _queues)
+            q->advanceTo(t);
+        window.t = t;
+        window.net = net_t == t;
+        window.stop = false;
+    };
+
+    auto body = [&](unsigned p) {
+        if (hooks.threadInit)
+            hooks.threadInit(p);
+        if (p == 0)
+            publish();
+        for (;;) {
+            bar.arrive_and_wait(); // window published
+            if (window.stop)
+                break;
+            const Tick t = window.t;
+            if (window.net) {
+                _coupling->planShard(p);
+                bar.arrive_and_wait();
+                _coupling->applyShard(p);
+                bar.arrive_and_wait();
+                _coupling->drainShard(p);
+                bar.arrive_and_wait();
+            }
+            _queues[p]->runTickBelow(t, EventPriority::stats);
+            bar.arrive_and_wait(); // window executed below stats
+            if (p != 0)
+                continue;
+            // Coordinator tail, serial while the workers park at the
+            // window barrier: flush the coupling's stat shards first so
+            // the samplers and monitors in the stats remainder observe
+            // exactly the serial kernel's counter values.
+            if (_coupling)
+                _coupling->coupledEpilogue(t, window.net);
+            for (EventQueue *q : _queues)
+                q->runTickRemainder(t);
+            if (hooks.onWindow && !hooks.onWindow(t))
+                window.stop = true;
+            else
+                publish();
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(P - 1);
+    for (unsigned p = 1; p < P; ++p)
+        workers.emplace_back(body, p);
+    body(0);
+    for (std::thread &w : workers)
+        w.join();
+}
+
+} // namespace limitless

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Conservative parallel discrete-event kernel.
+ *
+ * One simulated machine's nodes are sharded into P spatial partitions,
+ * each driven by its own EventQueue that preserves the deterministic
+ * (tick, priority, seq) order *within* the partition. Partitions
+ * synchronize with a bounded-window conservative protocol: the
+ * coordinator picks the globally earliest pending tick T, every
+ * partition executes its tick-T events concurrently, and a barrier
+ * separates windows. The protocol is safe because the only
+ * cross-partition influence is the interconnect, whose minimum
+ * cross-node latency (Topology::minHopLookahead, >= 1 network clock)
+ * guarantees that nothing a partition does at tick T can affect another
+ * partition before tick T + lookahead — i.e. never inside the current
+ * window.
+ *
+ * The fabric itself spans partitions, so its per-tick work runs as
+ * three barrier-separated phases through the ParallelCoupling
+ * interface: a read-only *plan* over stable state, a partition-local
+ * *apply* that stages cross-partition flit movements into per-(src,dst)
+ * SPSC channels, and a *drain* that lands the staged movements at the
+ * destination partition. Each phase only writes partition-owned state,
+ * and the barriers between phases publish every write before anyone
+ * reads it, so the combined effect is bit-identical to the serial
+ * network tick for any thread count (docs/PERFORMANCE.md has the
+ * argument in full).
+ *
+ * The window tail (events at priority EventPriority::stats and above:
+ * telemetry samplers, monitors) runs serially on the coordinator —
+ * those observers read machine-wide state and are rare, so serializing
+ * them costs nothing and keeps their view identical to the serial
+ * kernel's.
+ */
+
+#ifndef LIMITLESS_SIM_PARALLEL_KERNEL_HH
+#define LIMITLESS_SIM_PARALLEL_KERNEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace limitless
+{
+
+class EventQueue;
+
+/**
+ * The one simulation object that spans partitions (the wormhole
+ * fabric). Its per-tick work is decomposed into three phases the kernel
+ * runs on every partition's thread, barrier-separated; bookkeeping that
+ * must be serial (stat-shard flushes, next-tick computation) lands in
+ * the epilogue on the coordinator thread while the workers are parked
+ * at the window barrier.
+ */
+class ParallelCoupling
+{
+  public:
+    virtual ~ParallelCoupling() = default;
+
+    /** Earliest tick at which the coupling has work; maxTick = idle.
+     *  Only called from the coordinator between windows. */
+    virtual Tick nextCoupledTick() const = 0;
+
+    /** Phase 1: plan partition @p p's share against stable pre-tick
+     *  state. Must not write anything another partition reads. */
+    virtual void planShard(unsigned p) = 0;
+
+    /** Phase 2: apply partition-local effects of the plan; stage
+     *  cross-partition effects into SPSC channels. */
+    virtual void applyShard(unsigned p) = 0;
+
+    /** Phase 3: land every staged effect addressed to partition @p p,
+     *  in source-partition order (deterministic). */
+    virtual void drainShard(unsigned p) = 0;
+
+    /**
+     * Serial window epilogue on the coordinator (workers parked):
+     * flush per-partition stat shards, recompute the next coupled
+     * tick. @p window is the tick just executed; @p ranCoupled says
+     * whether the three phases ran this window.
+     */
+    virtual void coupledEpilogue(Tick window, bool ranCoupled) = 0;
+};
+
+/**
+ * The windowed SPMD loop. The caller's thread acts as partition 0's
+ * worker *and* the coordinator; P-1 further threads are spawned for
+ * the run and joined before run() returns, so a serial caller sees a
+ * plain blocking call.
+ */
+class ParallelKernel
+{
+  public:
+    struct Hooks
+    {
+        /** Runs once on each partition's thread (including the caller
+         *  thread for partition 0) before the first window; the seam
+         *  for thread_local setup (flight-recorder defer buffers). */
+        std::function<void(unsigned p)> threadInit;
+
+        /**
+         * Runs on the coordinator after every fully-executed window.
+         * Return false to stop the run (completion, max-cycles,
+         * watchdog). The run also stops by itself when every queue and
+         * the coupling are drained.
+         */
+        std::function<bool(Tick window)> onWindow;
+    };
+
+    /**
+     * @param queues   one EventQueue per partition, index = partition
+     * @param coupling the cross-partition fabric, or nullptr when the
+     *                 partitions are fully independent
+     * @param lookahead minimum cross-partition latency in ticks
+     *                  (Topology::minHopLookahead); must be >= 1 or
+     *                  windowed execution would be unsound
+     */
+    ParallelKernel(std::vector<EventQueue *> queues,
+                   ParallelCoupling *coupling, Tick lookahead);
+
+    /** Execute windows until drained or hooks.onWindow returns false. */
+    void run(const Hooks &hooks);
+
+  private:
+    std::vector<EventQueue *> _queues;
+    ParallelCoupling *_coupling;
+};
+
+} // namespace limitless
+
+#endif // LIMITLESS_SIM_PARALLEL_KERNEL_HH

@@ -17,6 +17,7 @@
 #ifndef LIMITLESS_WORKLOAD_RANDOM_STRESS_HH
 #define LIMITLESS_WORKLOAD_RANDOM_STRESS_HH
 
+#include <atomic>
 #include <vector>
 
 #include "sim/rng.hh"
@@ -83,8 +84,11 @@ class RandomStress : public Workload
     }
 
     RandomStressParams _p;
-    std::vector<std::uint64_t> _tallies; ///< per-counter expected sums
-    std::vector<std::uint64_t> _errors;
+    /** Per-counter expected sums. Atomic because under --sim-threads the
+     *  workers incrementing one counter can live on different partitions;
+     *  relaxed fetch-adds commute, so the final sums stay exact. */
+    std::vector<std::atomic<std::uint64_t>> _tallies;
+    std::vector<std::uint64_t> _errors; ///< per-proc, single writer each
 };
 
 } // namespace limitless

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <sstream>
@@ -19,10 +20,29 @@ namespace limitless
 namespace
 {
 
+/** Effective hardware concurrency as the runner computes it. */
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
 TEST(ParallelRunner, ZeroJobsMeansHardwareConcurrency)
 {
-    EXPECT_GE(ParallelRunner(0).jobs(), 1u);
-    EXPECT_EQ(ParallelRunner(3).jobs(), 3u);
+    EXPECT_EQ(ParallelRunner(0).jobs(), hardwareJobs());
+    EXPECT_EQ(ParallelRunner(3).jobs(), std::min(3u, hardwareJobs()));
+}
+
+TEST(ParallelRunner, JobsClampToHardwareConcurrency)
+{
+    // Asking for more workers than the host has cores clamps (with a
+    // one-line stderr warning) instead of oversubscribing; sane requests
+    // are never clamped upward.
+    const unsigned hw = hardwareJobs();
+    EXPECT_EQ(ParallelRunner(hw + 17).jobs(), hw);
+    EXPECT_EQ(ParallelRunner(1).jobs(), 1u);
+    EXPECT_EQ(ParallelRunner(hw).jobs(), hw);
 }
 
 TEST(ParallelRunner, OutputFlushedInSubmissionOrderDespiteDelays)

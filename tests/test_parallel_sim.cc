@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Serial-vs-parallel kernel equivalence properties: the same seeded
+ * workload run with --sim-threads 1, 2 and 4 must produce byte-identical
+ * stats JSON and telemetry (CSV + JSON sidecar). This is the contract of
+ * the conservative window-parallel kernel (sim/parallel_kernel.hh):
+ * thread count changes wall-clock time only, never simulated behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "machine/coherence_monitor.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/telemetry.hh"
+#include "workload/random_stress.hh"
+
+namespace limitless
+{
+namespace
+{
+
+struct ParallelCase
+{
+    ProtocolParams proto;
+    std::uint64_t seed;
+    TopologyKind topo = TopologyKind::mesh;
+    unsigned cluster = 1;
+    bool hier = false;
+};
+
+std::string
+caseName(const testing::TestParamInfo<ParallelCase> &info)
+{
+    std::ostringstream os;
+    os << info.param.proto.name() << "_s" << info.param.seed << "_"
+       << topologyKindName(info.param.topo);
+    if (info.param.hier)
+        os << "_hier" << info.param.cluster;
+    std::string s = os.str();
+    for (char &c : s)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+/** Everything a run exports that must not depend on the thread count. */
+struct RunDigest
+{
+    std::string stats;
+    std::string telemetryCsv;
+    std::string telemetryJson;
+    Tick cycles = 0;
+    unsigned partitions = 0;
+};
+
+RunDigest
+runOnce(const ParallelCase &pc, unsigned sim_threads)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = pc.proto;
+    cfg.seed = pc.seed;
+    cfg.topology.kind = pc.topo;
+    if (pc.topo == TopologyKind::expressMesh)
+        cfg.topology.expressStride = 2;
+    cfg.topology.clusterSize = pc.cluster;
+    cfg.hier = pc.hier;
+    cfg.simThreads = sim_threads;
+    // Small cache so replacements happen, and a short telemetry window
+    // so several sampled rows land in the CSV.
+    cfg.cache.cacheBytes = 16 * 16;
+    cfg.metricsInterval = 400;
+
+    FlightRecorder::instance().latency().reset();
+
+    Machine m(cfg);
+    RandomStressParams rp;
+    rp.opsPerProc = 120;
+    rp.counterLines = 6;
+    rp.valueLines = 10;
+    rp.seed = pc.seed * 7919 + 13;
+    RandomStress wl(rp);
+    wl.install(m);
+
+    const RunResult r = m.run();
+    EXPECT_TRUE(r.completed);
+    wl.verify(m);
+    CoherenceMonitor(m).checkQuiescent();
+
+    RunDigest d;
+    d.cycles = r.cycles;
+    d.partitions = m.numPartitions();
+    // Host block (wall seconds) excluded: it is the one legitimately
+    // thread-count-dependent output.
+    std::ostringstream stats;
+    m.dumpStatsJson(stats, r.cycles, nullptr);
+    d.stats = stats.str();
+    std::ostringstream csv, js;
+    m.telemetry()->writeCsv(csv);
+    m.telemetry()->writeJson(js);
+    d.telemetryCsv = csv.str();
+    d.telemetryJson = js.str();
+    return d;
+}
+
+class ParallelSimProperty : public testing::TestWithParam<ParallelCase>
+{
+};
+
+TEST_P(ParallelSimProperty, ThreadCountNeverChangesBehavior)
+{
+    const ParallelCase &pc = GetParam();
+    const RunDigest serial = runOnce(pc, 1);
+    ASSERT_EQ(serial.partitions, 1u);
+    ASSERT_GT(serial.cycles, 0u);
+
+    for (unsigned threads : {2u, 4u}) {
+        const RunDigest par = runOnce(pc, threads);
+        // The clamp can only reduce the partition count to the number of
+        // partitionable units (clusters); 16 flat nodes / 4 chips always
+        // leave at least two, so the parallel kernel really ran.
+        EXPECT_GT(par.partitions, 1u) << "threads=" << threads;
+        EXPECT_EQ(par.cycles, serial.cycles) << "threads=" << threads;
+        EXPECT_EQ(par.stats, serial.stats) << "threads=" << threads;
+        EXPECT_EQ(par.telemetryCsv, serial.telemetryCsv)
+            << "threads=" << threads;
+        EXPECT_EQ(par.telemetryJson, serial.telemetryJson)
+            << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SerialVsParallel, ParallelSimProperty,
+    testing::Values(
+        ParallelCase{protocols::limitlessStall(4, 50), 7,
+                     TopologyKind::mesh},
+        ParallelCase{protocols::limitlessStall(4, 50), 23,
+                     TopologyKind::torus},
+        ParallelCase{protocols::fullMap(), 11, TopologyKind::mesh},
+        ParallelCase{protocols::dirNB(4), 5, TopologyKind::expressMesh},
+        ParallelCase{protocols::chained(), 3, TopologyKind::torus},
+        // Two-level: chips of 4 nodes; partitions align to chips.
+        ParallelCase{protocols::limitlessStall(4, 50), 17,
+                     TopologyKind::mesh, 4, true},
+        ParallelCase{protocols::dirNB(4), 29, TopologyKind::torus, 4,
+                     true}),
+    caseName);
+
+} // namespace
+} // namespace limitless

@@ -60,6 +60,9 @@ usage()
         "optimization (D1)\n"
         "  --no-local-bit         disable the Local Bit (D3)\n"
         "  --network <mesh|ideal> fabric model (default mesh)\n"
+        "  --sim-threads <n>      host threads for the conservative\n"
+        "                         window-parallel kernel (default 1);\n"
+        "                         results are bit-identical for any n\n"
         "  --topology <name>      mesh | torus | express[:stride] "
         "(default mesh)\n"
         "  --cluster <n>          nodes per chip: cluster-interleaved "
@@ -126,6 +129,7 @@ main(int argc, char **argv)
         {"txn-trace-out", true}, {"txn-top", true},
         {"topology", true},      {"cluster", true},
         {"hier", false},         {"dump-hier-table", false},
+        {"sim-threads", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -198,6 +202,26 @@ main(int argc, char **argv)
     cfg.telemetryOut = opts.str("metrics-out", "telemetry.csv");
     cfg.txnTraceOut = opts.str("txn-trace-out", "");
     cfg.txnTopK = static_cast<std::size_t>(opts.num("txn-top", 16));
+    cfg.simThreads = static_cast<unsigned>(opts.num("sim-threads", 1));
+    if (cfg.simThreads > 1) {
+        // The parallel kernel reproduces stats, telemetry and figures
+        // bit-identically, but the streaming observers assume a single
+        // host thread; reject the combinations up front.
+        if (cfg.network == NetworkKind::ideal)
+            fatal("--sim-threads needs the mesh network: the ideal "
+                  "network's same-tick delivery leaves no "
+                  "cross-partition lookahead");
+        if (opts.has("trace-out"))
+            fatal("--sim-threads does not support --trace-out "
+                  "(the event trace streams from one thread)");
+        if (!cfg.txnTraceOut.empty())
+            fatal("--sim-threads does not support --txn-trace-out");
+        if (opts.has("capture-trace"))
+            fatal("--sim-threads does not support --capture-trace");
+        if (opts.has("log"))
+            fatal("--sim-threads does not support --log "
+                  "(debug logging interleaves across threads)");
+    }
 
     FlightRecorder &fr = FlightRecorder::instance();
     fr.latency().reset();
