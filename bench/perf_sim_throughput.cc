@@ -10,6 +10,9 @@
  * for CI trend tracking.
  */
 
+#include <unistd.h>
+
+#include <cstring>
 #include <iomanip>
 
 #include "bench_common.hh"
@@ -200,7 +203,20 @@ main()
         std::cerr << "bench: cannot write " << path << "\n";
         return 1;
     }
-    out << "{\n  \"bench\": \"sim_throughput\",\n  \"rows\": [";
+    // Schema v2: per-row wall time and throughput live in a nested
+    // "host" object so tools/limitless-perfdiff can compare them under
+    // a noise threshold while everything else stays exact. (v1 had
+    // flat host_seconds/events_per_sec keys.)
+    char hostname[256] = "unknown";
+    if (gethostname(hostname, sizeof(hostname)) != 0)
+        std::strcpy(hostname, "unknown");
+    hostname[sizeof(hostname) - 1] = '\0';
+    out << "{\n  \"bench\": \"sim_throughput\",\n"
+        << "  \"schema\": \"limitless-bench\",\n"
+        << "  \"schema_version\": 2,\n"
+        << "  \"host\": {\"hostname\": ";
+    jsonEscape(out, hostname);
+    out << "},\n  \"rows\": [";
     bool first = true;
     for (const Row &r : rows) {
         out << (first ? "\n" : ",\n");
@@ -208,15 +224,14 @@ main()
         out << "    {\"label\": ";
         jsonEscape(out, r.label);
         out << ", \"cycles\": " << r.cycles << ", \"events\": "
-            << r.events << ", \"host_seconds\": " << r.hostSeconds
-            << ", \"events_per_sec\": " << r.eventsPerSec
-            << ", \"packet_allocs\": " << r.packetAllocs
+            << r.events << ", \"packet_allocs\": " << r.packetAllocs
             << ", \"packet_recycles\": " << r.packetRecycles;
-        // Additive schema: only the parallel-kernel sweep rows carry the
-        // thread count, so every pre-existing row stays byte-identical.
+        // Additive: only the parallel-kernel sweep rows carry the
+        // thread count, so every other row keeps the v1 key set.
         if (r.simThreads)
             out << ", \"sim_threads\": " << r.simThreads;
-        out << "}";
+        out << ", \"host\": {\"seconds\": " << r.hostSeconds
+            << ", \"events_per_sec\": " << r.eventsPerSec << "}}";
     }
     out << "\n  ]\n}\n";
     std::cout << "\njson: " << path << "\n";

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -266,6 +267,7 @@ CacheController::startRequest(Addr line, Txn &txn)
 void
 CacheController::handlePacket(PacketPtr pkt)
 {
+    PROF_SCOPE("cache.dispatch");
     assert(pkt);
     if (Log::enabled("cache"))
         Log::debug(_eq.now(), "cache", "node %u rx %s", _self,

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "obs/host_profiler.hh"
 #include "proto/protocol_table.hh"
 #include "sim/log.hh"
 
@@ -83,6 +84,10 @@ ParallelRunner::runImpl(
             std::ostringstream os;
             std::exception_ptr err;
             try {
+                // Worker threads are joined per map() call and their
+                // profiler trees retire commutatively on thread exit, so
+                // sweep scopes aggregate independent of scheduling.
+                PROF_SCOPE("runner.task");
                 task(i, os);
             } catch (...) {
                 err = std::current_exception();

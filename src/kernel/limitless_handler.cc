@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -39,6 +40,7 @@ LimitlessHandler::handlePacket(const Packet &pkt,
                                std::vector<PacketPtr> &out,
                                MetaState &restore_meta)
 {
+    PROF_SCOPE("trap.emulate");
     LimitlessDir *ldir = _mc.limitlessDir();
     assert(ldir && "LimitLESS handler on a non-LimitLESS machine");
     const Addr line = pkt.addr();

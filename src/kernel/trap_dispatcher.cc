@@ -4,6 +4,7 @@
 
 #include "kernel/limitless_handler.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "obs/telemetry.hh"
 #include "sim/log.hh"
 
@@ -43,6 +44,7 @@ TrapDispatcher::onInterrupt()
 void
 TrapDispatcher::processNext()
 {
+    PROF_SCOPE("trap.dispatch");
     PacketPtr pkt = _ipi.pop();
     if (!pkt) {
         _active = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -10,7 +11,10 @@
 #include "directory/full_map_dir.hh"
 #include "directory/limited_dir.hh"
 #include "directory/limitless_dir.hh"
+#include <unistd.h>
+
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "obs/json.hh"
 #include "obs/stats_json.hh"
 #include "obs/telemetry.hh"
@@ -83,6 +87,9 @@ Machine::Machine(const MachineConfig &cfg)
         }
         auto *mesh = dynamic_cast<MeshNetwork *>(_net.get());
         mesh->setShard(_partOf, _partQueues);
+        // Host-utilization accounting for the run; allocated here so
+        // the telemetry probes registered below can capture it.
+        _pkStats = std::make_unique<ParallelKernelStats>(_numParts);
     }
 
     _nodes.reserve(cfg.numNodes);
@@ -296,6 +303,40 @@ Machine::setupTelemetry()
         });
     }
 
+    // Parallel-kernel (host) utilization layer, opt-in via
+    // cfg.pkTelemetry: these columns describe the *host* execution of a
+    // parallel run (barrier waits, serial-tail seconds), so unlike
+    // every simulated-machine column above they are not byte-identical
+    // across thread counts — and the cross-thread determinism suite
+    // byte-compares the default column set. Sampling happens in the
+    // serial window tail on the coordinator, where every counter except
+    // the (atomic) barrier waits is barrier-ordered and stable.
+    if (_numParts > 1 && _cfg.pkTelemetry && _pkStats) {
+        ParallelKernelStats *pk = _pkStats.get();
+        t.addRate("pk.windows", [pk]() {
+            return static_cast<double>(pk->windows);
+        });
+        t.addRate("pk.coupled_windows", [pk]() {
+            return static_cast<double>(pk->coupledWindows);
+        });
+        t.addRate("pk.serial_tail_s", [pk]() {
+            return pk->serialTailSeconds;
+        });
+        if (auto *mesh = dynamic_cast<MeshNetwork *>(_net.get()))
+            t.addRate("pk.xpart_flits", [mesh]() {
+                return static_cast<double>(mesh->crossPartitionFlits());
+            });
+        for (unsigned p = 0; p < _numParts; ++p) {
+            t.addRate("pk.part_events." + std::to_string(p),
+                      [this, p]() {
+                          return static_cast<double>(
+                              _partQueues[p]->executedEvents());
+                      });
+            t.addRate("pk.barrier_wait_s." + std::to_string(p),
+                      [pk, p]() { return pk->barrierWaitSeconds(p); });
+        }
+    }
+
     // Per-node emulation occupancy detail (cumulative trap cycles per
     // node at write time; 64 CSV columns would drown the time-series).
     t.addSummary("trap_cycles_per_node", [this](std::ostream &os) {
@@ -380,6 +421,7 @@ Machine::run(Tick max_cycles)
     if (_numParts > 1)
         return runParallel(max_cycles);
 
+    PROF_SCOPE("machine.run");
     RunResult result;
     if (_spawned == 0)
         fatal("Machine::run with no threads spawned");
@@ -485,6 +527,7 @@ Machine::run(Tick max_cycles)
 RunResult
 Machine::runParallel(Tick max_cycles)
 {
+    PROF_SCOPE("machine.run_parallel");
     RunResult result;
     if (_spawned == 0)
         fatal("Machine::run with no threads spawned");
@@ -555,8 +598,11 @@ Machine::runParallel(Tick max_cycles)
         _numParts);
 
     std::uint64_t base_events = 0;
-    for (EventQueue *q : _partQueues)
-        base_events += q->executedEvents();
+    std::vector<std::uint64_t> base_part_events(_numParts, 0);
+    for (unsigned p = 0; p < _numParts; ++p) {
+        base_part_events[p] = _partQueues[p]->executedEvents();
+        base_events += base_part_events[p];
+    }
 
     std::uint64_t last_ops = progress();
     Tick last_progress_tick = 0;
@@ -616,7 +662,15 @@ Machine::runParallel(Tick max_cycles)
     };
 
     auto *mesh = dynamic_cast<MeshNetwork *>(_net.get());
-    ParallelKernel kernel(_partQueues, mesh, _topo->minHopLookahead());
+    // Hand the kernel the stats sink only when someone will consume it
+    // (pk.* telemetry or the host profiler): the timed barrier path
+    // costs two clock reads per arrival per worker per window, which is
+    // measurable on the thousands of tiny windows a run executes. The
+    // per-partition event accounting below is free (post-join) and
+    // stays on unconditionally.
+    const bool time_barriers = _cfg.pkTelemetry || HostProfiler::enabled();
+    ParallelKernel kernel(_partQueues, mesh, _topo->minHopLookahead(),
+                          time_barriers ? _pkStats.get() : nullptr);
     kernel.run(hooks);
 
     // Back on the caller thread, workers joined. Return the recorder to
@@ -659,6 +713,12 @@ Machine::runParallel(Tick max_cycles)
     for (EventQueue *q : _partQueues)
         events += q->executedEvents();
     events -= base_events;
+
+    // Per-partition event totals for the utilization exports (plain
+    // writes: the workers are joined).
+    for (unsigned p = 0; p < _numParts; ++p)
+        _pkStats->parts[p].events +=
+            _partQueues[p]->executedEvents() - base_part_events[p];
 
     for (auto &node : _nodes)
         node->processor().setOnThreadDone(nullptr);
@@ -777,8 +837,11 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
     const double ts = static_cast<double>(_cfg.protocol.softwareLatency);
 
     os << "{\n";
+    // v2 (additive, see docs/OBSERVABILITY.md bump policy): every
+    // host-dependent field lives under the one "host" object, so tools
+    // diff deterministic fields by skipping exactly that subtree.
     os << "  \"schema\": \"limitless-stats-v1\",\n";
-    os << "  \"schema_version\": 1,\n";
+    os << "  \"schema_version\": 2,\n";
     os << "  \"protocol\": ";
     jsonEscape(os, _cfg.protocol.name());
     os << ",\n";
@@ -881,10 +944,61 @@ Machine::dumpStatsJson(std::ostream &os, Tick cycles,
         os << "},\n";
     }
     if (run) {
-        os << "  \"host\": {\"seconds\": " << run->hostSeconds
-           << ", \"events\": " << run->events
-           << ", \"events_per_sec\": " << run->eventsPerSecond()
-           << "},\n";
+        // The one host-dependent subtree (schema_version 2): everything
+        // under "host" varies with the machine running the simulator —
+        // wall time, throughput, thread scheduling, profiler output —
+        // while everything outside it is deterministic for a given
+        // config. Consumers (limitless-perfdiff, the parallel-smoke CI
+        // diff) compare deterministic fields exactly by skipping this
+        // subtree, with no field-name grepping.
+        char hostname[256] = "unknown";
+        if (gethostname(hostname, sizeof hostname) != 0)
+            std::strcpy(hostname, "unknown");
+        hostname[sizeof hostname - 1] = '\0';
+        os << "  \"host\": {\n";
+        os << "    \"seconds\": " << run->hostSeconds << ",\n";
+        os << "    \"events\": " << run->events << ",\n";
+        os << "    \"events_per_sec\": " << run->eventsPerSecond()
+           << ",\n";
+        os << "    \"hostname\": ";
+        jsonEscape(os, hostname);
+        // windows == 0 means the kernel ran without the stats sink
+        // (neither pk telemetry nor the profiler wanted it), so there
+        // is no utilization data to report.
+        if (_pkStats && _pkStats->windows > 0) {
+            const ParallelKernelStats &pk = *_pkStats;
+            os << ",\n    \"parallel_kernel\": {\n";
+            os << "      \"sim_threads\": " << pk.partitions << ",\n";
+            os << "      \"lookahead\": " << pk.lookahead << ",\n";
+            os << "      \"windows\": " << pk.windows << ",\n";
+            os << "      \"coupled_windows\": " << pk.coupledWindows
+               << ",\n";
+            os << "      \"serial_tail_seconds\": "
+               << pk.serialTailSeconds << ",\n";
+            os << "      \"run_seconds\": " << pk.runSeconds << ",\n";
+            os << "      \"serial_tail_fraction\": "
+               << (pk.runSeconds > 0.0
+                       ? pk.serialTailSeconds / pk.runSeconds
+                       : 0.0)
+               << ",\n";
+            const auto *mesh =
+                dynamic_cast<const MeshNetwork *>(_net.get());
+            os << "      \"cross_partition_flits\": "
+               << (mesh ? mesh->crossPartitionFlits() : 0) << ",\n";
+            os << "      \"partitions\": [";
+            for (unsigned p = 0; p < pk.partitions; ++p) {
+                os << (p ? ", " : "") << "{\"id\": " << p
+                   << ", \"events\": " << pk.parts[p].events
+                   << ", \"barrier_wait_seconds\": "
+                   << pk.barrierWaitSeconds(p) << "}";
+            }
+            os << "]\n    }";
+        }
+        if (HostProfiler::enabled()) {
+            os << ",\n    \"host_profile\": ";
+            HostProfiler::writeJson(os, "    ");
+        }
+        os << "\n  },\n";
     }
     os << "  \"phases\": ";
     phasesJson(os, phases, _amap.hier());

@@ -23,6 +23,7 @@ namespace limitless
 {
 
 class Telemetry;
+struct ParallelKernelStats;
 
 /** Outcome of Machine::run(). */
 struct RunResult
@@ -112,6 +113,10 @@ class Machine
      *  Sampling starts/stops inside run(). */
     Telemetry *telemetry() { return _telemetry.get(); }
 
+    /** Host-side utilization accounting of the parallel kernel, filled
+     *  by run(); non-null iff numPartitions() > 1. */
+    const ParallelKernelStats *pkStats() const { return _pkStats.get(); }
+
     /**
      * Write the telemetry CSV to @p csvPath and its JSON sidecar next to
      * it (telemetryJsonPathFor). @return the sidecar path. fatal()s when
@@ -145,6 +150,7 @@ class Machine
     std::vector<unsigned> _partOf;                      ///< node -> partition
     std::vector<std::unique_ptr<EventQueue>> _workerQueues;
     std::vector<EventQueue *> _partQueues;              ///< [0] == &_eq
+    std::unique_ptr<ParallelKernelStats> _pkStats;      ///< numParts > 1
     std::vector<std::unique_ptr<Node>> _nodes;
     std::unique_ptr<Telemetry> _telemetry;
     /** The shared producer-side histogram sinks registered by

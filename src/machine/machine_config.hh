@@ -114,6 +114,17 @@ struct MachineConfig
      */
     unsigned simThreads = 1;
 
+    /**
+     * Add the host-side pk.* utilization columns (per-partition events
+     * and barrier-wait time, window counts, serial-tail seconds) to the
+     * telemetry stream of a parallel run. Off by default: the columns
+     * describe the *host* execution, so they are not byte-identical
+     * across thread counts the way every simulated-machine column is
+     * (the cross-thread determinism suite compares the default set).
+     * No effect when simThreads == 1 or telemetry is off.
+     */
+    bool pkTelemetry = false;
+
     /** Resolved grid width (workload neighbor math, summaries). */
     unsigned
     resolvedMeshWidth() const

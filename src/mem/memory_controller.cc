@@ -9,6 +9,7 @@
 #include "directory/limited_dir.hh"
 #include "mem/home/home_policy.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "obs/telemetry.hh"
 #include "sim/log.hh"
 
@@ -244,6 +245,7 @@ MemoryController::scheduleService()
 void
 MemoryController::service()
 {
+    PROF_SCOPE("mem.service");
     assert(!_queue.empty());
     PacketPtr pkt = std::move(_queue.front());
     _queue.pop_front();

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "sim/log.hh"
 
 namespace limitless
@@ -334,6 +335,7 @@ MeshNetwork::enableTelemetry()
 void
 MeshNetwork::tick()
 {
+    PROF_SCOPE("net.tick");
     // Plan all single-hop moves against pre-cycle state, then apply, so a
     // flit advances at most one hop per network cycle. The scratch vectors
     // are members: tick() runs every network cycle and must not allocate.
@@ -494,9 +496,12 @@ MeshNetwork::applyMoveShard(const Move &move, unsigned p)
         // clean for the next window's plan.
         const std::uint32_t idx = _portBase[move.toRouter] + move.toPort;
         _staged[idx] = 0;
-        _chan[std::size_t{p} * _numParts + _partOf[move.toRouter]]
-            .push_back(StagedPush{flit, move.toRouter, move.fromRouter,
-                                  static_cast<std::uint8_t>(move.toPort)});
+        const unsigned dst = _partOf[move.toRouter];
+        if (dst != p)
+            sh.xpartFlits += 1;
+        _chan[std::size_t{p} * _numParts + dst].push_back(
+            StagedPush{flit, move.toRouter, move.fromRouter,
+                       static_cast<std::uint8_t>(move.toPort)});
     }
 }
 

@@ -145,6 +145,22 @@ class MeshNetwork : public Network, public ParallelCoupling
     void setShard(std::vector<unsigned> part_of,
                   std::vector<EventQueue *> queues);
 
+    /**
+     * Flits handed to a *different* partition's routers since shard
+     * mode began (cumulative; 0 in serial mode). The inter-partition
+     * traffic signal for the pk.* utilization telemetry. Only safe to
+     * read where shard counters are stable: the serial window tail or
+     * after the run.
+     */
+    std::uint64_t
+    crossPartitionFlits() const
+    {
+        std::uint64_t total = 0;
+        for (const Shard &sh : _shards)
+            total += sh.xpartFlits;
+        return total;
+    }
+
     // ParallelCoupling (parallel kernel's view of the fabric).
     Tick nextCoupledTick() const override { return _netNext; }
     void planShard(unsigned p) override;
@@ -212,6 +228,10 @@ class MeshNetwork : public Network, public ParallelCoupling
         std::uint64_t flits = 0;
         std::uint64_t flitHops = 0;
         std::uint64_t blocked = 0;
+        /** Flits staged to another partition; cumulative, *not* folded
+         *  or reset by the epilogue (host-utilization observability,
+         *  not a simulated-machine statistic). */
+        std::uint64_t xpartFlits = 0;
         std::int64_t activeDelta = 0; ///< +injected -ejected flits
         unsigned peak = 0;            ///< windowPeakDepth candidate
     };

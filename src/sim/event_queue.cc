@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/host_profiler.hh"
+
 namespace limitless
 {
 
@@ -170,6 +172,7 @@ EventQueue::runOne()
 std::uint64_t
 EventQueue::runBurst(std::uint64_t max)
 {
+    PROF_SCOPE("eq.burst");
     std::uint64_t n = 0;
     while (n < max && _size != 0) {
         if (_sortedTick != _now)

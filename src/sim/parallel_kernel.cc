@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <thread>
 
+#include "obs/host_profiler.hh"
 #include "sim/event_queue.hh"
 #include "sim/log.hh"
 
@@ -11,8 +13,9 @@ namespace limitless
 {
 
 ParallelKernel::ParallelKernel(std::vector<EventQueue *> queues,
-                               ParallelCoupling *coupling, Tick lookahead)
-    : _queues(std::move(queues)), _coupling(coupling)
+                               ParallelCoupling *coupling, Tick lookahead,
+                               ParallelKernelStats *stats)
+    : _queues(std::move(queues)), _coupling(coupling), _stats(stats)
 {
     if (_queues.empty())
         panic("parallel kernel needs at least one partition");
@@ -21,12 +24,21 @@ ParallelKernel::ParallelKernel(std::vector<EventQueue *> queues,
               "(topology reported %llu): with zero cross-partition "
               "latency, same-window execution would be unsound",
               static_cast<unsigned long long>(lookahead));
+    if (_stats) {
+        if (_stats->partitions != _queues.size())
+            panic("parallel kernel stats sized for %u partitions, run "
+                  "has %zu",
+                  _stats->partitions, _queues.size());
+        _stats->lookahead = lookahead;
+    }
 }
 
 void
 ParallelKernel::run(const Hooks &hooks)
 {
+    using Clock = std::chrono::steady_clock;
     const unsigned P = static_cast<unsigned>(_queues.size());
+    const Clock::time_point runStart = Clock::now();
 
     // Written only by the coordinator between barriers; each barrier
     // arrival publishes the write to every worker (and the workers'
@@ -40,6 +52,25 @@ ParallelKernel::run(const Hooks &hooks)
     Window window;
 
     std::barrier bar(static_cast<std::ptrdiff_t>(P));
+
+    // Barrier arrival, optionally timed into the partition's wait
+    // counter: a partition that always arrives last waits ~0 and is the
+    // bottleneck; large waits mark partitions starved by imbalance.
+    auto wait = [&](unsigned p) {
+        if (!_stats) {
+            bar.arrive_and_wait();
+            return;
+        }
+        PROF_SCOPE("pk.barrier");
+        const Clock::time_point t0 = Clock::now();
+        bar.arrive_and_wait();
+        _stats->parts[p].barrierWaitNs.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+    };
 
     // Pick the next window: the globally earliest pending tick over
     // every partition queue and the coupling. All queues align on it so
@@ -63,31 +94,52 @@ ParallelKernel::run(const Hooks &hooks)
     };
 
     auto body = [&](unsigned p) {
+        PROF_SCOPE("pk.worker");
         if (hooks.threadInit)
             hooks.threadInit(p);
         if (p == 0)
             publish();
         for (;;) {
-            bar.arrive_and_wait(); // window published
+            wait(p); // window published
             if (window.stop)
                 break;
             const Tick t = window.t;
             if (window.net) {
-                _coupling->planShard(p);
-                bar.arrive_and_wait();
-                _coupling->applyShard(p);
-                bar.arrive_and_wait();
-                _coupling->drainShard(p);
-                bar.arrive_and_wait();
+                {
+                    PROF_SCOPE("pk.plan");
+                    _coupling->planShard(p);
+                }
+                wait(p);
+                {
+                    PROF_SCOPE("pk.apply");
+                    _coupling->applyShard(p);
+                }
+                wait(p);
+                {
+                    PROF_SCOPE("pk.drain");
+                    _coupling->drainShard(p);
+                }
+                wait(p);
             }
-            _queues[p]->runTickBelow(t, EventPriority::stats);
-            bar.arrive_and_wait(); // window executed below stats
+            {
+                PROF_SCOPE("pk.exec");
+                _queues[p]->runTickBelow(t, EventPriority::stats);
+            }
+            wait(p); // window executed below stats
             if (p != 0)
                 continue;
             // Coordinator tail, serial while the workers park at the
             // window barrier: flush the coupling's stat shards first so
             // the samplers and monitors in the stats remainder observe
             // exactly the serial kernel's counter values.
+            PROF_SCOPE("pk.tail");
+            const Clock::time_point tail0 =
+                _stats ? Clock::now() : Clock::time_point{};
+            if (_stats) {
+                _stats->windows += 1;
+                if (window.net)
+                    _stats->coupledWindows += 1;
+            }
             if (_coupling)
                 _coupling->coupledEpilogue(t, window.net);
             for (EventQueue *q : _queues)
@@ -96,6 +148,10 @@ ParallelKernel::run(const Hooks &hooks)
                 window.stop = true;
             else
                 publish();
+            if (_stats)
+                _stats->serialTailSeconds +=
+                    std::chrono::duration<double>(Clock::now() - tail0)
+                        .count();
         }
     };
 
@@ -106,6 +162,10 @@ ParallelKernel::run(const Hooks &hooks)
     body(0);
     for (std::thread &w : workers)
         w.join();
+
+    if (_stats)
+        _stats->runSeconds +=
+            std::chrono::duration<double>(Clock::now() - runStart).count();
 }
 
 } // namespace limitless

@@ -36,7 +36,10 @@
 #ifndef LIMITLESS_SIM_PARALLEL_KERNEL_HH
 #define LIMITLESS_SIM_PARALLEL_KERNEL_HH
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/types.hh"
@@ -45,6 +48,55 @@ namespace limitless
 {
 
 class EventQueue;
+
+/**
+ * Host-side utilization accounting for one parallel run: window counts,
+ * per-partition barrier-wait time (the load-imbalance signal), and the
+ * serial stats-tail fraction. Purely observational — collecting it
+ * never changes simulated results.
+ *
+ * Write/read discipline: the scalar fields are written only by the
+ * coordinator (partition 0) and read in the serial window tail
+ * (telemetry samplers) or after run() — never concurrently with a
+ * writer. Each partition's barrierWaitNs is written only by that
+ * partition's thread, but a worker records its wait *after* waking from
+ * a barrier, concurrently with the coordinator's serial tail — so that
+ * one field is a relaxed atomic (monotone counter; a sampler may miss
+ * the latest addition but never tears).
+ */
+struct ParallelKernelStats
+{
+    struct alignas(64) Part
+    {
+        std::atomic<std::uint64_t> barrierWaitNs{0};
+        /** Events executed by this partition; filled by the machine
+         *  after run() from the queue's executed counter. */
+        std::uint64_t events = 0;
+    };
+
+    explicit ParallelKernelStats(unsigned partitions)
+        : partitions(partitions),
+          parts(std::make_unique<Part[]>(partitions))
+    {
+    }
+
+    unsigned partitions;
+    std::unique_ptr<Part[]> parts;
+
+    std::uint64_t windows = 0;        ///< windows executed
+    std::uint64_t coupledWindows = 0; ///< windows that ran the fabric
+    Tick lookahead = 0;               ///< window bound (min hop latency)
+    double serialTailSeconds = 0.0;   ///< coordinator-only stats tail
+    double runSeconds = 0.0;          ///< whole run() wall time
+
+    double
+    barrierWaitSeconds(unsigned p) const
+    {
+        return static_cast<double>(
+                   parts[p].barrierWaitNs.load(std::memory_order_relaxed)) *
+               1e-9;
+    }
+};
 
 /**
  * The one simulation object that spans partitions (the wormhole
@@ -116,9 +168,12 @@ class ParallelKernel
      * @param lookahead minimum cross-partition latency in ticks
      *                  (Topology::minHopLookahead); must be >= 1 or
      *                  windowed execution would be unsound
+     * @param stats    optional utilization accounting, filled during
+     *                 run(); nullptr keeps the loop free of clock reads
      */
     ParallelKernel(std::vector<EventQueue *> queues,
-                   ParallelCoupling *coupling, Tick lookahead);
+                   ParallelCoupling *coupling, Tick lookahead,
+                   ParallelKernelStats *stats = nullptr);
 
     /** Execute windows until drained or hooks.onWindow returns false. */
     void run(const Hooks &hooks);
@@ -126,6 +181,7 @@ class ParallelKernel
   private:
     std::vector<EventQueue *> _queues;
     ParallelCoupling *_coupling;
+    ParallelKernelStats *_stats;
 };
 
 } // namespace limitless

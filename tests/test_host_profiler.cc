@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Host self-profiler unit tests (obs/host_profiler.hh): scope nesting
+ * builds the expected path tree, self time tiles under inclusive time,
+ * per-thread trees merge commutatively at snapshot, a disabled profiler
+ * records nothing, and — the overhead-guard contract — enabling it
+ * never perturbs the deterministic simulation outputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "machine/machine.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
+#include "obs/telemetry.hh"
+#include "workload/random_stress.hh"
+
+namespace limitless
+{
+namespace
+{
+
+/** Fresh profiler per test; every test leaves it disabled and empty. */
+class HostProfilerTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        HostProfiler::reset();
+        HostProfiler::enable();
+    }
+
+    void
+    TearDown() override
+    {
+        HostProfiler::disable();
+        HostProfiler::reset();
+        HostProfiler::setSliceSink(nullptr);
+    }
+};
+
+std::map<std::string, HostProfiler::Scope>
+byPath()
+{
+    std::map<std::string, HostProfiler::Scope> m;
+    for (const HostProfiler::Scope &s : HostProfiler::snapshot())
+        m.emplace(s.path, s);
+    return m;
+}
+
+void
+spin()
+{
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+TEST_F(HostProfilerTest, NestingBuildsPaths)
+{
+    {
+        PROF_SCOPE("outer");
+        spin();
+        {
+            PROF_SCOPE("inner");
+            spin();
+        }
+        {
+            PROF_SCOPE("inner");
+            spin();
+        }
+    }
+    {
+        PROF_SCOPE("outer");
+        spin();
+    }
+    const auto m = byPath();
+    ASSERT_EQ(m.size(), 2u);
+    ASSERT_TRUE(m.count("outer"));
+    ASSERT_TRUE(m.count("outer;inner"));
+    EXPECT_EQ(m.at("outer").count, 2u);
+    EXPECT_EQ(m.at("outer;inner").count, 2u);
+}
+
+TEST_F(HostProfilerTest, SelfTimeTilesUnderInclusive)
+{
+    {
+        PROF_SCOPE("a");
+        spin();
+        {
+            PROF_SCOPE("b");
+            spin();
+        }
+        {
+            PROF_SCOPE("c");
+            spin();
+        }
+    }
+    const auto m = byPath();
+    ASSERT_EQ(m.size(), 3u);
+    const auto &a = m.at("a");
+    const auto &b = m.at("a;b");
+    const auto &c = m.at("a;c");
+    EXPECT_GT(a.wallNs, 0u);
+    // Children nest inside the parent interval, so inclusive time
+    // dominates their sum, and self is exactly the remainder.
+    EXPECT_GE(a.wallNs, b.wallNs + c.wallNs);
+    EXPECT_EQ(a.selfNs, a.wallNs - b.wallNs - c.wallNs);
+    EXPECT_LE(a.selfNs, a.wallNs);
+    // Leaves have no children: self equals inclusive.
+    EXPECT_EQ(b.selfNs, b.wallNs);
+    EXPECT_EQ(c.selfNs, c.wallNs);
+}
+
+TEST_F(HostProfilerTest, CrossThreadMergeIsCommutative)
+{
+    {
+        PROF_SCOPE("work");
+        spin();
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < 3; ++i) {
+                PROF_SCOPE("work");
+                spin();
+                PROF_SCOPE("sub");
+                spin();
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const auto m = byPath();
+    ASSERT_TRUE(m.count("work"));
+    ASSERT_TRUE(m.count("work;sub"));
+    // 1 main-thread call + 4 threads x 3 iterations.
+    EXPECT_EQ(m.at("work").count, 13u);
+    EXPECT_EQ(m.at("work;sub").count, 12u);
+    EXPECT_GE(m.at("work").wallNs, m.at("work;sub").wallNs);
+}
+
+TEST_F(HostProfilerTest, DisabledRecordsNothing)
+{
+    HostProfiler::disable();
+    {
+        PROF_SCOPE("ghost");
+        spin();
+    }
+    EXPECT_TRUE(HostProfiler::snapshot().empty());
+    std::ostringstream folded;
+    HostProfiler::writeFolded(folded);
+    EXPECT_TRUE(folded.str().empty());
+}
+
+TEST_F(HostProfilerTest, SliceSinkSeesEveryClose)
+{
+    static int calls;
+    static std::uint64_t lastDur;
+    calls = 0;
+    lastDur = 0;
+    HostProfiler::setSliceSink(
+        [](const char *, std::uint64_t, std::uint64_t durNs) {
+            ++calls;
+            lastDur = durNs;
+        });
+    {
+        PROF_SCOPE("sliced");
+        spin();
+    }
+    HostProfiler::setSliceSink(nullptr);
+    EXPECT_EQ(calls, 1);
+    EXPECT_GT(lastDur, 0u);
+}
+
+TEST_F(HostProfilerTest, FoldedExportIsSortedAndParsable)
+{
+    {
+        PROF_SCOPE("z");
+        PROF_SCOPE("a");
+        spin();
+    }
+    {
+        PROF_SCOPE("a");
+        spin();
+    }
+    std::ostringstream folded;
+    HostProfiler::writeFolded(folded);
+    std::istringstream in(folded.str());
+    std::string prev, path;
+    std::uint64_t self;
+    int lines = 0;
+    while (in >> path >> self) {
+        EXPECT_GT(path, prev);
+        prev = path;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3); // a, z, z;a
+}
+
+/** Overhead-guard contract: a profiled run is behavior-identical to an
+ *  unprofiled one — same deterministic stats JSON and telemetry CSV,
+ *  byte for byte. (The profiler only reads the host clock; it must
+ *  never touch simulation state.) */
+TEST_F(HostProfilerTest, ProfilingNeverPerturbsSimulation)
+{
+    const auto digest = [](bool profiled) {
+        if (profiled)
+            HostProfiler::enable();
+        else
+            HostProfiler::disable();
+        MachineConfig cfg;
+        cfg.numNodes = 16;
+        cfg.protocol = protocols::limitlessStall(4, 50);
+        cfg.seed = 42;
+        cfg.cache.cacheBytes = 16 * 16;
+        cfg.metricsInterval = 400;
+        FlightRecorder::instance().latency().reset();
+        Machine m(cfg);
+        RandomStressParams rp;
+        rp.opsPerProc = 80;
+        rp.seed = 4242;
+        RandomStress wl(rp);
+        wl.install(m);
+        const RunResult r = m.run();
+        EXPECT_TRUE(r.completed);
+        std::ostringstream stats, csv;
+        m.dumpStatsJson(stats, r.cycles, nullptr);
+        m.telemetry()->writeCsv(csv);
+        return stats.str() + "\x1f" + csv.str();
+    };
+    const std::string off = digest(false);
+    const std::string on = digest(true);
+    EXPECT_EQ(off, on);
+    EXPECT_FALSE(HostProfiler::snapshot().empty());
+}
+
+} // namespace
+} // namespace limitless

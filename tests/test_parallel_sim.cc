@@ -18,6 +18,7 @@
 #include "machine/coherence_monitor.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/telemetry.hh"
+#include "sim/parallel_kernel.hh"
 #include "workload/random_stress.hh"
 
 namespace limitless
@@ -133,6 +134,70 @@ TEST_P(ParallelSimProperty, ThreadCountNeverChangesBehavior)
         EXPECT_EQ(par.telemetryJson, serial.telemetryJson)
             << "threads=" << threads;
     }
+}
+
+/** The utilization exports must account for every executed event: the
+ *  per-partition counters in ParallelKernelStats sum exactly to the
+ *  run's event total, every partition did real work, and the window
+ *  counters are internally consistent. (The total is NOT compared to a
+ *  serial run: the windowed kernel schedules per-shard network ticks,
+ *  so the event count is thread-count-dependent by design — only the
+ *  simulated behavior is not.) */
+TEST(ParallelKernelStatsTest, PartitionEventsSumToRunTotal)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = protocols::limitlessStall(4, 50);
+    cfg.seed = 7;
+    cfg.topology.kind = TopologyKind::torus;
+    cfg.simThreads = 4;
+    cfg.pkTelemetry = true;
+    cfg.cache.cacheBytes = 16 * 16;
+    cfg.metricsInterval = 400;
+
+    FlightRecorder::instance().latency().reset();
+    Machine m(cfg);
+    RandomStressParams rp;
+    rp.opsPerProc = 120;
+    rp.seed = 99;
+    RandomStress wl(rp);
+    wl.install(m);
+    const RunResult r = m.run();
+    ASSERT_TRUE(r.completed);
+
+    const ParallelKernelStats *pk = m.pkStats();
+    ASSERT_NE(pk, nullptr);
+    ASSERT_EQ(pk->partitions, m.numPartitions());
+    ASSERT_GT(pk->partitions, 1u);
+    std::uint64_t sum = 0;
+    for (unsigned p = 0; p < pk->partitions; ++p) {
+        EXPECT_GT(pk->parts[p].events, 0u) << "partition " << p;
+        EXPECT_GE(pk->barrierWaitSeconds(p), 0.0) << "partition " << p;
+        sum += pk->parts[p].events;
+    }
+    EXPECT_EQ(sum, r.events);
+    EXPECT_GT(pk->windows, 0u);
+    EXPECT_LE(pk->coupledWindows, pk->windows);
+    EXPECT_GE(pk->lookahead, 1u);
+    EXPECT_GE(pk->runSeconds, pk->serialTailSeconds);
+
+    // pk.* telemetry columns ride along only when asked for.
+    std::ostringstream csv;
+    m.telemetry()->writeCsv(csv);
+    EXPECT_NE(csv.str().find("pk.windows"), std::string::npos);
+    EXPECT_NE(csv.str().find("pk.part_events.3"), std::string::npos);
+    EXPECT_NE(csv.str().find("pk.barrier_wait_s.0"), std::string::npos);
+}
+
+/** Default config keeps the pk.* columns out of the telemetry CSV —
+ *  that is what lets the byte-identical property above compare the CSV
+ *  across thread counts. */
+TEST(ParallelKernelStatsTest, PkColumnsAreOptIn)
+{
+    ParallelCase pc{protocols::limitlessStall(4, 50), 7,
+                    TopologyKind::torus};
+    const RunDigest par = runOnce(pc, 4);
+    EXPECT_EQ(par.telemetryCsv.find("pk."), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -607,7 +607,43 @@ function waterfallCard(t) {
 const GROUPS = [
   ['proc', 'Processors'], ['cache', 'Caches'],
   ['mem', 'Home controllers'], ['dir', 'Directory occupancy'],
-  ['trap', 'Trap kernel'], ['kern', 'Kernel'], ['net', 'Network']];
+  ['trap', 'Trap kernel'], ['kern', 'Kernel'], ['net', 'Network'],
+  ['pk', 'Parallel kernel']];
+
+// Worker utilization panel for --sim-threads runs, built from the
+// host.parallel_kernel stats block (end-of-run summary, present only
+// when the windowed kernel ran).
+function pkCard(pk) {
+  const card = el('div', 'card');
+  const coupled = pk.windows > 0 ? pk.coupled_windows / pk.windows : 0;
+  card.appendChild(el('p', 'name',
+    pk.sim_threads + ' sim threads · lookahead ' + fmt(pk.lookahead) +
+    ' cyc · ' + fmt(pk.windows) + ' windows (' +
+    (coupled * 100).toFixed(1) + '% coupled) · serial tail ' +
+    (pk.serial_tail_fraction * 100).toFixed(1) + '% of ' +
+    pk.run_seconds.toFixed(2) + ' s · ' +
+    fmt(pk.cross_partition_flits) + ' cross-partition flits'));
+  const parts = pk.partitions || [];
+  if (!parts.length) return card;
+  const ids = parts.map(p => String(p.id));
+  const events = parts.map(p => p.events);
+  const maxEv = Math.max(...events, 1);
+  const minEv = Math.min(...events);
+  card.appendChild(el('p', 'name', 'events per partition (imbalance ' +
+    ((1 - minEv / maxEv) * 100).toFixed(1) + '%)'));
+  card.appendChild(barChart(ids, events, {labelEvery: 1}));
+  card.appendChild(el('p', 'name', 'barrier wait per worker (s)'));
+  card.appendChild(barChart(ids, parts.map(p => p.barrier_wait_seconds),
+                            {labelEvery: 1}));
+  if (pk.run_seconds > 0) {
+    card.appendChild(el('p', 'name',
+      'worker utilization (1 − wait / run time, %)'));
+    card.appendChild(barChart(ids, parts.map(p => Math.max(0,
+      100 * (1 - p.barrier_wait_seconds / pk.run_seconds))),
+      {labelEvery: 1}));
+  }
+  return card;
+}
 
 function render() {
   document.getElementById('title').textContent = TITLE;
@@ -697,6 +733,10 @@ function render() {
     card.appendChild(barChart(v.map((_, i) => String(i)), v,
                               {labelEvery: 0}));
     main.appendChild(card);
+  }
+  if (STATS && STATS.host && STATS.host.parallel_kernel) {
+    main.appendChild(el('h2', '', 'Parallel kernel utilization'));
+    main.appendChild(pkCard(STATS.host.parallel_kernel));
   }
 
   const foot = [];

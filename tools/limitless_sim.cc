@@ -17,6 +17,7 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <unordered_set>
@@ -26,6 +27,7 @@
 #include "machine/coherence_monitor.hh"
 #include "mem/home/hier_home.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "proto/protocol_table.hh"
 #include "sim/log.hh"
 #include "trace/trace_capture.hh"
@@ -98,6 +100,13 @@ usage()
         "  --metrics-out <file>   telemetry CSV path (default "
         "telemetry.csv;\n"
         "                         a .json sidecar is written alongside)\n"
+        "  --prof-out <file>      profile the simulator itself: "
+        "collapsed-stack\n"
+        "                         flamegraph lines (scope self-ns), plus "
+        "a\n"
+        "                         host_profile stats-JSON block and "
+        "cat:host\n"
+        "                         slices in --trace-out\n"
         "  --dump-protocol-table  print every scheme's transition tables "
         "and exit\n"
         "  --dump-hier-table      print the chip-side (two-level) "
@@ -106,6 +115,37 @@ usage()
         "  --log <tag>            enable debug logging (mem, cache, net, "
         "handler, all)\n"
         "  --help\n";
+}
+
+/**
+ * Chrome-slice sink for PROF scopes: "cat":"host" complete events on
+ * pid 1 with microsecond timestamps since profiler enable, merged into
+ * the same --trace-out stream as the simulated-machine events. Only
+ * reachable in serial runs (--trace-out is rejected with
+ * --sim-threads > 1), so no locking; capped so a long run cannot
+ * balloon the trace file.
+ */
+void
+hostSliceSink(const char *name, std::uint64_t startNs, std::uint64_t durNs)
+{
+    static std::uint64_t emitted = 0;
+    if (emitted >= 200'000)
+        return;
+    std::ostream *os = FlightRecorder::instance().traceRawEvent(0);
+    if (!os)
+        return;
+    ++emitted;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"%s\", \"cat\": \"host\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": 0, \"ts\": %llu.%03llu, "
+                  "\"dur\": %llu.%03llu}",
+                  name,
+                  static_cast<unsigned long long>(startNs / 1000),
+                  static_cast<unsigned long long>(startNs % 1000),
+                  static_cast<unsigned long long>(durNs / 1000),
+                  static_cast<unsigned long long>(durNs % 1000));
+    *os << buf;
 }
 
 } // namespace
@@ -129,7 +169,7 @@ main(int argc, char **argv)
         {"txn-trace-out", true}, {"txn-top", true},
         {"topology", true},      {"cluster", true},
         {"hier", false},         {"dump-hier-table", false},
-        {"sim-threads", true},
+        {"sim-threads", true},   {"prof-out", true},
     };
     const CliOptions opts = CliOptions::parse(argc, argv, known);
     if (opts.has("help") || argc == 1) {
@@ -161,6 +201,9 @@ main(int argc, char **argv)
                   << trace.config.name() << "\n";
         return reproduced ? 0 : 1;
     }
+
+    if (opts.has("prof-out"))
+        HostProfiler::enable();
 
     MachineConfig cfg;
     cfg.numNodes = static_cast<unsigned>(opts.num("nodes", 64));
@@ -203,6 +246,10 @@ main(int argc, char **argv)
     cfg.txnTraceOut = opts.str("txn-trace-out", "");
     cfg.txnTopK = static_cast<std::size_t>(opts.num("txn-top", 16));
     cfg.simThreads = static_cast<unsigned>(opts.num("sim-threads", 1));
+    // Parallel runs always export the pk.* utilization columns (and the
+    // parallel_kernel stats block): anyone driving --sim-threads from
+    // this CLI is exactly the audience for the imbalance telemetry.
+    cfg.pkTelemetry = cfg.simThreads > 1;
     if (cfg.simThreads > 1) {
         // The parallel kernel reproduces stats, telemetry and figures
         // bit-identically, but the streaming observers assume a single
@@ -248,6 +295,8 @@ main(int argc, char **argv)
         }
         fr.setLineFilter(std::move(lines));
     }
+    if (opts.has("prof-out") && opts.has("trace-out"))
+        HostProfiler::setSliceSink(&hostSliceSink);
 
     Machine machine(cfg);
 
@@ -378,6 +427,16 @@ main(int argc, char **argv)
         machine.dumpStatsJson(out, run.cycles, &run);
         std::cout << "stats json:        " << opts.str("stats-json")
                   << "\n";
+    }
+    if (opts.has("prof-out")) {
+        HostProfiler::setSliceSink(nullptr);
+        std::ofstream out(opts.str("prof-out"));
+        if (!out)
+            fatal("cannot write profile '%s'",
+                  opts.str("prof-out").c_str());
+        HostProfiler::writeFolded(out);
+        std::cout << "host profile:      " << opts.str("prof-out")
+                  << " (collapsed stacks)\n";
     }
 
     if (opts.has("dump-stats"))
